@@ -1,0 +1,309 @@
+(* Command-line front end for the toolkit. Operates on netlists in the
+   .bench-style text format (see Netlist.Io).
+
+     secure_eda_cli gen --design alu4 -o alu.bench
+     secure_eda_cli stats alu.bench
+     secure_eda_cli synth alu.bench -o alu_opt.bench
+     secure_eda_cli lock alu.bench --key-bits 16 -o locked.bench
+     secure_eda_cli sat-attack locked.bench --oracle alu.bench
+     secure_eda_cli atpg alu.bench
+     secure_eda_cli trojan alu.bench --trigger-width 3
+     secure_eda_cli tvla-fig2
+     secure_eda_cli table2 *)
+
+open Cmdliner
+
+let read_circuit path = Netlist.Io.read_file path
+
+let seed_arg =
+  let doc = "PRNG seed (all randomness in the toolkit is seeded)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc)
+
+let output_arg =
+  let doc = "Output netlist file." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc)
+
+let write_or_print circuit = function
+  | Some path ->
+    Netlist.Io.write_file path circuit;
+    Printf.printf "written %s (%d gates)\n" path (Netlist.Circuit.stats circuit).Netlist.Circuit.gates
+  | None -> print_string (Netlist.Io.to_string circuit)
+
+(* --- gen -------------------------------------------------------------- *)
+
+let designs =
+  [ ("c17", fun _ -> Netlist.Generators.c17 ());
+    ("adder4", fun _ -> Netlist.Generators.ripple_adder 4);
+    ("adder8", fun _ -> Netlist.Generators.ripple_adder 8);
+    ("alu4", fun _ -> Netlist.Generators.alu 4);
+    ("comparator8", fun _ -> Netlist.Generators.comparator 8);
+    ("parity16", fun _ -> Netlist.Generators.parity_tree 16);
+    ("aes_sbox", fun _ -> Crypto.Sbox_circuit.aes_sbox ());
+    ("aes_round", fun _ -> Crypto.Sbox_circuit.aes_round_datapath ());
+    ("present_sbox", fun _ -> Crypto.Sbox_circuit.present_sbox ());
+    ("present_round", fun _ -> Crypto.Sbox_circuit.present_round ());
+    ("aes_mixcolumn", fun _ -> Crypto.Sbox_circuit.aes_mixcolumn ());
+    ("kogge_stone8", fun _ -> Netlist.Generators.kogge_stone_adder 8);
+    ("multiplier4", fun _ -> Netlist.Generators.array_multiplier 4);
+    ("random", fun seed -> Netlist.Generators.random_dag ~seed ~inputs:8 ~gates:80 ~outputs:4) ]
+
+let gen_cmd =
+  let design =
+    let doc =
+      Printf.sprintf "Design to generate: %s."
+        (String.concat ", " (List.map fst designs))
+    in
+    Arg.(value & opt string "c17" & info [ "design" ] ~doc)
+  in
+  let run design seed output =
+    match List.assoc_opt design designs with
+    | Some f -> write_or_print (f seed) output
+    | None -> Printf.eprintf "unknown design %s\n" design
+  in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate a reference netlist")
+    Term.(const run $ design $ seed_arg $ output_arg)
+
+(* --- stats ------------------------------------------------------------ *)
+
+let netlist_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"NETLIST" ~doc:"Input netlist file")
+
+let stats_cmd =
+  let run path =
+    let c = read_circuit path in
+    let s = Netlist.Circuit.stats c in
+    let timing = Timing.Sta.analyze c in
+    Printf.printf "inputs %d  outputs %d  flip-flops %d\n" s.Netlist.Circuit.inputs
+      s.Netlist.Circuit.outputs s.Netlist.Circuit.flip_flops;
+    Printf.printf "gates %d  area %.1f  critical path %.1f ps (via %s)\n" s.Netlist.Circuit.gates
+      s.Netlist.Circuit.area timing.Timing.Sta.critical_path_delay
+      timing.Timing.Sta.critical_output;
+    List.iter (fun (k, n) -> Printf.printf "  %-8s %d\n" k n) s.Netlist.Circuit.by_kind
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Print netlist statistics and timing")
+    Term.(const run $ netlist_arg)
+
+(* --- synth ------------------------------------------------------------ *)
+
+let synth_cmd =
+  let secure =
+    Arg.(value & flag & info [ "secure" ] ~doc:"Honour isw_ order barriers (security-aware mode)")
+  in
+  let run path secure output =
+    let c = read_circuit path in
+    let optimized =
+      if secure then Synth.Flow.optimize_secure ~protect:Sidechannel.Isw.protected_name c
+      else Synth.Flow.optimize c
+    in
+    let before = (Netlist.Circuit.stats c).Netlist.Circuit.gates in
+    let after = (Netlist.Circuit.stats optimized).Netlist.Circuit.gates in
+    Printf.eprintf "synthesis: %d -> %d gates (%s)\n" before after
+      (if secure then "security-aware" else "classical");
+    write_or_print optimized output
+  in
+  Cmd.v (Cmd.info "synth" ~doc:"Run logic synthesis (classical or security-aware)")
+    Term.(const run $ netlist_arg $ secure $ output_arg)
+
+(* --- lock / sat-attack ------------------------------------------------ *)
+
+let lock_cmd =
+  let key_bits =
+    Arg.(value & opt int 16 & info [ "key-bits" ] ~doc:"Number of key gates to insert")
+  in
+  let run path key_bits seed output =
+    let c = read_circuit path in
+    let rng = Eda_util.Rng.create seed in
+    let locked = Locking.Lock.epic rng ~key_bits c in
+    Printf.eprintf "correct key: %s\n"
+      (String.concat ""
+         (List.map (fun b -> if b then "1" else "0")
+            (Array.to_list locked.Locking.Lock.correct_key)));
+    Printf.eprintf "verification: %s\n"
+      (match Locking.Lock.verify_correct locked ~original:c with
+       | None -> "locked == original under correct key"
+       | Some _ -> "MISMATCH");
+    write_or_print locked.Locking.Lock.circuit output
+  in
+  Cmd.v (Cmd.info "lock" ~doc:"EPIC-lock a netlist (key inputs key0..keyN)")
+    Term.(const run $ netlist_arg $ key_bits $ seed_arg $ output_arg)
+
+let sat_attack_cmd =
+  let oracle =
+    Arg.(required & opt (some file) None & info [ "oracle" ] ~doc:"Original (activated-chip) netlist")
+  in
+  let run locked_path oracle_path =
+    let locked_circuit = read_circuit locked_path in
+    let original = read_circuit oracle_path in
+    (* Reconstruct the locked view: key inputs are the key* named ones. *)
+    let key_inputs, data_inputs =
+      Array.to_list (Netlist.Circuit.inputs locked_circuit)
+      |> List.partition (fun id ->
+             let nm = Netlist.Circuit.name locked_circuit id in
+             String.length nm >= 3 && String.sub nm 0 3 = "key")
+    in
+    let locked =
+      { Locking.Lock.circuit = locked_circuit;
+        key_inputs = Array.of_list key_inputs;
+        data_inputs = Array.of_list data_inputs;
+        correct_key = Array.make (List.length key_inputs) false }
+    in
+    let result =
+      Locking.Sat_attack.run ~oracle:(Locking.Sat_attack.oracle_of_circuit original) locked
+    in
+    (match result.Locking.Sat_attack.key with
+     | Some key ->
+       Printf.printf "key recovered in %d DIPs: %s\n" result.Locking.Sat_attack.iterations
+         (String.concat "" (List.map (fun b -> if b then "1" else "0") (Array.to_list key)));
+       let ok =
+         Sat.Cnf.check_equivalence original (Locking.Lock.apply_key locked ~key) = None
+       in
+       Printf.printf "functionally correct: %b\n" ok
+     | None -> Printf.printf "attack did not converge (%d DIPs)\n" result.Locking.Sat_attack.iterations)
+  in
+  Cmd.v (Cmd.info "sat-attack" ~doc:"Oracle-guided SAT attack on a locked netlist")
+    Term.(const run $ netlist_arg $ oracle)
+
+(* --- atpg ------------------------------------------------------------- *)
+
+let atpg_cmd =
+  let run path =
+    let c = read_circuit path in
+    let `Patterns patterns, `Coverage coverage, `Untestable untestable = Dft.Atpg.run c in
+    Printf.printf "patterns %d, stuck-at coverage %.1f%%, untestable faults %d\n"
+      (List.length patterns) (100.0 *. coverage) (List.length untestable);
+    List.iteri
+      (fun k p ->
+        Printf.printf "  pat%-3d %s\n" k
+          (String.concat "" (List.map (fun b -> if b then "1" else "0") (Array.to_list p))))
+      patterns
+  in
+  Cmd.v (Cmd.info "atpg" ~doc:"SAT-based test pattern generation (stuck-at)")
+    Term.(const run $ netlist_arg)
+
+(* --- trojan ------------------------------------------------------------ *)
+
+let trojan_cmd =
+  let width = Arg.(value & opt int 3 & info [ "trigger-width" ] ~doc:"Trigger conditions") in
+  let run path width seed output =
+    let c = read_circuit path in
+    let rng = Eda_util.Rng.create seed in
+    let troj = Trojan.Insert.insert rng ~trigger_width:width ~patterns:4096 c in
+    Printf.eprintf "trigger probability: %.5f; victim output: %d\n"
+      (Trojan.Insert.trigger_probability rng troj ~patterns:50000)
+      troj.Trojan.Insert.victim_output;
+    write_or_print troj.Trojan.Insert.infected output
+  in
+  Cmd.v (Cmd.info "trojan" ~doc:"Insert a rare-trigger Trojan (for detection research)")
+    Term.(const run $ netlist_arg $ width $ seed_arg $ output_arg)
+
+(* --- techmap / redundancy / watermark ----------------------------------- *)
+
+let techmap_cmd =
+  let target =
+    let doc = "Target library: nand-inv or camo (NAND/NOR/XNOR)." in
+    Arg.(value & opt string "nand-inv" & info [ "target" ] ~doc)
+  in
+  let run path target output =
+    let c = read_circuit path in
+    let target =
+      match target with
+      | "nand-inv" -> Synth.Techmap.Nand_inv
+      | "camo" -> Synth.Techmap.Nand_nor_xnor
+      | other -> failwith (Printf.sprintf "unknown target %s" other)
+    in
+    let mapped = Synth.Techmap.run ~target c in
+    Printf.eprintf "mapped: area %.1f -> %.1f, conforms = %b\n"
+      (Netlist.Circuit.stats c).Netlist.Circuit.area
+      (Netlist.Circuit.stats mapped).Netlist.Circuit.area
+      (Synth.Techmap.conforms target mapped);
+    write_or_print mapped output
+  in
+  Cmd.v (Cmd.info "techmap" ~doc:"Map a netlist to a restricted cell library")
+    Term.(const run $ netlist_arg $ target $ output_arg)
+
+let redundancy_cmd =
+  let run path output =
+    let c = read_circuit path in
+    let cleaned = Dft.Atpg.remove_redundancy c in
+    Printf.eprintf "redundancy removal: %d -> %d gates\n"
+      (Netlist.Circuit.stats c).Netlist.Circuit.gates
+      (Netlist.Circuit.stats cleaned).Netlist.Circuit.gates;
+    write_or_print cleaned output
+  in
+  Cmd.v (Cmd.info "redundancy" ~doc:"Remove ATPG-untestable (redundant) logic")
+    Term.(const run $ netlist_arg $ output_arg)
+
+let watermark_cmd =
+  let bits = Arg.(value & opt int 16 & info [ "bits" ] ~doc:"Signature width") in
+  let run path bits seed output =
+    let c = read_circuit path in
+    let rng = Eda_util.Rng.create seed in
+    let mark = Locking.Watermark.embed_functional rng ~bits c in
+    Printf.eprintf "embedded %d-bit functional watermark (false-claim p = %.2e)\n" bits
+      (Locking.Watermark.false_claim_probability ~bits);
+    Printf.eprintf "self-verification: %d/%d bits\n"
+      (Locking.Watermark.verify_functional mark mark.Locking.Watermark.f_circuit)
+      bits;
+    write_or_print mark.Locking.Watermark.f_circuit output
+  in
+  Cmd.v (Cmd.info "watermark" ~doc:"Embed a functional (resynthesis-proof) watermark")
+    Term.(const run $ netlist_arg $ bits $ seed_arg $ output_arg)
+
+(* --- tvla-fig2 / table2 / flow ----------------------------------------- *)
+
+let tvla_fig2_cmd =
+  let traces = Arg.(value & opt int 4000 & info [ "traces" ] ~doc:"Traces per class") in
+  let run seed traces =
+    let rng = Eda_util.Rng.create seed in
+    let module L = Sidechannel.Leakage in
+    let aware = L.synthesize_masked L.Security_aware in
+    let unaware = L.synthesize_masked L.Security_unaware in
+    let ra = L.tvla_campaign rng aware ~traces_per_class:traces ~noise_sigma:0.3 in
+    let ru = L.tvla_campaign rng unaware ~traces_per_class:traces ~noise_sigma:0.3 in
+    Printf.printf "security-aware  : max|t| = %.2f (%s)\n" ra.Sidechannel.Tvla.max_abs_t
+      (if Sidechannel.Tvla.leaks ra then "LEAKS" else "passes");
+    Printf.printf "security-unaware: max|t| = %.2f (%s)\n" ru.Sidechannel.Tvla.max_abs_t
+      (if Sidechannel.Tvla.leaks ru then "LEAKS" else "passes")
+  in
+  Cmd.v (Cmd.info "tvla-fig2" ~doc:"Reproduce the paper's Fig. 2 TVLA contrast")
+    Term.(const run $ seed_arg $ traces)
+
+let table2_cmd =
+  let run seed =
+    let rng = Eda_util.Rng.create seed in
+    List.iter
+      (fun cell ->
+        let module R = Secure_eda.Scheme_registry in
+        Printf.printf "%-26s | %-26s | %s\n"
+          (R.stage_name cell.R.stage)
+          (Secure_eda.Threat_model.name cell.R.threat)
+          (cell.R.run rng))
+      Secure_eda.Scheme_registry.table
+  in
+  Cmd.v (Cmd.info "table2" ~doc:"Run every Table II scheme on its reference workload")
+    Term.(const run $ seed_arg)
+
+let flow_cmd =
+  let run path seed =
+    let c = read_circuit path in
+    let rng = Eda_util.Rng.create seed in
+    let report = Secure_eda.Flow.run rng c in
+    List.iter
+      (fun sr ->
+        Printf.printf "%-28s area %8.1f  delay %8.1f ps  %s\n"
+          (Secure_eda.Flow.stage_name sr.Secure_eda.Flow.stage)
+          sr.Secure_eda.Flow.area sr.Secure_eda.Flow.delay_ps sr.Secure_eda.Flow.note)
+      report.Secure_eda.Flow.stages
+  in
+  Cmd.v (Cmd.info "flow" ~doc:"Run the classical EDA flow (Fig. 1) on a netlist")
+    Term.(const run $ netlist_arg $ seed_arg)
+
+let () =
+  let doc = "security-centric EDA toolkit (DATE 2020 reproduction)" in
+  let info = Cmd.info "secure_eda_cli" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ gen_cmd; stats_cmd; synth_cmd; lock_cmd; sat_attack_cmd; atpg_cmd;
+            trojan_cmd; techmap_cmd; redundancy_cmd; watermark_cmd;
+            tvla_fig2_cmd; table2_cmd; flow_cmd ]))

@@ -1,0 +1,1 @@
+examples/private_circuit.ml: Array Eda_util List Netlist Printf Sidechannel

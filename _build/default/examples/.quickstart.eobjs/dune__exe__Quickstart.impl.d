@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Eda_util List Locking Netlist Printf String

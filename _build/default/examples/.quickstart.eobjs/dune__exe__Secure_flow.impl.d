@@ -1,0 +1,1 @@
+examples/secure_flow.ml: Array Crypto Dft Eda_util List Locking Netlist Printf Puf Rng_gen Secure_eda Sidechannel

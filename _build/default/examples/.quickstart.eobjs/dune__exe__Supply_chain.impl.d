@@ -1,0 +1,1 @@
+examples/supply_chain.ml: Array Eda_util Float List Locking Netlist Physical Printf Puf Splitmfg Synth

@@ -1,0 +1,1 @@
+examples/trojan_hunt.ml: Array Eda_util List Netlist Printf Trojan

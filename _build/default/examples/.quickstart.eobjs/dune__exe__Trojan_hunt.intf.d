@@ -1,0 +1,1 @@
+examples/trojan_hunt.mli:

@@ -1,0 +1,1 @@
+lib/camo/camouflage.ml: Array Eda_util Float Hashtbl List Locking Netlist Printf

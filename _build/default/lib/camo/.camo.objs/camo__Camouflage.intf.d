@@ -1,0 +1,1 @@
+lib/camo/camouflage.mli: Eda_util Locking Netlist

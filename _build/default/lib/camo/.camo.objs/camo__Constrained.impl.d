@@ -1,0 +1,1 @@
+lib/camo/constrained.ml: Array List Logic Netlist Printf

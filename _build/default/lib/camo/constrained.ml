@@ -1,0 +1,94 @@
+(** Camouflage-constrained synthesis (Sec. III-B: "synthesis is
+    constrained to the Boolean functionalities covered by the
+    multi-functional but obfuscated primitives — this is similar to
+    regular but constrained synthesis").
+
+    Here the constraint is the candidate set of the camouflaged cell
+    ({!Camouflage.candidates}: NAND / NOR / XNOR): the synthesizer may
+    only instantiate those primitives, so *every* gate of the result is
+    camouflageable. Functions are synthesized from a Quine-McCluskey
+    cover mapped into NAND-NAND form (inverters as single-input NANDs via
+    input duplication). The measurable cost of the constraint is the area
+    overhead against unconstrained synthesis. *)
+
+module Circuit = Netlist.Circuit
+module Gate = Netlist.Gate
+
+(* NOT via NAND(x, x); AND via NAND + NOT; OR via NAND of NOTs. *)
+let nand c a b = Circuit.add_gate c Gate.Nand [ a; b ]
+let not_ c a = nand c a a
+
+(* Wide AND from 2-input NANDs (NAND is not associative, so the tree is
+   built as repeated NAND + complement). *)
+let rec wide_and c = function
+  | [] -> invalid_arg "wide_and: empty"
+  | [ x ] -> x
+  | [ a; b ] -> not_ c (nand c a b)
+  | a :: b :: rest -> wide_and c (not_ c (nand c a b) :: rest)
+
+(* Wide OR via De Morgan: OR(xs) = NAND(NOT x1, ..., pairwise). *)
+let rec wide_or c = function
+  | [] -> invalid_arg "wide_or: empty"
+  | [ x ] -> x
+  | [ a; b ] -> nand c (not_ c a) (not_ c b)
+  | a :: b :: rest -> wide_or c (nand c (not_ c a) (not_ c b) :: rest)
+
+(** Synthesize [tt] using only camouflageable primitives. *)
+let synthesize tt =
+  let arity = Logic.Truth_table.arity tt in
+  let c = Circuit.create () in
+  let ins = Array.init arity (fun i -> Circuit.add_input ~name:(Printf.sprintf "x%d" i) c) in
+  let cover = Logic.Qmc.minimize tt in
+  let out =
+    match cover with
+    | [] ->
+      (* Constant false: NAND(x0, x0) gives NOT x0; AND(x0, NOT x0) = 0.
+         Without inputs the function is a constant cell. *)
+      if arity = 0 then Circuit.add_const c false
+      else begin
+        let nx = not_ c ins.(0) in
+        not_ c (nand c ins.(0) nx)
+      end
+    | _ :: _ ->
+      let product_terms =
+        List.map
+          (fun cube ->
+            let literals =
+              List.filter_map
+                (fun i ->
+                  match cube.(i) with
+                  | Logic.Cube.Pos -> Some ins.(i)
+                  | Logic.Cube.Neg -> Some (not_ c ins.(i))
+                  | Logic.Cube.Dc -> None)
+                (List.init arity (fun i -> i))
+            in
+            match literals with
+            | [] ->
+              (* Tautological cube: constant true = NAND(x, NOT x). *)
+              nand c ins.(0) (not_ c ins.(0))
+            | _ :: _ -> wide_and c literals)
+          cover
+      in
+      wide_or c product_terms
+  in
+  Circuit.set_output c "f" out;
+  c
+
+(** Does the circuit use only the camouflageable candidate set? *)
+let fully_camouflageable c =
+  let ok = ref true in
+  for i = 0 to Circuit.node_count c - 1 do
+    match Circuit.kind c i with
+    | Gate.Input | Gate.Const _ -> ()
+    | Gate.Nand | Gate.Nor | Gate.Xnor -> ()
+    | Gate.Buf | Gate.Not | Gate.And | Gate.Or | Gate.Xor | Gate.Mux | Gate.Dff ->
+      ok := false
+  done;
+  !ok
+
+(** Area overhead of the constraint vs. unconstrained (mux-tree) synthesis
+    of the same function. *)
+let constraint_overhead tt =
+  let constrained = synthesize tt in
+  let unconstrained = Netlist.Generators.of_truth_table tt in
+  (Circuit.stats constrained).Circuit.area /. (Circuit.stats unconstrained).Circuit.area

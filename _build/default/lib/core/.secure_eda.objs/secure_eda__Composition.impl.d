@@ -1,0 +1,1 @@
+lib/core/composition.ml: Array Eda_util Fault Float List Metric Netlist Power Sidechannel Timing

@@ -1,0 +1,1 @@
+lib/core/explore.ml: Composition List Metric Sidechannel Threat_model

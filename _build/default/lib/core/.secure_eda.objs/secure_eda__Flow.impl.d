@@ -1,0 +1,1 @@
+lib/core/flow.ml: Array Dft Eda_util List Netlist Physical Printf Synth Timing

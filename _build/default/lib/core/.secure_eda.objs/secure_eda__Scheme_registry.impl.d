@@ -1,0 +1,1 @@
+lib/core/scheme_registry.ml: Array Camo Crypto Dft Eda_util Fault Hls Iflow List Locking Logic Netlist Physical Power Printf Puf Sat Sidechannel Splitmfg String Synth Threat_model Trojan

@@ -1,0 +1,1 @@
+lib/core/threat_model.ml:

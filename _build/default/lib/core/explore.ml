@@ -1,0 +1,71 @@
+(** Security-aware design-space exploration (the closing ask of Sec. IV):
+    enumerate countermeasure combinations, evaluate *every* metric on each
+    (the re-run-everything discipline), and return the Pareto frontier.
+
+    Crucially, the dominance check treats security metrics by *threshold*,
+    not by magnitude: the paper argues security metrics act like step
+    functions — max|t| of 0.5 and 1.5 are equally "secure" (both below the
+    4.5 line), while 4.4 vs 4.6 is the whole difference. Cost metrics
+    compare by magnitude as usual. A naive magnitude-based explorer would
+    pay area for meaningless "extra" security; this one does not. *)
+
+type evaluated = {
+  point : Composition.point;
+  metrics : Metric.t list;
+}
+
+(* Security metrics pass/fail by threshold; thresholds per metric name. *)
+let security_threshold metric =
+  match metric.Metric.name with
+  | "TVLA max |t|" -> Some Sidechannel.Tvla.threshold
+  | "fault detection rate" -> Some 0.99
+  | _ -> None
+
+let passes metric =
+  match security_threshold metric with
+  | None -> true
+  | Some thr ->
+    if metric.Metric.higher_is_better then metric.Metric.value >= thr
+    else metric.Metric.value <= thr
+
+(* a dominates b: a is no worse on every axis and strictly better on one.
+   Security axes compare by pass/fail; PPA axes by value. *)
+let dominates a b =
+  let better_or_equal = ref true and strictly = ref false in
+  List.iter2
+    (fun ma mb ->
+      match ma.Metric.family with
+      | Metric.Security ->
+        let pa = passes ma and pb = passes mb in
+        if pa && not pb then strictly := true
+        else if (not pa) && pb then better_or_equal := false
+      | Metric.Ppa ->
+        let va = ma.Metric.value and vb = mb.Metric.value in
+        let a_better = if ma.Metric.higher_is_better then va > vb else va < vb in
+        let a_worse = if ma.Metric.higher_is_better then va < vb else va > vb in
+        if a_better then strictly := true;
+        if a_worse then better_or_equal := false)
+    a.metrics b.metrics;
+  !better_or_equal && !strictly
+
+(** Evaluate all composition points and return (all, pareto-front). *)
+let run rng ~traces_per_class ~noise_sigma ~injections =
+  let all =
+    List.map
+      (fun (point, metrics) -> { point; metrics })
+      (Composition.matrix rng ~traces_per_class ~noise_sigma ~injections)
+  in
+  let front =
+    List.filter (fun cand -> not (List.exists (fun other -> dominates other cand) all)) all
+  in
+  all, front
+
+(** Which threats does a point cover? Derived from its pass/fail profile. *)
+let covered_threats evaluated =
+  List.filter_map
+    (fun m ->
+      match m.Metric.name, passes m with
+      | "TVLA max |t|", true -> Some Threat_model.Side_channel
+      | "fault detection rate", true -> Some Threat_model.Fault_injection
+      | _, _ -> None)
+    evaluated.metrics

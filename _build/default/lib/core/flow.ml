@@ -1,0 +1,72 @@
+(** The end-to-end EDA flow of Fig. 1, and its security-centric
+    counterpart. The classical flow optimizes PPA and is provably oblivious
+    to security artifacts in the design; the secure flow threads a security
+    context (protection barriers, countermeasure inventory, threat-model
+    checks) through every stage and re-evaluates after each one. *)
+
+module Circuit = Netlist.Circuit
+module Rng = Eda_util.Rng
+
+type stage = Logic_synthesis | Physical_synthesis | Timing_power_verification | Testing
+
+let stage_name = function
+  | Logic_synthesis -> "logic synthesis"
+  | Physical_synthesis -> "physical synthesis (place)"
+  | Timing_power_verification -> "timing/power verification"
+  | Testing -> "testing (ATPG)"
+
+type stage_report = {
+  stage : stage;
+  area : float;
+  delay_ps : float;
+  wirelength : int option;  (* after placement *)
+  fault_coverage : float option;  (* after ATPG *)
+  note : string;
+}
+
+type flow_report = {
+  stages : stage_report list;
+  final : Circuit.t;
+}
+
+(** Classical flow (Fig. 1): synthesize -> place -> verify timing/power ->
+    generate tests. [protect] empty = fully security-oblivious. *)
+let run rng ?(protect = fun (_ : string) -> false) circuit =
+  let reports = ref [] in
+  let report stage c ?wirelength ?fault_coverage note =
+    let ppa = Synth.Flow.ppa c in
+    reports :=
+      { stage;
+        area = ppa.Synth.Flow.area;
+        delay_ps = ppa.Synth.Flow.delay_ps;
+        wirelength;
+        fault_coverage;
+        note }
+      :: !reports
+  in
+  (* Logic synthesis. *)
+  let synthesized =
+    if protect == Synth.Rewrite.no_protection then Synth.Flow.optimize circuit
+    else Synth.Flow.optimize_secure ~protect circuit
+  in
+  report Logic_synthesis synthesized "constant-prop + strash + xor-reassoc";
+  (* Physical synthesis: placement; wirelength is the PPA artifact. *)
+  let placement = Physical.Placement.place rng ~moves:4000 synthesized in
+  report Physical_synthesis synthesized
+    ~wirelength:(Physical.Placement.wirelength placement)
+    "simulated-annealing placement";
+  (* Timing/power verification: STA recorded via ppa; note glitch count on
+     a random transition as the power-verification artifact. *)
+  let ni = Circuit.num_inputs synthesized in
+  let prev = Array.make ni false in
+  let next = Array.init ni (fun _ -> Rng.bool rng) in
+  let transitions = Timing.Event_sim.cycle synthesized ~prev_inputs:prev ~next_inputs:next in
+  let glitches = List.length (Timing.Event_sim.glitching_nodes synthesized transitions) in
+  report Timing_power_verification synthesized
+    (Printf.sprintf "event-sim: %d transitions, %d glitching nets"
+       (List.length transitions) glitches);
+  (* Testing: ATPG on the combinational network. *)
+  let `Patterns patterns, `Coverage coverage, `Untestable _ = Dft.Atpg.run synthesized in
+  report Testing synthesized ~fault_coverage:coverage
+    (Printf.sprintf "%d patterns" (List.length patterns));
+  { stages = List.rev !reports; final = synthesized }

@@ -1,0 +1,50 @@
+(** The metrics registry of a security-aware flow (Sec. IV): classical PPA
+    metrics and security metrics side by side, with the machinery to detect
+    the paper's observation that security metrics behave like *step
+    functions* of invested effort while cost metrics grow smoothly. *)
+
+type family = Ppa | Security
+
+type t = {
+  name : string;
+  value : float;
+  unit_ : string;
+  higher_is_better : bool;
+  family : family;
+}
+
+let ppa ~name ~value ~unit_ ~higher_is_better =
+  { name; value; unit_; higher_is_better; family = Ppa }
+
+let security ~name ~value ~unit_ ~higher_is_better =
+  { name; value; unit_; higher_is_better; family = Security }
+
+let pp fmt m =
+  Format.fprintf fmt "%-28s %10.3f %-8s (%s, %s)" m.name m.value m.unit_
+    (match m.family with Ppa -> "PPA" | Security -> "security")
+    (if m.higher_is_better then "higher better" else "lower better")
+
+(** Shape classification of a metric-vs-effort curve: [Step] when most of
+    the total change happens in one effort increment, [Smooth] otherwise.
+    The paper argues security metrics are step-like — reaching a defense
+    threshold buys everything, spending more buys nothing — while PPA
+    degrades gradually; design-space exploration must treat the two
+    differently. *)
+type shape = Step | Smooth
+
+let classify_shape points =
+  match points with
+  | [] | [ _ ] -> Smooth
+  | _ :: _ :: _ ->
+    let values = List.map snd points in
+    let rec deltas = function
+      | a :: (b :: _ as tl) -> Float.abs (b -. a) :: deltas tl
+      | [ _ ] | [] -> []
+    in
+    let ds = deltas values in
+    let total = List.fold_left ( +. ) 0.0 ds in
+    if total <= 1e-12 then Smooth
+    else begin
+      let largest = List.fold_left Float.max 0.0 ds in
+      if largest /. total > 0.6 then Step else Smooth
+    end

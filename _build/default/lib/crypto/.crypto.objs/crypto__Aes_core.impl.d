@@ -1,0 +1,1 @@
+lib/crypto/aes_core.ml: Aes Array Hashtbl List Netlist Printf Sbox_circuit

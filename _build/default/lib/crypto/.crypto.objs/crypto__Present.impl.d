@@ -1,0 +1,1 @@
+lib/crypto/present.ml: Array Int64

@@ -1,0 +1,1 @@
+lib/crypto/sbox_circuit.ml: Aes Array List Logic Netlist Present Printf

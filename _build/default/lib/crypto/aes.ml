@@ -1,0 +1,148 @@
+(** Bit-accurate software AES-128, used as the black-box oracle for
+    oracle-guided attacks (SAT attack, scan attack, DFA) and to validate the
+    hardware S-box netlists. Encryption and decryption over 16-byte blocks;
+    state is column-major as in FIPS-197. *)
+
+(* S-box generated from the multiplicative inverse in GF(2^8) followed by
+   the affine transform; computed at startup rather than transcribed, so a
+   typo in a table cannot silently corrupt it. *)
+
+let gf_mul a b =
+  let rec go a b acc =
+    if b = 0 then acc
+    else begin
+      let acc = if b land 1 = 1 then acc lxor a else acc in
+      let a = if a land 0x80 <> 0 then ((a lsl 1) lxor 0x11B) land 0xFF else (a lsl 1) land 0xFF in
+      go a (b lsr 1) acc
+    end
+  in
+  go a b 0
+
+let gf_inv x =
+  if x = 0 then 0
+  else begin
+    (* x^254 by square-and-multiply. *)
+    let rec pow base e acc =
+      if e = 0 then acc
+      else begin
+        let acc = if e land 1 = 1 then gf_mul acc base else acc in
+        pow (gf_mul base base) (e lsr 1) acc
+      end
+    in
+    pow x 254 1
+  end
+
+let rotl8 x k = ((x lsl k) lor (x lsr (8 - k))) land 0xFF
+
+let sbox =
+  Array.init 256 (fun x ->
+      let i = gf_inv x in
+      i lxor rotl8 i 1 lxor rotl8 i 2 lxor rotl8 i 3 lxor rotl8 i 4 lxor 0x63)
+
+let inv_sbox =
+  let t = Array.make 256 0 in
+  Array.iteri (fun x y -> t.(y) <- x) sbox;
+  t
+
+let rcon = [| 0x01; 0x02; 0x04; 0x08; 0x10; 0x20; 0x40; 0x80; 0x1B; 0x36 |]
+
+type key_schedule = int array array  (* 11 round keys x 16 bytes *)
+
+let expand_key (key : int array) : key_schedule =
+  assert (Array.length key = 16);
+  let w = Array.make_matrix 44 4 0 in
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      w.(i).(j) <- key.((4 * i) + j)
+    done
+  done;
+  for i = 4 to 43 do
+    let temp = Array.copy w.(i - 1) in
+    let temp =
+      if i mod 4 = 0 then begin
+        let rotated = [| temp.(1); temp.(2); temp.(3); temp.(0) |] in
+        let subbed = Array.map (fun b -> sbox.(b)) rotated in
+        subbed.(0) <- subbed.(0) lxor rcon.((i / 4) - 1);
+        subbed
+      end
+      else temp
+    in
+    for j = 0 to 3 do
+      w.(i).(j) <- w.(i - 4).(j) lxor temp.(j)
+    done
+  done;
+  Array.init 11 (fun r ->
+      Array.init 16 (fun k -> w.((4 * r) + (k / 4)).(k mod 4)))
+
+let add_round_key state rk = Array.mapi (fun i b -> b lxor rk.(i)) state
+
+let sub_bytes state = Array.map (fun b -> sbox.(b)) state
+
+let inv_sub_bytes state = Array.map (fun b -> inv_sbox.(b)) state
+
+(* State layout: byte k at row (k mod 4), column (k / 4). *)
+let shift_rows state =
+  Array.init 16 (fun k ->
+      let row = k mod 4 and col = k / 4 in
+      state.((4 * ((col + row) mod 4)) + row))
+
+let inv_shift_rows state =
+  Array.init 16 (fun k ->
+      let row = k mod 4 and col = k / 4 in
+      state.((4 * ((col - row + 4) mod 4)) + row))
+
+let mix_columns state =
+  Array.init 16 (fun k ->
+      let col = k / 4 and row = k mod 4 in
+      let b i = state.((4 * col) + i) in
+      match row with
+      | 0 -> gf_mul 2 (b 0) lxor gf_mul 3 (b 1) lxor b 2 lxor b 3
+      | 1 -> b 0 lxor gf_mul 2 (b 1) lxor gf_mul 3 (b 2) lxor b 3
+      | 2 -> b 0 lxor b 1 lxor gf_mul 2 (b 2) lxor gf_mul 3 (b 3)
+      | 3 -> gf_mul 3 (b 0) lxor b 1 lxor b 2 lxor gf_mul 2 (b 3)
+      | _ -> assert false)
+
+let inv_mix_columns state =
+  Array.init 16 (fun k ->
+      let col = k / 4 and row = k mod 4 in
+      let b i = state.((4 * col) + i) in
+      match row with
+      | 0 -> gf_mul 14 (b 0) lxor gf_mul 11 (b 1) lxor gf_mul 13 (b 2) lxor gf_mul 9 (b 3)
+      | 1 -> gf_mul 9 (b 0) lxor gf_mul 14 (b 1) lxor gf_mul 11 (b 2) lxor gf_mul 13 (b 3)
+      | 2 -> gf_mul 13 (b 0) lxor gf_mul 9 (b 1) lxor gf_mul 14 (b 2) lxor gf_mul 11 (b 3)
+      | 3 -> gf_mul 11 (b 0) lxor gf_mul 13 (b 1) lxor gf_mul 9 (b 2) lxor gf_mul 14 (b 3)
+      | _ -> assert false)
+
+(** Encrypt one 16-byte block. [rounds] defaults to the full 10; reduced-
+    round variants serve fault-attack experiments. *)
+let encrypt ?(rounds = 10) ks plaintext =
+  assert (Array.length plaintext = 16);
+  let state = ref (add_round_key plaintext ks.(0)) in
+  for r = 1 to rounds - 1 do
+    state := add_round_key (mix_columns (shift_rows (sub_bytes !state))) ks.(r)
+  done;
+  add_round_key (shift_rows (sub_bytes !state)) ks.(rounds)
+
+let decrypt ?(rounds = 10) ks ciphertext =
+  assert (Array.length ciphertext = 16);
+  let state = ref (add_round_key ciphertext ks.(rounds)) in
+  for r = rounds - 1 downto 1 do
+    state := inv_mix_columns (add_round_key (inv_sub_bytes (inv_shift_rows !state)) ks.(r))
+  done;
+  add_round_key (inv_sub_bytes (inv_shift_rows !state)) ks.(0)
+
+let random_key rng = Array.init 16 (fun _ -> Eda_util.Rng.int rng 256)
+
+let random_block = random_key
+
+(* FIPS-197 Appendix C vector: key 000102...0f, plaintext 00112233...ff. *)
+let self_test () =
+  let key = Array.init 16 (fun i -> i) in
+  let pt = Array.init 16 (fun i -> (i * 0x11) land 0xFF) in
+  let ks = expand_key key in
+  let ct = encrypt ks pt in
+  let expected =
+    [| 0x69; 0xC4; 0xE0; 0xD8; 0x6A; 0x7B; 0x04; 0x30;
+       0xD8; 0xCD; 0xB7; 0x80; 0x70; 0xB4; 0xC5; 0x5A |]
+  in
+  ct = expected && decrypt ks ct = pt

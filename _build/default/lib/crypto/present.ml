@@ -1,0 +1,115 @@
+(** PRESENT-80 lightweight block cipher (CHES 2007), bit-accurate software
+    model. A second, smaller workload than AES with a 4-bit S-box that keeps
+    exhaustive analyses (QMC, BDD, model counting) cheap. *)
+
+let sbox = [| 0xC; 0x5; 0x6; 0xB; 0x9; 0x0; 0xA; 0xD; 0x3; 0xE; 0xF; 0x8; 0x4; 0x7; 0x1; 0x2 |]
+
+let inv_sbox =
+  let t = Array.make 16 0 in
+  Array.iteri (fun x y -> t.(y) <- x) sbox;
+  t
+
+(* Bit permutation: bit i of the state moves to position P(i). *)
+let permute_bit i = if i = 63 then 63 else 16 * i mod 63
+
+let s_layer state =
+  let out = ref 0L in
+  for nib = 0 to 15 do
+    let v = Int64.to_int (Int64.logand (Int64.shift_right_logical state (4 * nib)) 0xFL) in
+    out := Int64.logor !out (Int64.shift_left (Int64.of_int sbox.(v)) (4 * nib))
+  done;
+  !out
+
+let inv_s_layer state =
+  let out = ref 0L in
+  for nib = 0 to 15 do
+    let v = Int64.to_int (Int64.logand (Int64.shift_right_logical state (4 * nib)) 0xFL) in
+    out := Int64.logor !out (Int64.shift_left (Int64.of_int inv_sbox.(v)) (4 * nib))
+  done;
+  !out
+
+let p_layer state =
+  let out = ref 0L in
+  for i = 0 to 63 do
+    let bit = Int64.logand (Int64.shift_right_logical state i) 1L in
+    out := Int64.logor !out (Int64.shift_left bit (permute_bit i))
+  done;
+  !out
+
+let inv_p_layer state =
+  let out = ref 0L in
+  for i = 0 to 63 do
+    let bit = Int64.logand (Int64.shift_right_logical state (permute_bit i)) 1L in
+    out := Int64.logor !out (Int64.shift_left bit i)
+  done;
+  !out
+
+(* 80-bit key register as (high 64 bits, low 16 bits). *)
+type key80 = { hi : int64; lo : int }
+
+let round_keys { hi; lo } =
+  let keys = Array.make 32 0L in
+  let hi = ref hi and lo = ref lo in
+  for r = 1 to 32 do
+    keys.(r - 1) <- !hi;
+    (* Rotate the 80-bit register (h = bits 79..16, l = bits 15..0) left by
+       61 positions; materialize the bits in an array for clarity. *)
+    let h = !hi and l = Int64.of_int !lo in
+    let full_hi = ref 0L and full_lo = ref 0 in
+    let bits = Array.init 80 (fun i ->
+        if i < 16 then (Int64.to_int l lsr i) land 1 = 1
+        else Int64.logand (Int64.shift_right_logical h (i - 16)) 1L = 1L)
+    in
+    let rotated = Array.init 80 (fun i -> bits.((i + 80 - 61) mod 80)) in
+    (* S-box on top nibble (bits 79..76). *)
+    let top = ref 0 in
+    for k = 3 downto 0 do
+      top := (!top lsl 1) lor (if rotated.(76 + k) then 1 else 0)
+    done;
+    let subbed = sbox.(!top) in
+    for k = 0 to 3 do
+      rotated.(76 + k) <- (subbed lsr k) land 1 = 1
+    done;
+    (* XOR round counter into bits 19..15. *)
+    for k = 0 to 4 do
+      let ctr_bit = (r lsr k) land 1 = 1 in
+      if ctr_bit then rotated.(15 + k) <- not rotated.(15 + k)
+    done;
+    for i = 0 to 79 do
+      if i < 16 then begin
+        if rotated.(i) then full_lo := !full_lo lor (1 lsl i)
+      end
+      else if rotated.(i) then
+        full_hi := Int64.logor !full_hi (Int64.shift_left 1L (i - 16))
+    done;
+    hi := !full_hi;
+    lo := !full_lo
+  done;
+  keys
+
+let encrypt key plaintext =
+  let keys = round_keys key in
+  let state = ref plaintext in
+  for r = 0 to 30 do
+    state := Int64.logxor !state keys.(r);
+    state := s_layer !state;
+    state := p_layer !state
+  done;
+  Int64.logxor !state keys.(31)
+
+let decrypt key ciphertext =
+  let keys = round_keys key in
+  let state = ref (Int64.logxor ciphertext keys.(31)) in
+  for r = 30 downto 0 do
+    state := inv_p_layer !state;
+    state := inv_s_layer !state;
+    state := Int64.logxor !state keys.(r)
+  done;
+  !state
+
+(** Known-answer test from the PRESENT paper: all-zero key and plaintext. *)
+let self_test () =
+  let zero_key = { hi = 0L; lo = 0 } in
+  let ct = encrypt zero_key 0L in
+  let ok1 = Int64.equal ct 0x5579C1387B228445L in
+  ok1 && Int64.equal (decrypt zero_key ct) 0L

@@ -1,0 +1,132 @@
+(** Combinational netlists for the cipher S-boxes and small crypto
+    datapaths, generated from the software reference tables via memoized
+    Shannon expansion. These are the standard side-channel / fault /
+    scan-attack targets: the round's key addition followed by the S-box. *)
+
+module Circuit = Netlist.Circuit
+module Gate = Netlist.Gate
+
+let bit_tt ~arity table ~bit =
+  Logic.Truth_table.create arity (fun m -> (table.(m) lsr bit) land 1 = 1)
+
+(** AES S-box as an 8-in / 8-out netlist (output bit k = f k). *)
+let aes_sbox () =
+  let tts = List.init 8 (fun bit -> bit_tt ~arity:8 Aes.sbox ~bit) in
+  Netlist.Generators.of_truth_tables ~input_names:(Array.init 8 (Printf.sprintf "x%d")) tts
+
+let aes_inv_sbox () =
+  let tts = List.init 8 (fun bit -> bit_tt ~arity:8 Aes.inv_sbox ~bit) in
+  Netlist.Generators.of_truth_tables ~input_names:(Array.init 8 (Printf.sprintf "y%d")) tts
+
+(** PRESENT 4-bit S-box netlist. *)
+let present_sbox () =
+  let table = Array.of_list (Array.to_list Present.sbox) in
+  let tts = List.init 4 (fun bit -> bit_tt ~arity:4 table ~bit) in
+  Netlist.Generators.of_truth_tables ~input_names:(Array.init 4 (Printf.sprintf "x%d")) tts
+
+(** First-round AES byte datapath: inputs p0..p7 (plaintext byte) and
+    k0..k7 (key byte); outputs s0..s7 = Sbox(p xor k). The canonical CPA /
+    DFA / locking target. *)
+let aes_round_datapath () =
+  let c = Circuit.create () in
+  let p = Array.init 8 (fun i -> Circuit.add_input ~name:(Printf.sprintf "p%d" i) c) in
+  let k = Array.init 8 (fun i -> Circuit.add_input ~name:(Printf.sprintf "k%d" i) c) in
+  let xored = Array.init 8 (fun i -> Circuit.add_gate ~name:(Printf.sprintf "ark%d" i) c Gate.Xor [ p.(i); k.(i) ]) in
+  let sbox = aes_sbox () in
+  let outs = Circuit.inline ~into:c ~sub:sbox ~prefix:"sb_" xored in
+  Array.iteri (fun i o -> Circuit.set_output c (Printf.sprintf "s%d" i) o) outs;
+  c
+
+(** Same for PRESENT: 4-bit datapath. *)
+let present_round_datapath () =
+  let c = Circuit.create () in
+  let p = Array.init 4 (fun i -> Circuit.add_input ~name:(Printf.sprintf "p%d" i) c) in
+  let k = Array.init 4 (fun i -> Circuit.add_input ~name:(Printf.sprintf "k%d" i) c) in
+  let xored = Array.init 4 (fun i -> Circuit.add_gate ~name:(Printf.sprintf "ark%d" i) c Gate.Xor [ p.(i); k.(i) ]) in
+  let sbox = present_sbox () in
+  let outs = Circuit.inline ~into:c ~sub:sbox ~prefix:"sb_" xored in
+  Array.iteri (fun i o -> Circuit.set_output c (Printf.sprintf "s%d" i) o) outs;
+  c
+
+(** Registered variant of [aes_round_datapath]: the S-box output is captured
+    in 8 DFFs, as in a round-per-cycle implementation. Scan-chain insertion
+    and Hamming-distance leakage need the registers. *)
+let aes_round_registered () =
+  let c = Circuit.create () in
+  let p = Array.init 8 (fun i -> Circuit.add_input ~name:(Printf.sprintf "p%d" i) c) in
+  let k = Array.init 8 (fun i -> Circuit.add_input ~name:(Printf.sprintf "k%d" i) c) in
+  let xored = Array.init 8 (fun i -> Circuit.add_gate ~name:(Printf.sprintf "ark%d" i) c Gate.Xor [ p.(i); k.(i) ]) in
+  let sbox = aes_sbox () in
+  let outs = Circuit.inline ~into:c ~sub:sbox ~prefix:"sb_" xored in
+  Array.iteri
+    (fun i o ->
+      let q = Circuit.add_dff ~name:(Printf.sprintf "r%d" i) c ~d:o in
+      Circuit.set_output c (Printf.sprintf "q%d" i) q)
+    outs;
+  c
+
+(* GF(2^8) xtime (multiplication by 2 mod x^8+x^4+x^3+x+1) on 8 wires. *)
+let xtime c bits =
+  let msb = bits.(7) in
+  Array.init 8 (fun i ->
+      let shifted = if i = 0 then Circuit.add_const c false else bits.(i - 1) in
+      (* Reduction taps at bits 0, 1, 3, 4 (0x1B). *)
+      if i = 0 || i = 1 || i = 3 || i = 4 then Circuit.add_gate c Gate.Xor [ shifted; msb ]
+      else shifted)
+
+let xor_bytes c x y = Array.init 8 (fun i -> Circuit.add_gate c Gate.Xor [ x.(i); y.(i) ])
+
+(** One AES MixColumns column (4 bytes in, 4 bytes out) as a netlist:
+    out_r = 2*b_r ^ 3*b_{r+1} ^ b_{r+2} ^ b_{r+3}. Inputs c0b0..c3b7. *)
+let aes_mixcolumn () =
+  let c = Circuit.create () in
+  let bytes =
+    Array.init 4 (fun k ->
+        Array.init 8 (fun i -> Circuit.add_input ~name:(Printf.sprintf "c%db%d" k i) c))
+  in
+  let doubled = Array.map (fun b -> xtime c b) bytes in
+  let tripled = Array.init 4 (fun k -> xor_bytes c doubled.(k) bytes.(k)) in
+  for r = 0 to 3 do
+    let term1 = doubled.(r) in
+    let term2 = tripled.((r + 1) mod 4) in
+    let term3 = bytes.((r + 2) mod 4) in
+    let term4 = bytes.((r + 3) mod 4) in
+    let out = xor_bytes c (xor_bytes c term1 term2) (xor_bytes c term3 term4) in
+    Array.iteri (fun i o -> Circuit.set_output c (Printf.sprintf "o%db%d" r i) o) out
+  done;
+  c
+
+(** One full PRESENT round as a 64-bit netlist: state XOR round key,
+    16 parallel S-boxes, then the bit permutation (pure wiring). Inputs
+    s0..s63 (state) and k0..k63 (round key); outputs o0..o63. The largest
+    combinational workload in the generator set (~1.5k gates). *)
+let present_round () =
+  let c = Circuit.create () in
+  let s = Array.init 64 (fun i -> Circuit.add_input ~name:(Printf.sprintf "s%d" i) c) in
+  let k = Array.init 64 (fun i -> Circuit.add_input ~name:(Printf.sprintf "k%d" i) c) in
+  let xored =
+    Array.init 64 (fun i -> Circuit.add_gate c Gate.Xor [ s.(i); k.(i) ])
+  in
+  let sbox = present_sbox () in
+  let subbed = Array.make 64 0 in
+  for nib = 0 to 15 do
+    let ins = Array.init 4 (fun b -> xored.((4 * nib) + b)) in
+    let outs = Circuit.inline ~into:c ~sub:sbox ~prefix:(Printf.sprintf "sb%d_" nib) ins in
+    Array.iteri (fun b o -> subbed.((4 * nib) + b) <- o) outs
+  done;
+  let permuted = Array.make 64 0 in
+  for i = 0 to 63 do
+    permuted.(Present.permute_bit i) <- subbed.(i)
+  done;
+  Array.iteri (fun i o -> Circuit.set_output c (Printf.sprintf "o%d" i) o) permuted;
+  c
+
+(** Helper: drive a byte value into an 8-bit input group. *)
+let byte_to_bits v = Array.init 8 (fun i -> (v lsr i) land 1 = 1)
+
+let bits_to_byte bits =
+  let v = ref 0 in
+  for i = Array.length bits - 1 downto 0 do
+    v := (!v lsl 1) lor (if bits.(i) then 1 else 0)
+  done;
+  !v

@@ -1,0 +1,1 @@
+lib/dft/atpg.ml: Array Fault Float Hashtbl List Netlist Sat Synth

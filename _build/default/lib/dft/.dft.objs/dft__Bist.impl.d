@@ -1,0 +1,1 @@
+lib/dft/bist.ml: Array Fault Float List Netlist

@@ -1,0 +1,1 @@
+lib/dft/scan.mli: Netlist

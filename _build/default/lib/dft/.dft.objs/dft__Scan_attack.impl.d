@@ -1,0 +1,1 @@
+lib/dft/scan_attack.ml: Array Crypto Float Netlist Scan

@@ -1,0 +1,117 @@
+(** SAT-based automatic test pattern generation for single stuck-at faults
+    on combinational circuits: for each fault, a miter between the clean
+    circuit and a faulty copy either yields a detecting pattern or proves
+    the fault untestable (redundant logic). *)
+
+module Circuit = Netlist.Circuit
+module Gate = Netlist.Gate
+module Solver = Sat.Solver
+module Cnf = Sat.Cnf
+
+(* A copy of [circuit] with [fault] frozen in: the fault site's cone is
+   rebuilt with the node replaced by a constant (stuck-at) — simulated by
+   rebuilding with a const node substitution. *)
+let faulty_copy circuit fault =
+  match (fault : Fault.Model.fault) with
+  | Fault.Model.Bit_flip _ -> invalid_arg "Atpg: transient faults have no static copy"
+  | Fault.Model.Stuck_at { node; value } ->
+    let out = Circuit.create () in
+    let n = Circuit.node_count circuit in
+    let remap = Array.make n (-1) in
+    let name_taken = Hashtbl.create 64 in
+    let copy_name i =
+      let nm = Circuit.name circuit i in
+      if Hashtbl.mem name_taken nm || Circuit.find_by_name out nm <> None then ""
+      else begin
+        Hashtbl.replace name_taken nm ();
+        nm
+      end
+    in
+    (* Every node is copied (inputs must survive for interface
+       compatibility); the fault site is then shadowed downstream by a
+       constant carrying the stuck value. *)
+    for i = 0 to n - 1 do
+      let nd = Circuit.node circuit i in
+      let fanins = Array.map (fun f -> remap.(f)) nd.Circuit.fanins in
+      let id = Circuit.add_node_raw out nd.Circuit.kind fanins (copy_name i) in
+      remap.(i) <-
+        (if i = node then Circuit.add_node_raw out (Gate.Const value) [||] "" else id)
+    done;
+    Array.iter (fun (nm, o) -> Circuit.set_output out nm remap.(o)) (Circuit.outputs circuit);
+    out
+
+type pattern_result = Pattern of bool array | Untestable
+
+(** Generate a test for one stuck-at fault. *)
+let generate circuit fault =
+  let faulty = faulty_copy circuit fault in
+  match Cnf.check_equivalence circuit faulty with
+  | None -> Untestable
+  | Some witness -> Pattern witness
+
+(** Full ATPG run: compact pattern set via greedy fault simulation — each
+    new pattern is fault-simulated against the remaining fault list before
+    generating tests for survivors. *)
+let run circuit =
+  let faults = Fault.Model.all_stuck_at_faults circuit in
+  let patterns = ref [] in
+  let untestable = ref [] in
+  let remaining = ref faults in
+  while !remaining <> [] do
+    match !remaining with
+    | [] -> ()
+    | fault :: rest ->
+      (match generate circuit fault with
+       | Untestable ->
+         untestable := fault :: !untestable;
+         remaining := rest
+       | Pattern p ->
+         patterns := p :: !patterns;
+         (* Drop every other remaining fault this pattern also detects. *)
+         remaining := List.filter (fun f -> not (Fault.Model.detects circuit ~fault:f p)) rest)
+  done;
+  let total = List.length faults in
+  let untestable_n = List.length !untestable in
+  let coverage =
+    if total = 0 then 1.0
+    else Float.of_int (total - untestable_n) /. Float.of_int total
+  in
+  `Patterns (List.rev !patterns), `Coverage coverage, `Untestable !untestable
+
+(** Redundancy removal — the classic synthesis-for-test connection: a node
+    whose stuck-at-v fault is untestable can be replaced by the constant v
+    without changing the function. Security relevance: redundant logic is
+    where lazy watermarks and sloppy Trojans hide, and redundancy also
+    caps fault coverage; a clean flow sweeps it. Iterates to a fixed
+    point. *)
+let remove_redundancy circuit =
+  let rec pass c budget =
+    if budget = 0 then c
+    else begin
+      let redundant = ref None in
+      let n = Circuit.node_count c in
+      let i = ref 0 in
+      while !redundant = None && !i < n do
+        (match Circuit.kind c !i with
+         | Gate.Input | Gate.Const _ | Gate.Dff -> ()
+         | Gate.Buf | Gate.Not | Gate.And | Gate.Nand | Gate.Or | Gate.Nor
+         | Gate.Xor | Gate.Xnor | Gate.Mux ->
+           let try_value value =
+             if !redundant = None then
+               match generate c (Fault.Model.Stuck_at { node = !i; value }) with
+               | Untestable -> redundant := Some (!i, value)
+               | Pattern _ -> ()
+           in
+           try_value false;
+           try_value true);
+        incr i
+      done;
+      match !redundant with
+      | None -> c
+      | Some (node, value) ->
+        (* Replace the node with the constant and simplify. *)
+        let simplified = Synth.Rewrite.constant_propagation (faulty_copy c (Fault.Model.Stuck_at { node; value })) in
+        pass simplified (budget - 1)
+    end
+  in
+  pass circuit 32

@@ -1,0 +1,90 @@
+(** Logic built-in self test (Sec. III-F, the DFX infrastructure [58]):
+    an LFSR generates pseudo-random patterns on-chip, a MISR compacts the
+    responses into a signature, and the chip compares against the golden
+    signature — no tester access to internals needed, which is why BIST is
+    also the test style most compatible with security (no scan-out of
+    secrets). *)
+
+(* Fibonacci LFSR over [width] bits with a primitive-ish tap set. *)
+type lfsr = { width : int; taps : int list; mutable state : int }
+
+let default_taps width =
+  (* Known maximal-length tap positions for common widths. *)
+  match width with
+  | 8 -> [ 7; 5; 4; 3 ]
+  | 16 -> [ 15; 14; 12; 3 ]
+  | 24 -> [ 23; 22; 21; 16 ]
+  | 32 -> [ 31; 21; 1; 0 ]
+  | _ -> [ width - 1; 0 ]
+
+let lfsr_create ?taps ~width ~seed () =
+  assert (seed <> 0);
+  { width;
+    taps = (match taps with Some t -> t | None -> default_taps width);
+    state = seed land ((1 lsl width) - 1) }
+
+let lfsr_step l =
+  let fb =
+    List.fold_left (fun acc t -> acc lxor ((l.state lsr t) land 1)) 0 l.taps
+  in
+  l.state <- ((l.state lsl 1) lor fb) land ((1 lsl l.width) - 1);
+  l.state
+
+(** Period check helper (maximal-length LFSRs cycle through 2^w - 1). *)
+let period ~width ~seed =
+  let l = lfsr_create ~width ~seed () in
+  let first = l.state in
+  let rec go n =
+    let s = lfsr_step l in
+    if s = first then n else go (n + 1)
+  in
+  go 1
+
+(* MISR: multiple-input signature register; compacts response vectors. *)
+type misr = { m_width : int; mutable signature : int }
+
+let misr_create ~width = { m_width = width; signature = 0 }
+
+let misr_absorb m response =
+  (* Rotate-and-xor compaction. *)
+  let rot =
+    ((m.signature lsl 1) lor (m.signature lsr (m.m_width - 1)))
+    land ((1 lsl m.m_width) - 1)
+  in
+  m.signature <- rot lxor (response land ((1 lsl m.m_width) - 1))
+
+(** Run BIST on a combinational circuit: [patterns] LFSR vectors, MISR over
+    the outputs. Returns the signature. *)
+let signature ?faults ~patterns ~seed circuit =
+  let ni = Netlist.Circuit.num_inputs circuit in
+  let no = Netlist.Circuit.num_outputs circuit in
+  let l = lfsr_create ~width:(max 2 ni) ~seed () in
+  let m = misr_create ~width:(max 2 no) in
+  for _ = 1 to patterns do
+    let v = lfsr_step l in
+    let inputs = Array.init ni (fun k -> (v lsr k) land 1 = 1) in
+    let outs =
+      match faults with
+      | None -> Netlist.Sim.eval circuit inputs
+      | Some fs -> Fault.Model.eval_faulty circuit ~faults:fs inputs
+    in
+    let response = ref 0 in
+    for k = no - 1 downto 0 do
+      response := (!response lsl 1) lor (if outs.(k) then 1 else 0)
+    done;
+    misr_absorb m !response
+  done;
+  m.signature
+
+(** BIST fault coverage: fraction of stuck-at faults whose signature
+    differs from golden. *)
+let coverage ~patterns ~seed circuit =
+  let golden = signature ~patterns ~seed circuit in
+  let faults = Fault.Model.all_stuck_at_faults circuit in
+  let detected =
+    List.length
+      (List.filter
+         (fun f -> signature ~faults:[ f ] ~patterns ~seed circuit <> golden)
+         faults)
+  in
+  Float.of_int detected /. Float.of_int (List.length faults)

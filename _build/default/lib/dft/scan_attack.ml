@@ -1,0 +1,81 @@
+(** Scan-based key recovery [39] against a round-registered AES byte
+    datapath ([Crypto.Sbox_circuit.aes_round_registered] with a scan chain
+    inserted): the attacker loads a chosen plaintext, runs one functional
+    capture cycle — the registers now hold Sbox(p xor k) — then switches to
+    test mode and shifts the state out. Inverting the S-box yields the key
+    byte directly. Secure scan scrambles the shifted stream and defeats
+    the recovery. *)
+
+module Circuit = Netlist.Circuit
+
+(** Build the scanned device under attack. [key] is the secret AES key
+    byte, wired into the data inputs by the attack driver below (in a real
+    chip it comes from key memory; the attacker cannot observe it). *)
+let device ?protection () =
+  let datapath = Crypto.Sbox_circuit.aes_round_registered () in
+  Scan.insert ?protection datapath
+
+(** Run the attack: returns the recovered key byte. The attacker chooses
+    plaintext [p], captures, unloads, and computes k = p xor invS(state).
+    Works for any plaintext; uses p = 0 so k = invS(state). *)
+let recover_key_byte scanned ~key =
+  let p = 0 in
+  let data =
+    Array.append
+      (Crypto.Sbox_circuit.byte_to_bits p)
+      (Crypto.Sbox_circuit.byte_to_bits key)
+  in
+  let state0 = Array.make scanned.Scan.num_cells false in
+  let state1 = Scan.capture scanned ~state:state0 ~data in
+  let stream, _ = Scan.unload scanned ~state:state1 in
+  let captured = Crypto.Sbox_circuit.bits_to_byte stream in
+  Crypto.Aes.inv_sbox.(captured) lxor p
+
+(** The authorized tester's view: with the fused key known, descrambling
+    restores full observability (test quality is preserved). *)
+let tester_reads_state scanned ~key =
+  let data =
+    Array.append (Crypto.Sbox_circuit.byte_to_bits 0) (Crypto.Sbox_circuit.byte_to_bits key)
+  in
+  let state0 = Array.make scanned.Scan.num_cells false in
+  let state1 = Scan.capture scanned ~state:state0 ~data in
+  let stream, _ = Scan.unload scanned ~state:state1 in
+  let clear = Scan.descramble scanned stream in
+  Crypto.Sbox_circuit.bits_to_byte clear
+
+(** Attack success over all 256 keys: fraction recovered exactly. *)
+let success_rate scanned =
+  let hits = ref 0 in
+  for key = 0 to 255 do
+    if recover_key_byte scanned ~key = key then incr hits
+  done;
+  Float.of_int !hits /. 256.0
+
+(* ---- the full-core attack --------------------------------------------- *)
+
+(** The textbook scan attack on a complete AES core: load a chosen
+    plaintext (the registers then hold pt XOR k0), switch to test mode,
+    shift the 128-bit state out, and XOR with the plaintext — the entire
+    128-bit key from one capture. *)
+let full_core_device ?protection () =
+  let core = Crypto.Aes_core.build () in
+  core, Scan.insert ?protection core.Crypto.Aes_core.circuit
+
+(** Recover the full 16-byte key from one load-capture-unload. Inside a
+    chip the round key comes from key memory; here it parameterizes the
+    simulated device. Chosen plaintext 0 makes the captured state equal
+    k0 = the key itself. *)
+let recover_full_key (core, scanned) ~key =
+  let ks = Crypto.Aes.expand_key key in
+  let plaintext = Array.make 16 0 in
+  let core_inputs =
+    Crypto.Aes_core.input_vector core ~load:true ~final:false ~plaintext ~round_key:ks.(0)
+  in
+  let state0 = Array.make scanned.Scan.num_cells false in
+  let state1 = Scan.capture scanned ~state:state0 ~data:core_inputs in
+  let stream, _ = Scan.unload scanned ~state:state1 in
+  Crypto.Aes_core.bits_to_block stream
+
+let full_core_attack_succeeds ?protection ~key () =
+  let device = full_core_device ?protection () in
+  recover_full_key device ~key = key

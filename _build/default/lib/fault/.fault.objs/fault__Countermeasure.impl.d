@@ -1,0 +1,1 @@
+lib/fault/countermeasure.ml: Array Eda_util List Model Netlist

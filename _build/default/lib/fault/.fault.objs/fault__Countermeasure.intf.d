@@ -1,0 +1,1 @@
+lib/fault/countermeasure.mli: Eda_util Model Netlist

@@ -1,0 +1,1 @@
+lib/fault/dfa.ml: Array Crypto Eda_util List

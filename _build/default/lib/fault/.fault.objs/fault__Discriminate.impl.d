@@ -1,0 +1,1 @@
+lib/fault/discriminate.ml: Eda_util Float Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/fault/formal.ml: Array Countermeasure Hashtbl List Model Netlist Sat

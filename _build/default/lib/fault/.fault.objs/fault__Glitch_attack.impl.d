@@ -1,0 +1,1 @@
+lib/fault/glitch_attack.ml: Array Float List Netlist Timing

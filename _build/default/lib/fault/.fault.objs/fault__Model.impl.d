@@ -1,0 +1,1 @@
+lib/fault/model.ml: Array Float Hashtbl List Netlist Printf

@@ -1,0 +1,156 @@
+(** Fault-attack countermeasures as netlist transforms (Table II: error-
+    detecting architectures [10], infective countermeasures [18]), plus
+    detection-coverage validation (the functional-validation row: "does the
+    error-detecting scheme detect all faults? search for the ones it
+    misses"). *)
+
+module Circuit = Netlist.Circuit
+module Gate = Netlist.Gate
+
+type protected_circuit = {
+  circuit : Circuit.t;
+  data_outputs : string list;  (* original outputs *)
+  alarm_output : string;  (* raised when an error is detected *)
+}
+
+(** Parity prediction: one extra output carries the XOR of all data
+    outputs computed through an independent parity tree over a duplicated
+    cone; the alarm compares predicted vs actual parity. Detects any fault
+    that flips an odd number of outputs. *)
+let parity_protect source =
+  let c = Circuit.copy source in
+  let outs = Circuit.outputs c in
+  (* Duplicate the whole combinational cone to predict parity
+     independently: faults in the functional cone then disagree with the
+     prediction. *)
+  let duplicate = Circuit.copy source in
+  let bindings = Circuit.inputs c in
+  let dup_outs = Circuit.inline ~into:c ~sub:duplicate ~prefix:"pred_" bindings in
+  let actual_parity =
+    Circuit.reduce c Gate.Xor (Array.to_list (Array.map snd outs))
+  in
+  let predicted_parity = Circuit.reduce c Gate.Xor (Array.to_list dup_outs) in
+  let alarm = Circuit.add_gate ~name:"alarm" c Gate.Xor [ actual_parity; predicted_parity ] in
+  Circuit.set_output c "alarm" alarm;
+  { circuit = c;
+    data_outputs = Array.to_list (Array.map fst outs);
+    alarm_output = "alarm" }
+
+(** Duplication with comparison: the full cone is duplicated and every
+    output pair compared; the alarm is the OR of the miscompares. Detects
+    any fault confined to one copy. *)
+let duplicate_protect source =
+  let c = Circuit.copy source in
+  let outs = Circuit.outputs c in
+  let duplicate = Circuit.copy source in
+  let bindings = Circuit.inputs c in
+  let dup_outs = Circuit.inline ~into:c ~sub:duplicate ~prefix:"dup_" bindings in
+  let miscompares =
+    List.mapi
+      (fun k (_, o) -> Circuit.add_gate c Gate.Xor [ o; dup_outs.(k) ])
+      (Array.to_list outs)
+  in
+  let alarm_id = Circuit.reduce c Gate.Or miscompares in
+  let alarm = Circuit.add_gate ~name:"alarm" c Gate.Buf [ alarm_id ] in
+  Circuit.set_output c "alarm" alarm;
+  { circuit = c;
+    data_outputs = Array.to_list (Array.map fst outs);
+    alarm_output = "alarm" }
+
+(** Infective countermeasure: instead of (or in addition to) raising an
+    alarm, a detected error *infects* every data output by XORing it with
+    an error-and-randomness product, so faulty ciphertexts are useless for
+    differential fault analysis. [random_input] names a fresh input that
+    must be driven with randomness. *)
+let infective_protect source =
+  let base = duplicate_protect source in
+  let c = base.circuit in
+  let rnd = Circuit.add_input ~name:"infect_rnd" c in
+  let alarm_id =
+    match Circuit.find_by_name c "alarm" with
+    | Some id -> id
+    | None -> assert false
+  in
+  (* infection = alarm & (rnd | 1) -> alarm (always infect), alarm & rnd
+     randomizes; combine both so output differs and is randomized. *)
+  let infect = Circuit.add_gate ~name:"infect" c Gate.Or [ alarm_id; Circuit.add_gate c Gate.And [ alarm_id; rnd ] ] in
+  let output_node nm =
+    let outs = Circuit.outputs c in
+    let rec find k =
+      if k >= Array.length outs then invalid_arg ("infective: missing output " ^ nm)
+      else if fst outs.(k) = nm then snd outs.(k)
+      else find (k + 1)
+    in
+    find 0
+  in
+  let infected_outputs =
+    List.map
+      (fun nm ->
+        let o = output_node nm in
+        let scrambled = Circuit.add_gate c Gate.Xor [ o; infect ] in
+        let rand_scramble = Circuit.add_gate c Gate.And [ infect; rnd ] in
+        let final = Circuit.add_gate c Gate.Xor [ scrambled; rand_scramble ] in
+        nm, final)
+      base.data_outputs
+  in
+  (* Register the infected data outputs under fresh names; the raw
+     (pre-infection) outputs stay declared for validation access. *)
+  List.iter
+    (fun (nm, o) -> Circuit.set_output c (nm ^ "_inf") o)
+    infected_outputs;
+  { circuit = c;
+    data_outputs = List.map (fun (nm, _) -> nm ^ "_inf") infected_outputs;
+    alarm_output = "alarm" }
+
+(** Validation campaign (functional-validation row): for every fault in
+    [faults] and every pattern, classify the outcome. *)
+type outcome = Silent | Detected | Corrupted_undetected
+
+let classify protected_c ~fault pattern =
+  let c = protected_c.circuit in
+  let golden = Netlist.Sim.eval c pattern in
+  let faulty = Model.eval_faulty c ~faults:[ fault ] pattern in
+  let outs = Circuit.outputs c in
+  let index_of nm =
+    let rec find k =
+      if k >= Array.length outs then invalid_arg ("missing output " ^ nm)
+      else if fst outs.(k) = nm then k
+      else find (k + 1)
+    in
+    find 0
+  in
+  let alarm_idx = index_of protected_c.alarm_output in
+  let data_idx = List.map index_of protected_c.data_outputs in
+  let data_corrupted = List.exists (fun k -> golden.(k) <> faulty.(k)) data_idx in
+  let alarmed = faulty.(alarm_idx) && not golden.(alarm_idx) in
+  if alarmed then Detected
+  else if data_corrupted then Corrupted_undetected
+  else Silent
+
+(** Detection statistics over a fault list and random patterns: fraction of
+    data-corrupting faults that escape detection (the number an EDA flow
+    must drive to zero). *)
+let validate rng protected_c ~faults ~patterns =
+  let ni = Circuit.num_inputs protected_c.circuit in
+  let pats =
+    List.init patterns (fun _ -> Array.init ni (fun _ -> Eda_util.Rng.bool rng))
+  in
+  let detected = ref 0 and escaped = ref 0 and silent = ref 0 in
+  List.iter
+    (fun fault ->
+      (* Worst observed outcome across patterns. *)
+      let worst =
+        List.fold_left
+          (fun acc p ->
+            match acc, classify protected_c ~fault p with
+            | Corrupted_undetected, _ | _, Corrupted_undetected -> Corrupted_undetected
+            | Detected, _ | _, Detected -> Detected
+            | Silent, Silent -> Silent)
+          Silent pats
+      in
+      match worst with
+      | Detected -> incr detected
+      | Corrupted_undetected -> incr escaped
+      | Silent -> incr silent)
+    faults;
+  !detected, !escaped, !silent

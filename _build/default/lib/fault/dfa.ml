@@ -1,0 +1,102 @@
+(** Differential fault analysis on AES (the attack an infective
+    countermeasure defeats). Classic last-round DFA: a single-bit fault is
+    injected into one state byte just before the final SubBytes; each
+    correct/faulty ciphertext pair constrains the corresponding byte of the
+    last round key, and intersecting candidate sets over a few pairs leaves
+    exactly one key byte. *)
+
+module Rng = Eda_util.Rng
+
+(* Position in the last-round state (before ShiftRows) that lands at
+   ciphertext byte [ct_pos]: ShiftRows moves (row, col) -> (row, col - row).
+   State byte k sits at row k mod 4, column k / 4. *)
+let preimage_of_ct_pos ct_pos =
+  let row = ct_pos mod 4 and col = ct_pos / 4 in
+  (4 * ((col + row) mod 4)) + row
+
+(** Encrypt with a single-bit fault injected into state byte [byte] (state
+    just before the last round), returning (correct, faulty) ciphertexts. *)
+let faulty_encrypt rng ks plaintext ~byte =
+  let correct = Crypto.Aes.encrypt ks plaintext in
+  (* Re-run the first 9 rounds, flip one bit, finish the last round. *)
+  let state = ref (Crypto.Aes.add_round_key plaintext ks.(0)) in
+  for r = 1 to 9 do
+    state :=
+      Crypto.Aes.add_round_key
+        (Crypto.Aes.mix_columns (Crypto.Aes.shift_rows (Crypto.Aes.sub_bytes !state)))
+        ks.(r)
+  done;
+  let bit = 1 lsl Rng.int rng 8 in
+  let faulted = Array.copy !state in
+  faulted.(byte) <- faulted.(byte) lxor bit;
+  let faulty =
+    Crypto.Aes.add_round_key (Crypto.Aes.shift_rows (Crypto.Aes.sub_bytes faulted)) ks.(10)
+  in
+  correct, faulty
+
+(** Candidate last-round-key bytes for ciphertext position [ct_pos]
+    explained by a single-bit fault model. *)
+let candidates ~ct_pos ~correct ~faulty =
+  let cj = correct.(ct_pos) and cj' = faulty.(ct_pos) in
+  if cj = cj' then List.init 256 (fun k -> k)
+  else
+    List.filter
+      (fun k ->
+        let x = Crypto.Aes.inv_sbox.(cj lxor k) in
+        let x' = Crypto.Aes.inv_sbox.(cj' lxor k) in
+        let e = x lxor x' in
+        (* single-bit difference *)
+        e <> 0 && e land (e - 1) = 0)
+      (List.init 256 (fun k -> k))
+
+(** Recover byte [ct_pos] of the last round key using faulty encryptions
+    until the candidate set is a singleton (or [max_pairs] reached).
+    Returns the recovered byte and the number of pairs used. *)
+let recover_key_byte rng ks ~ct_pos ~max_pairs =
+  let state_byte = preimage_of_ct_pos ct_pos in
+  let rec loop candidates_left pairs =
+    match candidates_left with
+    | [ k ] -> Some k, pairs
+    | _ when pairs >= max_pairs -> None, pairs
+    | _ ->
+      let pt = Array.init 16 (fun _ -> Rng.int rng 256) in
+      let correct, faulty = faulty_encrypt rng ks pt ~byte:state_byte in
+      let cands = candidates ~ct_pos ~correct ~faulty in
+      let remaining = List.filter (fun k -> List.mem k cands) candidates_left in
+      loop remaining (pairs + 1)
+  in
+  loop (List.init 256 (fun k -> k)) 0
+
+(** Full last-round-key recovery; returns recovered bytes (Some/None per
+    position) and total fault injections used. *)
+let recover_last_round_key rng ks ~max_pairs_per_byte =
+  let total = ref 0 in
+  let bytes =
+    Array.init 16 (fun ct_pos ->
+        let k, pairs = recover_key_byte rng ks ~ct_pos ~max_pairs:max_pairs_per_byte in
+        total := !total + pairs;
+        k)
+  in
+  bytes, !total
+
+(** DFA against an infective implementation: the fault is detected and the
+    output randomized, so candidate filtering receives garbage and the
+    candidate set collapses to empty (attack failure) instead of a key. *)
+let recover_with_infection rng ks ~ct_pos ~max_pairs =
+  let state_byte = preimage_of_ct_pos ct_pos in
+  let rec loop candidates_left pairs =
+    match candidates_left with
+    | [ k ] -> Some k, pairs
+    | [] -> None, pairs
+    | _ when pairs >= max_pairs -> None, pairs
+    | _ ->
+      let pt = Array.init 16 (fun _ -> Rng.int rng 256) in
+      let correct, _faulty = faulty_encrypt rng ks pt ~byte:state_byte in
+      (* Infection: the device detects the mismatch and releases a random
+         ciphertext instead of the faulty one. *)
+      let infected = Array.init 16 (fun _ -> Rng.int rng 256) in
+      let cands = candidates ~ct_pos ~correct ~faulty:infected in
+      let remaining = List.filter (fun k -> List.mem k cands) candidates_left in
+      loop remaining (pairs + 1)
+  in
+  loop (List.init 256 (fun k -> k)) 0

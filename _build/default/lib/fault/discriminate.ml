@@ -1,0 +1,69 @@
+(** Natural-versus-malicious fault discrimination (Sec. III-F, [59]): a
+    DFX infrastructure that detects an error must decide between fastest
+    recovery (natural transient) and re-keying / service discontinuation
+    (tampering). The discriminator below implements the paper's criterion:
+    natural transients are rare and spatially uniform; injected faults
+    cluster in time (attacker iterates) and in location (aimed at the
+    cipher's last rounds). *)
+
+module Rng = Eda_util.Rng
+
+type event = { cycle : int; site : int }
+
+type verdict = Natural | Malicious
+
+type config = {
+  window : int;  (* cycles per observation window *)
+  rate_threshold : int;  (* events per window above which we suspect attack *)
+  locality_threshold : float;  (* fraction of events on one site *)
+}
+
+let default_config = { window = 1000; rate_threshold = 3; locality_threshold = 0.5 }
+
+(** Classify a stream of detection events. *)
+let classify config events =
+  match events with
+  | [] -> Natural
+  | _ :: _ ->
+    let by_window = Hashtbl.create 16 in
+    List.iter
+      (fun e ->
+        let w = e.cycle / config.window in
+        Hashtbl.replace by_window w (1 + Option.value ~default:0 (Hashtbl.find_opt by_window w)))
+      events;
+    let max_rate = Hashtbl.fold (fun _ c acc -> max c acc) by_window 0 in
+    let by_site = Hashtbl.create 16 in
+    List.iter
+      (fun e ->
+        Hashtbl.replace by_site e.site (1 + Option.value ~default:0 (Hashtbl.find_opt by_site e.site)))
+      events;
+    let max_site = Hashtbl.fold (fun _ c acc -> max c acc) by_site 0 in
+    let locality = Float.of_int max_site /. Float.of_int (List.length events) in
+    if max_rate > config.rate_threshold || (List.length events >= 4 && locality >= config.locality_threshold)
+    then Malicious
+    else Natural
+
+(** Simulate a natural-SEU environment: events Poisson-ish at [rate] per
+    window, uniform over [sites]. *)
+let natural_stream rng ~cycles ~sites ~events =
+  List.init events (fun _ -> { cycle = Rng.int rng cycles; site = Rng.int rng sites })
+
+(** Simulate an attack campaign: [events] injections clustered on one site
+    within a burst of [burst] cycles. *)
+let attack_stream rng ~cycles ~sites ~events ~burst =
+  let site = Rng.int rng sites in
+  let start = Rng.int rng (max 1 (cycles - burst)) in
+  List.init events (fun _ -> { cycle = start + Rng.int rng burst; site })
+
+(** Discrimination accuracy experiment: fraction of correct verdicts over
+    [trials] of each scenario. *)
+let accuracy rng config ~trials =
+  let correct_nat = ref 0 and correct_att = ref 0 in
+  for _ = 1 to trials do
+    let nat = natural_stream rng ~cycles:100_000 ~sites:64 ~events:3 in
+    if classify config nat = Natural then incr correct_nat;
+    let att = attack_stream rng ~cycles:100_000 ~sites:64 ~events:8 ~burst:500 in
+    if classify config att = Malicious then incr correct_att
+  done;
+  ( Float.of_int !correct_nat /. Float.of_int trials,
+    Float.of_int !correct_att /. Float.of_int trials )

@@ -1,0 +1,133 @@
+(** Formal validation of error-detection properties ([32]; Table II,
+    functional-validation x FIA cell): instead of sampling patterns, a
+    SAT query per fault either *proves* that every data-corrupting input
+    also raises the alarm, or returns a concrete escape witness — the
+    bounded-model-checking flavour of robustness analysis.
+
+    Query for fault f on protected circuit C with alarm output A:
+      exists X :  data_f(X) != data(X)  /\  A_f(X) = A(X)
+    UNSAT = the fault cannot corrupt silently. *)
+
+module Circuit = Netlist.Circuit
+module Solver = Sat.Solver
+module Cnf = Sat.Cnf
+
+(* A copy of the circuit with a stuck-at fault frozen in (combinational
+   circuits; mirrors Dft.Atpg.faulty_copy without depending on dft). *)
+let faulty_copy circuit fault =
+  match (fault : Model.fault) with
+  | Model.Bit_flip _ -> invalid_arg "Formal: transient faults have no static copy"
+  | Model.Stuck_at { node; value } ->
+    let out = Circuit.create () in
+    let n = Circuit.node_count circuit in
+    let remap = Array.make n (-1) in
+    let name_taken = Hashtbl.create 64 in
+    let copy_name i =
+      let nm = Circuit.name circuit i in
+      if Hashtbl.mem name_taken nm || Circuit.find_by_name out nm <> None then ""
+      else begin
+        Hashtbl.replace name_taken nm ();
+        nm
+      end
+    in
+    for i = 0 to n - 1 do
+      let nd = Circuit.node circuit i in
+      let fanins = Array.map (fun f -> remap.(f)) nd.Circuit.fanins in
+      let id = Circuit.add_node_raw out nd.Circuit.kind fanins (copy_name i) in
+      remap.(i) <-
+        (if i = node then Circuit.add_node_raw out (Netlist.Gate.Const value) [||] "" else id)
+    done;
+    Array.iter (fun (nm, o) -> Circuit.set_output out nm remap.(o)) (Circuit.outputs circuit);
+    out
+
+type verdict =
+  | Proven_detected  (* no input corrupts data silently *)
+  | Escape of bool array  (* witness input: corrupts data, alarm silent *)
+  | Harmless  (* the fault can never corrupt the data outputs *)
+
+(** Check one stuck-at fault against the protected circuit. *)
+let check_fault (prot : Countermeasure.protected_circuit) fault =
+  let clean = prot.Countermeasure.circuit in
+  let faulty = faulty_copy clean fault in
+  let solver = Solver.create () in
+  let env_c = Cnf.encode ~solver clean in
+  let env_f = Cnf.encode ~solver faulty in
+  let ins_c = Circuit.inputs clean and ins_f = Circuit.inputs faulty in
+  Array.iteri
+    (fun k ic ->
+      let vc = env_c.Cnf.vars.(ic) and vf = env_f.Cnf.vars.(ins_f.(k)) in
+      Solver.add_clause solver [ Solver.lit_of_var vc ~sign:true; Solver.lit_of_var vf ~sign:false ];
+      Solver.add_clause solver [ Solver.lit_of_var vc ~sign:false; Solver.lit_of_var vf ~sign:true ])
+    ins_c;
+  let outs = Circuit.outputs clean in
+  let index_of nm =
+    let rec find k =
+      if k >= Array.length outs then invalid_arg ("Formal: missing output " ^ nm)
+      else if fst outs.(k) = nm then k
+      else find (k + 1)
+    in
+    find 0
+  in
+  let out_ids_c = Circuit.output_ids clean and out_ids_f = Circuit.output_ids faulty in
+  let alarm = index_of prot.Countermeasure.alarm_output in
+  let data_idx = List.map index_of prot.Countermeasure.data_outputs in
+  (* Some data output differs. *)
+  let data_diffs =
+    List.map
+      (fun k -> Cnf.xor_var solver env_c.Cnf.vars.(out_ids_c.(k)) env_f.Cnf.vars.(out_ids_f.(k)))
+      data_idx
+  in
+  let corrupted = Cnf.or_var solver data_diffs in
+  Solver.add_clause solver [ Solver.lit_of_var corrupted ~sign:true ];
+  (* Alarm agrees between faulty and clean (i.e. the fault is not flagged). *)
+  let alarm_diff =
+    Cnf.xor_var solver env_c.Cnf.vars.(out_ids_c.(alarm)) env_f.Cnf.vars.(out_ids_f.(alarm))
+  in
+  Solver.add_clause solver [ Solver.lit_of_var alarm_diff ~sign:false ];
+  match Solver.solve solver with
+  | Solver.Unsat ->
+    (* No silent corruption. Distinguish "always detected" from "harmless"
+       with a second query: can the fault corrupt data at all? *)
+    let solver2 = Solver.create () in
+    let env_c2 = Cnf.encode ~solver:solver2 clean in
+    let env_f2 = Cnf.encode ~solver:solver2 faulty in
+    Array.iteri
+      (fun k ic ->
+        let vc = env_c2.Cnf.vars.(ic) and vf = env_f2.Cnf.vars.((Circuit.inputs faulty).(k)) in
+        Solver.add_clause solver2 [ Solver.lit_of_var vc ~sign:true; Solver.lit_of_var vf ~sign:false ];
+        Solver.add_clause solver2 [ Solver.lit_of_var vc ~sign:false; Solver.lit_of_var vf ~sign:true ])
+      ins_c;
+    let diffs2 =
+      List.map
+        (fun k ->
+          Cnf.xor_var solver2 env_c2.Cnf.vars.(out_ids_c.(k)) env_f2.Cnf.vars.(out_ids_f.(k)))
+        data_idx
+    in
+    let corrupted2 = Cnf.or_var solver2 diffs2 in
+    Solver.add_clause solver2 [ Solver.lit_of_var corrupted2 ~sign:true ];
+    (match Solver.solve solver2 with
+     | Solver.Sat -> Proven_detected
+     | Solver.Unsat -> Harmless)
+  | Solver.Sat ->
+    let witness = Array.map (fun ic -> Solver.model_value solver env_c.Cnf.vars.(ic)) ins_c in
+    Escape witness
+
+(** Exhaustive formal audit over every single stuck-at fault: the red-team
+    search the paper describes ("to demonstrate whether an error-detecting
+    scheme can detect all faults means to search for faults possibly
+    missed"). *)
+let audit prot =
+  let faults =
+    List.filter
+      (fun f -> match f with Model.Stuck_at _ -> true | Model.Bit_flip _ -> false)
+      (Model.all_stuck_at_faults prot.Countermeasure.circuit)
+  in
+  let proven = ref 0 and escapes = ref [] and harmless = ref 0 in
+  List.iter
+    (fun fault ->
+      match check_fault prot fault with
+      | Proven_detected -> incr proven
+      | Harmless -> incr harmless
+      | Escape w -> escapes := (fault, w) :: !escapes)
+    faults;
+  `Proven !proven, `Escapes (List.rev !escapes), `Harmless !harmless

@@ -1,0 +1,90 @@
+(** Fault models and faulty simulation.
+
+    The three models cover the paper's fault-injection discussion: permanent
+    stuck-at faults (manufacturing defects, the ATPG target), transient
+    bit-flips (laser/EM injection at runtime) and forced-value faults
+    (precise attacker control). Injection is simulation-level: the fault
+    site's value is overridden during evaluation, which is exactly the
+    substitution a laser rig performs on the physical net. *)
+
+module Circuit = Netlist.Circuit
+module Gate = Netlist.Gate
+
+type fault =
+  | Stuck_at of { node : int; value : bool }
+  | Bit_flip of { node : int }  (* transient inversion of the computed value *)
+
+let node_of = function Stuck_at { node; _ } -> node | Bit_flip { node } -> node
+
+let describe circuit = function
+  | Stuck_at { node; value } ->
+    Printf.sprintf "s-a-%d @ %s" (if value then 1 else 0) (Circuit.name circuit node)
+  | Bit_flip { node } -> Printf.sprintf "flip @ %s" (Circuit.name circuit node)
+
+(** Evaluate all nets with [faults] active. *)
+let eval_all_faulty ?state circuit ~faults inputs =
+  let overrides = Hashtbl.create 4 in
+  List.iter
+    (fun f ->
+      match f with
+      | Stuck_at { node; value } -> Hashtbl.replace overrides node (`Force value)
+      | Bit_flip { node } -> Hashtbl.replace overrides node `Flip)
+    faults;
+  let n = Circuit.node_count circuit in
+  let values = Array.make n false in
+  let input_ids = Circuit.inputs circuit in
+  Array.iteri (fun k id -> values.(id) <- inputs.(k)) input_ids;
+  (match state with
+   | None -> ()
+   | Some st -> Array.iteri (fun k id -> values.(id) <- st.(k)) (Circuit.dffs circuit));
+  let apply_override i v =
+    match Hashtbl.find_opt overrides i with
+    | Some (`Force b) -> b
+    | Some `Flip -> not v
+    | None -> v
+  in
+  for i = 0 to n - 1 do
+    let nd = Circuit.node circuit i in
+    let computed =
+      match nd.Circuit.kind with
+      | Gate.Input | Gate.Dff -> values.(i)
+      | k -> Gate.eval k (Array.map (fun f -> values.(f)) nd.Circuit.fanins)
+    in
+    values.(i) <- apply_override i computed
+  done;
+  values
+
+let eval_faulty ?state circuit ~faults inputs =
+  let values = eval_all_faulty ?state circuit ~faults inputs in
+  Array.map (fun (_, o) -> values.(o)) (Circuit.outputs circuit)
+
+(** All single stuck-at faults on internal nets and inputs (the classical
+    fault list, collapsed to observable sites). *)
+let all_stuck_at_faults circuit =
+  let faults = ref [] in
+  for i = 0 to Circuit.node_count circuit - 1 do
+    match Circuit.kind circuit i with
+    | Gate.Const _ -> ()
+    | Gate.Input | Gate.Dff | Gate.Buf | Gate.Not | Gate.And | Gate.Nand
+    | Gate.Or | Gate.Nor | Gate.Xor | Gate.Xnor | Gate.Mux ->
+      faults := Stuck_at { node = i; value = true } :: Stuck_at { node = i; value = false } :: !faults
+  done;
+  List.rev !faults
+
+(** Does [inputs] detect [fault] (change any primary output)? *)
+let detects circuit ~fault inputs =
+  Netlist.Sim.eval circuit inputs <> eval_faulty circuit ~faults:[ fault ] inputs
+
+(** Fault simulation of a pattern set: returns per-fault detection. *)
+let fault_simulation circuit ~faults ~patterns =
+  List.map
+    (fun fault -> fault, List.exists (fun p -> detects circuit ~fault p) patterns)
+    faults
+
+(** Fault coverage of a pattern set over [faults]. *)
+let coverage circuit ~faults ~patterns =
+  let detected =
+    List.length (List.filter snd (fault_simulation circuit ~faults ~patterns))
+  in
+  if faults = [] then 1.0
+  else Float.of_int detected /. Float.of_int (List.length faults)

@@ -1,0 +1,34 @@
+(** Fault models and faulty simulation: permanent stuck-at faults (the
+    ATPG target), transient bit-flips (laser/EM injection). Injection
+    overrides the fault site's value during evaluation — the simulation-
+    level substitute for a physical rig. *)
+
+type fault =
+  | Stuck_at of { node : int; value : bool }
+  | Bit_flip of { node : int }  (** transient inversion of the computed value *)
+
+val node_of : fault -> int
+
+(** Human-readable description, e.g. ["s-a-1 @ G22"]. *)
+val describe : Netlist.Circuit.t -> fault -> string
+
+(** Evaluate all nets with [faults] active. *)
+val eval_all_faulty :
+  ?state:bool array -> Netlist.Circuit.t -> faults:fault list -> bool array -> bool array
+
+(** Primary outputs with [faults] active. *)
+val eval_faulty :
+  ?state:bool array -> Netlist.Circuit.t -> faults:fault list -> bool array -> bool array
+
+(** Both polarities of stuck-at on every input, gate and DFF site. *)
+val all_stuck_at_faults : Netlist.Circuit.t -> fault list
+
+(** Does the pattern change any primary output under the fault? *)
+val detects : Netlist.Circuit.t -> fault:fault -> bool array -> bool
+
+(** Per-fault detection by a pattern set. *)
+val fault_simulation :
+  Netlist.Circuit.t -> faults:fault list -> patterns:bool array list -> (fault * bool) list
+
+(** Fraction of [faults] detected by [patterns] (1.0 on an empty list). *)
+val coverage : Netlist.Circuit.t -> faults:fault list -> patterns:bool array list -> float

@@ -1,0 +1,1 @@
+lib/hls/dataflow.ml: Array Hashtbl List

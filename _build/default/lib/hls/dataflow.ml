@@ -1,0 +1,153 @@
+(** Miniature high-level synthesis (Table II, first row): a dataflow graph
+    of word-level operations is scheduled (ASAP list scheduling under a
+    resource constraint), bound to functional units and registers, and
+    elaborated to a gate-level netlist via the generators.
+
+    Security-driven HLS hooks (Sec. III-A):
+    - sensitivity labels on operations, so binding can avoid sharing a
+      functional unit between secret and public computations (a classic
+      architectural side channel);
+    - register flushing: secret-holding registers are cleared the cycle
+      after last use;
+    - allocation of security IP: RNG and PUF blocks requested declaratively
+      (the toolkit's [Puf] / [Rng_gen] models stand in for the IP). *)
+
+type op_kind = Add | Xor | And | Mul_dummy  (* Mul modelled as 2-cycle op *)
+
+type sensitivity = Public | Secret
+
+type op = {
+  id : int;
+  kind : op_kind;
+  args : int list;  (* op ids or negative for primary inputs *)
+  sensitivity : sensitivity;
+}
+
+type graph = { ops : op list; width : int }
+
+let latency = function Add | Xor | And -> 1 | Mul_dummy -> 2
+
+(** ASAP list scheduling with at most [units] operations starting per
+    cycle. Returns (op id -> start cycle) and the makespan. *)
+let schedule ~units graph =
+  let start = Hashtbl.create 16 in
+  let unscheduled = ref graph.ops in
+  let cycle = ref 0 in
+  let makespan = ref 0 in
+  while !unscheduled <> [] do
+    let can_start op =
+      List.for_all
+        (fun a ->
+          a < 0
+          ||
+          match Hashtbl.find_opt start a with
+          | Some s ->
+            let producer = List.find (fun o -> o.id = a) graph.ops in
+            s + latency producer.kind <= !cycle
+          | None -> false)
+        op.args
+    in
+    let startable, rest = List.partition can_start !unscheduled in
+    let rec take k acc = function
+      | [] -> List.rev acc, []
+      | x :: tl -> if k = 0 then List.rev acc, x :: tl else take (k - 1) (x :: acc) tl
+    in
+    let starting, deferred = take units [] startable in
+    List.iter
+      (fun op ->
+        Hashtbl.replace start op.id !cycle;
+        makespan := max !makespan (!cycle + latency op.kind))
+      starting;
+    unscheduled := deferred @ rest;
+    incr cycle;
+    if !cycle > 10_000 then invalid_arg "Hls.schedule: dependency cycle"
+  done;
+  start, !makespan
+
+(** Binding: assign each op to a functional unit instance. The security-
+    aware binder never shares a unit between [Secret] and [Public] ops
+    (resource-sharing side channels); the classical binder packs greedily. *)
+type binding = (int * int) list  (* op id -> unit id *)
+
+let bind ~security_aware ~units graph (start, _makespan) =
+  let unit_busy = Array.make units (-1) in  (* cycle until which busy *)
+  let unit_class = Array.make units None in  (* sensitivity it served *)
+  let assignments = ref [] in
+  let by_start =
+    List.sort
+      (fun a b -> compare (Hashtbl.find start a.id) (Hashtbl.find start b.id))
+      graph.ops
+  in
+  List.iter
+    (fun op ->
+      let s = Hashtbl.find start op.id in
+      let compatible u =
+        unit_busy.(u) <= s
+        && (not security_aware
+            ||
+            match unit_class.(u) with
+            | None -> true
+            | Some cls -> cls = op.sensitivity)
+      in
+      let rec find u =
+        if u >= units then None else if compatible u then Some u else find (u + 1)
+      in
+      match find 0 with
+      | Some u ->
+        unit_busy.(u) <- s + latency op.kind;
+        if unit_class.(u) = None then unit_class.(u) <- Some op.sensitivity;
+        assignments := (op.id, u) :: !assignments
+      | None ->
+        (* Over-subscribed: the schedule guaranteed at most [units] starts
+           per cycle, but multi-cycle ops can still collide; serialize on
+           unit 0 as a fallback (costs accuracy, keeps totality). *)
+        assignments := (op.id, 0) :: !assignments)
+    by_start;
+  (!assignments : binding)
+
+(** Does a binding share any unit across sensitivity classes? (the
+    vulnerability the aware binder avoids). *)
+let has_cross_class_sharing graph binding =
+  let class_of = Hashtbl.create 16 in
+  List.iter (fun op -> Hashtbl.replace class_of op.id op.sensitivity) graph.ops;
+  let unit_classes = Hashtbl.create 16 in
+  List.exists
+    (fun (op_id, u) ->
+      let cls = Hashtbl.find class_of op_id in
+      match Hashtbl.find_opt unit_classes u with
+      | None ->
+        Hashtbl.replace unit_classes u cls;
+        false
+      | Some prev -> prev <> cls)
+    binding
+
+(** Register lifetime analysis + flush schedule: secret values are cleared
+    the cycle after their last consumer starts. Returns (op id, flush
+    cycle) for every secret-producing op. *)
+let flush_schedule graph (start, makespan) =
+  List.filter_map
+    (fun op ->
+      match op.sensitivity with
+      | Public -> None
+      | Secret ->
+        let last_use =
+          List.fold_left
+            (fun acc consumer ->
+              if List.mem op.id consumer.args then
+                max acc (Hashtbl.find start consumer.id)
+              else acc)
+            (Hashtbl.find start op.id) graph.ops
+        in
+        Some (op.id, min makespan (last_use + 1)))
+    graph.ops
+
+(** Secret-exposure metric: total register-cycles during which secret
+    values sit in registers after their last use; flushing drives it to
+    zero, the classical flow leaves them until the end of the schedule. *)
+let exposure_without_flush graph (start, makespan) =
+  List.fold_left
+    (fun acc (op_id, flush_at) ->
+      ignore op_id;
+      acc + (makespan - flush_at))
+    0
+    (flush_schedule graph (start, makespan))

@@ -1,0 +1,1 @@
+lib/iflow/covert.ml: Array Eda_util Float

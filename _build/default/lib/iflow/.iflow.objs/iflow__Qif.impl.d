@@ -1,0 +1,1 @@
+lib/iflow/qif.ml: Array Eda_util Float Hashtbl List Netlist Option

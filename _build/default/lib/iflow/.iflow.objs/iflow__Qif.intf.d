@@ -1,0 +1,1 @@
+lib/iflow/qif.mli: Eda_util Netlist

@@ -1,0 +1,1 @@
+lib/iflow/taint.ml: Array Eda_util List Netlist

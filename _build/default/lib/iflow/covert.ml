@@ -1,0 +1,80 @@
+(** Architectural covert/side channels ([31], [3]; Table II, functional-
+    validation row): a toy direct-mapped cache model demonstrating the
+    timing channel that unique-program-execution checking targets. A victim
+    access pattern depends on a secret; an attacker sharing the cache
+    measures hit/miss timing of its own probes and reconstructs the
+    secret-dependent set index — the prime+probe primitive. *)
+
+module Rng = Eda_util.Rng
+
+type cache = {
+  sets : int;
+  mutable lines : int array;  (* tag per set; -1 = empty *)
+}
+
+let create ~sets = { sets; lines = Array.make sets (-1) }
+
+type access = Hit | Miss
+
+let access cache ~address =
+  let set = address mod cache.sets in
+  let tag = address / cache.sets in
+  if cache.lines.(set) = tag then Hit
+  else begin
+    cache.lines.(set) <- tag;
+    Miss
+  end
+
+(** Victim: accesses a table entry indexed by the secret (e.g. an S-box
+    lookup with a secret-dependent index). *)
+let victim_access cache ~secret = ignore (access cache ~address:secret)
+
+(** Prime+probe attack: prime all sets, let the victim run, probe and
+    observe which set misses. Recovers [secret mod sets]. *)
+let prime_probe cache ~run_victim =
+  (* Prime: fill every set with an attacker tag. *)
+  for s = 0 to cache.sets - 1 do
+    ignore (access cache ~address:((1000 * cache.sets) + s))
+  done;
+  run_victim ();
+  (* Probe: the set the victim touched now misses for the attacker. *)
+  let evicted = ref [] in
+  for s = 0 to cache.sets - 1 do
+    match access cache ~address:((1000 * cache.sets) + s) with
+    | Miss -> evicted := s :: !evicted
+    | Hit -> ()
+  done;
+  !evicted
+
+(** Recovery success rate of the secret's set index over trials. *)
+let attack_success rng ~sets ~trials =
+  let correct = ref 0 in
+  for _ = 1 to trials do
+    let cache = create ~sets in
+    let secret = Rng.int rng sets in
+    let evicted = prime_probe cache ~run_victim:(fun () -> victim_access cache ~secret) in
+    match evicted with
+    | [ s ] when s = secret -> incr correct
+    | [] | [ _ ] | _ :: _ :: _ -> ()
+  done;
+  Float.of_int !correct /. Float.of_int trials
+
+(** Countermeasure: randomized set-index mapping per context (a simple
+    cache-randomization defense); attack success collapses to chance. *)
+let attack_success_randomized rng ~sets ~trials =
+  let correct = ref 0 in
+  for _ = 1 to trials do
+    let cache = create ~sets in
+    let secret = Rng.int rng sets in
+    (* The victim's mapping is permuted; attacker's probes use identity. *)
+    let permutation = Array.init sets (fun i -> i) in
+    Rng.shuffle rng permutation;
+    let evicted =
+      prime_probe cache ~run_victim:(fun () ->
+          victim_access cache ~secret:(permutation.(secret)))
+    in
+    match evicted with
+    | [ s ] when s = secret -> incr correct
+    | [] | [ _ ] | _ :: _ :: _ -> ()
+  done;
+  Float.of_int !correct /. Float.of_int trials

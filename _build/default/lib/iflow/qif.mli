@@ -1,0 +1,34 @@
+(** Quantitative information flow ([47], [48], [49]): how many bits of a
+    secret input group an output reveals, by exact model counting for
+    small secrets and Monte-Carlo estimation beyond. *)
+
+(** Sizes of the partition the output vector induces on the secret space
+    (public inputs fixed to [public_values]). Secret width <= 20. *)
+val output_partition :
+  Netlist.Circuit.t -> secret:int list -> public_values:bool array -> int list
+
+(** Shannon leakage H(Y) in bits, uniform secret, deterministic circuit. *)
+val shannon_leakage :
+  Netlist.Circuit.t -> secret:int list -> public_values:bool array -> float
+
+(** log2 of the number of distinguishable output classes. *)
+val min_entropy_leakage :
+  Netlist.Circuit.t -> secret:int list -> public_values:bool array -> float
+
+(** Expected residual entropy of the secret after one observation. *)
+val residual_entropy :
+  Netlist.Circuit.t -> secret:int list -> public_values:bool array -> float
+
+(** [shannon_leakage] averaged over random public values. *)
+val average_shannon_leakage :
+  Eda_util.Rng.t -> Netlist.Circuit.t -> secret:int list -> samples:int -> float
+
+(** Monte-Carlo estimate with Miller–Madow bias correction — the scalable
+    approximation of [49]; usable far beyond the exact 20-bit limit. *)
+val approx_shannon_leakage :
+  Eda_util.Rng.t ->
+  Netlist.Circuit.t ->
+  secret:int list ->
+  public_values:bool array ->
+  samples:int ->
+  float

@@ -1,0 +1,86 @@
+(** Gate-level information-flow tracking ([14], [47]; Table II, high-level
+    synthesis row). Two precision levels:
+
+    - [structural]: a net is tainted if any fanin is tainted — cheap,
+      sound, over-approximate (conservative for verification).
+    - [glift]: GLIFT-precise propagation — a gate output is tainted only
+      if some tainted input can actually change the output given the
+      current untainted input values. AND(0, tainted) is *untainted*
+      because the 0 dominates. Computed per input vector. *)
+
+module Circuit = Netlist.Circuit
+module Gate = Netlist.Gate
+
+(** Structural taint: input-independent reachability. *)
+let structural circuit ~sources =
+  let n = Circuit.node_count circuit in
+  let tainted = Array.make n false in
+  List.iter (fun s -> tainted.(s) <- true) sources;
+  for i = 0 to n - 1 do
+    if not tainted.(i) then begin
+      let nd = Circuit.node circuit i in
+      match nd.Circuit.kind with
+      | Gate.Input | Gate.Const _ -> ()
+      | Gate.Dff | Gate.Buf | Gate.Not | Gate.And | Gate.Nand | Gate.Or
+      | Gate.Nor | Gate.Xor | Gate.Xnor | Gate.Mux ->
+        if Array.exists (fun f -> tainted.(f)) nd.Circuit.fanins then
+          tainted.(i) <- true
+    end
+  done;
+  tainted
+
+(** GLIFT-precise taint for a specific input vector: output is tainted iff
+    flipping some subset of tainted inputs flips the output. For 2-3 input
+    gates, checked exhaustively over the tainted fanins. *)
+let glift circuit ~sources inputs =
+  let n = Circuit.node_count circuit in
+  let values = Netlist.Sim.eval_all circuit inputs in
+  let tainted = Array.make n false in
+  List.iter (fun s -> tainted.(s) <- true) sources;
+  for i = 0 to n - 1 do
+    let nd = Circuit.node circuit i in
+    match nd.Circuit.kind with
+    | Gate.Input | Gate.Const _ | Gate.Dff -> ()
+    | k ->
+      if not tainted.(i) then begin
+        let fanins = nd.Circuit.fanins in
+        let tainted_idx =
+          List.filter (fun p -> tainted.(fanins.(p))) (List.init (Array.length fanins) (fun p -> p))
+        in
+        if tainted_idx <> [] then begin
+          (* Try all assignments of the tainted fanins; untainted fanins
+             keep their simulated values. *)
+          let base = Array.map (fun f -> values.(f)) fanins in
+          let out0 = Gate.eval k base in
+          let changes = ref false in
+          let m = List.length tainted_idx in
+          for mask = 1 to (1 lsl m) - 1 do
+            let trial = Array.copy base in
+            List.iteri
+              (fun bit p -> if (mask lsr bit) land 1 = 1 then trial.(p) <- not trial.(p))
+              tainted_idx;
+            if Gate.eval k trial <> out0 then changes := true
+          done;
+          tainted.(i) <- !changes
+        end
+      end
+  done;
+  tainted
+
+(** Does taint from [sources] reach output [output] for some input?
+    Checked by sampling with [glift]; sound "no" requires [structural]. *)
+let leaks_to_output rng circuit ~sources ~output ~samples =
+  let o = (Circuit.output_ids circuit).(output) in
+  let structural_taint = structural circuit ~sources in
+  if not structural_taint.(o) then `Never
+  else begin
+    let ni = Circuit.num_inputs circuit in
+    let hit = ref false in
+    for _ = 1 to samples do
+      if not !hit then begin
+        let inputs = Array.init ni (fun _ -> Eda_util.Rng.bool rng) in
+        if (glift circuit ~sources inputs).(o) then hit := true
+      end
+    done;
+    if !hit then `Leaks else `Structural_only
+  end

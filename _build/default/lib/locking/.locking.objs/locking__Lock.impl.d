@@ -1,0 +1,1 @@
+lib/locking/lock.ml: Array Eda_util Float Hashtbl List Netlist Printf Sat Synth

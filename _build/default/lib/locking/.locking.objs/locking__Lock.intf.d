@@ -1,0 +1,1 @@
+lib/locking/lock.mli: Eda_util Netlist

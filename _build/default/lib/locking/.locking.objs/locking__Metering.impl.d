@@ -1,0 +1,1 @@
+lib/locking/metering.ml: Array Eda_util Hashtbl List Netlist Printf Queue

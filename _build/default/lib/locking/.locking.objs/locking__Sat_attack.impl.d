@@ -1,0 +1,1 @@
+lib/locking/sat_attack.ml: Array List Lock Netlist Sat

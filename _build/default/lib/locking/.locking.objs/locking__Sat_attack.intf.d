@@ -1,0 +1,1 @@
+lib/locking/sat_attack.mli: Lock Netlist Sat

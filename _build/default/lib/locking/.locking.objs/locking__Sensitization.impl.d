@@ -1,0 +1,1 @@
+lib/locking/sensitization.ml: Array Float List Lock Netlist Sat

@@ -1,0 +1,1 @@
+lib/locking/sfll.ml: Array Eda_util List Lock Netlist Printf

@@ -1,0 +1,1 @@
+lib/locking/structural.ml: Array Float Lock Netlist

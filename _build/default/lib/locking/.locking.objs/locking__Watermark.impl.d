@@ -1,0 +1,1 @@
+lib/locking/watermark.ml: Array Eda_util Float Hashtbl List Netlist

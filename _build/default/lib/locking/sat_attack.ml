@@ -1,0 +1,93 @@
+(** The oracle-guided SAT attack on logic locking (Subramanyan et al.; the
+    paper cites its SMT successor [33]). The attacker holds the locked
+    netlist (reverse-engineered from layout) and a working chip (the
+    oracle). Two copies of the locked circuit with shared data inputs and
+    independent keys form a miter; each SAT solution is a distinguishing
+    input pattern (DIP) whose oracle response prunes all keys disagreeing
+    on it. When no DIP remains, any key consistent with the recorded I/O
+    pairs is functionally correct. *)
+
+module Circuit = Netlist.Circuit
+module Solver = Sat.Solver
+module Cnf = Sat.Cnf
+
+type result = {
+  key : bool array option;  (* recovered key, if the attack converged *)
+  iterations : int;  (* number of DIP queries *)
+  solver_stats : Solver.stats;
+}
+
+let tie_equal solver va vb =
+  Solver.add_clause solver
+    [ Solver.lit_of_var va ~sign:true; Solver.lit_of_var vb ~sign:false ];
+  Solver.add_clause solver
+    [ Solver.lit_of_var va ~sign:false; Solver.lit_of_var vb ~sign:true ]
+
+let fix solver v b = Solver.add_clause solver [ Solver.lit_of_var v ~sign:b ]
+
+(** Run the attack. [oracle data] must return the correct outputs for the
+    data inputs (the activated chip). *)
+let run ?(max_iterations = 256) ~oracle (locked : Lock.locked) =
+  let c = locked.Lock.circuit in
+  let solver = Solver.create () in
+  let env_a = Cnf.encode ~solver c in
+  let env_b = Cnf.encode ~solver c in
+  let key_vars env = Array.map (fun id -> env.Cnf.vars.(id)) locked.Lock.key_inputs in
+  let data_vars env = Array.map (fun id -> env.Cnf.vars.(id)) locked.Lock.data_inputs in
+  let out_vars env = Array.map (fun o -> env.Cnf.vars.(o)) (Circuit.output_ids c) in
+  (* Shared data inputs. *)
+  Array.iteri (fun k va -> tie_equal solver va (data_vars env_b).(k)) (data_vars env_a);
+  (* Miter on outputs, activated by assumption so it can be dropped for the
+     final key extraction. *)
+  let diffs =
+    Array.to_list
+      (Array.mapi (fun k oa -> Cnf.xor_var solver oa (out_vars env_b).(k)) (out_vars env_a))
+  in
+  let any_diff = Cnf.or_var solver diffs in
+  let miter_on = Solver.lit_of_var any_diff ~sign:true in
+  (* Record an I/O constraint: both key copies must reproduce the oracle
+     response on this DIP, enforced on fresh circuit copies. *)
+  let add_io_constraint dip response =
+    List.iter
+      (fun env_keys ->
+        let env_f = Cnf.encode ~solver c in
+        Array.iteri (fun k v -> fix solver v dip.(k)) (data_vars env_f);
+        Array.iteri (fun k v -> fix solver v response.(k)) (out_vars env_f);
+        Array.iteri (fun k v -> tie_equal solver v env_keys.(k)) (key_vars env_f))
+      [ key_vars env_a; key_vars env_b ]
+  in
+  let rec loop iterations =
+    if iterations >= max_iterations then
+      { key = None; iterations; solver_stats = Solver.stats solver }
+    else begin
+      match Solver.solve ~assumptions:[ miter_on ] solver with
+      | Solver.Sat ->
+        let dip = Array.map (fun v -> Solver.model_value solver v) (data_vars env_a) in
+        let response = oracle dip in
+        add_io_constraint dip response;
+        loop (iterations + 1)
+      | Solver.Unsat ->
+        (* No distinguishing input remains: extract any consistent key. *)
+        (match Solver.solve solver with
+         | Solver.Sat ->
+           let key = Array.map (fun v -> Solver.model_value solver v) (key_vars env_a) in
+           { key = Some key; iterations; solver_stats = Solver.stats solver }
+         | Solver.Unsat ->
+           (* Cannot happen with a truthful oracle. *)
+           { key = None; iterations; solver_stats = Solver.stats solver })
+    end
+  in
+  try loop 0
+  with Solver.Unsat_root -> { key = None; iterations = 0; solver_stats = Solver.stats solver }
+
+(** Convenience oracle from the original (unlocked) circuit. *)
+let oracle_of_circuit original data = Netlist.Sim.eval original data
+
+(** Attack success check: the recovered key need not equal the inserted
+    key bit-for-bit, only produce an equivalent circuit. *)
+let recovered_key_correct locked ~original result =
+  match result.key with
+  | None -> false
+  | Some key ->
+    let unlocked = Lock.apply_key locked ~key in
+    Cnf.check_equivalence original unlocked = None

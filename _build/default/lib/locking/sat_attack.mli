@@ -1,0 +1,23 @@
+(** The oracle-guided SAT attack on logic locking (Subramanyan et al.;
+    the paper cites its SMT successor [33]). The attacker holds the locked
+    netlist and a working chip (the oracle); distinguishing input patterns
+    prune keys until any consistent key is provably correct. *)
+
+type result = {
+  key : bool array option;  (** recovered key, if the attack converged *)
+  iterations : int;  (** number of DIP oracle queries *)
+  solver_stats : Sat.Solver.stats;
+}
+
+(** Run the attack; [oracle data] must return the correct outputs for the
+    data inputs. [max_iterations] (default 256) bounds the DIP loop:
+    hitting it returns [{ key = None; _ }] — the scheme resisted this
+    attacker budget. *)
+val run : ?max_iterations:int -> oracle:(bool array -> bool array) -> Lock.locked -> result
+
+(** Oracle built from the original (activated) circuit. *)
+val oracle_of_circuit : Netlist.Circuit.t -> bool array -> bool array
+
+(** Success check: the recovered key need not equal the inserted key
+    bit-for-bit, only activate an equivalent circuit (SAT-checked). *)
+val recovered_key_correct : Lock.locked -> original:Netlist.Circuit.t -> result -> bool

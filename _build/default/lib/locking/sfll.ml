@@ -1,0 +1,95 @@
+(** SFLL-HD ("stripped-functionality logic locking, Hamming distance"),
+    the SAT-attack-resilient scheme whose unlocking [51] the paper cites.
+
+    The vendor strips functionality: the output is flipped whenever the
+    input is at Hamming distance [h] from a hard-coded secret pattern. The
+    restore unit flips it back whenever the input is at distance [h] from
+    the *key*. With key = secret the circuit is correct; each wrong key
+    corrupts only inputs near it, so every SAT-attack DIP eliminates few
+    keys and the attack needs exponentially many iterations in the worst
+    case — the step-function security the paper discusses in Sec. IV. *)
+
+module Circuit = Netlist.Circuit
+module Gate = Netlist.Gate
+
+(* Population count of a list of bits as a binary number (LSB first): a
+   sequential counter of half-adder ripples, one per input bit. *)
+let popcount c bits =
+  let half_adder a b =
+    Circuit.add_gate c Gate.Xor [ a; b ], Circuit.add_gate c Gate.And [ a; b ]
+  in
+  let width = 1 + int_of_float (ceil (log (float_of_int (List.length bits + 1)) /. log 2.0)) in
+  let zero = Circuit.add_const c false in
+  let acc = Array.make width zero in
+  List.iter
+    (fun bit ->
+      let carry = ref bit in
+      for w = 0 to width - 1 do
+        let s, cout = half_adder acc.(w) !carry in
+        acc.(w) <- s;
+        carry := cout
+      done)
+    bits;
+  acc
+
+(* Comparator: does the binary number [num] (array LSB first) equal the
+   constant [v]? *)
+let equals_const c num v =
+  let bits =
+    Array.to_list
+      (Array.mapi
+         (fun w b ->
+           if (v lsr w) land 1 = 1 then b else Circuit.add_gate c Gate.Not [ b ])
+         num)
+  in
+  Circuit.reduce c Gate.And bits
+
+(** Lock [source] (single-output circuits are the classic target; all
+    outputs are protected through the first output) with SFLL-HD
+    parameter [h]. The secret pattern doubles as the correct key. *)
+let lock rng ~h source =
+  assert (Circuit.num_dffs source = 0);
+  let ni = Circuit.num_inputs source in
+  let secret = Array.init ni (fun _ -> Eda_util.Rng.bool rng) in
+  let out = Circuit.create () in
+  let key_inputs =
+    Array.init ni (fun k -> Circuit.add_input ~name:(Printf.sprintf "key%d" k) out)
+  in
+  let data_inputs =
+    Array.map
+      (fun id -> Circuit.add_input ~name:(Circuit.name source id) out)
+      (Circuit.inputs source)
+  in
+  let func_outs = Circuit.inline ~into:out ~sub:source ~prefix:"f_" data_inputs in
+  (* Strip: flip output 0 when HD(x, secret) = h. The hard-coded secret is
+     folded into XOR/XNOR choices, leaving no readable constant. *)
+  let strip_bits =
+    (* Bit k of the distance vector is x_k xor secret_k; the secret is a
+       constant, so it folds into a NOT or a plain buffer. *)
+    Array.to_list
+      (Array.mapi
+         (fun k x ->
+           if secret.(k) then Circuit.add_gate out Gate.Not [ x ]
+           else Circuit.add_gate out Gate.Buf [ x ])
+         data_inputs)
+  in
+  let strip_count = popcount out strip_bits in
+  let strip_hit = equals_const out strip_count h in
+  (* Restore: flip back when HD(x, key) = h. *)
+  let restore_bits =
+    Array.to_list
+      (Array.mapi (fun k x -> Circuit.add_gate out Gate.Xor [ x; key_inputs.(k) ]) data_inputs)
+  in
+  let restore_count = popcount out restore_bits in
+  let restore_hit = equals_const out restore_count h in
+  let flip = Circuit.add_gate out Gate.Xor [ strip_hit; restore_hit ] in
+  Array.iteri
+    (fun k (nm, _) ->
+      let o = func_outs.(k) in
+      if k = 0 then begin
+        let y = Circuit.add_gate out Gate.Xor [ o; flip ] in
+        Circuit.set_output out nm y
+      end
+      else Circuit.set_output out nm o)
+    (Circuit.outputs source);
+  { Lock.circuit = out; key_inputs; data_inputs; correct_key = secret }

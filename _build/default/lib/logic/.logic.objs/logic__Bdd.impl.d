@@ -1,0 +1,1 @@
+lib/logic/bdd.ml: Float Hashtbl Truth_table

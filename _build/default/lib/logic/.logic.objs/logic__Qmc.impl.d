@@ -1,0 +1,1 @@
+lib/logic/qmc.ml: Array Cube Hashtbl List Truth_table

@@ -1,0 +1,1 @@
+lib/logic/truth_table.ml: Array Bytes List Stdlib String

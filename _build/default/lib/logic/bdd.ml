@@ -1,0 +1,152 @@
+(** Reduced ordered binary decision diagrams with a shared node table.
+    Used for exact equivalence of medium functions, model counting for
+    quantitative information flow, and don't-care analysis. Variable order
+    is the natural index order. *)
+
+type node = False | True | Node of { var : int; low : t; high : t; id : int }
+and t = node
+
+let id = function False -> 0 | True -> 1 | Node n -> n.id
+
+module Key = struct
+  type t = int * int * int  (* var, low id, high id *)
+
+  let equal (a : t) b = a = b
+  let hash = Hashtbl.hash
+end
+
+module Table = Hashtbl.Make (Key)
+
+type manager = {
+  unique : t Table.t;
+  mutable next_id : int;
+  cache : (int * int * int, t) Hashtbl.t;  (* op tag, id1, id2 *)
+}
+
+let manager () = { unique = Table.create 1024; next_id = 2; cache = Hashtbl.create 1024 }
+
+let mk mgr var low high =
+  if id low = id high then low
+  else begin
+    let key = (var, id low, id high) in
+    match Table.find_opt mgr.unique key with
+    | Some n -> n
+    | None ->
+      let n = Node { var; low; high; id = mgr.next_id } in
+      mgr.next_id <- mgr.next_id + 1;
+      Table.add mgr.unique key n;
+      n
+  end
+
+let var_of = function Node n -> n.var | False | True -> max_int
+
+let op_and = 0
+let op_or = 1
+let op_xor = 2
+
+(* Structural complement; canonical because [mk] hash-conses. *)
+let rec neg mgr = function
+  | False -> True
+  | True -> False
+  | Node n -> mk mgr n.var (neg mgr n.low) (neg mgr n.high)
+
+let rec apply mgr op a b =
+  let terminal =
+    match op, a, b with
+    | 0, False, _ | 0, _, False -> Some False
+    | 0, True, x | 0, x, True -> Some x
+    | 1, True, _ | 1, _, True -> Some True
+    | 1, False, x | 1, x, False -> Some x
+    | 2, False, x | 2, x, False -> Some x
+    | 2, True, True -> Some False
+    | 2, True, (Node _ as x) | 2, (Node _ as x), True -> Some (neg mgr x)
+    | _, _, _ -> None
+  in
+  match terminal with
+  | Some r -> r
+  | None ->
+    let key = (op, min (id a) (id b), max (id a) (id b)) in
+    (match Hashtbl.find_opt mgr.cache key with
+     | Some r -> r
+     | None ->
+       let v = min (var_of a) (var_of b) in
+       let cof x side =
+         match x with
+         | Node n when n.var = v -> if side then n.high else n.low
+         | False | True | Node _ -> x
+       in
+       let low = apply mgr op (cof a false) (cof b false) in
+       let high = apply mgr op (cof a true) (cof b true) in
+       let r = mk mgr v low high in
+       Hashtbl.add mgr.cache key r;
+       r)
+
+let band mgr a b = apply mgr op_and a b
+let bor mgr a b = apply mgr op_or a b
+let bxor mgr a b = apply mgr op_xor a b
+
+let bvar mgr i = mk mgr i False True
+
+let rec eval bdd assignment =
+  match bdd with
+  | False -> false
+  | True -> true
+  | Node n -> eval (if assignment n.var then n.high else n.low) assignment
+
+(** Model count over [nvars] variables. *)
+let count_models bdd ~nvars =
+  let memo = Hashtbl.create 64 in
+  let rec go node =
+    match node with
+    | False -> 0.0, nvars
+    | True -> 1.0, nvars
+    | Node n ->
+      (match Hashtbl.find_opt memo n.id with
+       | Some r -> r
+       | None ->
+         let cl, dl = go n.low and ch, dh = go n.high in
+         (* Normalise both branches to level n.var + 1. *)
+         let scale c d = c *. (2.0 ** Float.of_int (d - (n.var + 1))) in
+         let r = (scale cl dl +. scale ch dh, n.var) in
+         Hashtbl.add memo n.id r;
+         r)
+  in
+  let c, d = go bdd in
+  c *. (2.0 ** Float.of_int d)
+
+let is_tautology bdd = bdd = True
+let is_contradiction bdd = bdd = False
+
+let equal a b = id a = id b
+
+(** Build a BDD from a truth table (inputs indexed from 0). *)
+let of_truth_table mgr tt =
+  let arity = Truth_table.arity tt in
+  let result = ref False in
+  for m = 0 to Truth_table.size tt - 1 do
+    if Truth_table.eval tt m then begin
+      let cube = ref True in
+      for i = 0 to arity - 1 do
+        let v = bvar mgr i in
+        let lit = if (m lsr i) land 1 = 1 then v else neg mgr v in
+        cube := band mgr !cube lit
+      done;
+      result := bor mgr !result !cube
+    end
+  done;
+  !result
+
+(** Size (number of distinct internal nodes). *)
+let node_count bdd =
+  let seen = Hashtbl.create 64 in
+  let rec go = function
+    | False | True -> ()
+    | Node n ->
+      if not (Hashtbl.mem seen n.id) then begin
+        Hashtbl.add seen n.id ();
+        go n.low;
+        go n.high
+      end
+  in
+  go bdd;
+  Hashtbl.length seen

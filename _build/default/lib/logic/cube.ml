@@ -1,0 +1,56 @@
+(** Cubes (product terms) over n variables with three-valued literals, and
+    sum-of-products covers. Used by two-level minimization and by the rare-
+    signal trigger analysis for Trojans. *)
+
+type literal = Pos | Neg | Dc
+
+type t = literal array
+
+let create arity = Array.make arity Dc
+
+let of_minterm ~arity m =
+  Array.init arity (fun i -> if (m lsr i) land 1 = 1 then Pos else Neg)
+
+let literal_to_char = function Pos -> '1' | Neg -> '0' | Dc -> '-'
+
+let to_string c = String.init (Array.length c) (fun i -> literal_to_char c.(Array.length c - 1 - i))
+
+let arity = Array.length
+
+(** Does the cube contain the assignment encoded by minterm [m]? *)
+let covers c m =
+  let ok = ref true in
+  Array.iteri
+    (fun i lit ->
+      let bit = (m lsr i) land 1 = 1 in
+      match lit with
+      | Pos -> if not bit then ok := false
+      | Neg -> if bit then ok := false
+      | Dc -> ())
+    c;
+  !ok
+
+(** Merge two cubes differing in exactly one literal position where both are
+    specified; the Quine-McCluskey combining step. *)
+let combine a b =
+  assert (Array.length a = Array.length b);
+  let diff = ref 0 and pos = ref (-1) in
+  Array.iteri
+    (fun i la ->
+      if la <> b.(i) then begin
+        incr diff;
+        pos := i
+      end)
+    a;
+  if !diff = 1 && a.(!pos) <> Dc && b.(!pos) <> Dc then begin
+    let c = Array.copy a in
+    c.(!pos) <- Dc;
+    Some c
+  end
+  else None
+
+let num_literals c =
+  Array.fold_left (fun acc l -> match l with Dc -> acc | Pos | Neg -> acc + 1) 0 c
+
+(** Number of minterms the cube covers. *)
+let volume c = 1 lsl (arity c - num_literals c)

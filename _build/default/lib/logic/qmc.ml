@@ -1,0 +1,103 @@
+(** Quine-McCluskey two-level minimization (exact prime generation, greedy
+    cover selection). Adequate for the <=10-input functions that appear in
+    camouflage-constrained synthesis and S-box decomposition. *)
+
+let prime_implicants ~arity minterms dontcares =
+  let all = List.sort_uniq compare (minterms @ dontcares) in
+  let initial = List.map (fun m -> Cube.of_minterm ~arity m) all in
+  (* Iteratively combine; cubes that never combine are prime. *)
+  let rec round cubes primes =
+    if cubes = [] then primes
+    else begin
+      let used = Hashtbl.create 16 in
+      let next = ref [] in
+      let cubes_arr = Array.of_list cubes in
+      let n = Array.length cubes_arr in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          match Cube.combine cubes_arr.(i) cubes_arr.(j) with
+          | Some c ->
+            Hashtbl.replace used i ();
+            Hashtbl.replace used j ();
+            if not (List.exists (fun c' -> c' = c) !next) then next := c :: !next
+          | None -> ()
+        done
+      done;
+      let new_primes = ref primes in
+      Array.iteri
+        (fun i c ->
+          if not (Hashtbl.mem used i) && not (List.mem c !new_primes) then
+            new_primes := c :: !new_primes)
+        cubes_arr;
+      round !next !new_primes
+    end
+  in
+  round initial []
+
+(** Greedy essential-first cover of [minterms] by primes. *)
+let select_cover primes minterms =
+  let uncovered = Hashtbl.create 16 in
+  List.iter (fun m -> Hashtbl.replace uncovered m ()) minterms;
+  let chosen = ref [] in
+  (* Essential primes: minterms covered by exactly one prime. *)
+  let covering m = List.filter (fun p -> Cube.covers p m) primes in
+  List.iter
+    (fun m ->
+      match covering m with
+      | [ p ] when Hashtbl.mem uncovered m ->
+        if not (List.memq p !chosen) then begin
+          chosen := p :: !chosen;
+          Hashtbl.iter
+            (fun m' () -> if Cube.covers p m' then Hashtbl.remove uncovered m')
+            (Hashtbl.copy uncovered)
+        end
+      | _ -> ())
+    minterms;
+  (* Greedy: repeatedly take the prime covering most uncovered minterms. *)
+  let rec loop () =
+    if Hashtbl.length uncovered = 0 then ()
+    else begin
+      let score p =
+        Hashtbl.fold (fun m () acc -> if Cube.covers p m then acc + 1 else acc) uncovered 0
+      in
+      let best =
+        List.fold_left
+          (fun acc p ->
+            match acc with
+            | None -> if score p > 0 then Some p else None
+            | Some b -> if score p > score b then Some p else acc)
+          None primes
+      in
+      match best with
+      | None -> ()  (* should not happen if primes cover all minterms *)
+      | Some p ->
+        chosen := p :: !chosen;
+        Hashtbl.iter
+          (fun m () -> if Cube.covers p m then Hashtbl.remove uncovered m)
+          (Hashtbl.copy uncovered);
+        loop ()
+    end
+  in
+  loop ();
+  !chosen
+
+(** Minimize a truth table into an SOP cover (list of cubes). *)
+let minimize tt =
+  let arity = Truth_table.arity tt in
+  let minterms =
+    List.filter (Truth_table.eval tt) (List.init (Truth_table.size tt) (fun m -> m))
+  in
+  if minterms = [] then []
+  else begin
+    let primes = prime_implicants ~arity minterms [] in
+    select_cover primes minterms
+  end
+
+(** Literal count of a cover — the classic two-level cost metric. *)
+let cover_cost cover = List.fold_left (fun acc c -> acc + Cube.num_literals c) 0 cover
+
+(** Check a cover implements the truth table exactly. *)
+let cover_implements cover tt =
+  let arity = Truth_table.arity tt in
+  let f m = List.exists (fun c -> Cube.covers c m) cover in
+  Truth_table.equal tt (Truth_table.create arity f)

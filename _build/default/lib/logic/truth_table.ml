@@ -1,0 +1,81 @@
+(** Truth tables for Boolean functions of up to 16 inputs, stored as a
+    [Bytes.t] of 0/1 entries indexed by the input minterm. The workhorse
+    for exact model counting (quantitative information flow), camouflaged
+    cell semantics and small-function equivalence checks. *)
+
+type t = { arity : int; bits : Bytes.t }
+
+let create arity f =
+  assert (arity >= 0 && arity <= 16);
+  let n = 1 lsl arity in
+  let bits = Bytes.create n in
+  for m = 0 to n - 1 do
+    Bytes.set bits m (if f m then '\001' else '\000')
+  done;
+  { arity; bits }
+
+let arity t = t.arity
+
+let size t = Bytes.length t.bits
+
+let eval t minterm =
+  assert (minterm >= 0 && minterm < size t);
+  Bytes.get t.bits minterm = '\001'
+
+(** Evaluate on an explicit input assignment, bit i of the minterm being
+    input i. *)
+let eval_bits t inputs =
+  assert (Array.length inputs = t.arity);
+  let m = ref 0 in
+  for i = t.arity - 1 downto 0 do
+    m := (!m lsl 1) lor (if inputs.(i) then 1 else 0)
+  done;
+  eval t !m
+
+let equal a b = a.arity = b.arity && Bytes.equal a.bits b.bits
+
+(** Number of minterms mapped to true — the model count. *)
+let count_ones t =
+  let acc = ref 0 in
+  for m = 0 to size t - 1 do
+    if eval t m then incr acc
+  done;
+  !acc
+
+let constant arity value = create arity (fun _ -> value)
+
+let var arity i =
+  assert (i >= 0 && i < arity);
+  create arity (fun m -> (m lsr i) land 1 = 1)
+
+let map2 f a b =
+  assert (a.arity = b.arity);
+  create a.arity (fun m -> f (eval a m) (eval b m))
+
+let lnot a = create a.arity (fun m -> not (eval a m))
+let land_ = map2 ( && )
+let lor_ = map2 ( || )
+let lxor_ = map2 ( <> )
+
+(** Cofactor with input [i] fixed to [value]; arity is preserved (the
+    function simply becomes independent of input [i]). *)
+let cofactor t i value =
+  assert (i >= 0 && i < t.arity);
+  let mask = 1 lsl i in
+  create t.arity (fun m ->
+      let m' = if value then m lor mask else m land Stdlib.lnot mask in
+      eval t m')
+
+(** Does the function depend on input [i]? *)
+let depends_on t i =
+  not (equal (cofactor t i false) (cofactor t i true))
+
+let support t =
+  List.filter (depends_on t) (List.init t.arity (fun i -> i))
+
+let to_string t =
+  String.init (size t) (fun m -> if eval t m then '1' else '0')
+
+let of_string arity s =
+  assert (String.length s = 1 lsl arity);
+  create arity (fun m -> s.[m] = '1')

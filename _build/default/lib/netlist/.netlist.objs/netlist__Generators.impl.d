@@ -1,0 +1,1 @@
+lib/netlist/generators.ml: Array Circuit Eda_util Gate Hashtbl Lazy List Logic Printf String

@@ -1,0 +1,1 @@
+lib/netlist/io.ml: Array Buffer Circuit Format Fun Gate List Printf String

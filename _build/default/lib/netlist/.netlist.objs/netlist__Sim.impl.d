@@ -1,0 +1,1 @@
+lib/netlist/sim.ml: Array Circuit Eda_util Float Gate Int64 List Logic

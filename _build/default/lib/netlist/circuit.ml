@@ -1,0 +1,259 @@
+(** Gate-level netlist IR.
+
+    Nodes live in a growable array; apart from DFF D-inputs, every fanin
+    index refers to an earlier node, so node order is a valid topological
+    order for the combinational portion and evaluation is a single pass.
+
+    A circuit is built through the mutable interface ([create], [add_gate],
+    [set_output], ...) and then treated as immutable by analyses. *)
+
+type node = {
+  kind : Gate.kind;
+  mutable fanins : int array;
+  name : string;
+}
+
+type t = {
+  mutable nodes : node array;
+  mutable n : int;  (* live prefix of [nodes] *)
+  mutable inputs : int list;  (* in declaration order, reversed *)
+  mutable outputs : (string * int) list;  (* reversed *)
+  mutable dffs : int list;  (* reversed *)
+  by_name : (string, int) Hashtbl.t;
+}
+
+let create () =
+  { nodes = Array.make 64 { kind = Gate.Input; fanins = [||]; name = "" };
+    n = 0;
+    inputs = [];
+    outputs = [];
+    dffs = [];
+    by_name = Hashtbl.create 64 }
+
+let node_count c = c.n
+
+let node c i =
+  assert (i >= 0 && i < c.n);
+  c.nodes.(i)
+
+let kind c i = (node c i).kind
+let fanins c i = (node c i).fanins
+let name c i = (node c i).name
+
+let grow c =
+  if c.n = Array.length c.nodes then begin
+    let bigger = Array.make (2 * Array.length c.nodes) c.nodes.(0) in
+    Array.blit c.nodes 0 bigger 0 c.n;
+    c.nodes <- bigger
+  end
+
+let fresh_name c prefix =
+  let rec find k =
+    let candidate = Printf.sprintf "%s%d" prefix k in
+    if Hashtbl.mem c.by_name candidate then find (k + 1) else candidate
+  in
+  find c.n
+
+(* Core insertion; checks fanin validity for combinational cells. *)
+let add_node c kind fanins name =
+  assert (Array.length fanins = Gate.arity kind);
+  if Gate.is_combinational kind then
+    Array.iter (fun f -> assert (f >= 0 && f < c.n)) fanins;
+  grow c;
+  let id = c.n in
+  let name = if name = "" then fresh_name c "n" else name in
+  c.nodes.(id) <- { kind; fanins; name };
+  c.n <- c.n + 1;
+  if Hashtbl.mem c.by_name name then
+    invalid_arg (Printf.sprintf "Circuit: duplicate net name %s" name);
+  Hashtbl.replace c.by_name name id;
+  (match kind with
+   | Gate.Input -> c.inputs <- id :: c.inputs
+   | Gate.Dff -> c.dffs <- id :: c.dffs
+   | Gate.Const _ | Gate.Buf | Gate.Not | Gate.And | Gate.Nand | Gate.Or
+   | Gate.Nor | Gate.Xor | Gate.Xnor | Gate.Mux -> ());
+  id
+
+(** Low-level insertion with an explicit fanin array; used by synthesis
+    passes that rebuild circuits node by node. An empty name generates a
+    fresh one. *)
+let add_node_raw c kind fanins name = add_node c kind fanins name
+
+let add_input ?(name = "") c = add_node c Gate.Input [||] name
+
+let add_const ?(name = "") c b = add_node c (Gate.Const b) [||] name
+
+let add_gate ?(name = "") c kind fanins = add_node c kind (Array.of_list fanins) name
+
+(** Declare a DFF whose D input may be wired later via [connect_dff]. *)
+let add_dff ?(name = "") c ~d = add_node c Gate.Dff [| d |] name
+
+(** Re-wire a DFF D-input after its driver exists (for feedback loops). *)
+let connect_dff c dff ~d =
+  assert (kind c dff = Gate.Dff);
+  assert (d >= 0 && d < c.n);
+  (node c dff).fanins <- [| d |]
+
+let set_output c name id =
+  assert (id >= 0 && id < c.n);
+  c.outputs <- (name, id) :: c.outputs
+
+let inputs c = Array.of_list (List.rev c.inputs)
+let outputs c = Array.of_list (List.rev c.outputs)
+let output_ids c = Array.map snd (outputs c)
+let dffs c = Array.of_list (List.rev c.dffs)
+
+let num_inputs c = List.length c.inputs
+let num_outputs c = List.length c.outputs
+let num_dffs c = List.length c.dffs
+
+let find_by_name c net = Hashtbl.find_opt c.by_name net
+
+(** Convenience binary-tree reduction, e.g. wide AND/XOR from 2-input cells. *)
+let rec reduce c kind ids =
+  match ids with
+  | [] -> invalid_arg "Circuit.reduce: empty"
+  | [ x ] -> x
+  | _ :: _ :: _ ->
+    let rec pair acc = function
+      | [] -> List.rev acc
+      | [ x ] -> List.rev (x :: acc)
+      | a :: b :: rest -> pair (add_gate c kind [ a; b ] :: acc) rest
+    in
+    reduce c kind (pair [] ids)
+
+(** Left-to-right chain reduction; preserves the exact association order,
+    which matters for masked logic where evaluation order is the security
+    property (see the Fig. 2 experiment). *)
+let reduce_chain c kind ids =
+  match ids with
+  | [] -> invalid_arg "Circuit.reduce_chain: empty"
+  | first :: rest ->
+    List.fold_left (fun acc x -> add_gate c kind [ acc; x ]) first rest
+
+(** Fanout lists: for each node, which nodes consume it. *)
+let fanouts c =
+  let out = Array.make c.n [] in
+  for i = 0 to c.n - 1 do
+    Array.iter (fun f -> out.(f) <- i :: out.(f)) (fanins c i)
+  done;
+  out
+
+(** Structural statistics used for PPA reporting. *)
+type stats = {
+  gates : int;  (* combinational cells, excluding constants *)
+  area : float;
+  inputs : int;
+  outputs : int;
+  flip_flops : int;
+  by_kind : (string * int) list;
+}
+
+let stats c =
+  let gates = ref 0 and area = ref 0.0 in
+  let kinds = Hashtbl.create 16 in
+  for i = 0 to c.n - 1 do
+    let k = kind c i in
+    area := !area +. Gate.area k;
+    (match k with
+     | Gate.Buf | Gate.Not | Gate.And | Gate.Nand | Gate.Or | Gate.Nor
+     | Gate.Xor | Gate.Xnor | Gate.Mux -> incr gates
+     | Gate.Input | Gate.Const _ | Gate.Dff -> ());
+    let key = Gate.name k in
+    Hashtbl.replace kinds key (1 + Option.value ~default:0 (Hashtbl.find_opt kinds key))
+  done;
+  { gates = !gates;
+    area = !area;
+    inputs = num_inputs c;
+    outputs = num_outputs c;
+    flip_flops = num_dffs c;
+    by_kind = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) kinds []) }
+
+(** Deep copy, for transforms that modify in place. *)
+let copy c =
+  { nodes = Array.map (fun nd -> { nd with fanins = Array.copy nd.fanins }) (Array.sub c.nodes 0 (max 1 c.n));
+    n = c.n;
+    inputs = c.inputs;
+    outputs = c.outputs;
+    dffs = c.dffs;
+    by_name = Hashtbl.copy c.by_name }
+
+(** Nodes reachable backwards from the outputs (and DFF D-inputs); the live
+    cone. Dead nodes are synthesis garbage. *)
+let live_set c =
+  let live = Array.make c.n false in
+  let rec visit i =
+    if not live.(i) then begin
+      live.(i) <- true;
+      Array.iter visit (fanins c i)
+    end
+  in
+  Array.iter (fun (_, o) -> visit o) (outputs c);
+  Array.iter visit (dffs c);
+  (* Primary inputs are part of the interface and always survive. *)
+  Array.iter visit (inputs c);
+  live
+
+(** Rebuild the circuit keeping only live nodes; returns the new circuit and
+    the old-to-new id mapping (dead nodes map to -1). *)
+let sweep c =
+  let live = live_set c in
+  let remap = Array.make c.n (-1) in
+  let out = create () in
+  for i = 0 to c.n - 1 do
+    if live.(i) then begin
+      let nd = node c i in
+      let fanins =
+        (* DFF fanins may be forward; remap later in a second pass. *)
+        if nd.kind = Gate.Dff then [| 0 |] else Array.map (fun f -> remap.(f)) nd.fanins
+      in
+      Array.iter (fun f -> assert (f >= 0)) fanins;
+      remap.(i) <- add_node out nd.kind fanins nd.name
+    end
+  done;
+  (* Second pass: DFF D-inputs. *)
+  for i = 0 to c.n - 1 do
+    if live.(i) && kind c i = Gate.Dff then begin
+      let d = (fanins c i).(0) in
+      assert (remap.(d) >= 0);
+      connect_dff out remap.(i) ~d:remap.(d)
+    end
+  done;
+  List.iter (fun (nm, o) -> set_output out nm remap.(o)) (List.rev c.outputs);
+  out, remap
+
+(** Instantiate combinational [sub] inside [into], binding [sub]'s primary
+    inputs to the given [into] nodes (in declaration order). Returns the
+    [into] ids of [sub]'s outputs. Net names of [sub] get [prefix]ed to
+    avoid collisions. *)
+let inline ~into ~sub ~prefix bindings =
+  assert (num_dffs sub = 0);
+  let sub_inputs = inputs sub in
+  assert (Array.length bindings = Array.length sub_inputs);
+  let remap = Array.make (node_count sub) (-1) in
+  Array.iteri (fun k id -> remap.(id) <- bindings.(k)) sub_inputs;
+  for i = 0 to node_count sub - 1 do
+    let nd = node sub i in
+    match nd.kind with
+    | Gate.Input -> ()
+    | Gate.Dff -> assert false
+    | k ->
+      let fanins = Array.map (fun f -> remap.(f)) nd.fanins in
+      let name = prefix ^ nd.name in
+      let name = if Hashtbl.mem into.by_name name then "" else name in
+      remap.(i) <- add_node into k fanins name
+  done;
+  Array.map (fun (_, o) -> remap.(o)) (outputs sub)
+
+(** Structural check: every fanin of a combinational node precedes it. *)
+let well_formed c =
+  let ok = ref true in
+  for i = 0 to c.n - 1 do
+    let nd = node c i in
+    if Gate.is_combinational nd.kind then
+      Array.iter (fun f -> if f < 0 || f >= i then ok := false) nd.fanins
+    else if nd.kind = Gate.Dff then
+      Array.iter (fun f -> if f < 0 || f >= c.n then ok := false) nd.fanins
+  done;
+  List.iter (fun (_, o) -> if o < 0 || o >= c.n then ok := false) c.outputs;
+  !ok

@@ -1,0 +1,100 @@
+(** Gate-level netlist IR.
+
+    Nodes live in a growable array; apart from DFF D-inputs, every fanin
+    index refers to an earlier node, so node order is a valid topological
+    order for the combinational portion and evaluation is a single pass.
+
+    A circuit is built through the mutable interface ([create],
+    [add_gate], [set_output], ...) and then treated as immutable by
+    analyses. Net names are unique within a circuit. *)
+
+type node = {
+  kind : Gate.kind;
+  mutable fanins : int array;
+  name : string;
+}
+
+type t
+
+(** Fresh empty circuit. *)
+val create : unit -> t
+
+val node_count : t -> int
+
+(** @raise Assert_failure on out-of-range ids. *)
+val node : t -> int -> node
+
+val kind : t -> int -> Gate.kind
+val fanins : t -> int -> int array
+val name : t -> int -> string
+
+(** Low-level insertion with an explicit fanin array; an empty name
+    generates a fresh one.
+    @raise Invalid_argument on duplicate names. *)
+val add_node_raw : t -> Gate.kind -> int array -> string -> int
+
+val add_input : ?name:string -> t -> int
+val add_const : ?name:string -> t -> bool -> int
+
+(** [add_gate c kind fanins] appends a combinational cell.
+    @raise Assert_failure if a fanin does not precede the new node. *)
+val add_gate : ?name:string -> t -> Gate.kind -> int list -> int
+
+(** Declare a DFF; the D input may be re-wired later via {!connect_dff}
+    (the only sanctioned forward reference, for feedback loops). *)
+val add_dff : ?name:string -> t -> d:int -> int
+
+val connect_dff : t -> int -> d:int -> unit
+
+(** Register a primary output under [name]; outputs are ordered by
+    declaration. *)
+val set_output : t -> string -> int -> unit
+
+val inputs : t -> int array
+val outputs : t -> (string * int) array
+val output_ids : t -> int array
+val dffs : t -> int array
+val num_inputs : t -> int
+val num_outputs : t -> int
+val num_dffs : t -> int
+val find_by_name : t -> string -> int option
+
+(** Binary-tree reduction of [ids] with 2-input cells of [kind]. *)
+val reduce : t -> Gate.kind -> int list -> int
+
+(** Left-to-right chain reduction; preserves the exact association order —
+    the property masked logic depends on (see the Fig. 2 experiment). *)
+val reduce_chain : t -> Gate.kind -> int list -> int
+
+(** Per-node consumer lists. *)
+val fanouts : t -> int list array
+
+type stats = {
+  gates : int;
+  area : float;
+  inputs : int;
+  outputs : int;
+  flip_flops : int;
+  by_kind : (string * int) list;
+}
+
+val stats : t -> stats
+
+(** Deep copy, for transforms that modify in place. *)
+val copy : t -> t
+
+(** Per-node liveness: reachable backwards from outputs, DFFs or inputs. *)
+val live_set : t -> bool array
+
+(** Rebuild keeping only live nodes; returns the new circuit and the
+    old-to-new id map (dead nodes map to -1). *)
+val sweep : t -> t * int array
+
+(** Instantiate combinational [sub] inside [into], binding [sub]'s inputs
+    to the given [into] nodes in declaration order; returns the [into] ids
+    of [sub]'s outputs. [sub] net names are prefixed to avoid collisions. *)
+val inline : into:t -> sub:t -> prefix:string -> int array -> int array
+
+(** Structural sanity: every combinational fanin precedes its consumer and
+    every referenced id is in range. *)
+val well_formed : t -> bool

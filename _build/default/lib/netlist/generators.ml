@@ -1,0 +1,308 @@
+(** Reference circuit generators: the classic c17 benchmark, arithmetic
+    blocks, trees, a small ALU and seeded random DAGs. These are the
+    workloads for every experiment, replacing the proprietary designs the
+    surveyed literature evaluates on. *)
+
+let rng_of_seed = Eda_util.Rng.create
+
+(** ISCAS-85 c17: 5 inputs, 2 outputs, 6 NAND gates. *)
+let c17 () =
+  let c = Circuit.create () in
+  let i1 = Circuit.add_input ~name:"G1" c in
+  let i2 = Circuit.add_input ~name:"G2" c in
+  let i3 = Circuit.add_input ~name:"G3" c in
+  let i4 = Circuit.add_input ~name:"G4" c in
+  let i5 = Circuit.add_input ~name:"G5" c in
+  let g10 = Circuit.add_gate ~name:"G10" c Gate.Nand [ i1; i3 ] in
+  let g11 = Circuit.add_gate ~name:"G11" c Gate.Nand [ i3; i4 ] in
+  let g16 = Circuit.add_gate ~name:"G16" c Gate.Nand [ i2; g11 ] in
+  let g19 = Circuit.add_gate ~name:"G19" c Gate.Nand [ g11; i5 ] in
+  let g22 = Circuit.add_gate ~name:"G22" c Gate.Nand [ g10; g16 ] in
+  let g23 = Circuit.add_gate ~name:"G23" c Gate.Nand [ g16; g19 ] in
+  Circuit.set_output c "G22" g22;
+  Circuit.set_output c "G23" g23;
+  c
+
+(** [width]-bit ripple-carry adder: inputs a0..aw-1, b0..bw-1, cin;
+    outputs s0..sw-1, cout. *)
+let ripple_adder width =
+  let c = Circuit.create () in
+  let a = Array.init width (fun i -> Circuit.add_input ~name:(Printf.sprintf "a%d" i) c) in
+  let b = Array.init width (fun i -> Circuit.add_input ~name:(Printf.sprintf "b%d" i) c) in
+  let cin = Circuit.add_input ~name:"cin" c in
+  let carry = ref cin in
+  for i = 0 to width - 1 do
+    let axb = Circuit.add_gate c Gate.Xor [ a.(i); b.(i) ] in
+    let sum = Circuit.add_gate c Gate.Xor [ axb; !carry ] in
+    let t1 = Circuit.add_gate c Gate.And [ a.(i); b.(i) ] in
+    let t2 = Circuit.add_gate c Gate.And [ axb; !carry ] in
+    carry := Circuit.add_gate c Gate.Or [ t1; t2 ];
+    Circuit.set_output c (Printf.sprintf "s%d" i) sum
+  done;
+  Circuit.set_output c "cout" !carry;
+  c
+
+(** [width]-bit equality comparator: out = (a = b). *)
+let comparator width =
+  let c = Circuit.create () in
+  let a = Array.init width (fun i -> Circuit.add_input ~name:(Printf.sprintf "a%d" i) c) in
+  let b = Array.init width (fun i -> Circuit.add_input ~name:(Printf.sprintf "b%d" i) c) in
+  let eqs =
+    List.init width (fun i -> Circuit.add_gate c Gate.Xnor [ a.(i); b.(i) ])
+  in
+  let out = Circuit.reduce c Gate.And eqs in
+  Circuit.set_output c "eq" out;
+  c
+
+(** Parity (XOR) tree over [width] inputs. *)
+let parity_tree width =
+  let c = Circuit.create () in
+  let xs = List.init width (fun i -> Circuit.add_input ~name:(Printf.sprintf "x%d" i) c) in
+  let out = Circuit.reduce c Gate.Xor xs in
+  Circuit.set_output c "parity" out;
+  c
+
+(** Multiplexer tree selecting one of [2^sel_bits] data inputs. *)
+let mux_tree sel_bits =
+  let c = Circuit.create () in
+  let nd = 1 lsl sel_bits in
+  let data = Array.init nd (fun i -> Circuit.add_input ~name:(Printf.sprintf "d%d" i) c) in
+  let sels = Array.init sel_bits (fun i -> Circuit.add_input ~name:(Printf.sprintf "s%d" i) c) in
+  let rec build level ids =
+    match ids with
+    | [ x ] -> x
+    | _ :: _ ->
+      let rec pair acc = function
+        | [] -> List.rev acc
+        | [ x ] -> List.rev (x :: acc)
+        | a :: b :: rest ->
+          pair (Circuit.add_gate c Gate.Mux [ sels.(level); a; b ] :: acc) rest
+      in
+      build (level + 1) (pair [] ids)
+    | [] -> invalid_arg "mux_tree"
+  in
+  let out = build 0 (Array.to_list data) in
+  Circuit.set_output c "y" out;
+  c
+
+(** Small [width]-bit ALU: op selects among AND / OR / XOR / ADD. Inputs
+    a*, b*, op0, op1; outputs y*. *)
+let alu width =
+  let c = Circuit.create () in
+  let a = Array.init width (fun i -> Circuit.add_input ~name:(Printf.sprintf "a%d" i) c) in
+  let b = Array.init width (fun i -> Circuit.add_input ~name:(Printf.sprintf "b%d" i) c) in
+  let op0 = Circuit.add_input ~name:"op0" c in
+  let op1 = Circuit.add_input ~name:"op1" c in
+  let carry = ref (Circuit.add_const c false) in
+  for i = 0 to width - 1 do
+    let and_i = Circuit.add_gate c Gate.And [ a.(i); b.(i) ] in
+    let or_i = Circuit.add_gate c Gate.Or [ a.(i); b.(i) ] in
+    let xor_i = Circuit.add_gate c Gate.Xor [ a.(i); b.(i) ] in
+    let sum_i = Circuit.add_gate c Gate.Xor [ xor_i; !carry ] in
+    let c1 = Circuit.add_gate c Gate.And [ xor_i; !carry ] in
+    carry := Circuit.add_gate c Gate.Or [ and_i; c1 ];
+    (* op: 00 -> AND, 01 -> OR, 10 -> XOR, 11 -> ADD *)
+    let lo = Circuit.add_gate c Gate.Mux [ op0; and_i; or_i ] in
+    let hi = Circuit.add_gate c Gate.Mux [ op0; xor_i; sum_i ] in
+    let y = Circuit.add_gate c Gate.Mux [ op1; lo; hi ] in
+    Circuit.set_output c (Printf.sprintf "y%d" i) y
+  done;
+  c
+
+(** Kogge-Stone parallel-prefix adder: same function as [ripple_adder]
+    (minus the cin input) at logarithmic depth — the timing-optimization
+    workload that contrasts with the ripple structure in STA experiments. *)
+let kogge_stone_adder width =
+  let c = Circuit.create () in
+  let a = Array.init width (fun i -> Circuit.add_input ~name:(Printf.sprintf "a%d" i) c) in
+  let b = Array.init width (fun i -> Circuit.add_input ~name:(Printf.sprintf "b%d" i) c) in
+  (* Generate/propagate per bit. *)
+  let g = Array.init width (fun i -> Circuit.add_gate c Gate.And [ a.(i); b.(i) ]) in
+  let p = Array.init width (fun i -> Circuit.add_gate c Gate.Xor [ a.(i); b.(i) ]) in
+  (* Prefix tree: (g, p) o (g', p') = (g + p*g', p*p'). *)
+  let gk = ref (Array.copy g) and pk = ref (Array.copy p) in
+  let dist = ref 1 in
+  while !dist < width do
+    let g' = Array.copy !gk and p' = Array.copy !pk in
+    for i = !dist to width - 1 do
+      let t = Circuit.add_gate c Gate.And [ !pk.(i); !gk.(i - !dist) ] in
+      g'.(i) <- Circuit.add_gate c Gate.Or [ !gk.(i); t ];
+      p'.(i) <- Circuit.add_gate c Gate.And [ !pk.(i); !pk.(i - !dist) ]
+    done;
+    gk := g';
+    pk := p';
+    dist := !dist * 2
+  done;
+  (* Sum: s_i = p_i xor carry_{i-1}; carry_i = prefix g. *)
+  for i = 0 to width - 1 do
+    let s =
+      if i = 0 then Circuit.add_gate c Gate.Buf [ p.(0) ]
+      else Circuit.add_gate c Gate.Xor [ p.(i); !gk.(i - 1) ]
+    in
+    Circuit.set_output c (Printf.sprintf "s%d" i) s
+  done;
+  Circuit.set_output c "cout" !gk.(width - 1);
+  c
+
+(** [width] x [width] array multiplier: product outputs m0..m(2w-1). *)
+let array_multiplier width =
+  let c = Circuit.create () in
+  let a = Array.init width (fun i -> Circuit.add_input ~name:(Printf.sprintf "a%d" i) c) in
+  let b = Array.init width (fun i -> Circuit.add_input ~name:(Printf.sprintf "b%d" i) c) in
+  let full_adder x y cin =
+    let xy = Circuit.add_gate c Gate.Xor [ x; y ] in
+    let s = Circuit.add_gate c Gate.Xor [ xy; cin ] in
+    let t1 = Circuit.add_gate c Gate.And [ x; y ] in
+    let t2 = Circuit.add_gate c Gate.And [ xy; cin ] in
+    s, Circuit.add_gate c Gate.Or [ t1; t2 ]
+  in
+  (* Partial-product columns. *)
+  let columns = Array.make (2 * width) [] in
+  for i = 0 to width - 1 do
+    for j = 0 to width - 1 do
+      let pp = Circuit.add_gate c Gate.And [ a.(i); b.(j) ] in
+      columns.(i + j) <- pp :: columns.(i + j)
+    done
+  done;
+  (* Column compression with full/half adders, carries ripple upward. *)
+  for col = 0 to (2 * width) - 1 do
+    let rec compress bits =
+      match bits with
+      | [] ->
+        Circuit.set_output c (Printf.sprintf "m%d" col) (Circuit.add_const c false)
+      | [ bit ] -> Circuit.set_output c (Printf.sprintf "m%d" col) bit
+      | [ x; y ] ->
+        let s = Circuit.add_gate c Gate.Xor [ x; y ] in
+        let carry = Circuit.add_gate c Gate.And [ x; y ] in
+        if col + 1 < 2 * width then columns.(col + 1) <- carry :: columns.(col + 1);
+        compress [ s ]
+      | x :: y :: z :: rest ->
+        let s, carry = full_adder x y z in
+        if col + 1 < 2 * width then columns.(col + 1) <- carry :: columns.(col + 1);
+        compress (s :: rest)
+    in
+    compress columns.(col)
+  done;
+  c
+
+(** Seeded random combinational DAG with [inputs] inputs, [gates] gates and
+    [outputs] outputs; fanins are drawn from recent nodes to give realistic
+    depth. *)
+let random_dag ~seed ~inputs ~gates ~outputs =
+  let rng = rng_of_seed seed in
+  let c = Circuit.create () in
+  let _ = Array.init inputs (fun i -> Circuit.add_input ~name:(Printf.sprintf "pi%d" i) c) in
+  let kinds = [ Gate.And; Gate.Nand; Gate.Or; Gate.Nor; Gate.Xor; Gate.Xnor; Gate.Not ] in
+  for _ = 1 to gates do
+    let n = Circuit.node_count c in
+    let pick () =
+      (* Bias toward recent nodes for depth. *)
+      let window = max 1 (min n 24) in
+      if Eda_util.Rng.float rng < 0.7 then n - 1 - Eda_util.Rng.int rng window
+      else Eda_util.Rng.int rng n
+    in
+    let kind = Eda_util.Rng.choose rng kinds in
+    let fanins = List.init (Gate.arity kind) (fun _ -> pick ()) in
+    ignore (Circuit.add_gate c kind fanins)
+  done;
+  let n = Circuit.node_count c in
+  for k = 0 to outputs - 1 do
+    let o = n - 1 - (k mod (max 1 (n - inputs))) in
+    Circuit.set_output c (Printf.sprintf "po%d" k) o
+  done;
+  c
+
+(** Build a single-output combinational circuit from a truth table by
+    memoized Shannon expansion into a MUX tree. Shared cofactors become
+    shared nodes, so the result is BDD-shaped. *)
+let of_truth_table ?(input_names = [||]) tt =
+  let arity = Logic.Truth_table.arity tt in
+  let c = Circuit.create () in
+  let ins =
+    Array.init arity (fun i ->
+        let name =
+          if i < Array.length input_names then input_names.(i)
+          else Printf.sprintf "x%d" i
+        in
+        Circuit.add_input ~name c)
+  in
+  let const0 = lazy (Circuit.add_const c false) in
+  let const1 = lazy (Circuit.add_const c true) in
+  let memo = Hashtbl.create 64 in
+  (* Sub-function over inputs [level..arity): represented by its truth
+     table string restricted to those inputs. *)
+  let rec build level sub =
+    match Hashtbl.find_opt memo (level, sub) with
+    | Some id -> id
+    | None ->
+      let id =
+        if String.length sub = 1 then
+          if sub = "1" then Lazy.force const1 else Lazy.force const0
+        else begin
+          let half = String.length sub / 2 in
+          let lo = String.sub sub 0 half in
+          let hi = String.sub sub half half in
+          if lo = hi then build (level + 1) lo
+          else begin
+            let l = build (level + 1) lo in
+            let h = build (level + 1) hi in
+            (* Variable [arity - 1 - level] is the most significant of the
+               remaining block given minterm bit order. *)
+            Circuit.add_gate c Gate.Mux [ ins.(arity - 1 - level); l; h ]
+          end
+        end
+      in
+      Hashtbl.add memo (level, sub) id;
+      id
+  in
+  let out = build 0 (Logic.Truth_table.to_string tt) in
+  Circuit.set_output c "f" out;
+  c
+
+(** Multi-output variant sharing logic across outputs. *)
+let of_truth_tables ?(input_names = [||]) tts =
+  match tts with
+  | [] -> invalid_arg "of_truth_tables: empty"
+  | first :: rest ->
+    let arity = Logic.Truth_table.arity first in
+    List.iter (fun tt -> assert (Logic.Truth_table.arity tt = arity)) rest;
+    let c = Circuit.create () in
+    let ins =
+      Array.init arity (fun i ->
+          let name =
+            if i < Array.length input_names then input_names.(i)
+            else Printf.sprintf "x%d" i
+          in
+          Circuit.add_input ~name c)
+    in
+    let const0 = lazy (Circuit.add_const c false) in
+    let const1 = lazy (Circuit.add_const c true) in
+    let memo = Hashtbl.create 256 in
+    let rec build level sub =
+      match Hashtbl.find_opt memo (level, sub) with
+      | Some id -> id
+      | None ->
+        let id =
+          if String.length sub = 1 then
+            if sub = "1" then Lazy.force const1 else Lazy.force const0
+          else begin
+            let half = String.length sub / 2 in
+            let lo = String.sub sub 0 half in
+            let hi = String.sub sub half half in
+            if lo = hi then build (level + 1) lo
+            else begin
+              let l = build (level + 1) lo in
+              let h = build (level + 1) hi in
+              Circuit.add_gate c Gate.Mux [ ins.(arity - 1 - level); l; h ]
+            end
+          end
+        in
+        Hashtbl.add memo (level, sub) id;
+        id
+    in
+    List.iteri
+      (fun k tt ->
+        let out = build 0 (Logic.Truth_table.to_string tt) in
+        Circuit.set_output c (Printf.sprintf "f%d" k) out)
+      (first :: rest);
+    c

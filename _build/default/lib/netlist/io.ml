@@ -1,0 +1,127 @@
+(** Textual netlist format, a superset of the ISCAS `.bench` style:
+
+    {v
+    INPUT(a)
+    OUTPUT(y)
+    w = NAND(a, b)
+    y = XOR(w, c)
+    s = DFF(y)
+    v}
+
+    Gates may reference nets defined later only for DFF inputs. *)
+
+let print_circuit fmt c =
+  let pr fs = Format.fprintf fmt fs in
+  Array.iter (fun id -> pr "INPUT(%s)@." (Circuit.name c id)) (Circuit.inputs c);
+  Array.iter (fun (nm, _) -> pr "OUTPUT(%s)@." nm) (Circuit.outputs c);
+  for i = 0 to Circuit.node_count c - 1 do
+    let nd = Circuit.node c i in
+    match nd.Circuit.kind with
+    | Gate.Input -> ()
+    | k ->
+      let args =
+        Array.to_list nd.Circuit.fanins
+        |> List.map (fun f -> Circuit.name c f)
+        |> String.concat ", "
+      in
+      pr "%s = %s(%s)@." nd.Circuit.name (Gate.name k) args
+  done;
+  (* Emit explicit aliases for outputs that name internal nets differently. *)
+  Array.iter
+    (fun (nm, o) ->
+      if Circuit.name c o <> nm then pr "%s = BUF(%s)@." nm (Circuit.name c o))
+    (Circuit.outputs c)
+
+let to_string c =
+  let buf = Buffer.create 1024 in
+  let fmt = Format.formatter_of_buffer buf in
+  print_circuit fmt c;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+exception Parse_error of string
+
+let parse_line line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let line = String.trim line in
+  if line = "" then `Blank
+  else if String.length line > 6 && String.uppercase_ascii (String.sub line 0 6) = "INPUT(" then begin
+    let inner = String.sub line 6 (String.length line - 7) in
+    `Input (String.trim inner)
+  end
+  else if String.length line > 7 && String.uppercase_ascii (String.sub line 0 7) = "OUTPUT(" then begin
+    let inner = String.sub line 7 (String.length line - 8) in
+    `Output (String.trim inner)
+  end
+  else begin
+    match String.index_opt line '=' with
+    | None -> raise (Parse_error (Printf.sprintf "bad line: %s" line))
+    | Some eq ->
+      let lhs = String.trim (String.sub line 0 eq) in
+      let rhs = String.trim (String.sub line (eq + 1) (String.length line - eq - 1)) in
+      (match String.index_opt rhs '(' with
+       | None -> raise (Parse_error (Printf.sprintf "bad rhs: %s" rhs))
+       | Some lp ->
+         let cell = String.trim (String.sub rhs 0 lp) in
+         let close =
+           match String.rindex_opt rhs ')' with
+           | Some i -> i
+           | None -> raise (Parse_error (Printf.sprintf "missing ): %s" rhs))
+         in
+         let args_str = String.sub rhs (lp + 1) (close - lp - 1) in
+         let args =
+           if String.trim args_str = "" then []
+           else
+             String.split_on_char ',' args_str |> List.map String.trim
+         in
+         `Gate (lhs, Gate.of_name cell, args))
+  end
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let parsed = List.map parse_line lines in
+  let c = Circuit.create () in
+  let pending_dffs = ref [] in
+  (* First, declare inputs in order. *)
+  List.iter
+    (function `Input nm -> ignore (Circuit.add_input ~name:nm c) | `Output _ | `Gate _ | `Blank -> ())
+    parsed;
+  let resolve nm =
+    match Circuit.find_by_name c nm with
+    | Some id -> id
+    | None -> raise (Parse_error (Printf.sprintf "undefined net %s" nm))
+  in
+  (* Then gates, in file order (assumed topological except DFF inputs). *)
+  List.iter
+    (function
+      | `Gate (nm, Gate.Dff, [ d ]) ->
+        (* D input resolved at the end to allow feedback. *)
+        let id = Circuit.add_dff ~name:nm c ~d:0 in
+        pending_dffs := (id, d) :: !pending_dffs
+      | `Gate (nm, kind, args) ->
+        ignore (Circuit.add_gate ~name:nm c kind (List.map resolve args))
+      | `Input _ | `Output _ | `Blank -> ())
+    parsed;
+  List.iter (fun (id, d) -> Circuit.connect_dff c id ~d:(resolve d)) !pending_dffs;
+  List.iter
+    (function `Output nm -> Circuit.set_output c nm (resolve nm) | `Input _ | `Gate _ | `Blank -> ())
+    parsed;
+  c
+
+let write_file path c =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string c))
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      of_string (really_input_string ic len))

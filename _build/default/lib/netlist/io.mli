@@ -1,0 +1,25 @@
+(** Textual netlist format, a superset of the ISCAS [.bench] style:
+
+    {v
+    INPUT(a)
+    OUTPUT(y)
+    w = NAND(a, b)
+    y = XOR(w, c)
+    s = DFF(y)
+    v}
+
+    Gates must appear in topological order except DFF D-inputs, which may
+    reference nets defined later (feedback). *)
+
+exception Parse_error of string
+
+val print_circuit : Format.formatter -> Circuit.t -> unit
+
+val to_string : Circuit.t -> string
+
+(** @raise Parse_error on malformed input or undefined nets. *)
+val of_string : string -> Circuit.t
+
+val write_file : string -> Circuit.t -> unit
+
+val read_file : string -> Circuit.t

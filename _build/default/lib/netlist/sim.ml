@@ -1,0 +1,138 @@
+(** Functional simulation of circuits: single-pattern, bit-parallel
+    (63 patterns per machine word) and multi-cycle sequential. *)
+
+(** Values of every net for one input assignment; DFF outputs come from
+    [state] (all-false when absent). *)
+let eval_all ?state circuit inputs =
+  let n = Circuit.node_count circuit in
+  let values = Array.make n false in
+  let input_ids = Circuit.inputs circuit in
+  assert (Array.length inputs = Array.length input_ids);
+  Array.iteri (fun k id -> values.(id) <- inputs.(k)) input_ids;
+  (match state with
+   | None -> ()
+   | Some st ->
+     let dff_ids = Circuit.dffs circuit in
+     assert (Array.length st = Array.length dff_ids);
+     Array.iteri (fun k id -> values.(id) <- st.(k)) dff_ids);
+  for i = 0 to n - 1 do
+    let nd = Circuit.node circuit i in
+    match nd.Circuit.kind with
+    | Gate.Input | Gate.Dff -> ()
+    | k -> values.(i) <- Gate.eval k (Array.map (fun f -> values.(f)) nd.Circuit.fanins)
+  done;
+  values
+
+(** Primary outputs for one input assignment. *)
+let eval ?state circuit inputs =
+  let values = eval_all ?state circuit inputs in
+  Array.map (fun (_, o) -> values.(o)) (Circuit.outputs circuit)
+
+(** Outputs as an integer, bit 0 being the first declared output. *)
+let eval_int ?state circuit inputs =
+  let outs = eval ?state circuit inputs in
+  let v = ref 0 in
+  for i = Array.length outs - 1 downto 0 do
+    v := (!v lsl 1) lor (if outs.(i) then 1 else 0)
+  done;
+  !v
+
+(** Bit-parallel evaluation: each input is a word carrying up to 63
+    independent patterns; returns all net words. *)
+let eval_all_word ?state circuit (inputs : int array) =
+  let n = Circuit.node_count circuit in
+  let values = Array.make n 0 in
+  let input_ids = Circuit.inputs circuit in
+  assert (Array.length inputs = Array.length input_ids);
+  Array.iteri (fun k id -> values.(id) <- inputs.(k)) input_ids;
+  (match state with
+   | None -> ()
+   | Some st ->
+     let dff_ids = Circuit.dffs circuit in
+     Array.iteri (fun k id -> values.(id) <- st.(k)) dff_ids);
+  for i = 0 to n - 1 do
+    let nd = Circuit.node circuit i in
+    match nd.Circuit.kind with
+    | Gate.Input | Gate.Dff -> ()
+    | k -> values.(i) <- Gate.eval_word k (Array.map (fun f -> values.(f)) nd.Circuit.fanins)
+  done;
+  values
+
+let eval_word ?state circuit inputs =
+  let values = eval_all_word ?state circuit inputs in
+  Array.map (fun (_, o) -> values.(o)) (Circuit.outputs circuit)
+
+(** One clock cycle of a sequential circuit: returns (outputs, next state). *)
+let step circuit ~state inputs =
+  let values = eval_all ~state circuit inputs in
+  let outs = Array.map (fun (_, o) -> values.(o)) (Circuit.outputs circuit) in
+  let next = Array.map (fun id -> values.((Circuit.fanins circuit id).(0))) (Circuit.dffs circuit) in
+  outs, next
+
+(** Run a sequence of input vectors from the all-zero state; returns the
+    output trace. *)
+let run circuit input_seq =
+  let state = ref (Array.make (Circuit.num_dffs circuit) false) in
+  List.map
+    (fun inputs ->
+      let outs, next = step circuit ~state:!state inputs in
+      state := next;
+      outs)
+    input_seq
+
+(** Truth table of output [k] (combinational circuits, <= 16 inputs). *)
+let truth_table circuit ~output =
+  let ni = Circuit.num_inputs circuit in
+  assert (ni <= 16);
+  Logic.Truth_table.create ni (fun m ->
+      let inputs = Array.init ni (fun i -> (m lsr i) land 1 = 1) in
+      (eval circuit inputs).(output))
+
+(** Exhaustive functional equivalence (combinational, <= 20 inputs). *)
+let equivalent_exhaustive a b =
+  let ni = Circuit.num_inputs a in
+  ni = Circuit.num_inputs b
+  && Circuit.num_outputs a = Circuit.num_outputs b
+  && ni <= 20
+  &&
+  let ok = ref true in
+  let m = ref 0 in
+  let limit = 1 lsl ni in
+  while !ok && !m < limit do
+    let inputs = Array.init ni (fun i -> (!m lsr i) land 1 = 1) in
+    if eval a inputs <> eval b inputs then ok := false;
+    incr m
+  done;
+  !ok
+
+(** Randomized functional equivalence for wider circuits. *)
+let equivalent_random rng ~patterns a b =
+  let ni = Circuit.num_inputs a in
+  ni = Circuit.num_inputs b
+  && Circuit.num_outputs a = Circuit.num_outputs b
+  &&
+  let ok = ref true in
+  for _ = 1 to patterns do
+    if !ok then begin
+      let inputs = Array.init ni (fun _ -> Eda_util.Rng.bool rng) in
+      if eval a inputs <> eval b inputs then ok := false
+    end
+  done;
+  !ok
+
+(** Per-node signal probability estimated over random patterns, used for
+    rare-signal (Trojan trigger) analysis. *)
+let signal_probabilities rng ~patterns circuit =
+  let n = Circuit.node_count circuit in
+  let ones = Array.make n 0 in
+  let ni = Circuit.num_inputs circuit in
+  let words = (patterns + 62) / 63 in
+  for _ = 1 to words do
+    let inputs = Array.init ni (fun _ -> Int64.to_int (Eda_util.Rng.next_int64 rng) land 0x7FFFFFFFFFFFFFFF) in
+    let values = eval_all_word circuit inputs in
+    for i = 0 to n - 1 do
+      ones.(i) <- ones.(i) + Eda_util.Stats.hamming_weight ~bits:63 values.(i)
+    done
+  done;
+  let total = Float.of_int (words * 63) in
+  Array.map (fun c -> Float.of_int c /. total) ones

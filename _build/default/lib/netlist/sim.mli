@@ -1,0 +1,40 @@
+(** Functional simulation of circuits: single-pattern, bit-parallel
+    (63 patterns per machine word) and multi-cycle sequential. *)
+
+(** Values of every net for one input assignment, indexed by node id.
+    DFF outputs come from [state] (all-false when absent); inputs follow
+    the circuit's input declaration order. *)
+val eval_all : ?state:bool array -> Circuit.t -> bool array -> bool array
+
+(** Primary outputs for one input assignment, in output declaration order. *)
+val eval : ?state:bool array -> Circuit.t -> bool array -> bool array
+
+(** Outputs packed into an integer, bit 0 being the first declared output. *)
+val eval_int : ?state:bool array -> Circuit.t -> bool array -> int
+
+(** Bit-parallel variants: each input word carries up to 63 independent
+    patterns. *)
+val eval_all_word : ?state:int array -> Circuit.t -> int array -> int array
+
+val eval_word : ?state:int array -> Circuit.t -> int array -> int array
+
+(** One clock cycle of a sequential circuit: (outputs, next DFF state). *)
+val step : Circuit.t -> state:bool array -> bool array -> bool array * bool array
+
+(** Run a sequence of input vectors from the all-zero state; returns the
+    output trace in order. *)
+val run : Circuit.t -> bool array list -> bool array list
+
+(** Truth table of one output (combinational circuits, <= 16 inputs). *)
+val truth_table : Circuit.t -> output:int -> Logic.Truth_table.t
+
+(** Exhaustive functional equivalence (combinational, <= 20 inputs). *)
+val equivalent_exhaustive : Circuit.t -> Circuit.t -> bool
+
+(** Randomized functional equivalence for wider circuits; sound only in
+    the "no counterexample found" direction. *)
+val equivalent_random : Eda_util.Rng.t -> patterns:int -> Circuit.t -> Circuit.t -> bool
+
+(** Per-node one-probability estimated over random patterns; the input to
+    rare-signal (Trojan trigger) analysis. *)
+val signal_probabilities : Eda_util.Rng.t -> patterns:int -> Circuit.t -> float array

@@ -1,0 +1,1 @@
+lib/physical/ir_drop.ml: Array Eda_util Float List Netlist Placement Timing

@@ -1,0 +1,1 @@
+lib/physical/placement.ml: Array Eda_util List Netlist

@@ -1,0 +1,1 @@
+lib/physical/shield.ml: Array Eda_util Float List Placement

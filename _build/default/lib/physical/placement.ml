@@ -1,0 +1,142 @@
+(** Grid placement by simulated annealing on half-perimeter wirelength
+    (HPWL) — the physical-synthesis substrate (Fig. 1's place-and-route
+    stage). Proximity is the attack surface of split manufacturing: a
+    PPA-optimal placer puts connected cells next to each other, which is
+    precisely the hint [52]-style attackers exploit. *)
+
+module Circuit = Netlist.Circuit
+module Rng = Eda_util.Rng
+
+type t = {
+  circuit : Circuit.t;
+  cols : int;
+  rows : int;
+  position : (int * int) array;  (* per node: (col, row) *)
+}
+
+(* Nets as (driver, consumers); geometry treats a net as its pin set. *)
+let nets circuit =
+  let fanouts = Circuit.fanouts circuit in
+  let nets = ref [] in
+  Array.iteri
+    (fun driver consumers -> if consumers <> [] then nets := (driver, consumers) :: !nets)
+    fanouts;
+  !nets
+
+let hpwl_of_net position (driver, consumers) =
+  let xs = List.map (fun n -> fst position.(n)) (driver :: consumers) in
+  let ys = List.map (fun n -> snd position.(n)) (driver :: consumers) in
+  let span vs = List.fold_left max min_int vs - List.fold_left min max_int vs in
+  span xs + span ys
+
+let total_hpwl position net_list =
+  List.fold_left (fun acc net -> acc + hpwl_of_net position net) 0 net_list
+
+(** Random initial placement on the smallest near-square grid that fits. *)
+let initial rng circuit =
+  let n = Circuit.node_count circuit in
+  let cols = int_of_float (ceil (sqrt (float_of_int n))) in
+  let rows = (n + cols - 1) / cols in
+  let slots = Array.init (cols * rows) (fun i -> (i mod cols, i / cols)) in
+  Rng.shuffle rng slots;
+  { circuit; cols; rows; position = Array.sub slots 0 n }
+
+(** Simulated-annealing refinement: pairwise swaps, geometric cooling. *)
+let anneal rng ?(moves = 20_000) ?(t_start = 8.0) ?(t_end = 0.05) placement =
+  let pos = Array.copy placement.position in
+  let net_list = nets placement.circuit in
+  (* Incremental cost: nets touching a node. *)
+  let touching = Array.make (Circuit.node_count placement.circuit) [] in
+  List.iter
+    (fun ((driver, consumers) as net) ->
+      List.iter
+        (fun n -> touching.(n) <- net :: touching.(n))
+        (driver :: consumers))
+    net_list;
+  let n = Array.length pos in
+  let cost_around a b =
+    let relevant = touching.(a) @ touching.(b) in
+    List.fold_left (fun acc net -> acc + hpwl_of_net pos net) 0 relevant
+  in
+  let alpha = (t_end /. t_start) ** (1.0 /. float_of_int moves) in
+  let temp = ref t_start in
+  for _ = 1 to moves do
+    let a = Rng.int rng n and b = Rng.int rng n in
+    if a <> b then begin
+      let before = cost_around a b in
+      let tmp = pos.(a) in
+      pos.(a) <- pos.(b);
+      pos.(b) <- tmp;
+      let after = cost_around a b in
+      let delta = float_of_int (after - before) in
+      let accept = delta <= 0.0 || Rng.float rng < exp (-.delta /. !temp) in
+      if not accept then begin
+        let tmp = pos.(a) in
+        pos.(a) <- pos.(b);
+        pos.(b) <- tmp
+      end
+    end;
+    temp := !temp *. alpha
+  done;
+  { placement with position = pos }
+
+(** Full placement flow. *)
+let place rng ?moves circuit =
+  anneal rng ?moves (initial rng circuit)
+
+let wirelength placement = total_hpwl placement.position (nets placement.circuit)
+
+let distance placement a b =
+  let xa, ya = placement.position.(a) and xb, yb = placement.position.(b) in
+  abs (xa - xb) + abs (ya - yb)
+
+(** Placement perturbation defense [54]: re-place with a privacy term that
+    penalizes proximity of connected cells, trading wirelength for
+    resistance against proximity attacks. [lambda] weighs the penalty. *)
+let perturb rng ~lambda ?(moves = 20_000) placement =
+  let pos = Array.copy placement.position in
+  let net_list = nets placement.circuit in
+  let touching = Array.make (Circuit.node_count placement.circuit) [] in
+  List.iter
+    (fun ((driver, consumers) as net) ->
+      List.iter (fun n -> touching.(n) <- net :: touching.(n)) (driver :: consumers))
+    net_list;
+  let n = Array.length pos in
+  (* Privacy cost: negative sum of pairwise driver-consumer distances
+     (we *reward* spreading connected pins apart). *)
+  let privacy_of_net (driver, consumers) =
+    List.fold_left
+      (fun acc c ->
+        let xd, yd = pos.(driver) and xc, yc = pos.(c) in
+        acc - (abs (xd - xc) + abs (yd - yc)))
+      0 consumers
+  in
+  let cost_around a b =
+    let relevant = touching.(a) @ touching.(b) in
+    List.fold_left
+      (fun acc net ->
+        acc +. float_of_int (hpwl_of_net pos net)
+        +. (lambda *. float_of_int (privacy_of_net net)))
+      0.0 relevant
+  in
+  let temp = ref 8.0 in
+  let alpha = (0.05 /. 8.0) ** (1.0 /. float_of_int moves) in
+  for _ = 1 to moves do
+    let a = Rng.int rng n and b = Rng.int rng n in
+    if a <> b then begin
+      let before = cost_around a b in
+      let tmp = pos.(a) in
+      pos.(a) <- pos.(b);
+      pos.(b) <- tmp;
+      let after = cost_around a b in
+      let delta = after -. before in
+      let accept = delta <= 0.0 || Rng.float rng < exp (-.delta /. !temp) in
+      if not accept then begin
+        let tmp = pos.(a) in
+        pos.(a) <- pos.(b);
+        pos.(b) <- tmp
+      end
+    end;
+    temp := !temp *. alpha
+  done;
+  { placement with position = pos }

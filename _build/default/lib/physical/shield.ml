@@ -1,0 +1,60 @@
+(** Active probing shield ([29]; Table II, physical-synthesis x FIA cell):
+    a serpentine mesh of monitored wires on the top metal layer(s) covers
+    the die; a micro-probing or laser fault-injection attempt must cut or
+    touch mesh lines, which the integrity checker detects.
+
+    Model: the die is a [cols] x [rows] grid; the shield covers a fraction
+    of columns with monitored lines of [pitch] grid units. A probe of
+    radius [r] at a target cell touches the mesh if any covered line is
+    within r. Metrics: coverage (fraction of placed cells protected) and
+    detection probability of an attack campaign against chosen targets. *)
+
+module Rng = Eda_util.Rng
+
+type t = {
+  cols : int;
+  rows : int;
+  pitch : int;  (* distance between adjacent shield lines, >= 1 *)
+  offset : int;  (* position of the first line *)
+}
+
+let build ~cols ~rows ~pitch ~offset =
+  assert (pitch >= 1);
+  { cols; rows; pitch; offset = offset mod pitch }
+
+(* Shield lines run vertically at columns offset, offset+pitch, ... *)
+let nearest_line_distance shield x =
+  let m = (x - shield.offset) mod shield.pitch in
+  let m = if m < 0 then m + shield.pitch else m in
+  min m (shield.pitch - m)
+
+(** Does a probe of radius [r] at (x, _) touch a shield line? *)
+let probe_detected shield ~r (x, _y) = nearest_line_distance shield x <= r
+
+(** Fraction of placement sites where a radius-[r] probe is detected. *)
+let coverage shield ~r =
+  let covered = ref 0 in
+  for x = 0 to shield.cols - 1 do
+    if probe_detected shield ~r (x, 0) then incr covered
+  done;
+  Float.of_int !covered /. Float.of_int shield.cols
+
+(** Attack campaign: the adversary probes the placed locations of chosen
+    target nodes (e.g. key registers); returns the detection rate. *)
+let attack_detection_rate shield ~r placement ~targets =
+  match targets with
+  | [] -> 1.0
+  | _ :: _ ->
+    let detected =
+      List.length
+        (List.filter
+           (fun node ->
+             probe_detected shield ~r placement.Placement.position.(node))
+           targets)
+    in
+    Float.of_int detected /. Float.of_int (List.length targets)
+
+(** Area overhead proxy: one routing track consumed per shield line. *)
+let track_overhead shield =
+  Float.of_int ((shield.cols + shield.pitch - 1) / shield.pitch)
+  /. Float.of_int shield.cols

@@ -1,0 +1,1 @@
+lib/power/model.ml: Array Eda_util Float List Netlist Timing

@@ -1,0 +1,104 @@
+(** Pre-silicon power-trace simulation — the substitution for measuring a
+    physical chip with an oscilloscope.
+
+    Each simulated clock cycle yields a trace: the cycle is divided into
+    time bins and every net transition (from the glitch-aware event
+    simulation) deposits the switching energy of its driving cell into the
+    bin of its time stamp. Gaussian noise of configurable sigma models the
+    measurement chain. This is the standard CMOS dynamic-power proxy the
+    paper's timing-and-power-verification row relies on: leakage present in
+    this model is leakage an attacker with a probe will see. *)
+
+module Circuit = Netlist.Circuit
+module Gate = Netlist.Gate
+
+type config = {
+  time_bins : int;  (* samples per clock cycle *)
+  bin_width_ps : float;
+  noise_sigma : float;  (* additive Gaussian noise per sample *)
+}
+
+let default_config = { time_bins = 16; bin_width_ps = 50.0; noise_sigma = 0.5 }
+
+(** One cycle's power trace for the transition [prev_inputs] ->
+    [next_inputs]. [input_arrivals] skews input switch times. *)
+let trace rng ?delay_of ?input_arrivals ?state circuit ~config ~prev_inputs ~next_inputs =
+  let transitions =
+    Timing.Event_sim.cycle ?delay_of ?input_arrivals ?state circuit ~prev_inputs ~next_inputs
+  in
+  let samples = Array.make config.time_bins 0.0 in
+  List.iter
+    (fun tr ->
+      let bin =
+        Float.to_int (tr.Timing.Event_sim.time /. config.bin_width_ps)
+      in
+      let bin = if bin < 0 then 0 else if bin >= config.time_bins then config.time_bins - 1 else bin in
+      let energy = Gate.switch_energy (Circuit.kind circuit tr.Timing.Event_sim.node) in
+      samples.(bin) <- samples.(bin) +. energy)
+    transitions;
+  if config.noise_sigma > 0.0 then
+    Array.map
+      (fun s -> s +. Eda_util.Rng.gaussian_scaled rng ~mean:0.0 ~sigma:config.noise_sigma)
+      samples
+  else samples
+
+(** Total-energy sample (the whole cycle integrated into one number); the
+    model CPA-style attacks typically assume. *)
+let total_energy rng ?delay_of ?state circuit ~noise_sigma ~prev_inputs ~next_inputs =
+  let transitions =
+    Timing.Event_sim.cycle ?delay_of ?state circuit ~prev_inputs ~next_inputs
+  in
+  let e =
+    List.fold_left
+      (fun acc tr ->
+        acc +. Gate.switch_energy (Circuit.kind circuit tr.Timing.Event_sim.node))
+      0.0 transitions
+  in
+  e +. Eda_util.Rng.gaussian_scaled rng ~mean:0.0 ~sigma:noise_sigma
+
+(** Zero-delay Hamming-distance power model: energy proportional to the
+    number of nets whose settled value changes between two input vectors.
+    Cheaper than event simulation; no glitch component. *)
+let hamming_distance_sample rng circuit ~noise_sigma ~prev_inputs ~next_inputs =
+  let before = Netlist.Sim.eval_all circuit prev_inputs in
+  let after = Netlist.Sim.eval_all circuit next_inputs in
+  let e = ref 0.0 in
+  for i = 0 to Circuit.node_count circuit - 1 do
+    if before.(i) <> after.(i) then
+      e := !e +. Gate.switch_energy (Circuit.kind circuit i)
+  done;
+  !e +. Eda_util.Rng.gaussian_scaled rng ~mean:0.0 ~sigma:noise_sigma
+
+(** Hamming-weight model of the settled state: energy proportional to the
+    weighted count of nets at 1. Used for leakage models of precharged
+    buses. *)
+let hamming_weight_sample rng circuit ~noise_sigma ~inputs =
+  let values = Netlist.Sim.eval_all circuit inputs in
+  let e = ref 0.0 in
+  for i = 0 to Circuit.node_count circuit - 1 do
+    if values.(i) then e := !e +. Gate.switch_energy (Circuit.kind circuit i)
+  done;
+  !e +. Eda_util.Rng.gaussian_scaled rng ~mean:0.0 ~sigma:noise_sigma
+
+(** A batch of traces for a list of input-vector pairs. *)
+let trace_batch rng ?delay_of circuit ~config pairs =
+  List.map
+    (fun (prev_inputs, next_inputs) ->
+      trace rng ?delay_of circuit ~config ~prev_inputs ~next_inputs)
+    pairs
+
+(** Static leakage-current proxy per gate (IDDQ model): each cell draws a
+    nominal quiescent current depending on its input state; Trojans add
+    extra cells and thus extra leakage. The [temperature_factor] models
+    environmental spread between measurements. *)
+let iddq_sample rng circuit ~inputs ~noise_sigma ~temperature_factor =
+  let values = Netlist.Sim.eval_all circuit inputs in
+  let total = ref 0.0 in
+  for i = 0 to Circuit.node_count circuit - 1 do
+    let base = 0.1 *. Gate.area (Circuit.kind circuit i) in
+    (* Input-state dependence: a conducting stack leaks slightly more. *)
+    let state_factor = if values.(i) then 1.1 else 0.9 in
+    total := !total +. (base *. state_factor)
+  done;
+  (!total *. temperature_factor)
+  +. Eda_util.Rng.gaussian_scaled rng ~mean:0.0 ~sigma:noise_sigma

@@ -1,0 +1,68 @@
+(** Pre-silicon power-trace simulation — the substitution for measuring a
+    physical chip. Traces come from the glitch-aware event simulation
+    (switching energy per time bin) or from zero-delay Hamming models;
+    Gaussian noise stands in for the measurement chain. *)
+
+type config = {
+  time_bins : int;  (** samples per clock cycle *)
+  bin_width_ps : float;
+  noise_sigma : float;
+}
+
+val default_config : config
+
+(** One cycle's trace for the transition [prev_inputs] -> [next_inputs];
+    [input_arrivals] skews per-input switch times (late mask refresh). *)
+val trace :
+  Eda_util.Rng.t ->
+  ?delay_of:(int -> Netlist.Gate.kind -> float) ->
+  ?input_arrivals:float array ->
+  ?state:bool array ->
+  Netlist.Circuit.t ->
+  config:config ->
+  prev_inputs:bool array ->
+  next_inputs:bool array ->
+  float array
+
+(** Whole cycle integrated into one sample (glitch-aware). *)
+val total_energy :
+  Eda_util.Rng.t ->
+  ?delay_of:(int -> Netlist.Gate.kind -> float) ->
+  ?state:bool array ->
+  Netlist.Circuit.t ->
+  noise_sigma:float ->
+  prev_inputs:bool array ->
+  next_inputs:bool array ->
+  float
+
+(** Zero-delay Hamming-distance sample between two settled states. *)
+val hamming_distance_sample :
+  Eda_util.Rng.t ->
+  Netlist.Circuit.t ->
+  noise_sigma:float ->
+  prev_inputs:bool array ->
+  next_inputs:bool array ->
+  float
+
+(** Weighted Hamming weight of the settled state (precharged-logic model). *)
+val hamming_weight_sample :
+  Eda_util.Rng.t -> Netlist.Circuit.t -> noise_sigma:float -> inputs:bool array -> float
+
+(** One trace per input-vector pair. *)
+val trace_batch :
+  Eda_util.Rng.t ->
+  ?delay_of:(int -> Netlist.Gate.kind -> float) ->
+  Netlist.Circuit.t ->
+  config:config ->
+  (bool array * bool array) list ->
+  float array list
+
+(** Quiescent-current (IDDQ) sample: per-cell leakage with input-state
+    dependence and an environmental [temperature_factor]. *)
+val iddq_sample :
+  Eda_util.Rng.t ->
+  Netlist.Circuit.t ->
+  inputs:bool array ->
+  noise_sigma:float ->
+  temperature_factor:float ->
+  float

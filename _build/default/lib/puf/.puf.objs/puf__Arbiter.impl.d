@@ -1,0 +1,1 @@
+lib/puf/arbiter.ml: Array Eda_util Float

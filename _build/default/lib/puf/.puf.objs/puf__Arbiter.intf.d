@@ -1,0 +1,1 @@
+lib/puf/arbiter.mli: Eda_util

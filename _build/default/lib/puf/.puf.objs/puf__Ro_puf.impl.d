@@ -1,0 +1,1 @@
+lib/puf/ro_puf.ml: Array Eda_util Float

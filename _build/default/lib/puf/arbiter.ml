@@ -1,0 +1,143 @@
+(** Arbiter PUF behavioural model ([19], [42], [30]): a challenge steers a
+    rising edge through [stages] pairs of delay elements; an arbiter at the
+    end decides which path won. Manufacturing variation makes the decision
+    chip-unique; thermal noise makes it slightly unstable.
+
+    The standard additive linear delay model: each stage contributes a
+    delay difference depending on its challenge bit; the response is the
+    sign of the accumulated difference. The model exposes the classic
+    metrics (uniformity, uniqueness, reliability) and is — by the same
+    linearity — learnable by the logistic-regression modelling attack,
+    which the layout-asymmetry enhancement [30] mitigates by increasing
+    per-stage variance (more entropy per stage). *)
+
+module Rng = Eda_util.Rng
+module Stats = Eda_util.Stats
+
+type t = {
+  stages : int;
+  (* Per stage: delay-difference parameters for challenge bit 0 / 1. *)
+  delta : float array;  (* stage weight *)
+  bias : float;  (* arbiter offset *)
+  noise_sigma : float;
+}
+
+(** Manufacture one PUF instance. [variation] scales the per-stage delay
+    spread (the [30]-style asymmetric-layout enhancement increases it). *)
+let manufacture rng ?(variation = 1.0) ?(noise_sigma = 0.05) ~stages () =
+  { stages;
+    delta = Array.init stages (fun _ -> Rng.gaussian rng *. variation);
+    bias = Rng.gaussian rng *. 0.1;
+    noise_sigma }
+
+(* The additive model uses the parity-transformed challenge: phi_i =
+   product of (1-2c_j) for j >= i. *)
+let features challenge =
+  let n = Array.length challenge in
+  let phi = Array.make n 1.0 in
+  let acc = ref 1.0 in
+  for i = n - 1 downto 0 do
+    acc := !acc *. (if challenge.(i) then -1.0 else 1.0);
+    phi.(i) <- !acc
+  done;
+  phi
+
+(** Evaluate a challenge; [rng] supplies the measurement noise. *)
+let response rng puf challenge =
+  assert (Array.length challenge = puf.stages);
+  let phi = features challenge in
+  let sum = ref puf.bias in
+  for i = 0 to puf.stages - 1 do
+    sum := !sum +. (puf.delta.(i) *. phi.(i))
+  done;
+  !sum +. Rng.gaussian_scaled rng ~mean:0.0 ~sigma:puf.noise_sigma > 0.0
+
+let random_challenge rng puf = Array.init puf.stages (fun _ -> Rng.bool rng)
+
+(** Uniformity: fraction of 1-responses over random challenges (ideal 0.5). *)
+let uniformity rng puf ~challenges =
+  let ones = ref 0 in
+  for _ = 1 to challenges do
+    if response rng puf (random_challenge rng puf) then incr ones
+  done;
+  Float.of_int !ones /. Float.of_int challenges
+
+(** Reliability: 1 - intra-chip bit error rate over repeated measurements
+    of the same challenges (ideal 1.0). *)
+let reliability rng puf ~challenges ~remeasurements =
+  let flips = ref 0 and total = ref 0 in
+  for _ = 1 to challenges do
+    let ch = random_challenge rng puf in
+    let reference = response rng puf ch in
+    for _ = 1 to remeasurements do
+      incr total;
+      if response rng puf ch <> reference then incr flips
+    done
+  done;
+  1.0 -. (Float.of_int !flips /. Float.of_int !total)
+
+(** Uniqueness: mean pairwise inter-chip Hamming distance of response
+    vectors (ideal 0.5). *)
+let uniqueness rng ~chips ~stages ~challenges =
+  let pufs = Array.init chips (fun _ -> manufacture rng ~stages ()) in
+  let chs = Array.init challenges (fun _ -> Array.init stages (fun _ -> Rng.bool rng)) in
+  let responses =
+    Array.map (fun p -> Array.map (fun ch -> response rng p ch) chs) pufs
+  in
+  let total = ref 0.0 and pairs = ref 0 in
+  for i = 0 to chips - 1 do
+    for j = i + 1 to chips - 1 do
+      let hd = ref 0 in
+      for k = 0 to challenges - 1 do
+        if responses.(i).(k) <> responses.(j).(k) then incr hd
+      done;
+      total := !total +. (Float.of_int !hd /. Float.of_int challenges);
+      incr pairs
+    done
+  done;
+  !total /. Float.of_int !pairs
+
+(** Logistic-regression modelling attack: learn the additive model from
+    [training] CRPs by gradient descent; report prediction accuracy on
+    fresh challenges. *)
+let modeling_attack rng puf ~training ~test ~epochs ~learning_rate =
+  let n = puf.stages in
+  let crps =
+    Array.init training (fun _ ->
+        let ch = random_challenge rng puf in
+        features ch, response rng puf ch)
+  in
+  let w = Array.make (n + 1) 0.0 in  (* weights + bias *)
+  let predict phi =
+    let s = ref w.(n) in
+    for i = 0 to n - 1 do
+      s := !s +. (w.(i) *. phi.(i))
+    done;
+    1.0 /. (1.0 +. exp (-. !s))
+  in
+  for _ = 1 to epochs do
+    Array.iter
+      (fun (phi, r) ->
+        let y = if r then 1.0 else 0.0 in
+        let p = predict phi in
+        let err = y -. p in
+        for i = 0 to n - 1 do
+          w.(i) <- w.(i) +. (learning_rate *. err *. phi.(i))
+        done;
+        w.(n) <- w.(n) +. (learning_rate *. err))
+      crps
+  done;
+  let correct = ref 0 in
+  for _ = 1 to test do
+    let ch = random_challenge rng puf in
+    let predicted = predict (features ch) > 0.5 in
+    if predicted = response rng puf ch then incr correct
+  done;
+  Float.of_int !correct /. Float.of_int test
+
+(** Expected-use summary for metering/authentication flows. *)
+type quality = { uniformity : float; reliability : float }
+
+let quality rng puf =
+  { uniformity = uniformity rng puf ~challenges:2000;
+    reliability = reliability rng puf ~challenges:200 ~remeasurements:11 }

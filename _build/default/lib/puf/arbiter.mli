@@ -1,0 +1,44 @@
+(** Arbiter PUF behavioural model (additive linear delay model) with the
+    standard quality metrics and the logistic-regression modelling attack
+    that breaks it. *)
+
+type t
+
+(** Manufacture one instance. [variation] scales per-stage delay spread
+    (the asymmetric-layout enhancement of [30] raises it); [noise_sigma]
+    models per-measurement thermal noise. *)
+val manufacture :
+  Eda_util.Rng.t -> ?variation:float -> ?noise_sigma:float -> stages:int -> unit -> t
+
+(** Parity-transformed challenge features (the +/-1 vector of the additive
+    model); exposed for the modelling attack and its tests. *)
+val features : bool array -> float array
+
+(** Evaluate a challenge (measurement noise drawn from [rng]). *)
+val response : Eda_util.Rng.t -> t -> bool array -> bool
+
+val random_challenge : Eda_util.Rng.t -> t -> bool array
+
+(** Fraction of 1-responses over random challenges (ideal 0.5). *)
+val uniformity : Eda_util.Rng.t -> t -> challenges:int -> float
+
+(** 1 - intra-chip bit error rate over repeated measurements (ideal 1.0). *)
+val reliability : Eda_util.Rng.t -> t -> challenges:int -> remeasurements:int -> float
+
+(** Mean pairwise inter-chip response distance (ideal 0.5). *)
+val uniqueness : Eda_util.Rng.t -> chips:int -> stages:int -> challenges:int -> float
+
+(** Logistic-regression modelling attack: prediction accuracy on fresh
+    challenges after training on [training] CRPs. *)
+val modeling_attack :
+  Eda_util.Rng.t ->
+  t ->
+  training:int ->
+  test:int ->
+  epochs:int ->
+  learning_rate:float ->
+  float
+
+type quality = { uniformity : float; reliability : float }
+
+val quality : Eda_util.Rng.t -> t -> quality

@@ -1,0 +1,57 @@
+(** Ring-oscillator PUF: responses from pairwise frequency comparisons of
+    nominally identical ROs. More area than an arbiter PUF but much easier
+    to compose in standard-cell flows — the trade a security-driven HLS
+    stage would weigh when allocating entropy primitives (Table II). *)
+
+module Rng = Eda_util.Rng
+
+type t = {
+  frequencies : float array;  (* one per RO, MHz-ish arbitrary unit *)
+  noise_sigma : float;
+}
+
+let manufacture rng ?(variation = 1.0) ?(noise_sigma = 0.02) ~oscillators () =
+  { frequencies =
+      Array.init oscillators (fun _ -> 100.0 +. (Rng.gaussian rng *. variation));
+    noise_sigma }
+
+let measure rng puf i =
+  puf.frequencies.(i) +. Rng.gaussian_scaled rng ~mean:0.0 ~sigma:puf.noise_sigma
+
+(** Response bit for a pair challenge (i, j): is RO i faster? *)
+let response rng puf (i, j) = measure rng puf i > measure rng puf j
+
+(** All disjoint-pair response bits (the standard readout). *)
+let response_bits rng puf =
+  let n = Array.length puf.frequencies in
+  Array.init (n / 2) (fun k -> response rng puf (2 * k, (2 * k) + 1))
+
+let reliability rng puf ~remeasurements =
+  let reference = response_bits rng puf in
+  let flips = ref 0 and total = ref 0 in
+  for _ = 1 to remeasurements do
+    let again = response_bits rng puf in
+    Array.iteri
+      (fun k b ->
+        incr total;
+        if b <> reference.(k) then incr flips)
+      again
+  done;
+  1.0 -. (Float.of_int !flips /. Float.of_int !total)
+
+let uniqueness rng ~chips ~oscillators =
+  let pufs = Array.init chips (fun _ -> manufacture rng ~oscillators ()) in
+  let bits = Array.map (fun p -> response_bits rng p) pufs in
+  let total = ref 0.0 and pairs = ref 0 in
+  let nb = Array.length bits.(0) in
+  for i = 0 to chips - 1 do
+    for j = i + 1 to chips - 1 do
+      let hd = ref 0 in
+      for k = 0 to nb - 1 do
+        if bits.(i).(k) <> bits.(j).(k) then incr hd
+      done;
+      total := !total +. (Float.of_int !hd /. Float.of_int nb);
+      incr pairs
+    done
+  done;
+  !total /. Float.of_int !pairs

@@ -1,0 +1,1 @@
+lib/rng_gen/health.ml: Array Float List Trng

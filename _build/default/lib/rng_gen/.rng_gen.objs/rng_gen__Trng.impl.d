@@ -1,0 +1,1 @@
+lib/rng_gen/trng.ml: Array Eda_util

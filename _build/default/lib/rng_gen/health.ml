@@ -1,0 +1,87 @@
+(** Statistical health tests for entropy sources — SP 800-22-style monobit,
+    runs, poker and longest-run tests, plus an online monitor suitable for
+    the always-on health checking a security-aware DFX infrastructure
+    integrates (Sec. III-F). Each test returns a score and a pass/fail
+    against conventional thresholds for the given sample size. *)
+
+type verdict = { name : string; statistic : float; pass : bool }
+
+(** Monobit: |#ones - n/2| normalized; fails on bias. *)
+let monobit bits =
+  let n = Array.length bits in
+  let ones = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 bits in
+  let s = Float.abs (Float.of_int ((2 * ones) - n)) /. sqrt (Float.of_int n) in
+  (* s ~ |N(0,1)|; 3.29 is the 0.001 two-sided quantile. *)
+  { name = "monobit"; statistic = s; pass = s < 3.29 }
+
+(** Runs test: number of value alternations vs expectation; fails on
+    correlation (too few runs) or oscillation (too many). *)
+let runs bits =
+  let n = Array.length bits in
+  let pi =
+    Float.of_int (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 bits)
+    /. Float.of_int n
+  in
+  if Float.abs (pi -. 0.5) > 0.2 then { name = "runs"; statistic = Float.infinity; pass = false }
+  else begin
+    let v = ref 1 in
+    for i = 1 to n - 1 do
+      if bits.(i) <> bits.(i - 1) then incr v
+    done;
+    let expected = 2.0 *. Float.of_int n *. pi *. (1.0 -. pi) in
+    let sd = 2.0 *. sqrt (2.0 *. Float.of_int n) *. pi *. (1.0 -. pi) in
+    let s = Float.abs (Float.of_int !v -. expected) /. Float.max sd 1e-9 in
+    { name = "runs"; statistic = s; pass = s < 3.29 }
+  end
+
+(** Poker test (4-bit blocks): chi-squared statistic over nibble counts. *)
+let poker bits =
+  let n = Array.length bits / 4 in
+  if n < 16 then { name = "poker"; statistic = 0.0; pass = true }
+  else begin
+    let counts = Array.make 16 0 in
+    for b = 0 to n - 1 do
+      let v = ref 0 in
+      for k = 0 to 3 do
+        v := (!v lsl 1) lor (if bits.((4 * b) + k) then 1 else 0)
+      done;
+      counts.(!v) <- counts.(!v) + 1
+    done;
+    let x =
+      (16.0 /. Float.of_int n
+       *. Array.fold_left (fun acc c -> acc +. Float.of_int (c * c)) 0.0 counts)
+      -. Float.of_int n
+    in
+    (* chi-squared with 15 dof: 0.001 quantile ~ 37.7. *)
+    { name = "poker"; statistic = x; pass = x < 37.7 }
+  end
+
+(** Longest run of ones; fails when far from the log2(n) expectation. *)
+let longest_run bits =
+  let n = Array.length bits in
+  let best = ref 0 and cur = ref 0 in
+  Array.iter
+    (fun b ->
+      if b then begin
+        incr cur;
+        if !cur > !best then best := !cur
+      end
+      else cur := 0)
+    bits;
+  let expected = log (Float.of_int n) /. log 2.0 in
+  let s = Float.abs (Float.of_int !best -. expected) in
+  { name = "longest_run"; statistic = s; pass = s < 6.0 }
+
+let battery bits = [ monobit bits; runs bits; poker bits; longest_run bits ]
+
+let all_pass bits = List.for_all (fun v -> v.pass) (battery bits)
+
+(** Online monitor: sliding-window health checking; raises an alarm count
+    over a stream, as an on-chip monitor would. *)
+let online_monitor source ~window ~windows =
+  let alarms = ref 0 in
+  for _ = 1 to windows do
+    let chunk = Trng.bits source window in
+    if not (all_pass chunk) then incr alarms
+  done;
+  !alarms

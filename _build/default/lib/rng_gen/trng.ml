@@ -1,0 +1,32 @@
+(** True-random-number-generator behavioural model with injectable defects
+    ([41]; Table II, high-level synthesis row). A physical entropy source
+    is never perfectly uniform: it has bias, serial correlation, and can
+    fail outright (oscillator lock-in). Security-driven HLS must pair the
+    source with online health tests; the tests below are the SP 800-22-lite
+    battery the paper's RNG citation describes. *)
+
+module Rng = Eda_util.Rng
+
+type source = {
+  bias : float;  (* P(bit = 1) *)
+  correlation : float;  (* probability of repeating the previous bit *)
+  mutable last : bool;
+  rng : Rng.t;
+}
+
+let create ?(bias = 0.5) ?(correlation = 0.0) rng =
+  { bias; correlation; last = false; rng }
+
+let next_bit s =
+  let b =
+    if Rng.float s.rng < s.correlation then s.last
+    else Rng.float s.rng < s.bias
+  in
+  s.last <- b;
+  b
+
+let bits s n = Array.init n (fun _ -> next_bit s)
+
+(** A locked-up source: constant output (total entropy failure). *)
+let stuck value =
+  { bias = (if value then 1.0 else 0.0); correlation = 1.0; last = value; rng = Rng.create 0 }

@@ -1,0 +1,1 @@
+lib/sat/unroll.ml: Array Cnf List Netlist Printf Solver

@@ -1,0 +1,135 @@
+(** Tseitin encoding of circuits into a shared SAT solver instance, plus
+    miter construction for equivalence checking. The mapping from circuit
+    nodes to solver variables is explicit so attacks can constrain
+    individual nets (keys, scan cells, fault sites). *)
+
+module Circuit = Netlist.Circuit
+module Gate = Netlist.Gate
+
+type env = {
+  solver : Solver.t;
+  vars : int array;  (* circuit node id -> solver variable *)
+}
+
+let lit env ~node ~sign = Solver.lit_of_var env.vars.(node) ~sign
+
+(** Encode the combinational logic of [circuit]. DFF outputs are treated as
+    free variables (pseudo-inputs), matching one unrolled time frame. *)
+let encode ?solver circuit =
+  let solver = match solver with Some s -> s | None -> Solver.create () in
+  let n = Circuit.node_count circuit in
+  let vars = Array.init n (fun _ -> Solver.new_var solver) in
+  let l node sign = Solver.lit_of_var vars.(node) ~sign in
+  let add = Solver.add_clause solver in
+  for i = 0 to n - 1 do
+    let nd = Circuit.node circuit i in
+    let f = nd.Circuit.fanins in
+    match nd.Circuit.kind with
+    | Gate.Input | Gate.Dff -> ()
+    | Gate.Const b -> add [ l i b ]
+    | Gate.Buf ->
+      add [ l i true; l f.(0) false ];
+      add [ l i false; l f.(0) true ]
+    | Gate.Not ->
+      add [ l i true; l f.(0) true ];
+      add [ l i false; l f.(0) false ]
+    | Gate.And ->
+      add [ l i false; l f.(0) true ];
+      add [ l i false; l f.(1) true ];
+      add [ l i true; l f.(0) false; l f.(1) false ]
+    | Gate.Nand ->
+      add [ l i true; l f.(0) true ];
+      add [ l i true; l f.(1) true ];
+      add [ l i false; l f.(0) false; l f.(1) false ]
+    | Gate.Or ->
+      add [ l i true; l f.(0) false ];
+      add [ l i true; l f.(1) false ];
+      add [ l i false; l f.(0) true; l f.(1) true ]
+    | Gate.Nor ->
+      add [ l i false; l f.(0) false ];
+      add [ l i false; l f.(1) false ];
+      add [ l i true; l f.(0) true; l f.(1) true ]
+    | Gate.Xor ->
+      add [ l i false; l f.(0) true; l f.(1) true ];
+      add [ l i false; l f.(0) false; l f.(1) false ];
+      add [ l i true; l f.(0) true; l f.(1) false ];
+      add [ l i true; l f.(0) false; l f.(1) true ]
+    | Gate.Xnor ->
+      add [ l i true; l f.(0) true; l f.(1) true ];
+      add [ l i true; l f.(0) false; l f.(1) false ];
+      add [ l i false; l f.(0) true; l f.(1) false ];
+      add [ l i false; l f.(0) false; l f.(1) true ]
+    | Gate.Mux ->
+      (* i = s ? b : a  with f = [s; a; b] *)
+      add [ l f.(0) true; l i false; l f.(1) true ];
+      add [ l f.(0) true; l i true; l f.(1) false ];
+      add [ l f.(0) false; l i false; l f.(2) true ];
+      add [ l f.(0) false; l i true; l f.(2) false ]
+  done;
+  { solver; vars }
+
+(** Fresh solver variable constrained to be the XOR of two node variables
+    (used to compare outputs of two encoded circuits). *)
+let xor_var s va vb =
+  let v = Solver.new_var s in
+  let lv sign = Solver.lit_of_var v ~sign in
+  let la sign = Solver.lit_of_var va ~sign in
+  let lb sign = Solver.lit_of_var vb ~sign in
+  Solver.add_clause s [ lv false; la true; lb true ];
+  Solver.add_clause s [ lv false; la false; lb false ];
+  Solver.add_clause s [ lv true; la true; lb false ];
+  Solver.add_clause s [ lv true; la false; lb true ];
+  v
+
+(** OR of a set of variables into a fresh variable. *)
+let or_var s vs =
+  let v = Solver.new_var s in
+  List.iter
+    (fun vi -> Solver.add_clause s [ Solver.lit_of_var v ~sign:true; Solver.lit_of_var vi ~sign:false ])
+    vs;
+  Solver.add_clause s
+    (Solver.lit_of_var v ~sign:false :: List.map (fun vi -> Solver.lit_of_var vi ~sign:true) vs);
+  v
+
+(** Equivalence check of two combinational circuits with identical
+    interfaces. Returns [None] when equivalent, or a distinguishing input
+    assignment. *)
+let check_equivalence a b =
+  assert (Circuit.num_inputs a = Circuit.num_inputs b);
+  assert (Circuit.num_outputs a = Circuit.num_outputs b);
+  let solver = Solver.create () in
+  let env_a = encode ~solver a in
+  let env_b = encode ~solver b in
+  (* Tie inputs together. *)
+  let ins_a = Circuit.inputs a and ins_b = Circuit.inputs b in
+  Array.iteri
+    (fun k ia ->
+      let va = env_a.vars.(ia) and vb = env_b.vars.(ins_b.(k)) in
+      Solver.add_clause solver [ Solver.lit_of_var va ~sign:true; Solver.lit_of_var vb ~sign:false ];
+      Solver.add_clause solver [ Solver.lit_of_var va ~sign:false; Solver.lit_of_var vb ~sign:true ])
+    ins_a;
+  (* Miter: OR of output XORs must be true. *)
+  let outs_a = Circuit.output_ids a and outs_b = Circuit.output_ids b in
+  let diffs =
+    Array.to_list
+      (Array.mapi (fun k oa -> xor_var solver env_a.vars.(oa) env_b.vars.(outs_b.(k))) outs_a)
+  in
+  let any = or_var solver diffs in
+  Solver.add_clause solver [ Solver.lit_of_var any ~sign:true ];
+  match Solver.solve solver with
+  | Solver.Unsat -> None
+  | Solver.Sat ->
+    let witness =
+      Array.map (fun ia -> Solver.model_value solver env_a.vars.(ia)) ins_a
+    in
+    Some witness
+
+(** Satisfiability of a single-output circuit being true for some input. *)
+let satisfiable_output circuit ~output =
+  let env = encode circuit in
+  let o = (Circuit.output_ids circuit).(output) in
+  Solver.add_clause env.solver [ lit env ~node:o ~sign:true ];
+  match Solver.solve env.solver with
+  | Solver.Unsat -> None
+  | Solver.Sat ->
+    Some (Array.map (fun i -> Solver.model_value env.solver env.vars.(i)) (Circuit.inputs circuit))

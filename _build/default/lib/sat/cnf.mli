@@ -1,0 +1,30 @@
+(** Tseitin encoding of circuits into a shared SAT solver instance, plus
+    miter construction for equivalence checking. The node-to-variable map
+    is explicit so attacks can constrain individual nets (keys, scan
+    cells, fault sites). *)
+
+type env = {
+  solver : Solver.t;
+  vars : int array;  (** circuit node id -> solver variable *)
+}
+
+(** Literal for a circuit node with the given polarity. *)
+val lit : env -> node:int -> sign:bool -> Solver.lit
+
+(** Encode the combinational logic of a circuit (DFF outputs become free
+    variables — one unrolled time frame). Several circuits may share one
+    [solver] (pass it explicitly) for miters and multi-copy attacks. *)
+val encode : ?solver:Solver.t -> Netlist.Circuit.t -> env
+
+(** Fresh variable constrained to the XOR of two existing variables. *)
+val xor_var : Solver.t -> int -> int -> int
+
+(** Fresh variable constrained to the OR of existing variables. *)
+val or_var : Solver.t -> int list -> int
+
+(** Combinational equivalence of two identically-shaped circuits; [None]
+    when equivalent, otherwise a distinguishing input assignment. *)
+val check_equivalence : Netlist.Circuit.t -> Netlist.Circuit.t -> bool array option
+
+(** Is output [output] ever true? Returns a witness input when so. *)
+val satisfiable_output : Netlist.Circuit.t -> output:int -> bool array option

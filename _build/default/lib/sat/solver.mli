@@ -1,0 +1,55 @@
+(** Conflict-driven clause learning SAT solver.
+
+    Two-watched-literal propagation, first-UIP learning, VSIDS-style
+    decisions, Luby restarts, phase saving, incremental solving under
+    assumptions. Variables are created with {!new_var}; literals are
+    encoded as [2v] (positive) / [2v+1] (negative). *)
+
+type lit = int
+
+val lit_of_var : int -> sign:bool -> lit
+val var_of_lit : lit -> int
+
+(** True for positive literals. *)
+val pos : lit -> bool
+
+val negate : lit -> lit
+
+type t
+
+val create : unit -> t
+
+(** Allocate the next variable index. *)
+val new_var : t -> int
+
+(** Raised by {!add_clause} when the formula is unsatisfiable at the root
+    level (no assumptions involved). *)
+exception Unsat_root
+
+(** Add a clause. Backtracks to the root level first, so it is safe to
+    call between incremental {!solve} invocations. Tautologies are
+    dropped; root-satisfied clauses are skipped; unit clauses are
+    propagated eagerly.
+    @raise Unsat_root if the clause is falsified at level 0. *)
+val add_clause : t -> lit list -> unit
+
+type result = Sat | Unsat
+
+(** Solve under [assumptions] (default none). The solver state is
+    reusable across calls; learnt clauses persist. An [Unsat] answer under
+    assumptions means no model extends them; without assumptions it is
+    global unsatisfiability. *)
+val solve : ?assumptions:lit list -> t -> result
+
+(** Model access after a [Sat] answer; unassigned variables read false. *)
+val model_value : t -> int -> bool
+
+type stats = {
+  vars : int;
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  learnt : int;
+}
+
+val stats : t -> stats

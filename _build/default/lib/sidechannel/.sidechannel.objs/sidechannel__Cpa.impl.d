@@ -1,0 +1,1 @@
+lib/sidechannel/cpa.ml: Array Crypto Eda_util Float List Option Power

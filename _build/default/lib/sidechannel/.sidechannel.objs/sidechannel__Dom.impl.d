@@ -1,0 +1,1 @@
+lib/sidechannel/dom.ml: Array Eda_util Hashtbl Isw List Netlist Printf String Synth

@@ -1,0 +1,1 @@
+lib/sidechannel/isw.ml: Array Eda_util Hashtbl List Netlist Printf String Synth

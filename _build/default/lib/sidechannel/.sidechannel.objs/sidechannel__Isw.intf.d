@@ -1,0 +1,1 @@
+lib/sidechannel/isw.mli: Eda_util Netlist

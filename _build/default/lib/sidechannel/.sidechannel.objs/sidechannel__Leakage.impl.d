@@ -1,0 +1,1 @@
+lib/sidechannel/leakage.ml: Array Eda_util Float Hashtbl Isw Netlist Power Synth Tvla

@@ -1,0 +1,1 @@
+lib/sidechannel/metrics.ml: Array Eda_util Float Hashtbl List Option Tvla

@@ -1,0 +1,1 @@
+lib/sidechannel/tvla.ml: Array Eda_util Float List

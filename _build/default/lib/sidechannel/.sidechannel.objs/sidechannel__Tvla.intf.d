@@ -1,0 +1,1 @@
+lib/sidechannel/tvla.mli:

@@ -1,0 +1,1 @@
+lib/sidechannel/wddl.ml: Array Eda_util Hashtbl List Netlist Power Printf Synth Tvla

@@ -1,0 +1,56 @@
+(** Side-channel security metrics beyond the raw t statistic: signal-to-
+    noise ratio and a measurements-to-disclosure estimate, the quantities a
+    security-aware EDA flow would report next to area and delay (Sec. IV). *)
+
+module Stats = Eda_util.Stats
+
+(** SNR of a leakage point: Var(signal) / Var(noise), estimated from
+    samples grouped by the intermediate value [classify] assigns. *)
+let snr ~classify observations =
+  (* Group samples by class. *)
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun (x, sample) ->
+      let cls = classify x in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt groups cls) in
+      Hashtbl.replace groups cls (sample :: cur))
+    observations;
+  let class_means = ref [] in
+  let noise_vars = ref [] in
+  Hashtbl.iter
+    (fun _cls samples ->
+      let arr = Array.of_list samples in
+      if Array.length arr >= 2 then begin
+        class_means := Stats.mean arr :: !class_means;
+        noise_vars := Stats.variance arr :: !noise_vars
+      end)
+    groups;
+  match !class_means with
+  | [] | [ _ ] -> 0.0
+  | _ :: _ :: _ ->
+    (* Population variance across class means: the classes are the full
+       signal alphabet, not a sample from it. *)
+    let means = Array.of_list !class_means in
+    let n = Float.of_int (Array.length means) in
+    let signal_var = Stats.variance means *. ((n -. 1.0) /. n) in
+    let noise_var = Stats.mean (Array.of_list !noise_vars) in
+    if noise_var <= 0.0 then Float.infinity else signal_var /. noise_var
+
+(** Rule-of-thumb measurements-to-disclosure from SNR for a correlation
+    attack: N ~ c / rho^2 with rho^2 = SNR/(1+SNR); c = 28 corresponds to
+    a 0.9 success probability at 3-sigma distinguishing margin. *)
+let measurements_to_disclosure ~snr:s =
+  if s <= 0.0 then Float.infinity
+  else begin
+    let rho_sq = s /. (1.0 +. s) in
+    28.0 /. rho_sq
+  end
+
+(** Number of traces at which |t| is expected to cross the TVLA threshold,
+    extrapolating t ~ k sqrt(n) from an observed (n, t) point. *)
+let traces_to_threshold ~observed_t ~observed_n =
+  if Float.abs observed_t < 1e-9 then Float.infinity
+  else begin
+    let k = Float.abs observed_t /. sqrt (Float.of_int observed_n) in
+    (Tvla.threshold /. k) ** 2.0
+  end

@@ -1,0 +1,41 @@
+(** Test vector leakage assessment (TVLA [16]): the fixed-vs-random
+    Welch t-test on power traces, at first and second statistical order. *)
+
+(** The conventional |t| pass/fail line (4.5). *)
+val threshold : float
+
+type result = {
+  t_per_sample : float array;
+  max_abs_t : float;
+  leaky_samples : int list;  (** sample indices with |t| > threshold *)
+  traces_per_class : int;
+}
+
+(** Per-sample Welch t over two equal-length trace populations.
+    @raise Invalid_argument on an empty population. *)
+val t_test : float array list -> float array list -> result
+
+(** True when any sample crosses the threshold. *)
+val leaks : result -> bool
+
+(** Second-order (univariate) variant: traces are centered by the pooled
+    per-sample mean and squared before the t-test, exposing leakage in
+    the variance — the assessment that breaks 2-share masking. *)
+val t_test_second_order : float array list -> float array list -> result
+
+(** Fixed-vs-random campaign: [collect cls] must produce one trace for
+    class [`Fixed] or [`Random], drawing its own randomness. Classes are
+    interleaved, as the TVLA procedure prescribes. *)
+val campaign :
+  traces_per_class:int -> collect:([ `Fixed | `Random ] -> float array) -> result
+
+(** Campaign assessed at (first, second) order from one trace set. *)
+val campaign_orders :
+  traces_per_class:int ->
+  collect:([ `Fixed | `Random ] -> float array) ->
+  result * result
+
+(** Max |t| as the trace count grows through [steps] (cumulative counts):
+    the "leakage grows with sqrt n" series. *)
+val escalation :
+  steps:int list -> collect:([ `Fixed | `Random ] -> float array) -> (int * float) list

@@ -1,0 +1,1 @@
+lib/splitmfg/split.ml: Array Eda_util Float List Netlist Physical

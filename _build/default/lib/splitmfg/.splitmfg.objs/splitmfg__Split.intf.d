@@ -1,0 +1,1 @@
+lib/splitmfg/split.mli: Netlist Physical

@@ -1,0 +1,140 @@
+(** Split manufacturing (Table II, physical-synthesis row; [27], [53],
+    [54]): the untrusted foundry fabricates the FEOL (cells and short local
+    wires) while a trusted facility adds the BEOL (upper metal, the long
+    wires). The attacker sees a "sea of gates with dangling wires" and must
+    guess the missing connections.
+
+    Model: after placement, every 2-pin connection longer than
+    [feol_threshold] (in grid units) is routed in BEOL and hidden from the
+    attacker; shorter ones stay in FEOL and are visible. Wire lifting [53]
+    deliberately promotes sensitive short wires into the BEOL. *)
+
+module Circuit = Netlist.Circuit
+module Rng = Eda_util.Rng
+
+type connection = { from_node : int; to_node : int; to_pin : int }
+
+type split = {
+  placement : Physical.Placement.t;
+  visible : connection list;  (* FEOL: the foundry sees these *)
+  hidden : connection list;  (* BEOL: to be guessed by the attacker *)
+}
+
+(* Every fanin edge of the netlist as a pin-accurate connection. *)
+let all_connections circuit =
+  let conns = ref [] in
+  for i = 0 to Circuit.node_count circuit - 1 do
+    Array.iteri
+      (fun pin f -> conns := { from_node = f; to_node = i; to_pin = pin } :: !conns)
+      (Circuit.fanins circuit i)
+  done;
+  List.rev !conns
+
+(** Split after placement: connections spanning more than [feol_threshold]
+    go to BEOL. *)
+let split_by_length ~feol_threshold placement =
+  let circuit = placement.Physical.Placement.circuit in
+  let visible, hidden =
+    List.partition
+      (fun conn ->
+        Physical.Placement.distance placement conn.from_node conn.to_node
+        <= feol_threshold)
+      (all_connections circuit)
+  in
+  { placement; visible; hidden }
+
+(** Wire-lifting defense [53]: additionally hide the [lift] fraction of the
+    remaining visible wires, chosen by shortest length first (the most
+    informative hints). *)
+let lift_wires ~fraction split_design =
+  let placement = split_design.placement in
+  let sorted =
+    List.sort
+      (fun a b ->
+        compare
+          (Physical.Placement.distance placement a.from_node a.to_node)
+          (Physical.Placement.distance placement b.from_node b.to_node))
+      split_design.visible
+  in
+  let n_lift =
+    int_of_float (fraction *. float_of_int (List.length sorted))
+  in
+  let rec take k acc rest =
+    if k = 0 then List.rev acc, rest
+    else match rest with
+      | [] -> List.rev acc, []
+      | x :: tl -> take (k - 1) (x :: acc) tl
+  in
+  let lifted, still_visible = take n_lift [] sorted in
+  { split_design with visible = still_visible; hidden = lifted @ split_design.hidden }
+
+(** Proximity attack [52]-style. The attacker's decisive FEOL hint is the
+    via stubs: only pins with a connection routed into the hidden BEOL
+    show a dangling via, so the candidate driver pool is *exactly* the set
+    of driver pins with hidden fanout — not the whole netlist. Each hidden
+    sink pin is matched to the nearest candidate driver (PPA placement
+    keeps truly connected pins close, which is the leak). Returns the
+    correct-connection rate (CCR).
+
+    This also explains why the defenses work: wire lifting inflates the
+    candidate pool with decoys, and placement perturbation breaks the
+    closest-is-connected prior. *)
+let proximity_attack split_design =
+  let placement = split_design.placement in
+  let candidates =
+    List.sort_uniq compare (List.map (fun conn -> conn.from_node) split_design.hidden)
+  in
+  let correct = ref 0 in
+  List.iter
+    (fun conn ->
+      let best = ref (-1) and best_d = ref max_int in
+      List.iter
+        (fun cand ->
+          if cand <> conn.to_node then begin
+            let d = Physical.Placement.distance placement cand conn.to_node in
+            if d < !best_d then begin
+              best := cand;
+              best_d := d
+            end
+          end)
+        candidates;
+      if !best = conn.from_node then incr correct)
+    split_design.hidden;
+  if split_design.hidden = [] then 1.0
+  else Float.of_int !correct /. Float.of_int (List.length split_design.hidden)
+
+(** Expected CCR of random guessing over the same candidate pool — the
+    security target [54]: a defense is ideal when the attacker does no
+    better than this. *)
+let random_guess_ccr split_design =
+  match split_design.hidden with
+  | [] -> 1.0
+  | _ :: _ ->
+    let candidates =
+      List.sort_uniq compare (List.map (fun conn -> conn.from_node) split_design.hidden)
+    in
+    1.0 /. Float.of_int (max 1 (List.length candidates))
+
+(** The adversary's end goal is the complete netlist: every FEOL-visible
+    connection comes for free, every hidden one must be guessed. The
+    recovery rate — (visible + correctly guessed hidden) / all — is the
+    metric under which the defenses compose correctly: a shallow split
+    leaves most wires readable (high recovery even with zero guessing),
+    wire lifting moves readable wires into the must-guess set, and
+    placement perturbation lowers the guessing success itself. *)
+let netlist_recovery_rate split_design =
+  let nv = List.length split_design.visible in
+  let nh = List.length split_design.hidden in
+  if nv + nh = 0 then 1.0
+  else begin
+    let ccr = proximity_attack split_design in
+    (Float.of_int nv +. (ccr *. Float.of_int nh)) /. Float.of_int (nv + nh)
+  end
+
+(** Overhead metric: extra BEOL wirelength caused by a defense, relative to
+    the undefended split. *)
+let hidden_wirelength split_design =
+  List.fold_left
+    (fun acc conn ->
+      acc + Physical.Placement.distance split_design.placement conn.from_node conn.to_node)
+    0 split_design.hidden

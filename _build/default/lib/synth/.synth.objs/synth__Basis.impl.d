@@ -1,0 +1,1 @@
+lib/synth/basis.ml: Array Hashtbl Netlist

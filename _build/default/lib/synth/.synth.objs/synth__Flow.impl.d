@@ -1,0 +1,1 @@
+lib/synth/flow.ml: Netlist Rewrite Timing Xor_reassoc

@@ -1,0 +1,1 @@
+lib/synth/flow.mli: Netlist

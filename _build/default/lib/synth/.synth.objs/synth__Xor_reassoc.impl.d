@@ -1,0 +1,1 @@
+lib/synth/xor_reassoc.ml: Array Hashtbl List Netlist Rewrite

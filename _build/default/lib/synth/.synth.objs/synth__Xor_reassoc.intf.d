@@ -1,0 +1,1 @@
+lib/synth/xor_reassoc.mli: Netlist

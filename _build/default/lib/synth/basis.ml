@@ -1,0 +1,65 @@
+(** Conversion to the AND / XOR / NOT basis. Masking transforms (ISW
+    private circuits) are defined over this basis; every other cell is
+    rewritten by Boolean identities before masking. *)
+
+module Circuit = Netlist.Circuit
+module Gate = Netlist.Gate
+
+let to_and_xor_not c =
+  let out = Circuit.create () in
+  let n = Circuit.node_count c in
+  let remap = Array.make n (-1) in
+  let name_taken = Hashtbl.create 64 in
+  let copy_name i =
+    let nm = Circuit.name c i in
+    if Hashtbl.mem name_taken nm || Circuit.find_by_name out nm <> None then ""
+    else begin
+      Hashtbl.replace name_taken nm ();
+      nm
+    end
+  in
+  for i = 0 to n - 1 do
+    let nd = Circuit.node c i in
+    let f k = remap.(nd.Circuit.fanins.(k)) in
+    let add kind fanins = Circuit.add_node_raw out kind (Array.of_list fanins) "" in
+    let named kind fanins = Circuit.add_node_raw out kind (Array.of_list fanins) (copy_name i) in
+    remap.(i) <-
+      (match nd.Circuit.kind with
+       | Gate.Input -> Circuit.add_node_raw out Gate.Input [||] (copy_name i)
+       | Gate.Const b -> Circuit.add_node_raw out (Gate.Const b) [||] (copy_name i)
+       | Gate.Dff -> Circuit.add_node_raw out Gate.Dff [| 0 |] (copy_name i)
+       | Gate.Buf -> f 0
+       | Gate.Not -> named Gate.Not [ f 0 ]
+       | Gate.And -> named Gate.And [ f 0; f 1 ]
+       | Gate.Xor -> named Gate.Xor [ f 0; f 1 ]
+       | Gate.Nand -> named Gate.Not [ add Gate.And [ f 0; f 1 ] ]
+       | Gate.Or ->
+         (* a | b = !( !a & !b ) *)
+         let na = add Gate.Not [ f 0 ] and nb = add Gate.Not [ f 1 ] in
+         named Gate.Not [ add Gate.And [ na; nb ] ]
+       | Gate.Nor ->
+         let na = add Gate.Not [ f 0 ] and nb = add Gate.Not [ f 1 ] in
+         named Gate.And [ na; nb ]
+       | Gate.Xnor -> named Gate.Not [ add Gate.Xor [ f 0; f 1 ] ]
+       | Gate.Mux ->
+         (* s ? b : a = a xor (s & (a xor b)) *)
+         let axb = add Gate.Xor [ f 1; f 2 ] in
+         let gated = add Gate.And [ f 0; axb ] in
+         named Gate.Xor [ f 1; gated ])
+  done;
+  for i = 0 to n - 1 do
+    if Circuit.kind c i = Gate.Dff then
+      Circuit.connect_dff out remap.(i) ~d:remap.((Circuit.fanins c i).(0))
+  done;
+  Array.iter (fun (nm, o) -> Circuit.set_output out nm remap.(o)) (Circuit.outputs c);
+  out
+
+(** True when the circuit uses only the AND/XOR/NOT basis (plus IO cells). *)
+let in_basis c =
+  let ok = ref true in
+  for i = 0 to Circuit.node_count c - 1 do
+    match Circuit.kind c i with
+    | Gate.And | Gate.Xor | Gate.Not | Gate.Input | Gate.Const _ | Gate.Dff -> ()
+    | Gate.Buf | Gate.Nand | Gate.Or | Gate.Nor | Gate.Xnor | Gate.Mux -> ok := false
+  done;
+  !ok

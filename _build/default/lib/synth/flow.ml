@@ -1,0 +1,52 @@
+(** Synthesis pass pipelines and the PPA cost model (Fig. 1's logic-synthesis
+    stage). Two canonical recipes:
+
+    - [optimize] — the classical, security-oblivious flow: constant
+      propagation, structural hashing and factoring-friendly XOR
+      re-association, iterated to a fixed point. This is the flow that
+      breaks private circuits (Fig. 2).
+    - [optimize_secure] — the same passes with a [protect] predicate that
+      fences off annotated nodes, modelling a security-aware tool that
+      compiles "do not reorder" constraints down to the netlist. *)
+
+module Circuit = Netlist.Circuit
+
+type ppa = { area : float; delay_ps : float; gate_count : int; power_proxy : float }
+
+(** Static PPA estimate: area from cell areas, delay from STA, power proxy
+    from summed switching energies weighted by 0.5 toggle probability. *)
+let ppa c =
+  let st = Circuit.stats c in
+  let timing = Timing.Sta.analyze c in
+  let power_proxy = ref 0.0 in
+  for i = 0 to Circuit.node_count c - 1 do
+    power_proxy := !power_proxy +. (0.5 *. Netlist.Gate.switch_energy (Circuit.kind c i))
+  done;
+  { area = st.Circuit.area;
+    delay_ps = timing.Timing.Sta.critical_path_delay;
+    gate_count = st.Circuit.gates;
+    power_proxy = !power_proxy }
+
+let optimize ?(reassoc = true) c =
+  let step c =
+    let c = Rewrite.constant_propagation c in
+    let c = Rewrite.strash c in
+    if reassoc then Xor_reassoc.run c else c
+  in
+  (* Iterate to fixed point on gate count (bounded). *)
+  let rec loop c rounds =
+    if rounds = 0 then c
+    else begin
+      let c' = step c in
+      if (Circuit.stats c').Circuit.gates >= (Circuit.stats c).Circuit.gates then c'
+      else loop c' (rounds - 1)
+    end
+  in
+  loop c 4
+
+(** Security-aware variant: [protect] marks nodes whose structure is a
+    security property (mask-accumulation chains, locked logic, sensors). *)
+let optimize_secure ~protect c =
+  let c = Rewrite.constant_propagation ~protect c in
+  let c = Rewrite.strash ~protect c in
+  Xor_reassoc.run ~protect c

@@ -1,0 +1,16 @@
+(** Synthesis pass pipelines and the PPA cost model. [optimize] is the
+    classical, security-oblivious recipe (constant propagation, structural
+    hashing, XOR re-association, iterated); [optimize_secure] runs the
+    same passes behind a [protect] fence. *)
+
+type ppa = { area : float; delay_ps : float; gate_count : int; power_proxy : float }
+
+(** Static PPA estimate: cell areas, STA delay, 0.5-activity power proxy. *)
+val ppa : Netlist.Circuit.t -> ppa
+
+(** The classical flow; [reassoc:false] skips the XOR re-association. *)
+val optimize : ?reassoc:bool -> Netlist.Circuit.t -> Netlist.Circuit.t
+
+(** Security-aware variant: nodes whose name satisfies [protect] are copied
+    verbatim — never merged, simplified or re-associated. *)
+val optimize_secure : protect:(string -> bool) -> Netlist.Circuit.t -> Netlist.Circuit.t

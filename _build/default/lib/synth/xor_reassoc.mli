@@ -1,0 +1,16 @@
+(** XOR re-association — the paper's motivational example (Fig. 2) of a
+    classical, security-oblivious optimization. Collects maximal XOR/XNOR
+    trees and rebuilds them; functionally a no-op, catastrophic for masked
+    logic whose security is the accumulation *order*. *)
+
+type strategy =
+  | Factoring_friendly
+      (** sort leaves so shared-fanin products group together — the
+          transformation that creates the Fig. 2 leak; rebuilt as a
+          left-to-right chain *)
+  | Balanced  (** balanced tree for timing; leaf order preserved *)
+
+(** Re-associate every maximal unprotected XOR tree. [protect] (by net
+    name) fences off masked cones — the security-aware mode. *)
+val run :
+  ?protect:(string -> bool) -> ?strategy:strategy -> Netlist.Circuit.t -> Netlist.Circuit.t

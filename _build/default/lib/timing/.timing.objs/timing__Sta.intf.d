@@ -1,0 +1,1 @@
+lib/timing/sta.mli: Eda_util Netlist

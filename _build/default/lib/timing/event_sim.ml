@@ -1,0 +1,143 @@
+(** Event-driven gate-level simulation with transport delays.
+
+    Applying an input transition launches a wave of events through the
+    circuit; a gate whose inputs settle at different times emits transient
+    transitions (glitches) before reaching its final value. Glitches are the
+    physical mechanism behind the residual leakage of masked logic discussed
+    in the paper (Sec. III-E, [55]), so the power model consumes the full
+    transition list, not just final values. *)
+
+module Circuit = Netlist.Circuit
+module Gate = Netlist.Gate
+
+type transition = { time : float; node : int; value : bool }
+
+(* Minimal binary heap on (time, sequence); earliest time first, FIFO
+   among equal times — the FIFO tie-break is essential: when a gate's
+   inputs change twice at the same instant, the event computed from the
+   *later* input state must win, or the simulation settles to stale
+   values. *)
+module Heap = struct
+  type entry = { t : float; seq : int; node : int; v : bool }
+  type t = { mutable data : entry array; mutable size : int; mutable next_seq : int }
+
+  let create () =
+    { data = Array.make 64 { t = 0.0; seq = 0; node = 0; v = false };
+      size = 0;
+      next_seq = 0 }
+
+  let earlier a b = a.t < b.t || (a.t = b.t && a.seq < b.seq)
+
+  let push h ~t ~node ~v =
+    let e = { t; seq = h.next_seq; node; v } in
+    h.next_seq <- h.next_seq + 1;
+    if h.size = Array.length h.data then begin
+      let bigger = Array.make (2 * h.size) e in
+      Array.blit h.data 0 bigger 0 h.size;
+      h.data <- bigger
+    end;
+    h.data.(h.size) <- e;
+    h.size <- h.size + 1;
+    (* Sift up. *)
+    let i = ref (h.size - 1) in
+    while !i > 0 && earlier h.data.(!i) h.data.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tmp = h.data.(p) in
+      h.data.(p) <- h.data.(!i);
+      h.data.(!i) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.size <- h.size - 1;
+      h.data.(0) <- h.data.(h.size);
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && earlier h.data.(l) h.data.(!smallest) then smallest := l;
+        if r < h.size && earlier h.data.(r) h.data.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = h.data.(!i) in
+          h.data.(!i) <- h.data.(!smallest);
+          h.data.(!smallest) <- tmp;
+          i := !smallest
+        end
+      done;
+      Some top
+    end
+end
+
+(** Simulate one clock cycle: the circuit settles at [prev_inputs] (and
+    [state] for DFF outputs), then the inputs switch to [next_inputs] —
+    input k at time [input_arrivals.(k)] (default 0). Skewed arrivals model
+    late mask refresh or unbalanced input paths, the classic cause of
+    glitch leakage in masked logic. Returns every net transition in time
+    order, including glitches. [delay_of] defaults to nominal delays. *)
+let cycle ?delay_of ?input_arrivals ?state circuit ~prev_inputs ~next_inputs =
+  let delay_of =
+    match delay_of with
+    | Some f -> f
+    | None -> fun _node kind -> Gate.delay kind
+  in
+  let values = Netlist.Sim.eval_all ?state circuit prev_inputs in
+  let fanouts = Circuit.fanouts circuit in
+  let heap = Heap.create () in
+  let input_ids = Circuit.inputs circuit in
+  let arrival k =
+    match input_arrivals with
+    | Some arr -> arr.(k)
+    | None -> 0.0
+  in
+  Array.iteri
+    (fun k id ->
+      if next_inputs.(k) <> values.(id) then
+        Heap.push heap ~t:(arrival k) ~node:id ~v:next_inputs.(k))
+    input_ids;
+  let transitions = ref [] in
+  let guard = ref 0 in
+  let max_events = 200 * Circuit.node_count circuit in
+  let rec loop () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some { Heap.t; node; v; seq = _ } ->
+      incr guard;
+      if !guard > max_events then invalid_arg "Event_sim.cycle: event storm (oscillation?)";
+      if values.(node) <> v then begin
+        values.(node) <- v;
+        transitions := { time = t; node; value = v } :: !transitions;
+        List.iter
+          (fun consumer ->
+            let nd = Circuit.node circuit consumer in
+            match nd.Circuit.kind with
+            | Gate.Input | Gate.Dff -> ()  (* DFFs capture at the clock edge *)
+            | k ->
+              let out = Gate.eval k (Array.map (fun f -> values.(f)) nd.Circuit.fanins) in
+              Heap.push heap ~t:(t +. delay_of consumer k) ~node:consumer ~v:out)
+          fanouts.(node)
+      end;
+      loop ()
+  in
+  loop ();
+  List.rev !transitions
+
+(** Transition count per node over the cycle; >1 on a node that glitched
+    on the way to its final value (or toggled and returned). *)
+let toggle_counts circuit transitions =
+  let counts = Array.make (Circuit.node_count circuit) 0 in
+  List.iter (fun tr -> counts.(tr.node) <- counts.(tr.node) + 1) transitions;
+  counts
+
+(** Nets that glitched: more transitions than the |initial -> final| change
+    requires. *)
+let glitching_nodes circuit transitions =
+  let counts = toggle_counts circuit transitions in
+  let nodes = ref [] in
+  Array.iteri (fun i c -> if c > 1 then nodes := i :: !nodes) counts;
+  List.rev !nodes

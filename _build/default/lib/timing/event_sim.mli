@@ -1,0 +1,27 @@
+(** Event-driven gate-level simulation with transport delays: staggered
+    input arrivals and unequal path delays produce transient transitions
+    (glitches), the mechanism behind the residual leakage of masked logic
+    (Sec. III-E, [55]). *)
+
+type transition = { time : float; node : int; value : bool }
+
+(** Simulate one clock cycle: the circuit settles at [prev_inputs] (DFF
+    outputs from [state]), then input k switches to [next_inputs.(k)] at
+    [input_arrivals.(k)] (default 0). Returns all transitions in time
+    order. [delay_of] overrides the nominal per-kind delays.
+    @raise Invalid_argument on an event storm (combinational oscillation —
+    impossible for well-formed DAGs). *)
+val cycle :
+  ?delay_of:(int -> Netlist.Gate.kind -> float) ->
+  ?input_arrivals:float array ->
+  ?state:bool array ->
+  Netlist.Circuit.t ->
+  prev_inputs:bool array ->
+  next_inputs:bool array ->
+  transition list
+
+(** Transition count per node over the cycle. *)
+val toggle_counts : Netlist.Circuit.t -> transition list -> int array
+
+(** Nodes with more than one transition — the glitching nets. *)
+val glitching_nodes : Netlist.Circuit.t -> transition list -> int list

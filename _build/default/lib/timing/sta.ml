@@ -1,0 +1,81 @@
+(** Static timing analysis over the per-kind nominal delays of the cell
+    vocabulary. DFF outputs and primary inputs launch at time 0; the
+    critical path is the latest primary-output / DFF-D arrival. *)
+
+module Circuit = Netlist.Circuit
+module Gate = Netlist.Gate
+
+type report = {
+  arrival : float array;  (* per node *)
+  critical_path_delay : float;
+  critical_output : string;  (* name of the latest endpoint *)
+}
+
+(** Arrival times; [delay_of] defaults to the library nominal values and can
+    be overridden, e.g. to model process variation for fingerprinting. *)
+let arrival_times ?delay_of circuit =
+  let delay_of =
+    match delay_of with
+    | Some f -> f
+    | None -> fun _node kind -> Gate.delay kind
+  in
+  let n = Circuit.node_count circuit in
+  let arrival = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let nd = Circuit.node circuit i in
+    match nd.Circuit.kind with
+    | Gate.Input | Gate.Dff | Gate.Const _ -> arrival.(i) <- 0.0
+    | k ->
+      let latest =
+        Array.fold_left (fun acc f -> Float.max acc arrival.(f)) 0.0 nd.Circuit.fanins
+      in
+      arrival.(i) <- latest +. delay_of i k
+  done;
+  arrival
+
+let analyze ?delay_of circuit =
+  let arrival = arrival_times ?delay_of circuit in
+  (* Endpoints: primary outputs and DFF D-inputs. *)
+  let endpoints =
+    Array.to_list (Array.map (fun (nm, o) -> nm, arrival.(o)) (Circuit.outputs circuit))
+    @ Array.to_list
+        (Array.map
+           (fun dff ->
+             let d = (Circuit.fanins circuit dff).(0) in
+             Circuit.name circuit dff ^ ".d", arrival.(d))
+           (Circuit.dffs circuit))
+  in
+  let critical_output, critical_path_delay =
+    List.fold_left
+      (fun (bn, bt) (nm, t) -> if t > bt then (nm, t) else (bn, bt))
+      ("<none>", 0.0) endpoints
+  in
+  { arrival; critical_path_delay; critical_output }
+
+(** Logic depth in gate levels (unit delay model). *)
+let depth circuit =
+  let n = Circuit.node_count circuit in
+  let level = Array.make n 0 in
+  let deepest = ref 0 in
+  for i = 0 to n - 1 do
+    let nd = Circuit.node circuit i in
+    match nd.Circuit.kind with
+    | Gate.Input | Gate.Dff | Gate.Const _ -> ()
+    | Gate.Buf | Gate.Not | Gate.And | Gate.Nand | Gate.Or | Gate.Nor
+    | Gate.Xor | Gate.Xnor | Gate.Mux ->
+      let deepest_fanin =
+        Array.fold_left (fun acc f -> max acc level.(f)) 0 nd.Circuit.fanins
+      in
+      level.(i) <- deepest_fanin + 1;
+      if level.(i) > !deepest then deepest := level.(i)
+  done;
+  !deepest
+
+(** Per-node delay function with Gaussian process variation of relative
+    sigma [sigma]; the substrate for path-delay fingerprinting. *)
+let varied_delays rng ~sigma circuit =
+  let n = Circuit.node_count circuit in
+  let factor =
+    Array.init n (fun _ -> Float.max 0.1 (Eda_util.Rng.gaussian_scaled rng ~mean:1.0 ~sigma))
+  in
+  fun node kind -> factor.(node) *. Gate.delay kind

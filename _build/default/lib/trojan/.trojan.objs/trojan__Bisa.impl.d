@@ -1,0 +1,1 @@
+lib/trojan/bisa.ml: Eda_util Float Hashtbl

@@ -1,0 +1,1 @@
+lib/trojan/detect.ml: Array Eda_util Float Hashtbl Insert List Netlist Power Timing

@@ -1,0 +1,1 @@
+lib/trojan/insert.ml: Array Eda_util Float Int64 List Netlist Sat Stdlib

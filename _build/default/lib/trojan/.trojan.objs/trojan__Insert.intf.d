@@ -1,0 +1,1 @@
+lib/trojan/insert.mli: Eda_util Netlist

@@ -1,0 +1,55 @@
+(** BISA-style built-in self-authentication [20] (Table II, high-level
+    synthesis row): fill all spare placement sites with interconnected
+    functional filler cells forming a checkable circuit. A fab-time Trojan
+    needs empty space; with BISA fill, inserting one forces removing filler
+    cells, which the self-test detects.
+
+    Model: the layout has [total_sites]; the design occupies some; BISA
+    fills the rest with a known parity network. A Trojan of [cells] cells
+    displaces that many filler cells. Detection = the filler self-test
+    fails (any displaced cell breaks the parity chain). *)
+
+module Rng = Eda_util.Rng
+
+type layout = {
+  total_sites : int;
+  design_cells : int;
+  filler_cells : int;
+  filler_signature : int;  (* golden checksum of the filler network *)
+}
+
+let fill ~total_sites ~design_cells =
+  assert (design_cells <= total_sites);
+  let filler = total_sites - design_cells in
+  (* Deterministic signature: parity structure over filler indices. *)
+  let signature = Hashtbl.hash (filler, design_cells, total_sites) land 0xFFFF in
+  { total_sites; design_cells; filler_cells = filler; filler_signature = signature }
+
+(** A Trojan needing [cells] sites must displace filler; the self-test
+    recomputes the signature over surviving fillers. *)
+let insert_trojan layout ~cells =
+  if cells > layout.filler_cells then None  (* no room even by displacement *)
+  else begin
+    Some
+      { layout with
+        filler_cells = layout.filler_cells - cells;
+        (* signature recomputed over fewer cells differs *)
+        filler_signature =
+          Hashtbl.hash (layout.filler_cells - cells, layout.design_cells, layout.total_sites)
+          land 0xFFFF }
+  end
+
+let self_test ~golden layout = layout.filler_signature = golden.filler_signature
+
+(** Without BISA: the Trojan uses genuinely empty space, nothing detects
+    it; with BISA: any nonzero displacement flips the signature. Returns
+    detection probability over [trials] random Trojan sizes. *)
+let detection_rate rng ~golden ~max_trojan_cells ~trials =
+  let detected = ref 0 in
+  for _ = 1 to trials do
+    let cells = 1 + Rng.int rng max_trojan_cells in
+    match insert_trojan golden ~cells with
+    | None -> incr detected  (* insertion impossible: counts as defended *)
+    | Some modified -> if not (self_test ~golden modified) then incr detected
+  done;
+  Float.of_int !detected /. Float.of_int trials

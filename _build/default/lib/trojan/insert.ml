@@ -1,0 +1,186 @@
+(** Hardware Trojan insertion (Sec. II-A.4, [13]): a malicious modification
+    with a stealthy *trigger* (a conjunction of rare internal signal
+    values, so functional testing almost never fires it) and a *payload*
+    (here: XOR-flip of a primary output — an integrity Trojan, or an
+    always-on parasitic load — a side-channel/reliability Trojan).
+
+    Insertion mimics a fab- or design-time adversary: it reads signal
+    probabilities, picks the rarest compatible nets and splices the trigger
+    cone in front of one output. *)
+
+module Circuit = Netlist.Circuit
+module Gate = Netlist.Gate
+module Rng = Eda_util.Rng
+
+type trojan = {
+  infected : Circuit.t;
+  trigger_nets : (int * bool) list;  (* (net, required value) in the CLEAN circuit *)
+  trigger_node : int;  (* trigger output in the infected circuit *)
+  victim_output : int;  (* index of the flipped output *)
+  payload : payload;
+}
+
+and payload =
+  | Flip_output  (* functional sabotage: victim output inverted on trigger *)
+  | Leak_parasitic  (* always-on: extra switching load, no functional change *)
+
+(** Estimate per-net one-probability and return the [count] rarest
+    (value, polarity) conditions, excluding inputs (testable directly). *)
+let rare_conditions rng ~patterns ~count circuit =
+  let probs = Netlist.Sim.signal_probabilities rng ~patterns circuit in
+  let scored = ref [] in
+  Array.iteri
+    (fun i p ->
+      match Circuit.kind circuit i with
+      | Gate.Input | Gate.Const _ | Gate.Dff -> ()
+      | Gate.Buf | Gate.Not | Gate.And | Gate.Nand | Gate.Or | Gate.Nor
+      | Gate.Xor | Gate.Xnor | Gate.Mux ->
+        (* Rareness of value 1 is p; of value 0 is 1-p. *)
+        scored := (Float.min p (1.0 -. p), i, p < 0.5) :: !scored)
+    probs;
+  let sorted = List.sort compare !scored in
+  let rec take k acc = function
+    | [] -> List.rev acc
+    | (_, i, v) :: tl -> if k = 0 then List.rev acc else take (k - 1) ((i, v) :: acc) tl
+  in
+  take count [] sorted
+
+(* Is the conjunction of [conditions] satisfiable in [source]? A trigger
+   over contradictory rare conditions would never fire — stealthy but also
+   pointless; a real adversary verifies activability. *)
+let conditions_satisfiable source conditions =
+  let env = Sat.Cnf.encode source in
+  match
+    List.iter
+      (fun (net, value) ->
+        Sat.Solver.add_clause env.Sat.Cnf.solver [ Sat.Cnf.lit env ~node:net ~sign:value ])
+      conditions
+  with
+  | () -> Sat.Solver.solve env.Sat.Cnf.solver = Sat.Solver.Sat
+  | exception Sat.Solver.Unsat_root -> false
+
+(** Insert a Trojan with a [trigger_width]-net AND trigger over rare
+    conditions, greedily chosen rarest-first under the constraint that the
+    conjunction stays satisfiable (SAT-checked), so the Trojan is stealthy
+    yet activable. The infected circuit keeps the clean interface. *)
+let insert rng ?(payload = Flip_output) ~trigger_width ~patterns source =
+  let candidates = rare_conditions rng ~patterns ~count:(trigger_width + 12) source in
+  (* Greedy joint-probability minimization: indicator bitsets of each
+     condition over a random pattern matrix; each step adds the candidate
+     that shrinks the conjunction's support most, subject to the
+     conjunction staying SAT-satisfiable. *)
+  let ni = Circuit.num_inputs source in
+  let words = max 4 ((patterns + 62) / 63) in
+  let value_words =
+    Array.init words (fun _ ->
+        let inputs =
+          Array.init ni (fun _ ->
+              Int64.to_int (Eda_util.Rng.next_int64 rng) land 0x7FFFFFFFFFFFFFFF)
+        in
+        Netlist.Sim.eval_all_word source inputs)
+  in
+  let indicator (net, v) =
+    Array.map
+      (fun vals -> if v then vals.(net) else Stdlib.lnot vals.(net) land 0x7FFFFFFFFFFFFFFF)
+      value_words
+  in
+  let support ind =
+    Array.fold_left (fun acc w -> acc + Eda_util.Stats.hamming_weight ~bits:63 w) 0 ind
+  in
+  let intersect a b = Array.init (Array.length a) (fun k -> a.(k) land b.(k)) in
+  let conditions =
+    let rec pick chosen acc_ind remaining =
+      if List.length chosen = trigger_width then List.rev chosen
+      else begin
+        let scored =
+          List.filter_map
+            (fun cond ->
+              if List.mem cond chosen then None
+              else begin
+                let joint = intersect acc_ind (indicator cond) in
+                if conditions_satisfiable source (cond :: chosen) then
+                  Some (support joint, cond, joint)
+                else None
+              end)
+            remaining
+        in
+        match List.sort compare scored with
+        | [] -> List.rev chosen  (* no further compatible condition *)
+        | (_, cond, joint) :: _ -> pick (cond :: chosen) joint remaining
+      end
+    in
+    let all_ones = Array.make words 0x7FFFFFFFFFFFFFFF in
+    pick [] all_ones candidates
+  in
+  assert (List.length conditions = trigger_width);
+  let c = Circuit.copy source in
+  (* Build the trigger: AND over the conditioned nets. *)
+  let condition_nodes =
+    List.map
+      (fun (net, value) ->
+        if value then net else Circuit.add_gate c Gate.Not [ net ])
+      conditions
+  in
+  let trigger = Circuit.reduce c Gate.And condition_nodes in
+  let outs = Circuit.outputs source in
+  let victim = Rng.int rng (Array.length outs) in
+  (* Outputs can't be re-pointed in place; build the payload, then rebuild
+     the circuit with the victim output re-routed through it. *)
+  let _, o_victim = outs.(victim) in
+  let payload_node =
+    match payload with
+    | Flip_output -> Circuit.add_gate ~name:"troj_payload" c Gate.Xor [ o_victim; trigger ]
+    | Leak_parasitic ->
+      (* A chain of buffers toggled by the trigger cone: pure load. *)
+      let b1 = Circuit.add_gate c Gate.Buf [ trigger ] in
+      let b2 = Circuit.add_gate c Gate.Buf [ b1 ] in
+      Circuit.add_gate ~name:"troj_payload" c Gate.Buf [ b2 ]
+  in
+  let rebuilt = Circuit.create () in
+  let remap = Array.make (Circuit.node_count c) (-1) in
+  for i = 0 to Circuit.node_count c - 1 do
+    let nd = Circuit.node c i in
+    let fanins =
+      if nd.Circuit.kind = Gate.Dff then [| 0 |]
+      else Array.map (fun f -> remap.(f)) nd.Circuit.fanins
+    in
+    remap.(i) <- Circuit.add_node_raw rebuilt nd.Circuit.kind fanins nd.Circuit.name
+  done;
+  for i = 0 to Circuit.node_count c - 1 do
+    if Circuit.kind c i = Gate.Dff then
+      Circuit.connect_dff rebuilt remap.(i) ~d:remap.((Circuit.fanins c i).(0))
+  done;
+  Array.iteri
+    (fun k (nm, o) ->
+      match payload with
+      | Flip_output when k = victim ->
+        Circuit.set_output rebuilt nm remap.(payload_node)
+      | Flip_output | Leak_parasitic -> Circuit.set_output rebuilt nm remap.(o))
+    outs;
+  (* Parasitic payload must stay live: give it a pseudo-output. *)
+  (match payload with
+   | Leak_parasitic -> Circuit.set_output rebuilt "troj_load" remap.(payload_node)
+   | Flip_output -> ());
+  { infected = rebuilt;
+    trigger_nets = conditions;
+    trigger_node = remap.(trigger);
+    victim_output = victim;
+    payload }
+
+(** Trigger activation probability under random stimuli (ground truth for
+    detection experiments). *)
+let trigger_probability rng trojan ~patterns =
+  let c = trojan.infected in
+  let ni = Circuit.num_inputs c in
+  let hits = ref 0 in
+  for _ = 1 to patterns do
+    let inputs = Array.init ni (fun _ -> Rng.bool rng) in
+    let values = Netlist.Sim.eval_all c inputs in
+    if values.(trojan.trigger_node) then incr hits
+  done;
+  Float.of_int !hits /. Float.of_int patterns
+
+(** Does [inputs] expose the Trojan (infected output differs from clean)? *)
+let exposed_by clean trojan inputs =
+  Netlist.Sim.eval clean inputs
+  <> Array.sub (Netlist.Sim.eval trojan.infected inputs) 0 (Circuit.num_outputs clean)

@@ -1,0 +1,40 @@
+(** Hardware Trojan insertion: a stealthy trigger (conjunction of rare
+    internal signal values, SAT-checked to be jointly satisfiable) and a
+    payload — output flipping (integrity Trojan) or a parasitic load
+    (side-channel/reliability Trojan). *)
+
+type trojan = {
+  infected : Netlist.Circuit.t;
+  trigger_nets : (int * bool) list;
+      (** (net, required value) conditions, ids in the clean circuit *)
+  trigger_node : int;  (** trigger output in the infected circuit *)
+  victim_output : int;  (** index of the sabotaged output *)
+  payload : payload;
+}
+
+and payload =
+  | Flip_output  (** victim output inverted while triggered *)
+  | Leak_parasitic  (** extra switching load, no functional change *)
+
+(** The [count] rarest (net, polarity) conditions under random stimuli,
+    excluding inputs and constants. *)
+val rare_conditions :
+  Eda_util.Rng.t -> patterns:int -> count:int -> Netlist.Circuit.t -> (int * bool) list
+
+(** Insert a Trojan with a [trigger_width]-condition AND trigger chosen to
+    minimize joint activation probability while remaining satisfiable. The
+    infected circuit keeps the clean interface (parasitic payloads add one
+    pseudo-output to stay live). *)
+val insert :
+  Eda_util.Rng.t ->
+  ?payload:payload ->
+  trigger_width:int ->
+  patterns:int ->
+  Netlist.Circuit.t ->
+  trojan
+
+(** Trigger activation probability under random stimuli (ground truth). *)
+val trigger_probability : Eda_util.Rng.t -> trojan -> patterns:int -> float
+
+(** Does [inputs] expose the Trojan (clean and infected outputs differ)? *)
+val exposed_by : Netlist.Circuit.t -> trojan -> bool array -> bool

@@ -1,0 +1,67 @@
+(** Fixed-width bit vectors over [bool array], with helpers for the
+    integer <-> vector conversions used by circuit simulation, and a packed
+    64-bit variant for bit-parallel simulation. *)
+
+type t = bool array
+
+let create width value = Array.make width value
+
+let of_int ~width x =
+  Array.init width (fun i -> (x lsr i) land 1 = 1)
+
+let to_int bv =
+  let v = ref 0 in
+  for i = Array.length bv - 1 downto 0 do
+    v := (!v lsl 1) lor (if bv.(i) then 1 else 0)
+  done;
+  !v
+
+let width = Array.length
+
+let get (bv : t) i = bv.(i)
+
+let set (bv : t) i b = bv.(i) <- b
+
+let copy = Array.copy
+
+let equal a b = a = (b : t)
+
+let hamming_weight bv =
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 bv
+
+let hamming_distance a b =
+  assert (Array.length a = Array.length b);
+  let acc = ref 0 in
+  for i = 0 to Array.length a - 1 do
+    if a.(i) <> b.(i) then incr acc
+  done;
+  !acc
+
+let xor a b =
+  assert (Array.length a = Array.length b);
+  Array.init (Array.length a) (fun i -> a.(i) <> b.(i))
+
+let random rng w = Array.init w (fun _ -> Rng.bool rng)
+
+let to_string bv =
+  String.init (Array.length bv) (fun i ->
+      if bv.(Array.length bv - 1 - i) then '1' else '0')
+
+let of_string s =
+  let w = String.length s in
+  Array.init w (fun i ->
+      match s.[w - 1 - i] with
+      | '0' -> false
+      | '1' -> true
+      | c -> invalid_arg (Printf.sprintf "Bitvec.of_string: bad char %c" c))
+
+(** All [2^width] vectors in ascending integer order; only for small widths. *)
+let enumerate ~width:w =
+  assert (w <= 20);
+  List.init (1 lsl w) (fun x -> of_int ~width:w x)
+
+(** Flip bit [i], returning a fresh vector. *)
+let flip bv i =
+  let c = Array.copy bv in
+  c.(i) <- not c.(i);
+  c

@@ -1,0 +1,86 @@
+(** Deterministic pseudo-random number generation.
+
+    All stochastic components of the toolkit draw randomness through an
+    explicit [t] so that every experiment is reproducible from a seed.
+    The generator is xoshiro256** seeded through splitmix64, implemented
+    from the public-domain reference algorithms. *)
+
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* xoshiro256** next step. *)
+let next_int64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+(** [int t bound] draws uniformly from [0, bound). *)
+let int t bound =
+  assert (bound > 0);
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(** Uniform float in [0, 1). *)
+let float t =
+  let mantissa = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  mantissa *. (1.0 /. 9007199254740992.0)
+
+(** Standard normal via Box-Muller. *)
+let gaussian t =
+  let u1 = max (float t) 1e-300 in
+  let u2 = float t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let gaussian_scaled t ~mean ~sigma = mean +. (sigma *. gaussian t)
+
+(** Fisher-Yates shuffle in place. *)
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+(** [sample t k n] draws [k] distinct indices from [0, n). *)
+let sample t k n =
+  assert (k <= n);
+  let arr = Array.init n (fun i -> i) in
+  shuffle t arr;
+  Array.sub arr 0 k
+
+(** [choose t lst] picks one element of a non-empty list. *)
+let choose t lst =
+  match lst with
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | _ :: _ -> List.nth lst (int t (List.length lst))
+
+(** Independent stream derived from [t]; lets subsystems fork their own
+    generator without coupling their draw sequences. *)
+let split t = create (Int64.to_int (next_int64 t))

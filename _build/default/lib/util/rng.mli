@@ -1,0 +1,36 @@
+(** Deterministic pseudo-random number generation (xoshiro256** seeded via
+    splitmix64). All stochastic components of the toolkit draw randomness
+    through an explicit [t], so every experiment replays bit-identically
+    from its seed. *)
+
+type t
+
+val create : int -> t
+
+(** Raw 64-bit step of the generator. *)
+val next_int64 : t -> int64
+
+(** Uniform in [0, bound). @raise Assert_failure when [bound <= 0]. *)
+val int : t -> int -> int
+
+val bool : t -> bool
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+(** Standard normal (Box–Muller). *)
+val gaussian : t -> float
+
+val gaussian_scaled : t -> mean:float -> sigma:float -> float
+
+(** Fisher–Yates shuffle in place. *)
+val shuffle : t -> 'a array -> unit
+
+(** [sample t k n] draws [k] distinct indices from [0, n). *)
+val sample : t -> int -> int -> int array
+
+(** Pick one element. @raise Invalid_argument on an empty list. *)
+val choose : t -> 'a list -> 'a
+
+(** Independent stream derived from [t]. *)
+val split : t -> t

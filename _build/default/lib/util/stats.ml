@@ -1,0 +1,127 @@
+(** Statistical primitives used across leakage assessment, PUF metrics and
+    attack evaluation: online moments, Welch's t-test, Pearson correlation,
+    simple histograms and entropy estimates. *)
+
+type moments = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;  (* sum of squared deviations, Welford *)
+}
+
+let moments_create () = { n = 0; mean = 0.0; m2 = 0.0 }
+
+let moments_add m x =
+  m.n <- m.n + 1;
+  let delta = x -. m.mean in
+  m.mean <- m.mean +. (delta /. Float.of_int m.n);
+  m.m2 <- m.m2 +. (delta *. (x -. m.mean))
+
+let moments_mean m = m.mean
+
+let moments_variance m = if m.n < 2 then 0.0 else m.m2 /. Float.of_int (m.n - 1)
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. Float.of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let mu = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. mu) *. (x -. mu))) 0.0 xs in
+    acc /. Float.of_int (n - 1)
+  end
+
+let std xs = sqrt (variance xs)
+
+(** Welch's t statistic between two samples; the TVLA decision statistic.
+    Returns 0 when either sample is degenerate. *)
+let welch_t xs ys =
+  let nx = Array.length xs and ny = Array.length ys in
+  if nx < 2 || ny < 2 then 0.0
+  else begin
+    let vx = variance xs /. Float.of_int nx in
+    let vy = variance ys /. Float.of_int ny in
+    let denom = sqrt (vx +. vy) in
+    if denom <= 0.0 then 0.0 else (mean xs -. mean ys) /. denom
+  end
+
+(** Welch-Satterthwaite degrees of freedom, for completeness of reporting. *)
+let welch_df xs ys =
+  let nx = Float.of_int (Array.length xs) and ny = Float.of_int (Array.length ys) in
+  let vx = variance xs /. nx and vy = variance ys /. ny in
+  let num = (vx +. vy) ** 2.0 in
+  let den = ((vx ** 2.0) /. (nx -. 1.0)) +. ((vy ** 2.0) /. (ny -. 1.0)) in
+  if den <= 0.0 then 1.0 else num /. den
+
+(** Pearson correlation coefficient; the CPA decision statistic. *)
+let pearson xs ys =
+  let n = Array.length xs in
+  assert (n = Array.length ys);
+  if n < 2 then 0.0
+  else begin
+    let mx = mean xs and my = mean ys in
+    let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+    for i = 0 to n - 1 do
+      let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+      sxy := !sxy +. (dx *. dy);
+      sxx := !sxx +. (dx *. dx);
+      syy := !syy +. (dy *. dy)
+    done;
+    let denom = sqrt (!sxx *. !syy) in
+    if denom <= 0.0 then 0.0 else !sxy /. denom
+  end
+
+(** Hamming weight of the low [bits] bits of [x]. *)
+let hamming_weight ?(bits = 64) x =
+  let rec loop acc i =
+    if i >= bits then acc
+    else loop (acc + ((x lsr i) land 1)) (i + 1)
+  in
+  loop 0 0
+
+let hamming_distance ?(bits = 64) x y = hamming_weight ~bits (x lxor y)
+
+(** Shannon entropy (bits) of an empirical distribution given as counts. *)
+let entropy_of_counts counts =
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then 0.0
+  else
+    Array.fold_left
+      (fun acc c ->
+        if c = 0 then acc
+        else begin
+          let p = Float.of_int c /. Float.of_int total in
+          acc -. (p *. (log p /. log 2.0))
+        end)
+      0.0 counts
+
+(** Histogram of integer observations into [nbins] equal bins over
+    [lo, hi). Out-of-range samples are clamped into the edge bins. *)
+let histogram ~nbins ~lo ~hi xs =
+  assert (nbins > 0 && hi > lo);
+  let counts = Array.make nbins 0 in
+  let width = (hi -. lo) /. Float.of_int nbins in
+  let place x =
+    let b = Float.to_int ((x -. lo) /. width) in
+    let b = if b < 0 then 0 else if b >= nbins then nbins - 1 else b in
+    counts.(b) <- counts.(b) + 1
+  in
+  Array.iter place xs;
+  counts
+
+(** Max absolute value of an array; used for per-sample TVLA summaries. *)
+let max_abs xs = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0.0 xs
+
+(** Simple argmax over an array; returns index of first maximum. *)
+let argmax xs =
+  let best = ref 0 in
+  for i = 1 to Array.length xs - 1 do
+    if xs.(i) > xs.(!best) then best := i
+  done;
+  !best
+
+(** Two-proportion success-rate summary used by attack benchmarks. *)
+let success_rate successes trials =
+  if trials = 0 then 0.0 else Float.of_int successes /. Float.of_int trials

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Eda_util Float Format List Locking Netlist Secure_eda Sidechannel String

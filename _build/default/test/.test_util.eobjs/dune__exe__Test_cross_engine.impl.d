@@ -1,0 +1,1 @@
+test/test_cross_engine.ml: Alcotest Array Eda_util Float Hashtbl Iflow List Logic Netlist Printf QCheck QCheck_alcotest Sat Synth Timing

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Array Crypto Eda_util Int64 List Netlist Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_dft.ml: Alcotest Array Crypto Dft Eda_util Fault List Netlist Printf QCheck QCheck_alcotest

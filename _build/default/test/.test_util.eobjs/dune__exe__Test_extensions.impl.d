@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Crypto Eda_util Hashtbl List Locking Netlist Physical Printf Sat Secure_eda Sidechannel Synth Timing

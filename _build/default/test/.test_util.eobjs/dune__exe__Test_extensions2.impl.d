@@ -1,0 +1,1 @@
+test/test_extensions2.ml: Alcotest Array Camo Crypto Dft Eda_util Fault Hashtbl Int64 List Locking Logic Netlist Power Printf Sat Sidechannel Synth Timing

@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest Array Crypto Eda_util Fault List Netlist Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_iflow_hls.ml: Alcotest Array Crypto Eda_util Float Hashtbl Hls Iflow List Netlist Printf QCheck QCheck_alcotest

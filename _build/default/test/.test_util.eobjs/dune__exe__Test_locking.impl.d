@@ -1,0 +1,1 @@
+test/test_locking.ml: Alcotest Array Camo Eda_util List Locking Netlist QCheck QCheck_alcotest Sat

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Float Format List Logic Printf QCheck QCheck_alcotest

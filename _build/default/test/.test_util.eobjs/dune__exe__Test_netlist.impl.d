@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Eda_util Float List Logic Netlist Printf QCheck QCheck_alcotest

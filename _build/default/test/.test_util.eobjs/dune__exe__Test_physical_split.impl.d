@@ -1,0 +1,1 @@
+test/test_physical_split.ml: Alcotest Array Eda_util Float Hashtbl List Netlist Physical Printf QCheck QCheck_alcotest Splitmfg

@@ -1,0 +1,1 @@
+test/test_puf_rng.ml: Alcotest Array Eda_util Float List Puf QCheck QCheck_alcotest Rng_gen

@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Eda_util List Netlist Printf QCheck QCheck_alcotest Sat

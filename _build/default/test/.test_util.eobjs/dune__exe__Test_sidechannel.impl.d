@@ -1,0 +1,1 @@
+test/test_sidechannel.ml: Alcotest Array Crypto Eda_util Float List Netlist Printf QCheck QCheck_alcotest Sidechannel

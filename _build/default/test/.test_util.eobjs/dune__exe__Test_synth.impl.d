@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Array Eda_util List Netlist Option Printf QCheck QCheck_alcotest Sidechannel Synth Timing

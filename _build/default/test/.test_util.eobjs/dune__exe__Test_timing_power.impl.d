@@ -1,0 +1,1 @@
+test/test_timing_power.ml: Alcotest Array Eda_util Float List Netlist Power Printf QCheck QCheck_alcotest Timing Trojan

@@ -1,0 +1,1 @@
+test/test_trojan.ml: Alcotest Array Eda_util List Netlist Printf QCheck QCheck_alcotest Trojan

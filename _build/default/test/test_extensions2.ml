@@ -1,0 +1,445 @@
+(* Tests for the second extension batch: clock-glitch attacks + canary
+   sensor, camouflage-constrained synthesis, key-sensitization attack,
+   approximate QIF (cross-checks) and Unroll corner cases. *)
+
+module Circuit = Netlist.Circuit
+module Gate = Netlist.Gate
+module Gen = Netlist.Generators
+module Rng = Eda_util.Rng
+module Glitch = Fault.Glitch_attack
+
+(* A carry-propagating stimulus for the 8-bit ripple adder: a = 0xFF,
+   b = 0, cin = 1 ripples through every stage. *)
+let adder = Gen.ripple_adder 8
+let adder_prev = Array.make 17 false
+let adder_next = Array.init 17 (fun i -> i < 8 || i = 16)
+
+let test_capture_full_period_is_golden () =
+  let golden = Netlist.Sim.eval adder adder_next in
+  let captured =
+    Glitch.glitched_outputs adder ~period_ps:10_000.0 ~prev_inputs:adder_prev
+      ~next_inputs:adder_next
+  in
+  Alcotest.(check bool) "long period captures settled values" true (captured = golden)
+
+let test_glitch_induces_fault () =
+  let golden = Netlist.Sim.eval adder adder_next in
+  let captured =
+    Glitch.glitched_outputs adder ~period_ps:200.0 ~prev_inputs:adder_prev
+      ~next_inputs:adder_next
+  in
+  Alcotest.(check bool) "short period corrupts" true (captured <> golden)
+
+let test_attack_sweep_finds_margin () =
+  let crit = (Timing.Sta.analyze adder).Timing.Sta.critical_path_delay in
+  match
+    Glitch.attack_sweep adder
+      ~periods:[ 900.0; 800.0; 700.0; 600.0; 500.0 ]
+      ~prev_inputs:adder_prev ~next_inputs:adder_next
+  with
+  | None -> Alcotest.fail "sweep must find a faulting period"
+  | Some worst ->
+    Alcotest.(check bool) "faulting period below critical path" true (worst < crit)
+
+let test_sensor_never_silent () =
+  let sensor = Glitch.add_sensor ~margin_ps:60.0 adder in
+  Alcotest.(check bool) "canary slower than critical path" true
+    (sensor.Glitch.canary_delay_ps
+    > (Timing.Sta.analyze adder).Timing.Sta.critical_path_delay);
+  let silent, detected, clean =
+    Glitch.sweep_with_sensor sensor
+      ~periods:[ 1000.0; 900.0; 800.0; 700.0; 600.0; 500.0; 400.0; 300.0 ]
+      ~prev_inputs:adder_prev ~next_inputs:adder_next
+  in
+  Alcotest.(check int) "no silent corruption" 0 silent;
+  Alcotest.(check bool) "glitches detected" true (detected > 0);
+  Alcotest.(check bool) "slow clock passes clean" true (clean > 0)
+
+let test_sensor_data_unchanged () =
+  (* The canary must not disturb the protected function. *)
+  let sensor = Glitch.add_sensor adder in
+  let data, `Sensor_fired fired =
+    Glitch.guarded_cycle sensor ~period_ps:10_000.0 ~prev_inputs:adder_prev
+      ~next_inputs:adder_next
+  in
+  Alcotest.(check bool) "sensor quiet at full period" false fired;
+  Alcotest.(check bool) "data matches golden" true (data = Netlist.Sim.eval adder adder_next)
+
+(* --- camouflage-constrained synthesis ---------------------------------- *)
+
+let test_constrained_synthesis_correct () =
+  for seed = 0 to 20 do
+    let bits = (seed * 2654435761) land 0xFFFF in
+    let tt = Logic.Truth_table.create 4 (fun m -> (bits lsr m) land 1 = 1) in
+    let c = Camo.Constrained.synthesize tt in
+    Alcotest.(check bool) (Printf.sprintf "camouflageable %d" seed) true
+      (Camo.Constrained.fully_camouflageable c);
+    for m = 0 to 15 do
+      let inputs = Array.init 4 (fun i -> (m lsr i) land 1 = 1) in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d m %d" seed m)
+        (Logic.Truth_table.eval tt m)
+        (Netlist.Sim.eval c inputs).(0)
+    done
+  done
+
+let test_constrained_synthesis_constants () =
+  List.iter
+    (fun value ->
+      let tt = Logic.Truth_table.constant 3 value in
+      let c = Camo.Constrained.synthesize tt in
+      for m = 0 to 7 do
+        let inputs = Array.init 3 (fun i -> (m lsr i) land 1 = 1) in
+        Alcotest.(check bool) "constant" value (Netlist.Sim.eval c inputs).(0)
+      done)
+    [ true; false ]
+
+let test_constraint_has_cost () =
+  let tt = Logic.Truth_table.create 4 (fun m -> m mod 3 = 0) in
+  Alcotest.(check bool) "overhead above 1" true (Camo.Constrained.constraint_overhead tt > 1.0)
+
+let test_constrained_result_fully_lockable () =
+  (* Every gate of the constrained result can be camouflaged. *)
+  let rng = Rng.create 31 in
+  let tt = Logic.Truth_table.create 4 (fun m -> (m lxor (m lsr 1)) land 1 = 1) in
+  let c = Camo.Constrained.synthesize tt in
+  let gates = (Circuit.stats c).Circuit.gates in
+  let camo = Camo.Camouflage.apply rng ~cells:gates c in
+  Alcotest.(check int) "all cells ambiguous" gates (List.length camo.Camo.Camouflage.ambiguous)
+
+(* --- key sensitization -------------------------------------------------- *)
+
+let test_sensitization_isolated_keys_recovered () =
+  let rng = Rng.create 32 in
+  let src = Gen.alu 4 in
+  let locked = Locking.Lock.epic rng ~key_bits:4 src in
+  let oracle = Locking.Sat_attack.oracle_of_circuit src in
+  let outcome = Locking.Sensitization.run ~oracle locked in
+  Alcotest.(check bool) "sparse keys fully recovered" true
+    (Locking.Sensitization.accuracy outcome locked >= 0.95)
+
+let test_sensitization_interference_degrades () =
+  (* Sparse keys on a tiny circuit sensitize cleanly; dense keys on the
+     same circuit interfere. Compare on c17 (6 gates): 2 vs 6 key bits. *)
+  let rng = Rng.create 33 in
+  let src = Gen.c17 () in
+  let sparse = Locking.Lock.epic rng ~key_bits:2 src in
+  let dense = Locking.Lock.epic rng ~key_bits:6 src in
+  let oracle = Locking.Sat_attack.oracle_of_circuit src in
+  let acc_sparse =
+    Locking.Sensitization.accuracy (Locking.Sensitization.run ~oracle sparse) sparse
+  in
+  let outcome_dense = Locking.Sensitization.run ~oracle dense in
+  let acc_dense = Locking.Sensitization.accuracy outcome_dense dense in
+  Alcotest.(check (float 1e-9)) "sparse keys fully recovered" 1.0 acc_sparse;
+  Alcotest.(check bool)
+    (Printf.sprintf "dense (%.2f) degraded or unresolved" acc_dense)
+    true
+    (acc_dense < 1.0 || outcome_dense.Locking.Sensitization.unresolved <> [])
+
+let test_sensitization_never_wrong_on_resolved_single_key () =
+  (* With one key bit there is no interference: the recovered bit is right. *)
+  let rng = Rng.create 34 in
+  let src = Gen.c17 () in
+  let locked = Locking.Lock.epic rng ~key_bits:1 src in
+  let oracle = Locking.Sat_attack.oracle_of_circuit src in
+  let outcome = Locking.Sensitization.run ~passes:1 ~oracle locked in
+  (match outcome.Locking.Sensitization.recovered with
+   | [ (0, v) ] -> Alcotest.(check bool) "bit correct" locked.Locking.Lock.correct_key.(0) v
+   | _ -> Alcotest.fail "single key must be resolved")
+
+(* --- unroll corner cases ------------------------------------------------ *)
+
+let test_expand_frame_count () =
+  let c = Crypto.Sbox_circuit.aes_round_registered () in
+  let exp = Sat.Unroll.expand c ~frames:3 in
+  Alcotest.(check int) "inputs = init state + 3x inputs"
+    (Circuit.num_dffs c + (3 * Circuit.num_inputs c))
+    (Circuit.num_inputs exp.Sat.Unroll.circuit);
+  Alcotest.(check int) "outputs = 3x outputs"
+    (3 * Circuit.num_outputs c)
+    (Circuit.num_outputs exp.Sat.Unroll.circuit);
+  Alcotest.(check bool) "expansion is combinational" true
+    (Circuit.num_dffs exp.Sat.Unroll.circuit = 0)
+
+let test_two_safety_scan_chain_leaks_registered_secret () =
+  (* A scanned AES round: the secret-dependent register state reaches
+     scan_out in test mode — the 2-safety check sees the scan leak. *)
+  let dp = Crypto.Sbox_circuit.aes_round_registered () in
+  let scanned = Dft.Scan.insert dp in
+  match
+    Sat.Unroll.two_safety_leak scanned.Dft.Scan.circuit ~frames:2
+      ~secret_state:[ 0; 1; 2; 3; 4; 5; 6; 7 ]
+  with
+  | Some _ -> ()
+  | None -> Alcotest.fail "scan chain must expose the register state"
+
+(* --- technology mapping -------------------------------------------------- *)
+
+let test_techmap_nand_inv () =
+  List.iter
+    (fun c ->
+      let mapped = Synth.Techmap.run ~target:Synth.Techmap.Nand_inv c in
+      Alcotest.(check bool) "equivalent" true (Netlist.Sim.equivalent_exhaustive c mapped);
+      Alcotest.(check bool) "conforms" true
+        (Synth.Techmap.conforms Synth.Techmap.Nand_inv mapped))
+    [ Gen.c17 (); Gen.alu 4; Gen.mux_tree 3; Gen.parity_tree 8 ]
+
+let test_techmap_camo_target () =
+  List.iter
+    (fun c ->
+      let mapped = Synth.Techmap.run ~target:Synth.Techmap.Nand_nor_xnor c in
+      Alcotest.(check bool) "equivalent" true (Netlist.Sim.equivalent_exhaustive c mapped);
+      Alcotest.(check bool) "conforms" true
+        (Synth.Techmap.conforms Synth.Techmap.Nand_nor_xnor mapped))
+    [ Gen.c17 (); Gen.ripple_adder 5 ]
+
+let test_techmap_sequential () =
+  (* DFFs survive mapping; the counter still counts. *)
+  let c = Circuit.create () in
+  let en = Circuit.add_input ~name:"en" c in
+  let q0 = Circuit.add_dff ~name:"q0" c ~d:0 in
+  let t0 = Circuit.add_gate c Gate.Xor [ q0; en ] in
+  Circuit.connect_dff c q0 ~d:t0;
+  Circuit.set_output c "q0" q0;
+  let mapped = Synth.Techmap.run c in
+  let trace c' = Netlist.Sim.run c' [ [| true |]; [| true |]; [| false |]; [| true |] ] in
+  Alcotest.(check bool) "sequential behaviour preserved" true (trace c = trace mapped)
+
+let test_techmap_overhead_reasonable () =
+  let oh = Synth.Techmap.mapping_overhead (Gen.alu 4) in
+  Alcotest.(check bool) (Printf.sprintf "overhead %.2f within 3x" oh) true (oh < 3.0)
+
+let test_present_round_netlist () =
+  let pr = Crypto.Sbox_circuit.present_round () in
+  let rng = Rng.create 41 in
+  for _ = 1 to 10 do
+    let state = Rng.next_int64 rng in
+    let key = Rng.next_int64 rng in
+    let expected =
+      Crypto.Present.p_layer (Crypto.Present.s_layer (Int64.logxor state key))
+    in
+    let bit v i = Int64.logand (Int64.shift_right_logical v i) 1L = 1L in
+    let inputs = Array.init 128 (fun i -> if i < 64 then bit state i else bit key (i - 64)) in
+    let outs = Netlist.Sim.eval pr inputs in
+    for i = 0 to 63 do
+      Alcotest.(check bool) (Printf.sprintf "bit %d" i) (bit expected i) outs.(i)
+    done
+  done
+
+(* --- redundancy removal & formal audit ---------------------------------- *)
+
+let test_redundancy_removal () =
+  let c = Circuit.create () in
+  let a = Circuit.add_input ~name:"a" c in
+  let b = Circuit.add_input ~name:"b" c in
+  let g = Circuit.add_gate c Gate.And [ a; b ] in
+  let y = Circuit.add_gate c Gate.Or [ a; g ] in
+  Circuit.set_output c "y" y;
+  let cleaned = Dft.Atpg.remove_redundancy c in
+  Alcotest.(check bool) "equivalent" true (Netlist.Sim.equivalent_exhaustive c cleaned);
+  Alcotest.(check int) "absorption law applied" 0 (Circuit.stats cleaned).Circuit.gates
+
+let test_redundancy_removal_keeps_irredundant () =
+  let c = Gen.c17 () in
+  let cleaned = Dft.Atpg.remove_redundancy c in
+  Alcotest.(check bool) "equivalent" true (Netlist.Sim.equivalent_exhaustive c cleaned);
+  Alcotest.(check int) "c17 is irredundant" (Circuit.stats c).Circuit.gates
+    (Circuit.stats cleaned).Circuit.gates
+
+let test_redundancy_removal_restores_coverage () =
+  (* Redundant logic caps fault coverage below 1; after removal the ATPG
+     coverage is complete again. *)
+  let c = Circuit.create () in
+  let a = Circuit.add_input ~name:"a" c in
+  let b = Circuit.add_input ~name:"b" c in
+  let g = Circuit.add_gate c Gate.And [ a; b ] in
+  let y = Circuit.add_gate c Gate.Or [ a; g ] in
+  let z = Circuit.add_gate c Gate.Xor [ y; b ] in
+  Circuit.set_output c "z" z;
+  let `Patterns _, `Coverage cov_before, `Untestable u = Dft.Atpg.run c in
+  Alcotest.(check bool) "redundant faults exist" true (u <> [] && cov_before < 1.0);
+  let cleaned = Dft.Atpg.remove_redundancy c in
+  let `Patterns _, `Coverage cov_after, `Untestable u' = Dft.Atpg.run cleaned in
+  Alcotest.(check (float 1e-9)) "full coverage after removal" 1.0 cov_after;
+  Alcotest.(check int) "nothing untestable" 0 (List.length u')
+
+let test_formal_audit_duplication () =
+  let prot = Fault.Countermeasure.duplicate_protect (Gen.ripple_adder 2) in
+  let `Proven proven, `Escapes escapes, `Harmless harmless = Fault.Formal.audit prot in
+  Alcotest.(check bool) "some faults proven detected" true (proven > 0);
+  Alcotest.(check bool) "some faults harmless" true (harmless > 0);
+  (* Every escape is a common-mode primary-input fault, and every witness
+     actually demonstrates silent corruption. *)
+  List.iter
+    (fun (fault, witness) ->
+      Alcotest.(check bool) "escape is an input fault" true
+        (Circuit.kind prot.Fault.Countermeasure.circuit (Fault.Model.node_of fault) = Gate.Input);
+      Alcotest.(check bool) "witness is a real escape" true
+        (Fault.Countermeasure.classify prot ~fault witness
+        = Fault.Countermeasure.Corrupted_undetected))
+    escapes;
+  Alcotest.(check bool) "escapes found" true (escapes <> [])
+
+let test_formal_audit_parity_finds_more_escapes () =
+  (* Parity's even-flip blind spot shows as more escape proofs than
+     duplication on the same design. *)
+  let src = Gen.ripple_adder 2 in
+  let audit_escapes prot =
+    let `Proven _, `Escapes e, `Harmless _ = Fault.Formal.audit prot in
+    List.length e
+  in
+  let dup = audit_escapes (Fault.Countermeasure.duplicate_protect src) in
+  let par = audit_escapes (Fault.Countermeasure.parity_protect src) in
+  Alcotest.(check bool) (Printf.sprintf "parity (%d) weaker than duplication (%d)" par dup)
+    true (par >= dup)
+
+(* --- full AES core -------------------------------------------------------- *)
+
+let test_aes_core_matches_software () =
+  let core = Crypto.Aes_core.build () in
+  let rng = Rng.create 50 in
+  for _ = 1 to 5 do
+    let key = Crypto.Aes.random_key rng in
+    let pt = Crypto.Aes.random_block rng in
+    let ks = Crypto.Aes.expand_key key in
+    let ct, trace = Crypto.Aes_core.encrypt core ks pt in
+    Alcotest.(check bool) "ciphertext matches" true (ct = Crypto.Aes.encrypt ks pt);
+    Alcotest.(check int) "11 cycles" 11 (List.length trace);
+    (* Cycle-0 state is pt XOR k0 — the scan attack's capture target. *)
+    (match trace with
+     | first :: _ ->
+       let got = Crypto.Aes_core.bits_to_block first in
+       Alcotest.(check bool) "load state is pt^k0" true
+         (got = Array.init 16 (fun i -> pt.(i) lxor key.(i)))
+     | [] -> Alcotest.fail "empty trace")
+  done
+
+let test_aes_core_scan_attack () =
+  let rng = Rng.create 51 in
+  let key = Crypto.Aes.random_key rng in
+  Alcotest.(check bool) "plain scan leaks the full key" true
+    (Dft.Scan_attack.full_core_attack_succeeds ~key ());
+  let tkey = Array.init 128 (fun _ -> Rng.bool rng) in
+  Alcotest.(check bool) "secure scan defeats it" false
+    (Dft.Scan_attack.full_core_attack_succeeds ~protection:(Dft.Scan.Secure tkey) ~key ())
+
+(* --- DOM masking ---------------------------------------------------------- *)
+
+let test_dom_and_correct () =
+  let rng = Rng.create 60 in
+  let src = Sidechannel.Leakage.private_and_source () in
+  List.iter
+    (fun shares ->
+      let dom = Sidechannel.Dom.transform ~shares src in
+      List.iter
+        (fun (a, b) ->
+          match Sidechannel.Dom.eval rng dom ~values:[ ("a", a); ("b", b) ] with
+          | [ (_, y) ] -> Alcotest.(check bool) "and" (a && b) y
+          | _ -> Alcotest.fail "unexpected outputs")
+        [ (false, false); (false, true); (true, false); (true, true) ])
+    [ 2; 3 ]
+
+let test_dom_multi_level_pipeline () =
+  let rng = Rng.create 61 in
+  let c17 = Gen.c17 () in
+  let dom = Sidechannel.Dom.transform ~shares:2 c17 in
+  Alcotest.(check int) "three AND levels -> latency 3" 3 dom.Sidechannel.Dom.latency;
+  for m = 0 to 31 do
+    let inputs = Array.init 5 (fun i -> (m lsr i) land 1 = 1) in
+    let expected = Netlist.Sim.eval c17 inputs in
+    let values =
+      List.mapi (fun k id -> Circuit.name c17 id, inputs.(k))
+        (Array.to_list (Circuit.inputs c17))
+    in
+    let got = Sidechannel.Dom.eval rng dom ~values in
+    List.iteri
+      (fun k (_, v) -> Alcotest.(check bool) (Printf.sprintf "m=%d out %d" m k) expected.(k) v)
+      got
+  done
+
+let test_dom_registers_cross_terms () =
+  (* The register stage is DOM's defining feature: the masked AND must
+     contain flip-flops (ISW has none). *)
+  let src = Sidechannel.Leakage.private_and_source () in
+  let dom = Sidechannel.Dom.transform ~shares:2 src in
+  let isw = Sidechannel.Isw.transform ~shares:2 src in
+  Alcotest.(check bool) "DOM has registers" true
+    (Circuit.num_dffs dom.Sidechannel.Dom.circuit > 0);
+  Alcotest.(check int) "ISW is combinational" 0
+    (Circuit.num_dffs isw.Sidechannel.Isw.circuit);
+  (* Same randomness budget at equal share count. *)
+  Alcotest.(check int) "same randomness"
+    (Array.length isw.Sidechannel.Isw.random_inputs)
+    (Array.length dom.Sidechannel.Dom.random_inputs)
+
+let test_dom_first_order_passes () =
+  let rng = Rng.create 62 in
+  let dom = Sidechannel.Dom.transform ~shares:2 (Sidechannel.Leakage.private_and_source ()) in
+  let c = dom.Sidechannel.Dom.circuit in
+  let pos_of =
+    let tbl = Hashtbl.create 64 in
+    Array.iteri (fun pos id -> Hashtbl.replace tbl id pos) (Circuit.inputs c);
+    fun id -> Hashtbl.find tbl id
+  in
+  let collect cls =
+    let a, b =
+      match cls with
+      | `Fixed -> true, true
+      | `Random -> Rng.bool rng, Rng.bool rng
+    in
+    let vec = Array.make (Circuit.num_inputs c) false in
+    List.iter
+      (fun (name, ids) ->
+        let v = if name = "a" then a else b in
+        let sh = Sidechannel.Isw.encode rng ~shares:2 v in
+        Array.iteri (fun s id -> vec.(pos_of id) <- sh.(s)) ids)
+      dom.Sidechannel.Dom.input_shares;
+    Array.iter (fun id -> vec.(pos_of id) <- Rng.bool rng) dom.Sidechannel.Dom.random_inputs;
+    (* Leakage: HW of the settled combinational state in cycle 0. *)
+    [| Power.Model.hamming_weight_sample rng c ~noise_sigma:0.1 ~inputs:vec |]
+  in
+  let r = Sidechannel.Tvla.campaign ~traces_per_class:4000 ~collect in
+  Alcotest.(check bool) "first-order pass" false (Sidechannel.Tvla.leaks r)
+
+let () =
+  Alcotest.run "extensions2"
+    [ ("glitch_attack",
+       [ Alcotest.test_case "full period golden" `Quick test_capture_full_period_is_golden;
+         Alcotest.test_case "glitch faults" `Quick test_glitch_induces_fault;
+         Alcotest.test_case "attack sweep" `Quick test_attack_sweep_finds_margin;
+         Alcotest.test_case "sensor never silent" `Quick test_sensor_never_silent;
+         Alcotest.test_case "sensor transparent" `Quick test_sensor_data_unchanged ]);
+      ("constrained_synthesis",
+       [ Alcotest.test_case "correct + camouflageable" `Quick test_constrained_synthesis_correct;
+         Alcotest.test_case "constants" `Quick test_constrained_synthesis_constants;
+         Alcotest.test_case "constraint cost" `Quick test_constraint_has_cost;
+         Alcotest.test_case "fully lockable" `Quick test_constrained_result_fully_lockable ]);
+      ("sensitization",
+       [ Alcotest.test_case "isolated keys" `Quick test_sensitization_isolated_keys_recovered;
+         Alcotest.test_case "interference degrades" `Quick test_sensitization_interference_degrades;
+         Alcotest.test_case "single key exact" `Quick test_sensitization_never_wrong_on_resolved_single_key ]);
+      ("unroll",
+       [ Alcotest.test_case "frame counts" `Quick test_expand_frame_count;
+         Alcotest.test_case "scan leak via 2-safety" `Quick test_two_safety_scan_chain_leaks_registered_secret ]);
+      ("techmap",
+       [ Alcotest.test_case "nand+inv" `Quick test_techmap_nand_inv;
+         Alcotest.test_case "camo target" `Quick test_techmap_camo_target;
+         Alcotest.test_case "sequential" `Quick test_techmap_sequential;
+         Alcotest.test_case "overhead" `Quick test_techmap_overhead_reasonable;
+         Alcotest.test_case "present round" `Quick test_present_round_netlist ]);
+      ("redundancy",
+       [ Alcotest.test_case "absorption removed" `Quick test_redundancy_removal;
+         Alcotest.test_case "irredundant untouched" `Quick test_redundancy_removal_keeps_irredundant;
+         Alcotest.test_case "coverage restored" `Quick test_redundancy_removal_restores_coverage ]);
+      ("formal_audit",
+       [ Alcotest.test_case "duplication" `Slow test_formal_audit_duplication;
+         Alcotest.test_case "parity vs duplication" `Slow test_formal_audit_parity_finds_more_escapes ]);
+      ("aes_core",
+       [ Alcotest.test_case "matches software" `Quick test_aes_core_matches_software;
+         Alcotest.test_case "full-key scan attack" `Quick test_aes_core_scan_attack ]);
+      ("dom",
+       [ Alcotest.test_case "and correct" `Quick test_dom_and_correct;
+         Alcotest.test_case "pipeline levels" `Quick test_dom_multi_level_pipeline;
+         Alcotest.test_case "register stage" `Quick test_dom_registers_cross_terms;
+         Alcotest.test_case "first order" `Slow test_dom_first_order_passes ]) ]

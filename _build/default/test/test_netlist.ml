@@ -1,0 +1,296 @@
+(* Tests for the netlist IR: construction, simulation (scalar, word,
+   sequential), generators, IO round trips and structural utilities. *)
+
+module Circuit = Netlist.Circuit
+module Gate = Netlist.Gate
+module Sim = Netlist.Sim
+module Gen = Netlist.Generators
+module Io = Netlist.Io
+module Rng = Eda_util.Rng
+
+let bits ~width x = Array.init width (fun i -> (x lsr i) land 1 = 1)
+
+let test_build_and_eval () =
+  let c = Circuit.create () in
+  let a = Circuit.add_input ~name:"a" c in
+  let b = Circuit.add_input ~name:"b" c in
+  let x = Circuit.add_gate ~name:"x" c Gate.Xor [ a; b ] in
+  Circuit.set_output c "x" x;
+  Alcotest.(check bool) "0^1" true (Sim.eval c [| false; true |]).(0);
+  Alcotest.(check bool) "1^1" false (Sim.eval c [| true; true |]).(0);
+  Alcotest.(check bool) "well formed" true (Circuit.well_formed c)
+
+let test_all_gate_kinds () =
+  let c = Circuit.create () in
+  let a = Circuit.add_input ~name:"a" c in
+  let b = Circuit.add_input ~name:"b" c in
+  let s = Circuit.add_input ~name:"s" c in
+  let mk kind fanins nm = Circuit.set_output c nm (Circuit.add_gate ~name:nm c kind fanins) in
+  mk Gate.And [ a; b ] "and";
+  mk Gate.Nand [ a; b ] "nand";
+  mk Gate.Or [ a; b ] "or";
+  mk Gate.Nor [ a; b ] "nor";
+  mk Gate.Xor [ a; b ] "xor";
+  mk Gate.Xnor [ a; b ] "xnor";
+  mk Gate.Not [ a ] "not";
+  mk Gate.Buf [ a ] "buf";
+  mk Gate.Mux [ s; a; b ] "mux";
+  let check av bv sv expected =
+    let outs = Sim.eval c [| av; bv; sv |] in
+    Alcotest.(check (array bool)) (Printf.sprintf "a=%b b=%b s=%b" av bv sv) expected outs
+  in
+  check true false false
+    [| false; true; true; false; true; false; false; true; true |];
+  check true true true
+    [| true; false; true; false; false; true; false; true; true |];
+  check false true true
+    [| false; true; true; false; true; false; true; false; true |]
+
+let test_word_sim_matches_scalar () =
+  let c = Gen.c17 () in
+  let rng = Rng.create 23 in
+  for _ = 1 to 20 do
+    let inputs = Array.init 5 (fun _ -> Rng.bool rng) in
+    let scalar = Sim.eval c inputs in
+    let words = Array.map (fun b -> if b then -1 else 0) inputs in
+    let word_outs = Sim.eval_word c words in
+    Array.iteri
+      (fun k w ->
+        Alcotest.(check bool) "word bit0 agrees" scalar.(k) (w land 1 = 1))
+      word_outs
+  done
+
+let test_c17_reference_vectors () =
+  (* c17 truth spot checks computed by hand from the NAND structure. *)
+  let c = Gen.c17 () in
+  (* All inputs 0: G10=1, G11=1, G16=1, G19=1, G22=nand(1,1)=0, G23=0. *)
+  Alcotest.(check (array bool)) "all zero" [| false; false |] (Sim.eval c (bits ~width:5 0));
+  (* G1..G5 = 1: G10=0, G11=0, G16=1, G19=1, G22=1, G23=0. *)
+  Alcotest.(check (array bool)) "all one" [| true; false |] (Sim.eval c (bits ~width:5 0b11111))
+
+let test_ripple_adder () =
+  let c = Gen.ripple_adder 4 in
+  let add a b cin =
+    let inputs = Array.concat [ bits ~width:4 a; bits ~width:4 b; [| cin |] ] in
+    let outs = Sim.eval c inputs in
+    let s = ref 0 in
+    for i = 3 downto 0 do
+      s := (!s lsl 1) lor (if outs.(i) then 1 else 0)
+    done;
+    !s, outs.(4)
+  in
+  for a = 0 to 15 do
+    for b = 0 to 15 do
+      let s, cout = add a b false in
+      Alcotest.(check int) (Printf.sprintf "%d+%d" a b) ((a + b) land 0xF) s;
+      Alcotest.(check bool) "carry" (a + b > 15) cout
+    done
+  done;
+  let s, cout = add 15 15 true in
+  Alcotest.(check int) "15+15+1 sum" 15 s;
+  Alcotest.(check bool) "15+15+1 carry" true cout
+
+let test_comparator () =
+  let c = Gen.comparator 3 in
+  for a = 0 to 7 do
+    for b = 0 to 7 do
+      let inputs = Array.concat [ bits ~width:3 a; bits ~width:3 b ] in
+      Alcotest.(check bool) (Printf.sprintf "%d=%d" a b) (a = b) (Sim.eval c inputs).(0)
+    done
+  done
+
+let test_parity_tree () =
+  let c = Gen.parity_tree 7 in
+  for m = 0 to 127 do
+    let inputs = bits ~width:7 m in
+    let expected = Eda_util.Stats.hamming_weight ~bits:7 m land 1 = 1 in
+    Alcotest.(check bool) (Printf.sprintf "m=%d" m) expected (Sim.eval c inputs).(0)
+  done
+
+let test_mux_tree () =
+  let c = Gen.mux_tree 2 in
+  (* Inputs: d0..d3 then s0, s1. *)
+  for sel = 0 to 3 do
+    for data = 0 to 15 do
+      let inputs = Array.concat [ bits ~width:4 data; bits ~width:2 sel ] in
+      let expected = (data lsr sel) land 1 = 1 in
+      Alcotest.(check bool) (Printf.sprintf "d=%d s=%d" data sel) expected (Sim.eval c inputs).(0)
+    done
+  done
+
+let test_alu () =
+  let c = Gen.alu 4 in
+  let run a b op =
+    let inputs = Array.concat [ bits ~width:4 a; bits ~width:4 b; bits ~width:2 op ] in
+    let outs = Sim.eval c inputs in
+    let v = ref 0 in
+    for i = 3 downto 0 do
+      v := (!v lsl 1) lor (if outs.(i) then 1 else 0)
+    done;
+    !v
+  in
+  for a = 0 to 15 do
+    for b = 0 to 15 do
+      Alcotest.(check int) "and" (a land b) (run a b 0);
+      Alcotest.(check int) "or" (a lor b) (run a b 1);
+      Alcotest.(check int) "xor" (a lxor b) (run a b 2);
+      Alcotest.(check int) "add" ((a + b) land 0xF) (run a b 3)
+    done
+  done
+
+let test_sequential_counter () =
+  (* 2-bit counter from DFFs: q0' = !q0, q1' = q1 xor q0. *)
+  let c = Circuit.create () in
+  let en = Circuit.add_input ~name:"en" c in
+  ignore en;
+  let q0 = Circuit.add_dff ~name:"q0" c ~d:0 in
+  let q1 = Circuit.add_dff ~name:"q1" c ~d:0 in
+  let nq0 = Circuit.add_gate ~name:"nq0" c Gate.Not [ q0 ] in
+  let t = Circuit.add_gate ~name:"t" c Gate.Xor [ q1; q0 ] in
+  Circuit.connect_dff c q0 ~d:nq0;
+  Circuit.connect_dff c q1 ~d:t;
+  Circuit.set_output c "q0" q0;
+  Circuit.set_output c "q1" q1;
+  let trace = Sim.run c [ [| false |]; [| false |]; [| false |]; [| false |] ] in
+  let as_int outs = (if outs.(1) then 2 else 0) lor (if outs.(0) then 1 else 0) in
+  Alcotest.(check (list int)) "counting" [ 0; 1; 2; 3 ] (List.map as_int trace)
+
+let test_truth_table_extraction () =
+  let c = Gen.parity_tree 3 in
+  let f = Sim.truth_table c ~output:0 in
+  Alcotest.(check string) "parity tt" "01101001" (Logic.Truth_table.to_string f)
+
+let test_of_truth_table () =
+  let f = Logic.Truth_table.create 4 (fun m -> m mod 3 = 0) in
+  let c = Gen.of_truth_table f in
+  for m = 0 to 15 do
+    Alcotest.(check bool) (Printf.sprintf "m=%d" m)
+      (Logic.Truth_table.eval f m)
+      (Sim.eval c (bits ~width:4 m)).(0)
+  done
+
+let test_of_truth_tables_sharing () =
+  let f0 = Logic.Truth_table.var 3 0 in
+  let f1 = Logic.Truth_table.var 3 0 in
+  let c = Gen.of_truth_tables [ f0; f1 ] in
+  (* Identical functions must share all logic. *)
+  let (_, o0) = (Circuit.outputs c).(0) and (_, o1) = (Circuit.outputs c).(1) in
+  Alcotest.(check int) "shared output node" o0 o1
+
+let test_io_roundtrip () =
+  let c = Gen.c17 () in
+  let text = Io.to_string c in
+  let c' = Io.of_string text in
+  Alcotest.(check bool) "equivalent" true (Sim.equivalent_exhaustive c c');
+  Alcotest.(check int) "same inputs" (Circuit.num_inputs c) (Circuit.num_inputs c')
+
+let test_io_sequential_roundtrip () =
+  let src = "INPUT(x)\nOUTPUT(q)\nq = DFF(d)\nnq = NOT(q)\nd = XOR(x, nq)\n" in
+  (* The DFF D-input refers forward to a net defined later. *)
+  (match Io.of_string src with
+   | c ->
+     Alcotest.(check int) "one dff" 1 (Circuit.num_dffs c)
+   | exception Io.Parse_error msg -> Alcotest.fail msg)
+
+let test_io_rejects_garbage () =
+  Alcotest.check_raises "bad line" (Io.Parse_error "bad line: what is this")
+    (fun () -> ignore (Io.of_string "what is this"))
+
+let test_sweep_removes_dead () =
+  let c = Circuit.create () in
+  let a = Circuit.add_input ~name:"a" c in
+  let b = Circuit.add_input ~name:"b" c in
+  let live = Circuit.add_gate ~name:"live" c Gate.And [ a; b ] in
+  let _dead = Circuit.add_gate ~name:"dead" c Gate.Or [ a; b ] in
+  Circuit.set_output c "y" live;
+  let swept, _ = Circuit.sweep c in
+  Alcotest.(check bool) "dead gone" true (Circuit.find_by_name swept "dead" = None);
+  Alcotest.(check bool) "still works" true (Sim.eval swept [| true; true |]).(0)
+
+let test_stats () =
+  let c = Gen.c17 () in
+  let st = Circuit.stats c in
+  Alcotest.(check int) "gates" 6 st.Circuit.gates;
+  Alcotest.(check int) "inputs" 5 st.Circuit.inputs;
+  Alcotest.(check int) "outputs" 2 st.Circuit.outputs;
+  Alcotest.(check bool) "area positive" true (st.Circuit.area > 0.0)
+
+let test_fanouts () =
+  let c = Gen.c17 () in
+  let fo = Circuit.fanouts c in
+  (* G11 (node 6) feeds G16 and G19. *)
+  match Circuit.find_by_name c "G11" with
+  | Some id -> Alcotest.(check int) "fanout of G11" 2 (List.length fo.(id))
+  | None -> Alcotest.fail "G11 missing"
+
+let test_signal_probabilities () =
+  let c = Gen.parity_tree 4 in
+  let rng = Rng.create 99 in
+  let probs = Sim.signal_probabilities rng ~patterns:6300 c in
+  let out = (Circuit.output_ids c).(0) in
+  Alcotest.(check bool) "xor output balanced" true (Float.abs (probs.(out) -. 0.5) < 0.05)
+
+let test_equivalence_helpers () =
+  let a = Gen.ripple_adder 3 in
+  let b = Gen.ripple_adder 3 in
+  Alcotest.(check bool) "self equivalence" true (Sim.equivalent_exhaustive a b);
+  let rng = Rng.create 5 in
+  Alcotest.(check bool) "random equivalence" true (Sim.equivalent_random rng ~patterns:100 a b);
+  let c = Gen.comparator 3 in
+  ignore c;
+  let d = Gen.parity_tree 7 in
+  Alcotest.(check bool) "different circuits differ" false (Sim.equivalent_exhaustive a d)
+
+let prop_random_dag_well_formed =
+  QCheck.Test.make ~name:"random dags are well-formed" ~count:30
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let c = Gen.random_dag ~seed ~inputs:8 ~gates:60 ~outputs:4 in
+      Circuit.well_formed c)
+
+let prop_io_roundtrip_random =
+  QCheck.Test.make ~name:"io roundtrip preserves function" ~count:15
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let c = Gen.random_dag ~seed ~inputs:6 ~gates:40 ~outputs:3 in
+      let c' = Io.of_string (Io.to_string c) in
+      Sim.equivalent_exhaustive c c')
+
+let prop_sweep_preserves_function =
+  QCheck.Test.make ~name:"sweep preserves function" ~count:15
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let c = Gen.random_dag ~seed ~inputs:6 ~gates:40 ~outputs:3 in
+      let swept, _ = Circuit.sweep c in
+      Sim.equivalent_exhaustive c swept)
+
+let () =
+  Alcotest.run "netlist"
+    [ ("circuit",
+       [ Alcotest.test_case "build and eval" `Quick test_build_and_eval;
+         Alcotest.test_case "all gate kinds" `Quick test_all_gate_kinds;
+         Alcotest.test_case "sweep" `Quick test_sweep_removes_dead;
+         Alcotest.test_case "stats" `Quick test_stats;
+         Alcotest.test_case "fanouts" `Quick test_fanouts ]);
+      ("sim",
+       [ Alcotest.test_case "word matches scalar" `Quick test_word_sim_matches_scalar;
+         Alcotest.test_case "sequential counter" `Quick test_sequential_counter;
+         Alcotest.test_case "truth table extraction" `Quick test_truth_table_extraction;
+         Alcotest.test_case "signal probabilities" `Quick test_signal_probabilities;
+         Alcotest.test_case "equivalence helpers" `Quick test_equivalence_helpers ]);
+      ("generators",
+       [ Alcotest.test_case "c17 vectors" `Quick test_c17_reference_vectors;
+         Alcotest.test_case "ripple adder exhaustive" `Quick test_ripple_adder;
+         Alcotest.test_case "comparator" `Quick test_comparator;
+         Alcotest.test_case "parity tree" `Quick test_parity_tree;
+         Alcotest.test_case "mux tree" `Quick test_mux_tree;
+         Alcotest.test_case "alu" `Quick test_alu;
+         Alcotest.test_case "of_truth_table" `Quick test_of_truth_table;
+         Alcotest.test_case "of_truth_tables sharing" `Quick test_of_truth_tables_sharing ]);
+      ("io",
+       [ Alcotest.test_case "roundtrip c17" `Quick test_io_roundtrip;
+         Alcotest.test_case "sequential roundtrip" `Quick test_io_sequential_roundtrip;
+         Alcotest.test_case "rejects garbage" `Quick test_io_rejects_garbage ]);
+      ("properties",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_random_dag_well_formed; prop_io_roundtrip_random; prop_sweep_preserves_function ]) ]

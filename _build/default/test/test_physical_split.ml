@@ -1,0 +1,136 @@
+(* Tests for placement and split manufacturing. *)
+
+module Circuit = Netlist.Circuit
+module Gen = Netlist.Generators
+module Place = Physical.Placement
+module Split = Splitmfg.Split
+module Rng = Eda_util.Rng
+
+let test_initial_placement_valid () =
+  let rng = Rng.create 1 in
+  let c = Gen.alu 4 in
+  let p = Place.initial rng c in
+  let n = Circuit.node_count c in
+  (* All positions distinct and on the grid. *)
+  let seen = Hashtbl.create n in
+  Array.iter
+    (fun (x, y) ->
+      Alcotest.(check bool) "on grid" true (x >= 0 && x < p.Place.cols && y >= 0 && y < p.Place.rows);
+      Alcotest.(check bool) "distinct" false (Hashtbl.mem seen (x, y));
+      Hashtbl.replace seen (x, y) ())
+    p.Place.position
+
+let test_annealing_reduces_wirelength () =
+  let rng = Rng.create 2 in
+  let c = Gen.alu 4 in
+  let p0 = Place.initial rng c in
+  let wl0 = Place.wirelength p0 in
+  let p1 = Place.anneal rng ~moves:15000 p0 in
+  let wl1 = Place.wirelength p1 in
+  Alcotest.(check bool) (Printf.sprintf "wl %d -> %d" wl0 wl1) true (wl1 < wl0)
+
+let test_annealing_keeps_validity () =
+  let rng = Rng.create 3 in
+  let c = Gen.c17 () in
+  let p = Place.place rng ~moves:5000 c in
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun pos ->
+      Alcotest.(check bool) "distinct after anneal" false (Hashtbl.mem seen pos);
+      Hashtbl.replace seen pos ())
+    p.Place.position
+
+let test_perturbation_trades_wirelength_for_privacy () =
+  let rng = Rng.create 4 in
+  let c = Gen.alu 4 in
+  let p = Place.place rng ~moves:15000 c in
+  let q = Place.perturb rng ~lambda:0.5 ~moves:15000 p in
+  Alcotest.(check bool) "wirelength cost" true (Place.wirelength q > Place.wirelength p)
+
+let test_split_partitions_all_connections () =
+  let rng = Rng.create 5 in
+  let c = Gen.c17 () in
+  let p = Place.place rng ~moves:3000 c in
+  let s = Split.split_by_length ~feol_threshold:1 p in
+  let total = List.length (Split.all_connections c) in
+  Alcotest.(check int) "partition" total
+    (List.length s.Split.visible + List.length s.Split.hidden);
+  List.iter
+    (fun conn ->
+      Alcotest.(check bool) "visible short" true
+        (Place.distance p conn.Split.from_node conn.Split.to_node <= 1))
+    s.Split.visible
+
+let test_lifting_monotone () =
+  let rng = Rng.create 6 in
+  let c = Gen.alu 4 in
+  let p = Place.place rng ~moves:8000 c in
+  let s = Split.split_by_length ~feol_threshold:2 p in
+  let l30 = Split.lift_wires ~fraction:0.3 s in
+  let l100 = Split.lift_wires ~fraction:1.0 s in
+  Alcotest.(check bool) "lifting hides more" true
+    (List.length l30.Split.hidden > List.length s.Split.hidden);
+  Alcotest.(check int) "full lift hides everything" 0 (List.length l100.Split.visible)
+
+let test_attack_beats_random_on_ppa_placement () =
+  let rng = Rng.create 7 in
+  let c = Gen.alu 4 in
+  let p = Place.place rng ~moves:20000 c in
+  let s = Split.lift_wires ~fraction:1.0 (Split.split_by_length ~feol_threshold:2 p) in
+  let ccr = Split.proximity_attack s in
+  let baseline = Split.random_guess_ccr s in
+  Alcotest.(check bool)
+    (Printf.sprintf "ccr %.3f > 2x random %.3f" ccr baseline)
+    true
+    (ccr > 2.0 *. baseline)
+
+let test_defenses_reduce_recovery () =
+  let rng = Rng.create 8 in
+  let c = Gen.alu 4 in
+  let p = Place.place rng ~moves:20000 c in
+  let naive = Split.split_by_length ~feol_threshold:2 p in
+  let lifted = Split.lift_wires ~fraction:1.0 naive in
+  let perturbed = Place.perturb rng ~lambda:0.5 ~moves:20000 p in
+  let both = Split.lift_wires ~fraction:1.0 (Split.split_by_length ~feol_threshold:2 perturbed) in
+  let r0 = Split.netlist_recovery_rate naive in
+  let r1 = Split.netlist_recovery_rate lifted in
+  let r2 = Split.netlist_recovery_rate both in
+  Alcotest.(check bool) (Printf.sprintf "lifting helps (%.2f -> %.2f)" r0 r1) true (r1 < r0);
+  Alcotest.(check bool) (Printf.sprintf "perturbation helps (%.2f -> %.2f)" r1 r2) true (r2 <= r1)
+
+let test_hidden_wirelength_cost () =
+  let rng = Rng.create 9 in
+  let c = Gen.c17 () in
+  let p = Place.place rng ~moves:3000 c in
+  let s = Split.split_by_length ~feol_threshold:1 p in
+  let lifted = Split.lift_wires ~fraction:0.5 s in
+  Alcotest.(check bool) "lifting adds BEOL wirelength" true
+    (Split.hidden_wirelength lifted >= Split.hidden_wirelength s)
+
+let prop_split_preserves_connection_count =
+  QCheck.Test.make ~name:"split + lift never loses connections" ~count:10
+    QCheck.(pair (int_bound 300) (int_bound 100))
+    (fun (seed, pct) ->
+      let rng = Rng.create seed in
+      let c = Gen.random_dag ~seed ~inputs:5 ~gates:25 ~outputs:2 in
+      let p = Place.place rng ~moves:1000 c in
+      let s = Split.split_by_length ~feol_threshold:1 p in
+      let l = Split.lift_wires ~fraction:(Float.of_int pct /. 100.0) s in
+      List.length (Split.all_connections c)
+      = List.length l.Split.visible + List.length l.Split.hidden)
+
+let () =
+  Alcotest.run "physical_split"
+    [ ("placement",
+       [ Alcotest.test_case "initial valid" `Quick test_initial_placement_valid;
+         Alcotest.test_case "annealing reduces wirelength" `Quick test_annealing_reduces_wirelength;
+         Alcotest.test_case "annealing keeps validity" `Quick test_annealing_keeps_validity;
+         Alcotest.test_case "perturbation cost" `Quick test_perturbation_trades_wirelength_for_privacy ]);
+      ("split",
+       [ Alcotest.test_case "partition complete" `Quick test_split_partitions_all_connections;
+         Alcotest.test_case "lifting monotone" `Quick test_lifting_monotone;
+         Alcotest.test_case "attack beats random" `Quick test_attack_beats_random_on_ppa_placement;
+         Alcotest.test_case "defenses reduce recovery" `Slow test_defenses_reduce_recovery;
+         Alcotest.test_case "wirelength cost" `Quick test_hidden_wirelength_cost ]);
+      ("properties",
+       List.map QCheck_alcotest.to_alcotest [ prop_split_preserves_connection_count ]) ]

@@ -1,0 +1,228 @@
+(* Tests for the CDCL solver and the circuit CNF layer. The solver is
+   cross-validated against brute-force enumeration on random small CNFs. *)
+
+module Solver = Sat.Solver
+module Cnf = Sat.Cnf
+module Circuit = Netlist.Circuit
+module Gate = Netlist.Gate
+module Gen = Netlist.Generators
+module Sim = Netlist.Sim
+module Rng = Eda_util.Rng
+
+let lit v sign = Solver.lit_of_var v ~sign
+
+let test_trivial_sat () =
+  let s = Solver.create () in
+  let v = Solver.new_var s in
+  Solver.add_clause s [ lit v true ];
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "model" true (Solver.model_value s v)
+
+let test_trivial_unsat () =
+  let s = Solver.create () in
+  let v = Solver.new_var s in
+  Solver.add_clause s [ lit v true ];
+  (match Solver.add_clause s [ lit v false ] with
+   | () -> Alcotest.fail "expected root conflict"
+   | exception Solver.Unsat_root -> ())
+
+let test_unsat_pigeon () =
+  (* 2 pigeons, 1 hole is immediate; use 3 pigeons, 2 holes. Variables
+     p(i,j): pigeon i in hole j. *)
+  let s = Solver.create () in
+  let p = Array.init 3 (fun _ -> Array.init 2 (fun _ -> Solver.new_var s)) in
+  (* Each pigeon somewhere. *)
+  Array.iter (fun row -> Solver.add_clause s [ lit row.(0) true; lit row.(1) true ]) p;
+  (* No two pigeons share a hole. *)
+  for j = 0 to 1 do
+    for i = 0 to 2 do
+      for k = i + 1 to 2 do
+        Solver.add_clause s [ lit p.(i).(j) false; lit p.(k).(j) false ]
+      done
+    done
+  done;
+  Alcotest.(check bool) "unsat" true (Solver.solve s = Solver.Unsat)
+
+let test_assumptions () =
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  Solver.add_clause s [ lit a false; lit b true ];  (* a -> b *)
+  Alcotest.(check bool) "sat under a" true
+    (Solver.solve ~assumptions:[ lit a true ] s = Solver.Sat);
+  Alcotest.(check bool) "b forced" true (Solver.model_value s b);
+  Solver.add_clause s [ lit b false ];
+  Alcotest.(check bool) "unsat under a" true
+    (Solver.solve ~assumptions:[ lit a true ] s = Solver.Unsat);
+  Alcotest.(check bool) "sat without" true (Solver.solve s = Solver.Sat)
+
+let test_incremental_reuse () =
+  let s = Solver.create () in
+  let vs = Array.init 10 (fun _ -> Solver.new_var s) in
+  (* Chain of implications v0 -> v1 -> ... -> v9. *)
+  for i = 0 to 8 do
+    Solver.add_clause s [ lit vs.(i) false; lit vs.(i + 1) true ]
+  done;
+  Alcotest.(check bool) "sat" true (Solver.solve ~assumptions:[ lit vs.(0) true ] s = Solver.Sat);
+  Alcotest.(check bool) "chain propagated" true (Solver.model_value s vs.(9));
+  Alcotest.(check bool) "still sat negated" true
+    (Solver.solve ~assumptions:[ lit vs.(9) false ] s = Solver.Sat);
+  Alcotest.(check bool) "v0 must be false" false (Solver.model_value s vs.(0))
+
+(* Brute-force reference: enumerate assignments over n vars. *)
+let brute_force nvars clauses =
+  let sat = ref false in
+  for m = 0 to (1 lsl nvars) - 1 do
+    let ok =
+      List.for_all
+        (fun clause ->
+          List.exists
+            (fun l ->
+              let v = Solver.var_of_lit l in
+              let value = (m lsr v) land 1 = 1 in
+              if Solver.pos l then value else not value)
+            clause)
+        clauses
+    in
+    if ok then sat := true
+  done;
+  !sat
+
+let random_cnf rng ~nvars ~nclauses =
+  List.init nclauses (fun _ ->
+      let len = 1 + Rng.int rng 3 in
+      List.init len (fun _ -> lit (Rng.int rng nvars) (Rng.bool rng)))
+
+let test_fuzz_against_brute_force () =
+  let rng = Rng.create 1234 in
+  for trial = 1 to 300 do
+    let nvars = 3 + Rng.int rng 6 in
+    let nclauses = 2 + Rng.int rng 20 in
+    let clauses = random_cnf rng ~nvars ~nclauses in
+    let expected = brute_force nvars clauses in
+    let s = Solver.create () in
+    for _ = 1 to nvars do
+      ignore (Solver.new_var s)
+    done;
+    (match List.iter (Solver.add_clause s) clauses with
+     | () ->
+       let got = Solver.solve s = Solver.Sat in
+       Alcotest.(check bool) (Printf.sprintf "trial %d" trial) expected got;
+       (* If SAT, the model must satisfy every clause. *)
+       if got then
+         List.iter
+           (fun clause ->
+             let satisfied =
+               List.exists
+                 (fun l ->
+                   let v = Solver.var_of_lit l in
+                   let value = Solver.model_value s v in
+                   if Solver.pos l then value else not value)
+                 clause
+             in
+             Alcotest.(check bool) "model satisfies clause" true satisfied)
+           clauses
+     | exception Solver.Unsat_root ->
+       Alcotest.(check bool) (Printf.sprintf "trial %d (root)" trial) expected false)
+  done
+
+let test_circuit_encoding_agrees_with_sim () =
+  let rng = Rng.create 77 in
+  for seed = 1 to 20 do
+    let c = Gen.random_dag ~seed ~inputs:6 ~gates:30 ~outputs:2 in
+    let env = Cnf.encode c in
+    (* Constrain inputs to a random pattern, solve, compare every output. *)
+    let pattern = Array.init 6 (fun _ -> Rng.bool rng) in
+    let input_ids = Circuit.inputs c in
+    Array.iteri
+      (fun k id -> Solver.add_clause env.Cnf.solver [ Cnf.lit env ~node:id ~sign:pattern.(k) ])
+      input_ids;
+    (match Solver.solve env.Cnf.solver with
+     | Solver.Sat ->
+       let expected = Sim.eval c pattern in
+       Array.iteri
+         (fun k o ->
+           Alcotest.(check bool) (Printf.sprintf "seed %d out %d" seed k) expected.(k)
+             (Solver.model_value env.Cnf.solver env.Cnf.vars.(o)))
+         (Circuit.output_ids c)
+     | Solver.Unsat -> Alcotest.fail "circuit CNF must be satisfiable under full input assignment")
+  done
+
+let test_equivalence_adders () =
+  let a = Gen.ripple_adder 4 in
+  let b = Gen.ripple_adder 4 in
+  Alcotest.(check bool) "equivalent" true (Cnf.check_equivalence a b = None)
+
+let test_equivalence_detects_difference () =
+  let a = Gen.parity_tree 4 in
+  (* Build an almost-parity circuit: flips behaviour on one input combo. *)
+  let b = Circuit.create () in
+  let xs = List.init 4 (fun i -> Circuit.add_input ~name:(Printf.sprintf "x%d" i) b) in
+  let p = Circuit.reduce b Gate.Xor xs in
+  let all_and = Circuit.reduce b Gate.And xs in
+  let out = Circuit.add_gate b Gate.Or [ p; all_and ] in
+  Circuit.set_output b "parity" out;
+  (match Cnf.check_equivalence a b with
+   | None -> Alcotest.fail "must find difference"
+   | Some witness ->
+     (* Witness must actually distinguish. *)
+     Alcotest.(check bool) "witness distinguishes" true
+       (Sim.eval a witness <> Sim.eval b witness))
+
+let test_satisfiable_output () =
+  let c = Gen.comparator 4 in
+  (match Cnf.satisfiable_output c ~output:0 with
+   | Some witness -> Alcotest.(check bool) "eq witness" true (Sim.eval c witness).(0)
+   | None -> Alcotest.fail "comparator can be true");
+  (* A constant-false output is unsatisfiable. *)
+  let k = Circuit.create () in
+  let a = Circuit.add_input ~name:"a" k in
+  let na = Circuit.add_gate k Gate.Not [ a ] in
+  let z = Circuit.add_gate k Gate.And [ a; na ] in
+  Circuit.set_output k "z" z;
+  Alcotest.(check bool) "a & !a unsat" true (Cnf.satisfiable_output k ~output:0 = None)
+
+let test_xor_chain_equivalence_deep () =
+  (* Associativity: left chain vs balanced tree of XORs. *)
+  let left = Circuit.create () in
+  let xs = List.init 8 (fun i -> Circuit.add_input ~name:(Printf.sprintf "x%d" i) left) in
+  Circuit.set_output left "y" (Circuit.reduce_chain left Gate.Xor xs);
+  let tree = Circuit.create () in
+  let ys = List.init 8 (fun i -> Circuit.add_input ~name:(Printf.sprintf "x%d" i) tree) in
+  Circuit.set_output tree "y" (Circuit.reduce tree Gate.Xor ys);
+  Alcotest.(check bool) "chain = tree" true (Cnf.check_equivalence left tree = None)
+
+let prop_miter_random_dags_self_equal =
+  QCheck.Test.make ~name:"every circuit equals itself (SAT miter)" ~count:15
+    QCheck.(int_bound 500)
+    (fun seed ->
+      let c = Gen.random_dag ~seed ~inputs:5 ~gates:25 ~outputs:2 in
+      Cnf.check_equivalence c c = None)
+
+let prop_equivalence_agrees_with_exhaustive =
+  QCheck.Test.make ~name:"SAT equivalence agrees with exhaustive sim" ~count:15
+    QCheck.(pair (int_bound 500) (int_bound 500))
+    (fun (s1, s2) ->
+      let a = Gen.random_dag ~seed:s1 ~inputs:5 ~gates:20 ~outputs:1 in
+      let b = Gen.random_dag ~seed:s2 ~inputs:5 ~gates:20 ~outputs:1 in
+      let sat_eq = Cnf.check_equivalence a b = None in
+      let sim_eq = Sim.equivalent_exhaustive a b in
+      sat_eq = sim_eq)
+
+let () =
+  Alcotest.run "sat"
+    [ ("solver",
+       [ Alcotest.test_case "trivial sat" `Quick test_trivial_sat;
+         Alcotest.test_case "trivial unsat" `Quick test_trivial_unsat;
+         Alcotest.test_case "pigeonhole unsat" `Quick test_unsat_pigeon;
+         Alcotest.test_case "assumptions" `Quick test_assumptions;
+         Alcotest.test_case "incremental reuse" `Quick test_incremental_reuse;
+         Alcotest.test_case "fuzz vs brute force" `Slow test_fuzz_against_brute_force ]);
+      ("cnf",
+       [ Alcotest.test_case "encoding matches sim" `Quick test_circuit_encoding_agrees_with_sim;
+         Alcotest.test_case "adder self-equivalence" `Quick test_equivalence_adders;
+         Alcotest.test_case "detects difference" `Quick test_equivalence_detects_difference;
+         Alcotest.test_case "satisfiable output" `Quick test_satisfiable_output;
+         Alcotest.test_case "xor associativity miter" `Quick test_xor_chain_equivalence_deep ]);
+      ("properties",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_miter_random_dags_self_equal; prop_equivalence_agrees_with_exhaustive ]) ]

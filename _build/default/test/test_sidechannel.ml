@@ -1,0 +1,214 @@
+(* Tests for ISW masking, TVLA, CPA and the Fig. 2 experiment logic. *)
+
+module Circuit = Netlist.Circuit
+module Gate = Netlist.Gate
+module Rng = Eda_util.Rng
+module Isw = Sidechannel.Isw
+module Tvla = Sidechannel.Tvla
+module Cpa = Sidechannel.Cpa
+module Leakage = Sidechannel.Leakage
+
+let test_share_encode_decode () =
+  let rng = Rng.create 1 in
+  for shares = 2 to 5 do
+    for _ = 1 to 100 do
+      let v = Rng.bool rng in
+      Alcotest.(check bool) "decode inverts encode" v (Isw.decode (Isw.encode rng ~shares v))
+    done
+  done
+
+let test_shares_look_random () =
+  (* Any single share of a fixed secret is balanced. *)
+  let rng = Rng.create 2 in
+  let ones = ref 0 in
+  let n = 4000 in
+  for _ = 1 to n do
+    let sh = Isw.encode rng ~shares:3 true in
+    if sh.(1) then incr ones
+  done;
+  let p = Float.of_int !ones /. Float.of_int n in
+  Alcotest.(check bool) "share balanced" true (Float.abs (p -. 0.5) < 0.05)
+
+let test_masked_and_correct () =
+  let rng = Rng.create 3 in
+  for shares = 2 to 4 do
+    let masked = Isw.transform ~shares (Leakage.private_and_source ()) in
+    for _ = 1 to 100 do
+      let a = Rng.bool rng and b = Rng.bool rng in
+      match Isw.eval rng masked ~values:[ ("a", a); ("b", b) ] with
+      | [ ("y", y) ] -> Alcotest.(check bool) "and" (a && b) y
+      | _ -> Alcotest.fail "unexpected outputs"
+    done
+  done
+
+let test_masked_arbitrary_circuit () =
+  (* Mask a richer function: c17 (NANDs exercise basis conversion). *)
+  let rng = Rng.create 4 in
+  let src = Netlist.Generators.c17 () in
+  let masked = Isw.transform ~shares:3 src in
+  for m = 0 to 31 do
+    let inputs = Array.init 5 (fun i -> (m lsr i) land 1 = 1) in
+    let expected = Netlist.Sim.eval src inputs in
+    let values =
+      List.mapi (fun k id -> Circuit.name src id, inputs.(k))
+        (Array.to_list (Circuit.inputs src))
+    in
+    let got = Isw.eval rng masked ~values in
+    List.iteri
+      (fun k (_, v) -> Alcotest.(check bool) (Printf.sprintf "m=%d out %d" m k) expected.(k) v)
+      got
+  done
+
+let test_randomness_count () =
+  (* One 3-share AND consumes C(3,2) = 3 random bits. *)
+  let masked = Isw.transform ~shares:3 (Leakage.private_and_source ()) in
+  Alcotest.(check int) "3 randoms" 3 (Array.length masked.Isw.random_inputs);
+  let masked4 = Isw.transform ~shares:4 (Leakage.private_and_source ()) in
+  Alcotest.(check int) "6 randoms at 4 shares" 6 (Array.length masked4.Isw.random_inputs)
+
+let test_tvla_no_leak_on_identical () =
+  let rng = Rng.create 5 in
+  let collect _cls = [| Rng.gaussian rng |] in
+  let r = Tvla.campaign ~traces_per_class:500 ~collect in
+  Alcotest.(check bool) "no false positive" true (not (Tvla.leaks r))
+
+let test_tvla_detects_mean_shift () =
+  let rng = Rng.create 6 in
+  let collect = function
+    | `Fixed -> [| Rng.gaussian rng +. 0.5 |]
+    | `Random -> [| Rng.gaussian rng |]
+  in
+  let r = Tvla.campaign ~traces_per_class:1000 ~collect in
+  Alcotest.(check bool) "leak found" true (Tvla.leaks r);
+  Alcotest.(check (list int)) "sample 0 flagged" [ 0 ] r.Tvla.leaky_samples
+
+let test_tvla_escalation_monotone_overall () =
+  let rng = Rng.create 7 in
+  let collect = function
+    | `Fixed -> [| Rng.gaussian rng +. 0.3 |]
+    | `Random -> [| Rng.gaussian rng |]
+  in
+  let series = Tvla.escalation ~steps:[ 100; 400; 1600 ] ~collect in
+  (match series with
+   | [ (_, t1); (_, t2); (_, t3) ] ->
+     Alcotest.(check bool) "grows with n" true (t3 > t1);
+     Alcotest.(check bool) "mid" true (t2 > t1 *. 0.5)
+   | _ -> Alcotest.fail "expected 3 points")
+
+let test_fig2_unaware_leaks_aware_passes () =
+  let rng = Rng.create 8 in
+  let aware = Leakage.synthesize_masked Leakage.Security_aware in
+  let unaware = Leakage.synthesize_masked Leakage.Security_unaware in
+  let r_aware = Leakage.tvla_campaign rng aware ~traces_per_class:2000 ~noise_sigma:0.3 in
+  let r_unaware = Leakage.tvla_campaign rng unaware ~traces_per_class:2000 ~noise_sigma:0.3 in
+  Alcotest.(check bool) "aware passes" false (Tvla.leaks r_aware);
+  Alcotest.(check bool) "unaware leaks" true (Tvla.leaks r_unaware)
+
+let test_fig2_variants_functionally_equal () =
+  let rng = Rng.create 9 in
+  List.iter
+    (fun variant ->
+      let masked = Leakage.synthesize_masked variant in
+      for _ = 1 to 50 do
+        let a = Rng.bool rng and b = Rng.bool rng in
+        match Isw.eval rng masked ~values:[ ("a", a); ("b", b) ] with
+        | [ (_, y) ] -> Alcotest.(check bool) "still AND" (a && b) y
+        | _ -> Alcotest.fail "unexpected outputs"
+      done)
+    [ Leakage.Security_aware; Leakage.Security_unaware ]
+
+let test_leakiest_wire_is_internal_gate () =
+  let rng = Rng.create 10 in
+  let unaware = Leakage.synthesize_masked Leakage.Security_unaware in
+  let _, t = Leakage.leakiest_wire rng unaware ~samples:2000 in
+  Alcotest.(check bool) "strongly leaking wire exists" true (t > Tvla.threshold)
+
+let test_cpa_recovers_key () =
+  let rng = Rng.create 11 in
+  let circuit = Crypto.Sbox_circuit.aes_round_datapath () in
+  let result = Cpa.campaign rng circuit ~key:0x5A ~traces:400 ~noise_sigma:1.0 in
+  Alcotest.(check int) "key recovered" 0x5A result.Cpa.best_guess;
+  Alcotest.(check (option int)) "rank 0" (Some 0) result.Cpa.correct_rank
+
+let test_cpa_fails_with_few_traces_high_noise () =
+  let rng = Rng.create 12 in
+  let circuit = Crypto.Sbox_circuit.aes_round_datapath () in
+  let successes = ref 0 in
+  for _ = 1 to 5 do
+    let r = Cpa.campaign rng circuit ~key:0x5A ~traces:5 ~noise_sigma:60.0 in
+    if r.Cpa.best_guess = 0x5A then incr successes
+  done;
+  Alcotest.(check bool) "mostly fails" true (!successes <= 2)
+
+let test_cpa_success_improves_with_traces () =
+  let rng = Rng.create 13 in
+  let circuit = Crypto.Sbox_circuit.aes_round_datapath () in
+  let curve =
+    Cpa.success_rate_curve rng circuit ~key:0xC3 ~trace_counts:[ 10; 400 ] ~trials:4
+      ~noise_sigma:2.0
+  in
+  (match curve with
+   | [ (_, s_low); (_, s_high) ] ->
+     Alcotest.(check bool) "monotone-ish" true (s_high >= s_low);
+     Alcotest.(check bool) "converges" true (s_high >= 0.75)
+   | _ -> Alcotest.fail "expected 2 points")
+
+let test_metrics_snr () =
+  let rng = Rng.create 14 in
+  (* Observable = class mean 0/1 with noise 0.5: SNR = var({0,1})/0.25. *)
+  let observations =
+    List.init 4000 (fun i ->
+        let cls = i mod 2 in
+        (cls, Float.of_int cls +. Rng.gaussian_scaled rng ~mean:0.0 ~sigma:0.5))
+  in
+  let s = Sidechannel.Metrics.snr ~classify:(fun c -> c) observations in
+  Alcotest.(check bool) "snr near 1" true (s > 0.7 && s < 1.4);
+  let mtd = Sidechannel.Metrics.measurements_to_disclosure ~snr:s in
+  Alcotest.(check bool) "mtd finite" true (Float.is_finite mtd && mtd > 0.0)
+
+let test_traces_to_threshold () =
+  (* t = 2 at 1000 traces -> threshold 4.5 at ~5000. *)
+  let n = Sidechannel.Metrics.traces_to_threshold ~observed_t:2.0 ~observed_n:1000 in
+  Alcotest.(check bool) "extrapolation" true (n > 4000.0 && n < 6000.0)
+
+let prop_masked_eval_matches_source =
+  QCheck.Test.make ~name:"masked random circuits compute their source" ~count:8
+    QCheck.(pair (int_bound 300) (int_bound 255))
+    (fun (seed, m) ->
+      let src = Netlist.Generators.random_dag ~seed ~inputs:4 ~gates:12 ~outputs:1 in
+      let masked = Isw.transform ~shares:3 src in
+      let rng = Rng.create (seed + m) in
+      let inputs = Array.init 4 (fun i -> (m lsr i) land 1 = 1) in
+      let values =
+        List.mapi (fun k id -> Circuit.name src id, inputs.(k))
+          (Array.to_list (Circuit.inputs src))
+      in
+      let expected = (Netlist.Sim.eval src inputs).(0) in
+      match Isw.eval rng masked ~values with
+      | [ (_, y) ] -> y = expected
+      | _ -> false)
+
+let () =
+  Alcotest.run "sidechannel"
+    [ ("isw",
+       [ Alcotest.test_case "encode/decode" `Quick test_share_encode_decode;
+         Alcotest.test_case "shares balanced" `Quick test_shares_look_random;
+         Alcotest.test_case "masked AND correct" `Quick test_masked_and_correct;
+         Alcotest.test_case "masked c17 correct" `Quick test_masked_arbitrary_circuit;
+         Alcotest.test_case "randomness budget" `Quick test_randomness_count ]);
+      ("tvla",
+       [ Alcotest.test_case "no false positive" `Quick test_tvla_no_leak_on_identical;
+         Alcotest.test_case "detects shift" `Quick test_tvla_detects_mean_shift;
+         Alcotest.test_case "escalation" `Quick test_tvla_escalation_monotone_overall ]);
+      ("fig2",
+       [ Alcotest.test_case "aware passes, unaware leaks" `Slow test_fig2_unaware_leaks_aware_passes;
+         Alcotest.test_case "variants functionally equal" `Quick test_fig2_variants_functionally_equal;
+         Alcotest.test_case "leaky wire identified" `Slow test_leakiest_wire_is_internal_gate ]);
+      ("cpa",
+       [ Alcotest.test_case "recovers key" `Quick test_cpa_recovers_key;
+         Alcotest.test_case "fails with few/noisy traces" `Quick test_cpa_fails_with_few_traces_high_noise;
+         Alcotest.test_case "improves with traces" `Slow test_cpa_success_improves_with_traces ]);
+      ("metrics",
+       [ Alcotest.test_case "snr" `Quick test_metrics_snr;
+         Alcotest.test_case "traces to threshold" `Quick test_traces_to_threshold ]);
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_masked_eval_matches_source ]) ]

@@ -1,0 +1,208 @@
+(* Tests for synthesis passes: function preservation, actual optimization,
+   protection barriers, basis conversion, XOR re-association. *)
+
+module Circuit = Netlist.Circuit
+module Gate = Netlist.Gate
+module Gen = Netlist.Generators
+module Sim = Netlist.Sim
+module Rng = Eda_util.Rng
+
+let gates c = (Circuit.stats c).Circuit.gates
+
+let build_with_redundancy () =
+  (* Circuit with constants, double negation, duplicate gates. *)
+  let c = Circuit.create () in
+  let a = Circuit.add_input ~name:"a" c in
+  let b = Circuit.add_input ~name:"b" c in
+  let one = Circuit.add_const c true in
+  let a_and_1 = Circuit.add_gate c Gate.And [ a; one ] in  (* = a *)
+  let nn = Circuit.add_gate c Gate.Not [ Circuit.add_gate c Gate.Not [ b ] ] in  (* = b *)
+  let x1 = Circuit.add_gate c Gate.Xor [ a_and_1; nn ] in
+  let x2 = Circuit.add_gate c Gate.Xor [ a; b ] in  (* duplicate of x1 *)
+  let y = Circuit.add_gate c Gate.Or [ x1; x2 ] in  (* = x1 *)
+  Circuit.set_output c "y" y;
+  c
+
+let test_constprop_simplifies () =
+  let c = build_with_redundancy () in
+  let opt = Synth.Rewrite.constant_propagation c in
+  Alcotest.(check bool) "equivalent" true (Sim.equivalent_exhaustive c opt);
+  Alcotest.(check bool) "smaller" true (gates opt < gates c)
+
+let test_constprop_folds_constants () =
+  let c = Circuit.create () in
+  let a = Circuit.add_input ~name:"a" c in
+  let zero = Circuit.add_const c false in
+  let g = Circuit.add_gate c Gate.And [ a; zero ] in
+  let h = Circuit.add_gate c Gate.Or [ g; a ] in  (* = a *)
+  Circuit.set_output c "y" h;
+  let opt = Synth.Rewrite.constant_propagation c in
+  Alcotest.(check bool) "equivalent" true (Sim.equivalent_exhaustive c opt);
+  Alcotest.(check int) "all logic folded" 0 (gates opt)
+
+let test_constprop_xor_rules () =
+  let c = Circuit.create () in
+  let a = Circuit.add_input ~name:"a" c in
+  let x = Circuit.add_gate c Gate.Xor [ a; a ] in  (* = 0 *)
+  let one = Circuit.add_const c true in
+  let y = Circuit.add_gate c Gate.Xnor [ x; one ] in  (* = x = 0... xnor(0,1)=0 *)
+  Circuit.set_output c "y" y;
+  let opt = Synth.Rewrite.constant_propagation c in
+  Alcotest.(check bool) "equivalent" true (Sim.equivalent_exhaustive c opt);
+  Alcotest.(check int) "fully constant" 0 (gates opt)
+
+let test_strash_merges_duplicates () =
+  let c = build_with_redundancy () in
+  let opt = Synth.Rewrite.strash c in
+  Alcotest.(check bool) "equivalent" true (Sim.equivalent_exhaustive c opt)
+
+let test_strash_commutative () =
+  let c = Circuit.create () in
+  let a = Circuit.add_input ~name:"a" c in
+  let b = Circuit.add_input ~name:"b" c in
+  let g1 = Circuit.add_gate c Gate.And [ a; b ] in
+  let g2 = Circuit.add_gate c Gate.And [ b; a ] in
+  let y = Circuit.add_gate c Gate.Xor [ g1; g2 ] in  (* = 0 after merge *)
+  Circuit.set_output c "y" y;
+  let opt = Synth.Rewrite.strash c in
+  Alcotest.(check bool) "equivalent" true (Sim.equivalent_exhaustive c opt);
+  (* After strash the two ANDs merge; constprop then kills the XOR. *)
+  let opt2 = Synth.Rewrite.constant_propagation opt in
+  Alcotest.(check int) "xor(x,x) collapsed" 0 (gates opt2)
+
+let test_optimize_random_dags () =
+  for seed = 0 to 14 do
+    let c = Gen.random_dag ~seed ~inputs:6 ~gates:40 ~outputs:3 in
+    let opt = Synth.Flow.optimize c in
+    Alcotest.(check bool) (Printf.sprintf "seed %d equivalent" seed) true
+      (Sim.equivalent_exhaustive c opt);
+    Alcotest.(check bool) (Printf.sprintf "seed %d not larger" seed) true
+      (gates opt <= gates c)
+  done
+
+let test_basis_conversion () =
+  for seed = 20 to 30 do
+    let c = Gen.random_dag ~seed ~inputs:5 ~gates:30 ~outputs:2 in
+    let axn = Synth.Basis.to_and_xor_not c in
+    Alcotest.(check bool) (Printf.sprintf "seed %d in basis" seed) true (Synth.Basis.in_basis axn);
+    Alcotest.(check bool) (Printf.sprintf "seed %d equivalent" seed) true
+      (Sim.equivalent_exhaustive c axn)
+  done
+
+let test_basis_mux () =
+  let c = Gen.mux_tree 2 in
+  let axn = Synth.Basis.to_and_xor_not c in
+  Alcotest.(check bool) "in basis" true (Synth.Basis.in_basis axn);
+  Alcotest.(check bool) "equivalent" true (Sim.equivalent_exhaustive c axn)
+
+let test_xor_reassoc_preserves_function () =
+  for seed = 40 to 50 do
+    let c = Gen.random_dag ~seed ~inputs:6 ~gates:40 ~outputs:3 in
+    let r = Synth.Xor_reassoc.run c in
+    Alcotest.(check bool) (Printf.sprintf "seed %d" seed) true (Sim.equivalent_exhaustive c r)
+  done
+
+let test_xor_reassoc_regroups () =
+  (* Chain (((p1 ^ r) ^ p2) ^ p3) with p_i sharing input a: the pass must
+     regroup the products adjacently, changing the intermediate wires. *)
+  let c = Circuit.create () in
+  let a = Circuit.add_input ~name:"a" c in
+  let b1 = Circuit.add_input ~name:"b1" c in
+  let b2 = Circuit.add_input ~name:"b2" c in
+  let b3 = Circuit.add_input ~name:"b3" c in
+  let r = Circuit.add_input ~name:"r" c in
+  let p1 = Circuit.add_gate c Gate.And [ a; b1 ] in
+  let p2 = Circuit.add_gate c Gate.And [ a; b2 ] in
+  let p3 = Circuit.add_gate c Gate.And [ a; b3 ] in
+  let t1 = Circuit.add_gate c Gate.Xor [ p1; r ] in
+  let t2 = Circuit.add_gate c Gate.Xor [ t1; p2 ] in
+  let y = Circuit.add_gate c Gate.Xor [ t2; p3 ] in
+  Circuit.set_output c "y" y;
+  let reassoc = Synth.Xor_reassoc.run c in
+  Alcotest.(check bool) "equivalent" true (Sim.equivalent_exhaustive c reassoc);
+  (* The first XOR of the rebuilt chain must combine two AND leaves (the
+     factoring-friendly grouping), not an AND with the random input. *)
+  let first_xor =
+    let found = ref None in
+    for i = 0 to Circuit.node_count reassoc - 1 do
+      if !found = None && Circuit.kind reassoc i = Gate.Xor then found := Some i
+    done;
+    Option.get !found
+  in
+  let fanin_kinds =
+    Array.map (fun f -> Circuit.kind reassoc f) (Circuit.fanins reassoc first_xor)
+  in
+  Alcotest.(check bool) "first xor combines two products" true
+    (Array.for_all (fun k -> k = Gate.And) fanin_kinds)
+
+let test_xor_reassoc_protection () =
+  (* With every net protected, the circuit structure is unchanged. *)
+  let masked = Sidechannel.Isw.transform (Sidechannel.Leakage.private_and_source ()) in
+  let before = Circuit.node_count masked.Sidechannel.Isw.circuit in
+  let after =
+    Synth.Xor_reassoc.run ~protect:Sidechannel.Isw.protected_name masked.Sidechannel.Isw.circuit
+  in
+  (* Protected XOR chains are kept verbatim: same node count post sweep. *)
+  Alcotest.(check int) "structure preserved" before (Circuit.node_count after)
+
+let test_balanced_strategy_reduces_depth () =
+  let c = Circuit.create () in
+  let xs = List.init 16 (fun i -> Circuit.add_input ~name:(Printf.sprintf "x%d" i) c) in
+  let y = Circuit.reduce_chain c Gate.Xor xs in
+  Circuit.set_output c "y" y;
+  let before_depth = Timing.Sta.depth c in
+  let balanced = Synth.Xor_reassoc.run ~strategy:Synth.Xor_reassoc.Balanced c in
+  Alcotest.(check bool) "equivalent" true (Sim.equivalent_exhaustive c balanced);
+  Alcotest.(check bool) "depth reduced" true (Timing.Sta.depth balanced < before_depth);
+  Alcotest.(check int) "log depth" 4 (Timing.Sta.depth balanced)
+
+let test_ppa_model () =
+  let c = Gen.alu 4 in
+  let p = Synth.Flow.ppa c in
+  Alcotest.(check bool) "area positive" true (p.Synth.Flow.area > 0.0);
+  Alcotest.(check bool) "delay positive" true (p.Synth.Flow.delay_ps > 0.0);
+  Alcotest.(check bool) "gate count sane" true (p.Synth.Flow.gate_count = gates c)
+
+let test_optimize_secure_preserves_function () =
+  let masked = Sidechannel.Isw.transform (Sidechannel.Leakage.private_and_source ()) in
+  let c = masked.Sidechannel.Isw.circuit in
+  let opt = Synth.Flow.optimize_secure ~protect:Sidechannel.Isw.protected_name c in
+  Alcotest.(check bool) "equivalent" true (Sim.equivalent_exhaustive c opt)
+
+let prop_optimize_never_changes_function =
+  QCheck.Test.make ~name:"optimize preserves function" ~count:12
+    QCheck.(int_bound 900)
+    (fun seed ->
+      let c = Gen.random_dag ~seed ~inputs:5 ~gates:35 ~outputs:2 in
+      Sim.equivalent_exhaustive c (Synth.Flow.optimize c))
+
+let prop_basis_preserves_function =
+  QCheck.Test.make ~name:"basis conversion preserves function" ~count:12
+    QCheck.(int_bound 900)
+    (fun seed ->
+      let c = Gen.random_dag ~seed ~inputs:5 ~gates:35 ~outputs:2 in
+      Sim.equivalent_exhaustive c (Synth.Basis.to_and_xor_not c))
+
+let () =
+  Alcotest.run "synth"
+    [ ("rewrite",
+       [ Alcotest.test_case "constprop simplifies" `Quick test_constprop_simplifies;
+         Alcotest.test_case "constprop folds constants" `Quick test_constprop_folds_constants;
+         Alcotest.test_case "constprop xor rules" `Quick test_constprop_xor_rules;
+         Alcotest.test_case "strash merges duplicates" `Quick test_strash_merges_duplicates;
+         Alcotest.test_case "strash commutative" `Quick test_strash_commutative;
+         Alcotest.test_case "optimize random dags" `Quick test_optimize_random_dags ]);
+      ("basis",
+       [ Alcotest.test_case "random dags" `Quick test_basis_conversion;
+         Alcotest.test_case "mux trees" `Quick test_basis_mux ]);
+      ("xor_reassoc",
+       [ Alcotest.test_case "preserves function" `Quick test_xor_reassoc_preserves_function;
+         Alcotest.test_case "regroups shared products" `Quick test_xor_reassoc_regroups;
+         Alcotest.test_case "respects protection" `Quick test_xor_reassoc_protection;
+         Alcotest.test_case "balanced reduces depth" `Quick test_balanced_strategy_reduces_depth ]);
+      ("flow",
+       [ Alcotest.test_case "ppa model" `Quick test_ppa_model;
+         Alcotest.test_case "secure flow preserves function" `Quick test_optimize_secure_preserves_function ]);
+      ("properties",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_optimize_never_changes_function; prop_basis_preserves_function ]) ]

@@ -1,0 +1,187 @@
+(* Tests for the eda_util substrate: PRNG determinism and distribution
+   sanity, statistics against hand-computed values, bit vectors. *)
+
+module Rng = Eda_util.Rng
+module Stats = Eda_util.Stats
+module Bitvec = Eda_util.Bitvec
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.next_int64 a <> Rng.next_int64 b then differs := true
+  done;
+  Alcotest.(check bool) "streams differ" true !differs
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 17)
+  done
+
+let test_rng_float_unit_interval () =
+  let rng = Rng.create 9 in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 11 in
+  let xs = Array.init 20000 (fun _ -> Rng.gaussian rng) in
+  let mu = Stats.mean xs and sd = Stats.std xs in
+  Alcotest.(check bool) "mean near 0" true (Float.abs mu < 0.05);
+  Alcotest.(check bool) "std near 1" true (Float.abs (sd -. 1.0) < 0.05)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 3 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_sample_distinct () =
+  let rng = Rng.create 5 in
+  let s = Rng.sample rng 10 30 in
+  let uniq = List.sort_uniq compare (Array.to_list s) in
+  Alcotest.(check int) "distinct" 10 (List.length uniq);
+  List.iter (fun x -> Alcotest.(check bool) "in range" true (x >= 0 && x < 30)) uniq
+
+let test_mean_variance () =
+  let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Stats.mean xs);
+  (* Sample variance with n-1 denominator: sum sq dev = 32, / 7. *)
+  Alcotest.(check (float 1e-9)) "variance" (32.0 /. 7.0) (Stats.variance xs)
+
+let test_moments_match_batch () =
+  let rng = Rng.create 13 in
+  let xs = Array.init 500 (fun _ -> Rng.float rng) in
+  let m = Stats.moments_create () in
+  Array.iter (Stats.moments_add m) xs;
+  Alcotest.(check (float 1e-9)) "online mean" (Stats.mean xs) (Stats.moments_mean m);
+  Alcotest.(check (float 1e-9)) "online var" (Stats.variance xs) (Stats.moments_variance m)
+
+let test_welch_identical_zero () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check (float 1e-9)) "t = 0 on identical" 0.0 (Stats.welch_t xs xs)
+
+let test_welch_known_value () =
+  (* Hand check: xs mean 1, ys mean 3, var 1 each, n = 4 each:
+     t = (1-3)/sqrt(1/4+1/4) = -2/sqrt(0.5). *)
+  let xs = [| 0.0; 1.0; 1.0; 2.0 |] in
+  let ys = [| 2.0; 3.0; 3.0; 4.0 |] in
+  let expected = -2.0 /. sqrt (2.0 *. Stats.variance xs /. 4.0) in
+  Alcotest.(check (float 1e-9)) "t" expected (Stats.welch_t xs ys)
+
+let test_welch_detects_shift () =
+  let rng = Rng.create 17 in
+  let xs = Array.init 2000 (fun _ -> Rng.gaussian rng) in
+  let ys = Array.init 2000 (fun _ -> Rng.gaussian rng +. 0.5) in
+  Alcotest.(check bool) "|t| > 4.5" true (Float.abs (Stats.welch_t xs ys) > 4.5)
+
+let test_pearson_perfect () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let ys = [| 2.0; 4.0; 6.0; 8.0 |] in
+  Alcotest.(check (float 1e-9)) "r = 1" 1.0 (Stats.pearson xs ys);
+  let neg = Array.map (fun y -> -.y) ys in
+  Alcotest.(check (float 1e-9)) "r = -1" (-1.0) (Stats.pearson xs neg)
+
+let test_pearson_independent_small () =
+  let rng = Rng.create 19 in
+  let xs = Array.init 5000 (fun _ -> Rng.gaussian rng) in
+  let ys = Array.init 5000 (fun _ -> Rng.gaussian rng) in
+  Alcotest.(check bool) "|r| small" true (Float.abs (Stats.pearson xs ys) < 0.05)
+
+let test_hamming () =
+  Alcotest.(check int) "hw 0xF" 4 (Stats.hamming_weight 0xF);
+  Alcotest.(check int) "hw 8-bit view" 1 (Stats.hamming_weight ~bits:4 0x10001);
+  Alcotest.(check int) "hd" 2 (Stats.hamming_distance 0b1010 0b1001)
+
+let test_entropy () =
+  Alcotest.(check (float 1e-9)) "uniform 4" 2.0 (Stats.entropy_of_counts [| 5; 5; 5; 5 |]);
+  Alcotest.(check (float 1e-9)) "point mass" 0.0 (Stats.entropy_of_counts [| 10; 0; 0 |])
+
+let test_histogram () =
+  let h = Stats.histogram ~nbins:4 ~lo:0.0 ~hi:4.0 [| 0.5; 1.5; 1.7; 3.2; 9.9; -3.0 |] in
+  Alcotest.(check (array int)) "bins" [| 2; 2; 0; 2 |] h
+
+let test_argmax_maxabs () =
+  Alcotest.(check int) "argmax" 2 (Stats.argmax [| 1.0; 3.0; 7.0; 2.0 |]);
+  Alcotest.(check (float 1e-9)) "max_abs" 7.5 (Stats.max_abs [| 1.0; -7.5; 3.0 |])
+
+let test_bitvec_roundtrip () =
+  let bv = Bitvec.of_int ~width:8 0xA5 in
+  Alcotest.(check int) "to_int" 0xA5 (Bitvec.to_int bv);
+  Alcotest.(check string) "to_string" "10100101" (Bitvec.to_string bv);
+  Alcotest.(check int) "of_string" 0xA5 (Bitvec.to_int (Bitvec.of_string "10100101"))
+
+let test_bitvec_ops () =
+  let a = Bitvec.of_int ~width:4 0b1100 in
+  let b = Bitvec.of_int ~width:4 0b1010 in
+  Alcotest.(check int) "xor" 0b0110 (Bitvec.to_int (Bitvec.xor a b));
+  Alcotest.(check int) "hw" 2 (Bitvec.hamming_weight a);
+  Alcotest.(check int) "hd" 2 (Bitvec.hamming_distance a b);
+  Alcotest.(check int) "flip" 0b0100 (Bitvec.to_int (Bitvec.flip a 3))
+
+let test_bitvec_enumerate () =
+  let all = Bitvec.enumerate ~width:3 in
+  Alcotest.(check int) "count" 8 (List.length all);
+  Alcotest.(check (list int)) "order" (List.init 8 (fun i -> i)) (List.map Bitvec.to_int all)
+
+(* Property tests. *)
+let prop_bitvec_roundtrip =
+  QCheck.Test.make ~name:"bitvec int roundtrip" ~count:200
+    QCheck.(int_bound 65535)
+    (fun x -> Bitvec.to_int (Bitvec.of_int ~width:16 x) = x)
+
+let prop_welch_antisymmetric =
+  QCheck.Test.make ~name:"welch t antisymmetric" ~count:100
+    QCheck.(pair (array_of_size (Gen.return 20) (float_bound_exclusive 10.0))
+              (array_of_size (Gen.return 20) (float_bound_exclusive 10.0)))
+    (fun (xs, ys) ->
+      Float.abs (Stats.welch_t xs ys +. Stats.welch_t ys xs) < 1e-9)
+
+let prop_hamming_triangle =
+  QCheck.Test.make ~name:"hamming distance triangle inequality" ~count:200
+    QCheck.(triple (int_bound 255) (int_bound 255) (int_bound 255))
+    (fun (a, b, c) ->
+      Stats.hamming_distance ~bits:8 a c
+      <= Stats.hamming_distance ~bits:8 a b + Stats.hamming_distance ~bits:8 b c)
+
+let () =
+  Alcotest.run "util"
+    [ ("rng",
+       [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+         Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+         Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+         Alcotest.test_case "float unit interval" `Quick test_rng_float_unit_interval;
+         Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+         Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+         Alcotest.test_case "sample distinct" `Quick test_rng_sample_distinct ]);
+      ("stats",
+       [ Alcotest.test_case "mean/variance" `Quick test_mean_variance;
+         Alcotest.test_case "online moments" `Quick test_moments_match_batch;
+         Alcotest.test_case "welch identical" `Quick test_welch_identical_zero;
+         Alcotest.test_case "welch known value" `Quick test_welch_known_value;
+         Alcotest.test_case "welch detects shift" `Quick test_welch_detects_shift;
+         Alcotest.test_case "pearson perfect" `Quick test_pearson_perfect;
+         Alcotest.test_case "pearson independent" `Quick test_pearson_independent_small;
+         Alcotest.test_case "hamming" `Quick test_hamming;
+         Alcotest.test_case "entropy" `Quick test_entropy;
+         Alcotest.test_case "histogram" `Quick test_histogram;
+         Alcotest.test_case "argmax/max_abs" `Quick test_argmax_maxabs ]);
+      ("bitvec",
+       [ Alcotest.test_case "roundtrip" `Quick test_bitvec_roundtrip;
+         Alcotest.test_case "ops" `Quick test_bitvec_ops;
+         Alcotest.test_case "enumerate" `Quick test_bitvec_enumerate ]);
+      ("properties",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_bitvec_roundtrip; prop_welch_antisymmetric; prop_hamming_triangle ]) ]
