@@ -3,17 +3,29 @@
 
      secure_eda_cli gen --design alu4 -o alu.bench
      secure_eda_cli stats alu.bench
+     secure_eda_cli lint alu.bench
      secure_eda_cli synth alu.bench -o alu_opt.bench
      secure_eda_cli lock alu.bench --key-bits 16 -o locked.bench
-     secure_eda_cli sat-attack locked.bench --oracle alu.bench
-     secure_eda_cli atpg alu.bench
+     secure_eda_cli sat-attack locked.bench --oracle alu.bench --conflicts 50000
+     secure_eda_cli atpg alu.bench --conflicts 20000
      secure_eda_cli trojan alu.bench --trigger-width 3
      secure_eda_cli tvla-fig2
-     secure_eda_cli table2 *)
+     secure_eda_cli table2
+
+   User-reachable failures (unreadable/malformed netlists, unknown design
+   or library names) print a one-line diagnostic on stderr and exit
+   non-zero; backtraces are reserved for actual bugs. *)
 
 open Cmdliner
+module Budget = Eda_util.Budget
+module Eda_error = Eda_util.Eda_error
 
-let read_circuit path = Netlist.Io.read_file path
+let die fmt = Printf.ksprintf (fun s -> prerr_endline ("secure_eda_cli: " ^ s); exit 2) fmt
+
+let read_circuit path =
+  match Netlist.Io.read_file_result path with
+  | Ok c -> c
+  | Error e -> die "%s: %s" path (Eda_error.to_string e)
 
 let seed_arg =
   let doc = "PRNG seed (all randomness in the toolkit is seeded)." in
@@ -22,6 +34,29 @@ let seed_arg =
 let output_arg =
   let doc = "Output netlist file." in
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc)
+
+(* Shared resource-budget flags: a conflict cap and/or a wall-clock cap.
+   Absent means unlimited (classic behavior). *)
+let conflicts_arg =
+  let doc = "Abort solver work after this many conflicts (budgeted run)." in
+  Arg.(value & opt (some int) None & info [ "conflicts" ] ~doc)
+
+let seconds_arg =
+  let doc = "Abort after this many seconds of engine time (budgeted run)." in
+  Arg.(value & opt (some float) None & info [ "seconds" ] ~doc)
+
+let budget_of conflicts seconds =
+  match conflicts, seconds with
+  | None, None -> None
+  | steps, seconds -> Some (Budget.create ?steps ?seconds ())
+
+let pp_solver_stats (s : Sat.Solver.stats) =
+  Printf.printf "solver: %d conflicts, %d decisions, %d propagations, %d learnt, %d restarts\n"
+    s.Sat.Solver.conflicts s.Sat.Solver.decisions s.Sat.Solver.propagations
+    s.Sat.Solver.learnt s.Sat.Solver.restarts
+
+let bits_to_string bits =
+  String.concat "" (List.map (fun b -> if b then "1" else "0") (Array.to_list bits))
 
 let write_or_print circuit = function
   | Some path ->
@@ -58,12 +93,14 @@ let gen_cmd =
   let run design seed output =
     match List.assoc_opt design designs with
     | Some f -> write_or_print (f seed) output
-    | None -> Printf.eprintf "unknown design %s\n" design
+    | None ->
+      die "unknown design %s (available: %s)" design
+        (String.concat ", " (List.map fst designs))
   in
   Cmd.v (Cmd.info "gen" ~doc:"Generate a reference netlist")
     Term.(const run $ design $ seed_arg $ output_arg)
 
-(* --- stats ------------------------------------------------------------ *)
+(* --- stats / lint ------------------------------------------------------ *)
 
 let netlist_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"NETLIST" ~doc:"Input netlist file")
@@ -81,6 +118,30 @@ let stats_cmd =
     List.iter (fun (k, n) -> Printf.printf "  %-8s %d\n" k n) s.Netlist.Circuit.by_kind
   in
   Cmd.v (Cmd.info "stats" ~doc:"Print netlist statistics and timing")
+    Term.(const run $ netlist_arg)
+
+let lint_cmd =
+  let run path =
+    (* Bypass the lint built into read_circuit so every issue, not just
+       the first blocking one, gets printed. *)
+    let text = try Ok (In_channel.with_open_text path In_channel.input_all)
+      with Sys_error msg -> Error msg
+    in
+    match text with
+    | Error msg -> die "%s: %s" path msg
+    | Ok text ->
+      (match try Ok (Netlist.Io.of_string text) with
+       | Netlist.Io.Parse_error msg -> Error msg
+       with
+       | Error msg -> die "%s: parse error: %s" path msg
+       | Ok c ->
+         let issues = Netlist.Lint.check c in
+         List.iter (fun i -> print_endline (Netlist.Lint.describe i)) issues;
+         let errors = List.length (Netlist.Lint.errors c) in
+         Printf.printf "%d issue(s), %d error(s)\n" (List.length issues) errors;
+         if errors > 0 then exit 1)
+  in
+  Cmd.v (Cmd.info "lint" ~doc:"Validate a netlist and print every lint issue")
     Term.(const run $ netlist_arg)
 
 (* --- synth ------------------------------------------------------------ *)
@@ -114,10 +175,7 @@ let lock_cmd =
     let c = read_circuit path in
     let rng = Eda_util.Rng.create seed in
     let locked = Locking.Lock.epic rng ~key_bits c in
-    Printf.eprintf "correct key: %s\n"
-      (String.concat ""
-         (List.map (fun b -> if b then "1" else "0")
-            (Array.to_list locked.Locking.Lock.correct_key)));
+    Printf.eprintf "correct key: %s\n" (bits_to_string locked.Locking.Lock.correct_key);
     Printf.eprintf "verification: %s\n"
       (match Locking.Lock.verify_correct locked ~original:c with
        | None -> "locked == original under correct key"
@@ -131,7 +189,10 @@ let sat_attack_cmd =
   let oracle =
     Arg.(required & opt (some file) None & info [ "oracle" ] ~doc:"Original (activated-chip) netlist")
   in
-  let run locked_path oracle_path =
+  let max_iterations =
+    Arg.(value & opt int 256 & info [ "max-iterations" ] ~doc:"DIP query cap")
+  in
+  let run locked_path oracle_path max_iterations conflicts seconds =
     let locked_circuit = read_circuit locked_path in
     let original = read_circuit oracle_path in
     (* Reconstruct the locked view: key inputs are the key* named ones. *)
@@ -141,44 +202,66 @@ let sat_attack_cmd =
              let nm = Netlist.Circuit.name locked_circuit id in
              String.length nm >= 3 && String.sub nm 0 3 = "key")
     in
+    if key_inputs = [] then die "%s: no key inputs (names starting with \"key\")" locked_path;
     let locked =
       { Locking.Lock.circuit = locked_circuit;
         key_inputs = Array.of_list key_inputs;
         data_inputs = Array.of_list data_inputs;
         correct_key = Array.make (List.length key_inputs) false }
     in
-    let result =
-      Locking.Sat_attack.run ~oracle:(Locking.Sat_attack.oracle_of_circuit original) locked
-    in
-    (match result.Locking.Sat_attack.key with
-     | Some key ->
-       Printf.printf "key recovered in %d DIPs: %s\n" result.Locking.Sat_attack.iterations
-         (String.concat "" (List.map (fun b -> if b then "1" else "0") (Array.to_list key)));
-       let ok =
-         Sat.Cnf.check_equivalence original (Locking.Lock.apply_key locked ~key) = None
-       in
-       Printf.printf "functionally correct: %b\n" ok
-     | None -> Printf.printf "attack did not converge (%d DIPs)\n" result.Locking.Sat_attack.iterations)
+    let budget = budget_of conflicts seconds in
+    match
+      Locking.Sat_attack.run_checked ~max_iterations ?budget
+        ~oracle:(Locking.Sat_attack.oracle_of_circuit original) locked
+    with
+    | Error e -> die "%s: %s" locked_path (Eda_error.to_string e)
+    | Ok result ->
+      let module A = Locking.Sat_attack in
+      Printf.printf "status: %s after %d DIPs\n"
+        (A.describe_status result.A.status) result.A.iterations;
+      pp_solver_stats result.A.solver_stats;
+      (match result.A.key, result.A.status with
+       | Some key, A.Converged ->
+         Printf.printf "key recovered: %s\n" (bits_to_string key);
+         let ok =
+           Sat.Cnf.check_equivalence original (Locking.Lock.apply_key locked ~key) = None
+         in
+         Printf.printf "functionally correct: %b\n" ok
+       | Some key, _ ->
+         Printf.printf "best-effort key (unproven): %s\n" (bits_to_string key)
+       | None, _ -> Printf.printf "no key recovered\n")
   in
   Cmd.v (Cmd.info "sat-attack" ~doc:"Oracle-guided SAT attack on a locked netlist")
-    Term.(const run $ netlist_arg $ oracle)
+    Term.(const run $ netlist_arg $ oracle $ max_iterations $ conflicts_arg $ seconds_arg)
 
 (* --- atpg ------------------------------------------------------------- *)
 
 let atpg_cmd =
-  let run path =
+  let patterns_flag =
+    Arg.(value & flag & info [ "patterns" ] ~doc:"Print the generated patterns")
+  in
+  let run path conflicts seconds print_patterns =
     let c = read_circuit path in
-    let `Patterns patterns, `Coverage coverage, `Untestable untestable = Dft.Atpg.run c in
-    Printf.printf "patterns %d, stuck-at coverage %.1f%%, untestable faults %d\n"
-      (List.length patterns) (100.0 *. coverage) (List.length untestable);
-    List.iteri
-      (fun k p ->
-        Printf.printf "  pat%-3d %s\n" k
-          (String.concat "" (List.map (fun b -> if b then "1" else "0") (Array.to_list p))))
-      patterns
+    let budget = budget_of conflicts seconds in
+    match Dft.Atpg.run_checked ?budget c with
+    | Error e -> die "%s: %s" path (Eda_error.to_string e)
+    | Ok r ->
+      Printf.printf "patterns %d, stuck-at coverage %.1f%%, untestable faults %d\n"
+        (List.length r.Dft.Atpg.patterns) (100.0 *. r.Dft.Atpg.coverage)
+        (List.length r.Dft.Atpg.untestable);
+      (match r.Dft.Atpg.exhausted with
+       | Some e ->
+         Printf.printf "budget exhausted (%s): %d/%d faults unprocessed; coverage is partial\n"
+           (Budget.describe_exhaustion e) r.Dft.Atpg.faults_remaining r.Dft.Atpg.faults_total
+       | None -> ());
+      pp_solver_stats r.Dft.Atpg.solver_stats;
+      if print_patterns then
+        List.iteri
+          (fun k p -> Printf.printf "  pat%-3d %s\n" k (bits_to_string p))
+          r.Dft.Atpg.patterns
   in
   Cmd.v (Cmd.info "atpg" ~doc:"SAT-based test pattern generation (stuck-at)")
-    Term.(const run $ netlist_arg)
+    Term.(const run $ netlist_arg $ conflicts_arg $ seconds_arg $ patterns_flag)
 
 (* --- trojan ------------------------------------------------------------ *)
 
@@ -209,7 +292,7 @@ let techmap_cmd =
       match target with
       | "nand-inv" -> Synth.Techmap.Nand_inv
       | "camo" -> Synth.Techmap.Nand_nor_xnor
-      | other -> failwith (Printf.sprintf "unknown target %s" other)
+      | other -> die "unknown target %s (available: nand-inv, camo)" other
     in
     let mapped = Synth.Techmap.run ~target c in
     Printf.eprintf "mapped: area %.1f -> %.1f, conforms = %b\n"
@@ -284,19 +367,27 @@ let table2_cmd =
     Term.(const run $ seed_arg)
 
 let flow_cmd =
-  let run path seed =
+  let run path seed conflicts seconds =
     let c = read_circuit path in
     let rng = Eda_util.Rng.create seed in
-    let report = Secure_eda.Flow.run rng c in
-    List.iter
-      (fun sr ->
-        Printf.printf "%-28s area %8.1f  delay %8.1f ps  %s\n"
-          (Secure_eda.Flow.stage_name sr.Secure_eda.Flow.stage)
-          sr.Secure_eda.Flow.area sr.Secure_eda.Flow.delay_ps sr.Secure_eda.Flow.note)
-      report.Secure_eda.Flow.stages
+    let budget = budget_of conflicts seconds in
+    match Secure_eda.Flow.run_safe rng ?budget c with
+    | Error e -> die "%s: %s" path (Eda_error.to_string e)
+    | Ok report ->
+      List.iter
+        (fun sr ->
+          Printf.printf "%-28s area %8.1f  delay %8.1f ps  %s%s\n"
+            (Secure_eda.Flow.stage_name sr.Secure_eda.Flow.stage)
+            sr.Secure_eda.Flow.area sr.Secure_eda.Flow.delay_ps sr.Secure_eda.Flow.note
+            (match sr.Secure_eda.Flow.degraded with
+             | Some why -> "  [degraded: " ^ why ^ "]"
+             | None -> ""))
+        report.Secure_eda.Flow.stages;
+      if report.Secure_eda.Flow.degraded_stages > 0 then
+        Printf.printf "%d stage(s) degraded\n" report.Secure_eda.Flow.degraded_stages
   in
-  Cmd.v (Cmd.info "flow" ~doc:"Run the classical EDA flow (Fig. 1) on a netlist")
-    Term.(const run $ netlist_arg $ seed_arg)
+  Cmd.v (Cmd.info "flow" ~doc:"Run the budgeted EDA flow (Fig. 1) with degradation notes")
+    Term.(const run $ netlist_arg $ seed_arg $ conflicts_arg $ seconds_arg)
 
 let () =
   let doc = "security-centric EDA toolkit (DATE 2020 reproduction)" in
@@ -304,6 +395,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ gen_cmd; stats_cmd; synth_cmd; lock_cmd; sat_attack_cmd; atpg_cmd;
+          [ gen_cmd; stats_cmd; lint_cmd; synth_cmd; lock_cmd; sat_attack_cmd; atpg_cmd;
             trojan_cmd; techmap_cmd; redundancy_cmd; watermark_cmd;
             tvla_fig2_cmd; table2_cmd; flow_cmd ]))

@@ -15,6 +15,8 @@ let stage_name = function
   | Timing_power_verification -> "timing/power verification"
   | Testing -> "testing (ATPG)"
 
+let all_stages = [ Logic_synthesis; Physical_synthesis; Timing_power_verification; Testing ]
+
 type stage_report = {
   stage : stage;
   area : float;
@@ -22,6 +24,9 @@ type stage_report = {
   wirelength : int option;  (* after placement *)
   fault_coverage : float option;  (* after ATPG *)
   note : string;
+  degraded : string option;
+      (* why the stage could not fully conclude (budget exhausted, engine
+         failure, ...); [None] means it completed as specified *)
 }
 
 type flow_report = {
@@ -41,7 +46,8 @@ let run rng ?(protect = fun (_ : string) -> false) circuit =
         delay_ps = ppa.Synth.Flow.delay_ps;
         wirelength;
         fault_coverage;
-        note }
+        note;
+        degraded = None }
       :: !reports
   in
   (* Logic synthesis. *)
@@ -70,3 +76,146 @@ let run rng ?(protect = fun (_ : string) -> false) circuit =
   report Testing synthesized ~fault_coverage:coverage
     (Printf.sprintf "%d patterns" (List.length patterns));
   { stages = List.rev !reports; final = synthesized }
+
+(* --- Robust flow: budgets, degradation notes, checkpoint/resume -------- *)
+
+module Budget = Eda_util.Budget
+module Eda_error = Eda_util.Eda_error
+
+(** Resume token: everything the flow has concluded so far. Serializable
+    state is deliberately small — completed stage reports plus the circuit
+    they apply to. *)
+type checkpoint = {
+  done_stages : stage_report list;  (* in flow order *)
+  circuit : Circuit.t;  (* design state after the last completed stage *)
+}
+
+let checkpoint_start circuit = { done_stages = []; circuit }
+
+type safe_report = {
+  stages : stage_report list;  (* completed-before-resume + this run *)
+  final : Circuit.t;
+  checkpoint : checkpoint;  (* pass back as [resume] to continue *)
+  degraded_stages : int;  (* count of stages with a degradation note *)
+}
+
+(** The security-closure counterpart of [run]: never raises on
+    user-reachable failures, budgets every engine, and reports degradation
+    honestly per stage instead of silently truncating — security metrics
+    are step functions, so "Unknown/partial" must stay distinct from a
+    measured value.
+
+    - the input is linted before anything runs; a structurally invalid
+      netlist is the only [Error] case;
+    - [budget] bounds the whole flow; every stage draws a sub-budget from
+      it ([stage_steps] optionally caps individual stages);
+    - a stage that exhausts its budget or fails internally is recorded
+      with [degraded = Some reason] and the design passes through
+      unchanged, so later stages still run;
+    - [resume] continues from a {!checkpoint}, skipping completed stages;
+    - [stages] restricts the run (default: all four, in order). *)
+let run_safe rng ?(protect = fun (_ : string) -> false) ?budget
+    ?(stage_steps = fun (_ : stage) -> None) ?(stages = all_stages) ?resume circuit =
+  let root = match budget with Some b -> b | None -> Budget.unlimited () in
+  let start_circuit, done_reports =
+    match resume with
+    | Some cp -> cp.circuit, cp.done_stages
+    | None -> circuit, []
+  in
+  match Netlist.Lint.validate start_circuit with
+  | Error e -> Error e
+  | Ok _ ->
+    let completed = List.map (fun r -> r.stage) done_reports in
+    let todo = List.filter (fun s -> not (List.mem s completed)) stages in
+    let reports = ref (List.rev done_reports) in
+    let current = ref start_circuit in
+    let report stage ?wirelength ?fault_coverage ?degraded note =
+      let ppa = Synth.Flow.ppa !current in
+      reports :=
+        { stage;
+          area = ppa.Synth.Flow.area;
+          delay_ps = ppa.Synth.Flow.delay_ps;
+          wirelength;
+          fault_coverage;
+          note;
+          degraded }
+        :: !reports
+    in
+    let run_stage stage =
+      let sub = Budget.sub ?steps:(stage_steps stage) root in
+      match Budget.status sub with
+      | Some e ->
+        report stage
+          ~degraded:(Printf.sprintf "skipped: %s" (Budget.describe_exhaustion e))
+          "stage skipped"
+      | None ->
+        let attempt () =
+          match stage with
+          | Logic_synthesis ->
+            let synthesized =
+              if protect == Synth.Rewrite.no_protection then Synth.Flow.optimize !current
+              else Synth.Flow.optimize_secure ~protect !current
+            in
+            current := synthesized;
+            report stage "constant-prop + strash + xor-reassoc"
+          | Physical_synthesis ->
+            let moves = 4000 in
+            let placement, performed =
+              Physical.Placement.place_budgeted rng ~moves ~budget:sub !current
+            in
+            let degraded =
+              if performed < moves then
+                Some
+                  (Printf.sprintf "annealing stopped after %d/%d moves (%s)" performed moves
+                     (match Budget.status sub with
+                      | Some e -> Budget.describe_exhaustion e
+                      | None -> "budget"))
+              else None
+            in
+            report stage
+              ~wirelength:(Physical.Placement.wirelength placement)
+              ?degraded "simulated-annealing placement"
+          | Timing_power_verification ->
+            let ni = Circuit.num_inputs !current in
+            let prev = Array.make ni false in
+            let next = Array.init ni (fun _ -> Rng.bool rng) in
+            let transitions =
+              Timing.Event_sim.cycle !current ~prev_inputs:prev ~next_inputs:next
+            in
+            let glitches =
+              List.length (Timing.Event_sim.glitching_nodes !current transitions)
+            in
+            report stage
+              (Printf.sprintf "event-sim: %d transitions, %d glitching nets"
+                 (List.length transitions) glitches)
+          | Testing ->
+            let r = Dft.Atpg.run_report ~budget:sub !current in
+            let degraded =
+              match r.Dft.Atpg.exhausted with
+              | Some e ->
+                Some
+                  (Printf.sprintf "partial ATPG: %s, %d/%d faults unprocessed"
+                     (Budget.describe_exhaustion e) r.Dft.Atpg.faults_remaining
+                     r.Dft.Atpg.faults_total)
+              | None -> None
+            in
+            report stage ~fault_coverage:r.Dft.Atpg.coverage ?degraded
+              (Printf.sprintf "%d patterns" (List.length r.Dft.Atpg.patterns))
+        in
+        (match Eda_error.guard ~engine:(stage_name stage) attempt with
+         | Ok () -> ()
+         | Error e ->
+           (* The stage blew up; the design passes through unchanged and
+              the flow keeps going with an honest note. *)
+           report stage ~degraded:(Eda_error.to_string e) "stage failed")
+    in
+    List.iter run_stage todo;
+    let stages_list = List.rev !reports in
+    let degraded_stages =
+      List.length (List.filter (fun r -> r.degraded <> None) stages_list)
+    in
+    Ok
+      { stages = stages_list;
+        final = !current;
+        checkpoint = { done_stages = stages_list; circuit = !current };
+        degraded_stages }

@@ -40,43 +40,97 @@ let faulty_copy circuit fault =
     Array.iter (fun (nm, o) -> Circuit.set_output out nm remap.(o)) (Circuit.outputs circuit);
     out
 
-type pattern_result = Pattern of bool array | Untestable
+type pattern_result =
+  | Pattern of bool array
+  | Untestable
+  | Abstained of Eda_util.Budget.exhaustion  (* budget ran out mid-proof *)
 
-(** Generate a test for one stuck-at fault. *)
-let generate circuit fault =
+(** Generate a test for one stuck-at fault, optionally bounded. *)
+let generate ?budget ?on_stats circuit fault =
   let faulty = faulty_copy circuit fault in
-  match Cnf.check_equivalence circuit faulty with
-  | None -> Untestable
-  | Some witness -> Pattern witness
+  match Cnf.check_equivalence_b ?budget ?on_stats circuit faulty with
+  | Cnf.Equivalent -> Untestable
+  | Cnf.Counterexample witness -> Pattern witness
+  | Cnf.Equiv_unknown e -> Abstained e
+
+(** Outcome of a (possibly bounded) ATPG run. Coverage counts only faults
+    with a generated detecting pattern — on exhaustion it is the honest
+    partial number, never an extrapolation. *)
+type report = {
+  patterns : bool array list;
+  coverage : float;  (* detected faults / total faults *)
+  untestable : Fault.Model.fault list;
+  faults_total : int;
+  faults_remaining : int;  (* unprocessed because the budget ran out *)
+  exhausted : Eda_util.Budget.exhaustion option;
+  solver_stats : Solver.stats;  (* summed over all per-fault miter queries *)
+}
 
 (** Full ATPG run: compact pattern set via greedy fault simulation — each
     new pattern is fault-simulated against the remaining fault list before
-    generating tests for survivors. *)
-let run circuit =
+    generating tests for survivors. [budget] is charged one step per fault
+    processed plus one per solver conflict; on exhaustion the run stops
+    and reports partial coverage with the unprocessed fault count. *)
+let run_report ?budget circuit =
   let faults = Fault.Model.all_stuck_at_faults circuit in
+  let total = List.length faults in
   let patterns = ref [] in
   let untestable = ref [] in
   let remaining = ref faults in
-  while !remaining <> [] do
-    match !remaining with
-    | [] -> ()
-    | fault :: rest ->
-      (match generate circuit fault with
-       | Untestable ->
-         untestable := fault :: !untestable;
-         remaining := rest
-       | Pattern p ->
-         patterns := p :: !patterns;
-         (* Drop every other remaining fault this pattern also detects. *)
-         remaining := List.filter (fun f -> not (Fault.Model.detects circuit ~fault:f p)) rest)
-  done;
-  let total = List.length faults in
-  let untestable_n = List.length !untestable in
-  let coverage =
-    if total = 0 then 1.0
-    else Float.of_int (total - untestable_n) /. Float.of_int total
+  let exhausted = ref None in
+  let totals =
+    ref
+      { Solver.vars = 0; conflicts = 0; decisions = 0; propagations = 0; learnt = 0; restarts = 0 }
   in
-  `Patterns (List.rev !patterns), `Coverage coverage, `Untestable !untestable
+  let on_stats (s : Solver.stats) =
+    totals :=
+      { Solver.vars = max !totals.Solver.vars s.Solver.vars;
+        conflicts = !totals.Solver.conflicts + s.Solver.conflicts;
+        decisions = !totals.Solver.decisions + s.Solver.decisions;
+        propagations = !totals.Solver.propagations + s.Solver.propagations;
+        learnt = !totals.Solver.learnt + s.Solver.learnt;
+        restarts = !totals.Solver.restarts + s.Solver.restarts }
+  in
+  while !exhausted = None && !remaining <> [] do
+    match Option.map Eda_util.Budget.status budget |> Option.join with
+    | Some e -> exhausted := Some e
+    | None ->
+      (match !remaining with
+       | [] -> ()
+       | fault :: rest ->
+         (match generate ?budget ~on_stats circuit fault with
+          | Abstained e -> exhausted := Some e
+          | Untestable ->
+            untestable := fault :: !untestable;
+            remaining := rest
+          | Pattern p ->
+            patterns := p :: !patterns;
+            (* Drop every other remaining fault this pattern also detects. *)
+            remaining := List.filter (fun f -> not (Fault.Model.detects circuit ~fault:f p)) rest);
+         Option.iter (fun b -> Eda_util.Budget.tick b) budget)
+  done;
+  let untestable_n = List.length !untestable in
+  let remaining_n = if !exhausted = None then 0 else List.length !remaining in
+  let detected = total - untestable_n - remaining_n in
+  let coverage = if total = 0 then 1.0 else Float.of_int detected /. Float.of_int total in
+  { patterns = List.rev !patterns;
+    coverage;
+    untestable = !untestable;
+    faults_total = total;
+    faults_remaining = remaining_n;
+    exhausted = !exhausted;
+    solver_stats = !totals }
+
+(** Checked entry point: lint first, structured errors out. *)
+let run_checked ?budget circuit =
+  let open Eda_util.Eda_error in
+  let* _ = Netlist.Lint.validate circuit in
+  guard ~engine:"atpg" (fun () -> run_report ?budget circuit)
+
+(** Classic interface retained for callers that assume an unbounded run. *)
+let run ?budget circuit =
+  let r = run_report ?budget circuit in
+  `Patterns r.patterns, `Coverage r.coverage, `Untestable r.untestable
 
 (** Redundancy removal — the classic synthesis-for-test connection: a node
     whose stuck-at-v fault is untestable can be replaced by the constant v
@@ -100,7 +154,7 @@ let remove_redundancy circuit =
              if !redundant = None then
                match generate c (Fault.Model.Stuck_at { node = !i; value }) with
                | Untestable -> redundant := Some (!i, value)
-               | Pattern _ -> ()
+               | Pattern _ | Abstained _ -> ()
            in
            try_value false;
            try_value true);

@@ -1,0 +1,144 @@
+(** Chaos harness: deliberate corruption of engine inputs and budgets.
+
+    The paper's composition argument cuts both ways — a secure flow must
+    not only compose protections, it must *fail* compositionally: a
+    malformed netlist or an exhausted budget in one stage must surface as
+    a structured error or a degradation note, never as an exception that
+    tears down the whole flow. This module injects exactly those failure
+    modes and classifies what the engine under test did about them.
+
+    The harness is engine-agnostic: scenarios are thunks returning
+    [(note, Eda_error.t) result], so tests can drive anything from
+    [Io.of_string_result] to [Secure_eda.Flow.run_safe] through it. *)
+
+module Budget = Eda_util.Budget
+module Eda_error = Eda_util.Eda_error
+
+(* --- Netlist corruption ------------------------------------------------ *)
+
+type corruption =
+  | Truncate  (* cut the file mid-line, as a dropped transfer would *)
+  | Drop_line  (* delete one gate definition: dangling references *)
+  | Self_loop  (* a gate that feeds itself: combinational loop *)
+  | Duplicate_net  (* the same net defined twice *)
+  | Unknown_cell  (* a cell name no library has *)
+  | Garbage_line  (* a line that is not bench syntax at all *)
+
+let all_corruptions =
+  [ Truncate; Drop_line; Self_loop; Duplicate_net; Unknown_cell; Garbage_line ]
+
+let corruption_name = function
+  | Truncate -> "truncate"
+  | Drop_line -> "drop-line"
+  | Self_loop -> "self-loop"
+  | Duplicate_net -> "duplicate-net"
+  | Unknown_cell -> "unknown-cell"
+  | Garbage_line -> "garbage-line"
+
+(** Corrupt bench-format [text]; deterministic given the [rng] state. *)
+let corrupt rng corruption text =
+  let lines = String.split_on_char '\n' text in
+  let gate_idx =
+    List.concat (List.mapi (fun i l -> if String.contains l '=' then [ i ] else []) lines)
+  in
+  let pick xs = List.nth xs (Eda_util.Rng.int rng (List.length xs)) in
+  let rewrite_nth n f = List.mapi (fun i l -> if i = n then f l else l) lines in
+  match corruption with
+  | Truncate ->
+    (* Cut inside the last third so a prefix parses and then stops making
+       sense, like a truncated download. *)
+    let len = String.length text in
+    let cut = (2 * len / 3) + 1 in
+    String.sub text 0 (min cut (max 0 (len - 2)))
+  | Drop_line ->
+    (match gate_idx with
+     | [] -> text
+     | _ ->
+       let victim = pick gate_idx in
+       String.concat "\n" (List.concat (List.mapi (fun i l -> if i = victim then [] else [ l ]) lines)))
+  | Self_loop ->
+    (match gate_idx with
+     | [] -> text
+     | _ ->
+       let victim = pick gate_idx in
+       String.concat "\n"
+         (rewrite_nth victim (fun l ->
+              match String.index_opt l '=', String.index_opt l '(' with
+              | Some eq, Some lp when lp > eq ->
+                let lhs = String.trim (String.sub l 0 eq) in
+                let close = String.rindex l ')' in
+                let args = String.sub l (lp + 1) (close - lp - 1) in
+                (match String.split_on_char ',' args with
+                 | _ :: rest ->
+                   String.sub l 0 (lp + 1)
+                   ^ String.concat "," (lhs :: rest)
+                   ^ String.sub l close (String.length l - close)
+                 | [] -> l)
+              | _ -> l)))
+  | Duplicate_net ->
+    (match gate_idx with
+     | [] -> text
+     | _ ->
+       let victim = pick gate_idx in
+       String.concat "\n"
+         (List.concat (List.mapi (fun i l -> if i = victim then [ l; l ] else [ l ]) lines)))
+  | Unknown_cell ->
+    (match gate_idx with
+     | [] -> text
+     | _ ->
+       let victim = pick gate_idx in
+       String.concat "\n"
+         (rewrite_nth victim (fun l ->
+              match String.index_opt l '=', String.index_opt l '(' with
+              | Some eq, Some lp when lp > eq ->
+                String.sub l 0 (eq + 1) ^ " FROBNICATE" ^ String.sub l lp (String.length l - lp)
+              | _ -> l)))
+  | Garbage_line -> text ^ "\nthis is not a netlist line\n"
+
+(* --- Budget starvation ------------------------------------------------- *)
+
+(** A budget that is exhausted before any work happens. *)
+let starved_budget () = Budget.create ~steps:0 ()
+
+(** A budget far too small for any real engine run. *)
+let tiny_budget ?(steps = 3) () = Budget.create ~steps ()
+
+(* --- Scenario execution ------------------------------------------------ *)
+
+type outcome =
+  | Survived of string  (* corruption was harmless; engine concluded *)
+  | Degraded of string  (* structured error or degradation note — the goal *)
+  | Crashed of string  (* an exception escaped — the bug chaos hunts *)
+
+type observation = { scenario : string; outcome : outcome }
+
+let graceful o = match o.outcome with Crashed _ -> false | Survived _ | Degraded _ -> true
+
+let describe_observation o =
+  Printf.sprintf "%-24s %s" o.scenario
+    (match o.outcome with
+     | Survived note -> "survived: " ^ note
+     | Degraded note -> "degraded: " ^ note
+     | Crashed exn -> "CRASHED: " ^ exn)
+
+(** Run one scenario. [Ok note] means the engine concluded (possibly with
+    internal degradation it reported in [note]); [Error e] means it
+    refused with a structured error; an escaped exception is a crash. *)
+let observe name f =
+  match f () with
+  | Ok note -> { scenario = name; outcome = Survived note }
+  | Error e -> { scenario = name; outcome = Degraded (Eda_error.to_string e) }
+  | exception exn -> { scenario = name; outcome = Crashed (Printexc.to_string exn) }
+
+let execute scenarios = List.map (fun (name, f) -> observe name f) scenarios
+
+let all_graceful observations = List.for_all graceful observations
+
+(** Feed every corruption of [text] to [consumer] (e.g. parse-then-flow)
+    and classify each outcome. *)
+let corruption_campaign rng ~text ~consumer =
+  List.map
+    (fun c ->
+      let corrupted = corrupt rng c text in
+      observe ("corrupt:" ^ corruption_name c) (fun () -> consumer corrupted))
+    all_corruptions

@@ -107,7 +107,9 @@ let check_fault (prot : Countermeasure.protected_circuit) fault =
     Solver.add_clause solver2 [ Solver.lit_of_var corrupted2 ~sign:true ];
     (match Solver.solve solver2 with
      | Solver.Sat -> Proven_detected
-     | Solver.Unsat -> Harmless)
+     | Solver.Unsat -> Harmless
+     | Solver.Unknown _ -> assert false (* unbudgeted solve cannot abstain *))
+  | Solver.Unknown _ -> assert false  (* unbudgeted solve cannot abstain *)
   | Solver.Sat ->
     let witness = Array.map (fun ic -> Solver.model_value solver env_c.Cnf.vars.(ic)) ins_c in
     Escape witness

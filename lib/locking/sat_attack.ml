@@ -11,10 +11,20 @@ module Circuit = Netlist.Circuit
 module Solver = Sat.Solver
 module Cnf = Sat.Cnf
 
+module Budget = Eda_util.Budget
+
+type status =
+  | Converged  (* no DIP remains: the returned key is provably correct *)
+  | Iteration_limit  (* DIP loop hit max_iterations *)
+  | Budget_exhausted of Budget.exhaustion  (* solver budget ran out *)
+
 type result = {
-  key : bool array option;  (* recovered key, if the attack converged *)
-  iterations : int;  (* number of DIP queries *)
+  key : bool array option;
+      (* recovered key; provably correct only when [status = Converged],
+         best-effort (consistent with the recorded I/O pairs) otherwise *)
+  iterations : int;  (* number of DIP queries completed *)
   solver_stats : Solver.stats;
+  status : status;
 }
 
 let tie_equal solver va vb =
@@ -26,8 +36,16 @@ let tie_equal solver va vb =
 let fix solver v b = Solver.add_clause solver [ Solver.lit_of_var v ~sign:b ]
 
 (** Run the attack. [oracle data] must return the correct outputs for the
-    data inputs (the activated chip). *)
-let run ?(max_iterations = 256) ~oracle (locked : Lock.locked) =
+    data inputs (the activated chip).
+
+    [budget] bounds the whole attack (one step per solver conflict);
+    [iteration_steps] additionally caps each individual DIP query, so one
+    pathological miter cannot consume the entire allowance. On exhaustion
+    the attack stops honestly: [status] records the reason, [iterations]
+    how many DIPs completed, and [key] carries a best-effort key consistent
+    with the I/O pairs recorded so far (extracted under a small grace
+    budget), which is exactly the partial progress a real attacker keeps. *)
+let run ?(max_iterations = 256) ?budget ?iteration_steps ~oracle (locked : Lock.locked) =
   let c = locked.Lock.circuit in
   let solver = Solver.create () in
   let env_a = Cnf.encode ~solver c in
@@ -56,29 +74,64 @@ let run ?(max_iterations = 256) ~oracle (locked : Lock.locked) =
         Array.iteri (fun k v -> tie_equal solver v env_keys.(k)) (key_vars env_f))
       [ key_vars env_a; key_vars env_b ]
   in
+  let solve_bounded ?(assumptions = []) () =
+    match budget, iteration_steps with
+    | None, None -> Solver.solve ~assumptions solver
+    | Some b, steps -> Solver.solve ~budget:(Budget.sub ?steps b) ~assumptions solver
+    | None, Some steps -> Solver.solve ~budget:(Budget.create ~steps ()) ~assumptions solver
+  in
+  (* Best-effort key: any key consistent with the I/O pairs recorded so
+     far. Extracted under an independent grace budget so a spent main
+     budget still yields partial progress rather than nothing. *)
+  let best_effort_key () =
+    match Solver.solve ~budget:(Budget.create ~steps:4096 ()) solver with
+    | Solver.Sat ->
+      Some (Array.map (fun v -> Solver.model_value solver v) (key_vars env_a))
+    | Solver.Unsat | Solver.Unknown _ -> None
+  in
+  let finish ?key iterations status =
+    { key; iterations; solver_stats = Solver.stats solver; status }
+  in
   let rec loop iterations =
     if iterations >= max_iterations then
-      { key = None; iterations; solver_stats = Solver.stats solver }
+      (* The scheme resisted this attacker budget; no key claimed. *)
+      finish iterations Iteration_limit
     else begin
-      match Solver.solve ~assumptions:[ miter_on ] solver with
+      match solve_bounded ~assumptions:[ miter_on ] () with
       | Solver.Sat ->
         let dip = Array.map (fun v -> Solver.model_value solver v) (data_vars env_a) in
         let response = oracle dip in
         add_io_constraint dip response;
         loop (iterations + 1)
+      | Solver.Unknown reason ->
+        finish ?key:(best_effort_key ()) iterations (Budget_exhausted reason)
       | Solver.Unsat ->
         (* No distinguishing input remains: extract any consistent key. *)
-        (match Solver.solve solver with
+        (match solve_bounded () with
          | Solver.Sat ->
            let key = Array.map (fun v -> Solver.model_value solver v) (key_vars env_a) in
-           { key = Some key; iterations; solver_stats = Solver.stats solver }
+           finish ~key iterations Converged
+         | Solver.Unknown reason ->
+           finish ?key:(best_effort_key ()) iterations (Budget_exhausted reason)
          | Solver.Unsat ->
            (* Cannot happen with a truthful oracle. *)
-           { key = None; iterations; solver_stats = Solver.stats solver })
+           finish iterations Converged)
     end
   in
-  try loop 0
-  with Solver.Unsat_root -> { key = None; iterations = 0; solver_stats = Solver.stats solver }
+  try loop 0 with Solver.Unsat_root -> finish 0 Converged
+
+let describe_status = function
+  | Converged -> "converged"
+  | Iteration_limit -> "iteration limit reached"
+  | Budget_exhausted e -> Budget.describe_exhaustion e
+
+(** Checked entry point: lint the locked netlist, then run with internal
+    failures converted to structured errors. *)
+let run_checked ?max_iterations ?budget ?iteration_steps ~oracle locked =
+  let open Eda_util.Eda_error in
+  let* _ = Netlist.Lint.validate locked.Lock.circuit in
+  guard ~engine:"sat-attack" (fun () ->
+      run ?max_iterations ?budget ?iteration_steps ~oracle locked)
 
 (** Convenience oracle from the original (unlocked) circuit. *)
 let oracle_of_circuit original data = Netlist.Sim.eval original data

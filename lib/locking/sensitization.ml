@@ -79,6 +79,7 @@ let run_pass ~oracle ~guesses (locked : Lock.locked) =
     Solver.add_clause solver [ Solver.lit_of_var any ~sign:true ];
     (match Solver.solve solver with
      | Solver.Unsat -> unresolved := k :: !unresolved
+     | Solver.Unknown _ -> assert false  (* unbudgeted solve cannot abstain *)
      | Solver.Sat ->
        let pattern =
          Array.map

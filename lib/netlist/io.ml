@@ -81,36 +81,83 @@ let parse_line line =
          `Gate (lhs, Gate.of_name cell, args))
   end
 
-let of_string text =
+(* Internal: a parse failure located at a 1-based source line. *)
+exception Located of int * string
+
+(* Build a circuit from text, raising [Located] with the offending line on
+   any malformed construct: bad syntax, unknown cells, wrong operand
+   counts, undefined nets (which is also how forward references and
+   combinational self-loops surface), duplicate net names. *)
+let build text =
   let lines = String.split_on_char '\n' text in
-  let parsed = List.map parse_line lines in
+  let at ln f =
+    try f () with
+    | Parse_error msg -> raise (Located (ln, msg))
+    | Invalid_argument msg -> raise (Located (ln, msg))
+  in
+  let parsed =
+    List.mapi (fun i line -> (i + 1, at (i + 1) (fun () -> parse_line line))) lines
+  in
   let c = Circuit.create () in
   let pending_dffs = ref [] in
   (* First, declare inputs in order. *)
   List.iter
-    (function `Input nm -> ignore (Circuit.add_input ~name:nm c) | `Output _ | `Gate _ | `Blank -> ())
+    (fun (ln, item) ->
+      match item with
+      | `Input nm -> at ln (fun () -> ignore (Circuit.add_input ~name:nm c))
+      | `Output _ | `Gate _ | `Blank -> ())
     parsed;
   let resolve nm =
     match Circuit.find_by_name c nm with
     | Some id -> id
     | None -> raise (Parse_error (Printf.sprintf "undefined net %s" nm))
   in
+  let check_arity nm kind args =
+    let expected = Gate.arity kind in
+    if List.length args <> expected then
+      raise
+        (Parse_error
+           (Printf.sprintf "%s = %s expects %d operands, got %d" nm (Gate.name kind) expected
+              (List.length args)))
+  in
   (* Then gates, in file order (assumed topological except DFF inputs). *)
   List.iter
-    (function
+    (fun (ln, item) ->
+      match item with
       | `Gate (nm, Gate.Dff, [ d ]) ->
         (* D input resolved at the end to allow feedback. *)
-        let id = Circuit.add_dff ~name:nm c ~d:0 in
-        pending_dffs := (id, d) :: !pending_dffs
+        at ln (fun () ->
+            let id = Circuit.add_dff ~name:nm c ~d:0 in
+            pending_dffs := (id, ln, d) :: !pending_dffs)
       | `Gate (nm, kind, args) ->
-        ignore (Circuit.add_gate ~name:nm c kind (List.map resolve args))
+        at ln (fun () ->
+            check_arity nm kind args;
+            ignore (Circuit.add_gate ~name:nm c kind (List.map resolve args)))
       | `Input _ | `Output _ | `Blank -> ())
     parsed;
-  List.iter (fun (id, d) -> Circuit.connect_dff c id ~d:(resolve d)) !pending_dffs;
   List.iter
-    (function `Output nm -> Circuit.set_output c nm (resolve nm) | `Input _ | `Gate _ | `Blank -> ())
+    (fun (id, ln, d) -> at ln (fun () -> Circuit.connect_dff c id ~d:(resolve d)))
+    !pending_dffs;
+  List.iter
+    (fun (ln, item) ->
+      match item with
+      | `Output nm -> at ln (fun () -> Circuit.set_output c nm (resolve nm))
+      | `Input _ | `Gate _ | `Blank -> ())
     parsed;
   c
+
+(** Structured-error parse: locates failures by source line and lints the
+    result, so a circuit returned here is safe for every engine. *)
+let of_string_result text =
+  match build text with
+  | c -> Lint.validate c
+  | exception Located (ln, msg) ->
+    Error (Eda_util.Eda_error.Parse_error { line = Some ln; msg })
+
+let of_string text =
+  match build text with
+  | c -> c
+  | exception Located (_, msg) -> raise (Parse_error msg)
 
 let write_file path c =
   let oc = open_out path in
@@ -125,3 +172,16 @@ let read_file path =
     (fun () ->
       let len = in_channel_length ic in
       of_string (really_input_string ic len))
+
+(** Structured-error file read: I/O failures, parse errors and lint
+    violations all come back as [Error] instead of an exception. *)
+let read_file_result path =
+  match open_in path with
+  | exception Sys_error msg ->
+    Error (Eda_util.Eda_error.Invalid_input { what = "netlist file"; msg })
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let len = in_channel_length ic in
+        of_string_result (really_input_string ic len))

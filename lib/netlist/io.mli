@@ -20,6 +20,16 @@ val to_string : Circuit.t -> string
 (** @raise Parse_error on malformed input or undefined nets. *)
 val of_string : string -> Circuit.t
 
+(** Structured-error parse: failures carry the 1-based source line;
+    the parsed circuit is additionally {!Lint.validate}d, so an [Ok]
+    circuit is safe for every engine. Undefined nets cover forward
+    references and combinational self-loops (e.g. [w = AND(w, a)]). *)
+val of_string_result : string -> (Circuit.t, Eda_util.Eda_error.t) result
+
 val write_file : string -> Circuit.t -> unit
 
 val read_file : string -> Circuit.t
+
+(** Like {!of_string_result}, with missing/unreadable files reported as
+    [Error] too. *)
+val read_file_result : string -> (Circuit.t, Eda_util.Eda_error.t) result

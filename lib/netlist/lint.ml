@@ -1,0 +1,94 @@
+(** Structural netlist validation.
+
+    Every engine in the toolkit assumes a well-formed circuit: fanins in
+    range, combinational nodes in topological order (the IR's encoding of
+    loop-freedom), correct cell arities, at least one declared output.
+    Historically a violation surfaced as an [assert] deep inside a solver
+    or simulator — the brittle, security-unaware failure mode the paper's
+    Sec. IV warns about. [Lint] checks all of it up front and reports
+    structured issues; [validate] is the guard used by the [*_checked]
+    engine entry points and [Flow.run_safe]. *)
+
+type severity = Error | Warning
+
+type issue = {
+  check : string;  (* stable kebab-case identifier of the rule *)
+  severity : severity;
+  net : string option;  (* offending net name when known *)
+  msg : string;
+}
+
+let describe i =
+  Printf.sprintf "%s[%s]%s: %s"
+    (match i.severity with Error -> "error" | Warning -> "warning")
+    i.check
+    (match i.net with Some n -> " net " ^ n | None -> "")
+    i.msg
+
+(** All issues found, errors first. *)
+let check c =
+  let issues = ref [] in
+  let add ?net check severity msg = issues := { check; severity; net; msg } :: !issues in
+  let n = Circuit.node_count c in
+  for i = 0 to n - 1 do
+    let nd = Circuit.node c i in
+    let net = Some nd.Circuit.name in
+    let arity = Gate.arity nd.Circuit.kind in
+    if Array.length nd.Circuit.fanins <> arity then
+      add ?net "arity" Error
+        (Printf.sprintf "%s expects %d fanins, has %d" (Gate.name nd.Circuit.kind) arity
+           (Array.length nd.Circuit.fanins))
+    else
+      Array.iter
+        (fun f ->
+          if f < 0 || f >= n then
+            add ?net "undefined-fanin" Error (Printf.sprintf "fanin id %d out of range" f)
+          else if Gate.is_combinational nd.Circuit.kind && f >= i then
+            add ?net "combinational-loop" Error
+              (Printf.sprintf "fanin %s does not precede its consumer (loop or broken order)"
+                 (Circuit.name c f)))
+        nd.Circuit.fanins
+  done;
+  (* Outputs: present, in range, uniquely named. *)
+  let outputs = Circuit.outputs c in
+  if Array.length outputs = 0 then
+    add "no-outputs" Error "circuit declares no primary outputs";
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun (nm, o) ->
+      if o < 0 || o >= n then
+        add ~net:nm "undefined-output" Error (Printf.sprintf "output id %d out of range" o);
+      if Hashtbl.mem seen nm then
+        add ~net:nm "duplicate-output" Error "output name declared twice"
+      else Hashtbl.replace seen nm ())
+    outputs;
+  if Circuit.num_inputs c = 0 then
+    add "no-inputs" Warning "circuit has no primary inputs";
+  (* Dangling nets: combinational cells nobody consumes or observes.
+     [live_set] traverses fanins, so it is only safe once the structural
+     rules above found no error. *)
+  let structurally_sound = not (List.exists (fun i -> i.severity = Error) !issues) in
+  if structurally_sound && n > 0 && Array.length outputs > 0 then begin
+    let live = Circuit.live_set c in
+    for i = 0 to n - 1 do
+      if not live.(i) then
+        add ~net:(Circuit.name c i) "dangling-net" Warning
+          "net drives no output, flip-flop or live logic"
+    done
+  end;
+  let sev = function Error -> 0 | Warning -> 1 in
+  List.stable_sort (fun a b -> compare (sev a.severity) (sev b.severity)) (List.rev !issues)
+
+let errors c = List.filter (fun i -> i.severity = Error) (check c)
+
+(** Gate for engine entry points: [Ok c] when structurally sound (warnings
+    tolerated unless [allow_warnings:false]), otherwise the first issue as
+    a structured error. *)
+let validate ?(allow_warnings = true) c =
+  let blocking =
+    if allow_warnings then errors c
+    else check c
+  in
+  match blocking with
+  | [] -> Ok c
+  | i :: _ -> Error (Eda_util.Eda_error.Lint_error { check = i.check; net = i.net; msg = i.msg })

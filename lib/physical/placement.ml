@@ -41,8 +41,12 @@ let initial rng circuit =
   Rng.shuffle rng slots;
   { circuit; cols; rows; position = Array.sub slots 0 n }
 
-(** Simulated-annealing refinement: pairwise swaps, geometric cooling. *)
-let anneal rng ?(moves = 20_000) ?(t_start = 8.0) ?(t_end = 0.05) placement =
+(** Simulated-annealing refinement: pairwise swaps, geometric cooling.
+    [budget] is charged one step per attempted move and checked every 64
+    moves; annealing is an anytime algorithm, so stopping early degrades
+    quality, not validity. Returns the refined placement and the number of
+    moves actually performed. *)
+let anneal_budgeted rng ?(moves = 20_000) ?budget ?(t_start = 8.0) ?(t_end = 0.05) placement =
   let pos = Array.copy placement.position in
   let net_list = nets placement.circuit in
   (* Incremental cost: nets touching a node. *)
@@ -60,29 +64,45 @@ let anneal rng ?(moves = 20_000) ?(t_start = 8.0) ?(t_end = 0.05) placement =
   in
   let alpha = (t_end /. t_start) ** (1.0 /. float_of_int moves) in
   let temp = ref t_start in
-  for _ = 1 to moves do
-    let a = Rng.int rng n and b = Rng.int rng n in
-    if a <> b then begin
-      let before = cost_around a b in
-      let tmp = pos.(a) in
-      pos.(a) <- pos.(b);
-      pos.(b) <- tmp;
-      let after = cost_around a b in
-      let delta = float_of_int (after - before) in
-      let accept = delta <= 0.0 || Rng.float rng < exp (-.delta /. !temp) in
-      if not accept then begin
+  let performed = ref 0 in
+  let stopped = ref false in
+  while (not !stopped) && !performed < moves do
+    (match budget with
+     | Some b when !performed land 63 = 0 ->
+       Eda_util.Budget.tick ~cost:(min 64 (moves - !performed)) b;
+       if Eda_util.Budget.exhausted b then stopped := true
+     | Some _ | None -> ());
+    if not !stopped then begin
+      let a = Rng.int rng n and b = Rng.int rng n in
+      if a <> b then begin
+        let before = cost_around a b in
         let tmp = pos.(a) in
         pos.(a) <- pos.(b);
-        pos.(b) <- tmp
-      end
-    end;
-    temp := !temp *. alpha
+        pos.(b) <- tmp;
+        let after = cost_around a b in
+        let delta = float_of_int (after - before) in
+        let accept = delta <= 0.0 || Rng.float rng < exp (-.delta /. !temp) in
+        if not accept then begin
+          let tmp = pos.(a) in
+          pos.(a) <- pos.(b);
+          pos.(b) <- tmp
+        end
+      end;
+      temp := !temp *. alpha;
+      incr performed
+    end
   done;
-  { placement with position = pos }
+  { placement with position = pos }, !performed
 
-(** Full placement flow. *)
-let place rng ?moves circuit =
-  anneal rng ?moves (initial rng circuit)
+let anneal rng ?moves ?budget ?t_start ?t_end placement =
+  fst (anneal_budgeted rng ?moves ?budget ?t_start ?t_end placement)
+
+(** Full placement flow; returns the placement and moves performed (fewer
+    than requested when the budget ran out). *)
+let place_budgeted rng ?moves ?budget circuit =
+  anneal_budgeted rng ?moves ?budget (initial rng circuit)
+
+let place rng ?moves ?budget circuit = anneal rng ?moves ?budget (initial rng circuit)
 
 let wirelength placement = total_hpwl placement.position (nets placement.circuit)
 

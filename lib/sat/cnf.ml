@@ -91,12 +91,28 @@ let or_var s vs =
     (Solver.lit_of_var v ~sign:false :: List.map (fun vi -> Solver.lit_of_var vi ~sign:true) vs);
   v
 
+(** Three-valued outcome of a bounded equivalence query. *)
+type equivalence =
+  | Equivalent
+  | Counterexample of bool array  (* distinguishing input assignment *)
+  | Equiv_unknown of Eda_util.Budget.exhaustion
+
 (** Equivalence check of two combinational circuits with identical
-    interfaces. Returns [None] when equivalent, or a distinguishing input
-    assignment. *)
-let check_equivalence a b =
-  assert (Circuit.num_inputs a = Circuit.num_inputs b);
-  assert (Circuit.num_outputs a = Circuit.num_outputs b);
+    interfaces, bounded by [budget] (charged one step per solver
+    conflict). [on_stats] receives the solver statistics of the query —
+    the miter solver is internal, so this is how callers meter it. *)
+let check_equivalence_b ?budget ?on_stats a b =
+  if Circuit.num_inputs a <> Circuit.num_inputs b
+     || Circuit.num_outputs a <> Circuit.num_outputs b
+  then
+    raise
+      (Eda_util.Eda_error.Error
+         (Eda_util.Eda_error.Invalid_input
+            { what = "equivalence query";
+              msg =
+                Printf.sprintf "interface mismatch: %dx%d vs %dx%d inputs/outputs"
+                  (Circuit.num_inputs a) (Circuit.num_outputs a)
+                  (Circuit.num_inputs b) (Circuit.num_outputs b) }));
   let solver = Solver.create () in
   let env_a = encode ~solver a in
   let env_b = encode ~solver b in
@@ -116,13 +132,26 @@ let check_equivalence a b =
   in
   let any = or_var solver diffs in
   Solver.add_clause solver [ Solver.lit_of_var any ~sign:true ];
-  match Solver.solve solver with
-  | Solver.Unsat -> None
-  | Solver.Sat ->
-    let witness =
-      Array.map (fun ia -> Solver.model_value solver env_a.vars.(ia)) ins_a
-    in
-    Some witness
+  let answer =
+    match Solver.solve ?budget solver with
+    | Solver.Unsat -> Equivalent
+    | Solver.Sat ->
+      let witness =
+        Array.map (fun ia -> Solver.model_value solver env_a.vars.(ia)) ins_a
+      in
+      Counterexample witness
+    | Solver.Unknown e -> Equiv_unknown e
+  in
+  Option.iter (fun f -> f (Solver.stats solver)) on_stats;
+  answer
+
+(** Unbounded equivalence check; [None] when equivalent, or a
+    distinguishing input assignment. *)
+let check_equivalence a b =
+  match check_equivalence_b a b with
+  | Equivalent -> None
+  | Counterexample w -> Some w
+  | Equiv_unknown _ -> assert false  (* no budget, solve cannot abstain *)
 
 (** Satisfiability of a single-output circuit being true for some input. *)
 let satisfiable_output circuit ~output =
@@ -130,6 +159,6 @@ let satisfiable_output circuit ~output =
   let o = (Circuit.output_ids circuit).(output) in
   Solver.add_clause env.solver [ lit env ~node:o ~sign:true ];
   match Solver.solve env.solver with
-  | Solver.Unsat -> None
+  | Solver.Unsat | Solver.Unknown _ -> None
   | Solver.Sat ->
     Some (Array.map (fun i -> Solver.model_value env.solver env.vars.(i)) (Circuit.inputs circuit))

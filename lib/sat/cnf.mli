@@ -22,8 +22,26 @@ val xor_var : Solver.t -> int -> int -> int
 (** Fresh variable constrained to the OR of existing variables. *)
 val or_var : Solver.t -> int list -> int
 
-(** Combinational equivalence of two identically-shaped circuits; [None]
-    when equivalent, otherwise a distinguishing input assignment. *)
+(** Three-valued outcome of a bounded equivalence query. *)
+type equivalence =
+  | Equivalent
+  | Counterexample of bool array  (** distinguishing input assignment *)
+  | Equiv_unknown of Eda_util.Budget.exhaustion
+
+(** Combinational equivalence bounded by [budget] (one step per solver
+    conflict). Without a budget the answer is never [Equiv_unknown].
+    [on_stats] observes the internal miter solver's statistics.
+    @raise Eda_util.Eda_error.Error on interface mismatch. *)
+val check_equivalence_b :
+  ?budget:Eda_util.Budget.t ->
+  ?on_stats:(Solver.stats -> unit) ->
+  Netlist.Circuit.t ->
+  Netlist.Circuit.t ->
+  equivalence
+
+(** Unbounded combinational equivalence of two identically-shaped
+    circuits; [None] when equivalent, otherwise a distinguishing input
+    assignment. *)
 val check_equivalence : Netlist.Circuit.t -> Netlist.Circuit.t -> bool array option
 
 (** Is output [output] ever true? Returns a witness input when so. *)

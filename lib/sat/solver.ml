@@ -34,6 +34,7 @@ type t = {
   mutable num_decisions : int;
   mutable propagations : int;
   mutable learnt_count : int;
+  mutable num_restarts : int;
 }
 
 let create () =
@@ -53,7 +54,8 @@ let create () =
     conflicts = 0;
     num_decisions = 0;
     propagations = 0;
-    learnt_count = 0 }
+    learnt_count = 0;
+    num_restarts = 0 }
 
 let ensure_var s v =
   if v >= s.nvars then begin
@@ -304,11 +306,23 @@ let luby i =
   in
   go 1 i
 
-type result = Sat | Unsat
+type result =
+  | Sat
+  | Unsat
+  | Unknown of Eda_util.Budget.exhaustion
+      (** The budget ran out before the search concluded. Security metrics
+          are step functions, so a bounded "don't know" must stay distinct
+          from either definite answer. *)
 
 (** Solve under [assumptions]. The solver state is reusable across calls
-    (incremental interface); learnt clauses persist. *)
-let solve ?(assumptions = []) s =
+    (incremental interface); learnt clauses persist — including across an
+    [Unknown] answer, so a later call with a fresh budget resumes with all
+    learnt clauses retained.
+
+    [budget] is charged one step per conflict and checked at every conflict
+    and periodically between decisions; without it the search is unbounded
+    and the answer is always [Sat]/[Unsat]. *)
+let solve ?budget ?(assumptions = []) s =
   (* Reset to root and re-propagate the root-level trail: units enqueued by
      [add_clause] may not have been propagated yet (backtracking clears the
      propagation queue). Re-propagating assigned literals is idempotent. *)
@@ -341,9 +355,20 @@ let solve ?(assumptions = []) s =
         match propagate s with
         | Some conflict ->
           s.conflicts <- s.conflicts + 1;
+          (* One budget step per conflict; a definite Unsat at assumption
+             level still wins over Unknown. *)
+          let stop =
+            match budget with
+            | None -> None
+            | Some b ->
+              (match Eda_util.Budget.spend b with Ok () -> None | Error e -> Some e)
+          in
           let level = List.length s.decisions in
           if level <= num_assumptions then result := Some Unsat
           else begin
+            match stop with
+            | Some e -> result := Some (Unknown e)
+            | None ->
             let learnt, back = analyze s conflict in
             let back = max back num_assumptions in
             backtrack s back;
@@ -363,17 +388,28 @@ let solve ?(assumptions = []) s =
             decr conflicts_until_restart;
             if !conflicts_until_restart <= 0 && !result = None then begin
               incr restart_count;
+              s.num_restarts <- s.num_restarts + 1;
               conflicts_until_restart := 32 * luby !restart_count;
               backtrack s num_assumptions
             end
           end
         | None ->
-          (match pick_branch s with
-           | None -> result := Some Sat
-           | Some l ->
-             s.num_decisions <- s.num_decisions + 1;
-             s.decisions <- (l, s.trail) :: s.decisions;
-             enqueue s l None)
+          (* Deadline/cancellation check between decisions, so an instance
+             propagating without conflicts still honours its budget. *)
+          let stop =
+            match budget with
+            | Some b when s.num_decisions land 255 = 0 -> Eda_util.Budget.status b
+            | Some _ | None -> None
+          in
+          (match stop with
+           | Some e -> result := Some (Unknown e)
+           | None ->
+             (match pick_branch s with
+              | None -> result := Some Sat
+              | Some l ->
+                s.num_decisions <- s.num_decisions + 1;
+                s.decisions <- (l, s.trail) :: s.decisions;
+                enqueue s l None))
       done;
       match !result with
       | Some r ->
@@ -387,11 +423,23 @@ let model_value s v =
     match s.assign.(v) with LTrue -> true | LFalse | LUndef -> false
   else false
 
-type stats = { vars : int; conflicts : int; decisions : int; propagations : int; learnt : int }
+type stats = {
+  vars : int;
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  learnt : int;
+  restarts : int;
+}
 
 let stats s =
   { vars = s.nvars;
     conflicts = s.conflicts;
     decisions = s.num_decisions;
     propagations = s.propagations;
-    learnt = s.learnt_count }
+    learnt = s.learnt_count;
+    restarts = s.num_restarts }
+
+let pp_stats fmt st =
+  Format.fprintf fmt "vars %d, conflicts %d, decisions %d, propagations %d, learnt %d, restarts %d"
+    st.vars st.conflicts st.decisions st.propagations st.learnt st.restarts

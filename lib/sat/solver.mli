@@ -33,13 +33,23 @@ exception Unsat_root
     @raise Unsat_root if the clause is falsified at level 0. *)
 val add_clause : t -> lit list -> unit
 
-type result = Sat | Unsat
+type result =
+  | Sat
+  | Unsat
+  | Unknown of Eda_util.Budget.exhaustion
+      (** Budget ran out before the search concluded; only possible when a
+          budget was passed. *)
 
 (** Solve under [assumptions] (default none). The solver state is
-    reusable across calls; learnt clauses persist. An [Unsat] answer under
-    assumptions means no model extends them; without assumptions it is
-    global unsatisfiability. *)
-val solve : ?assumptions:lit list -> t -> result
+    reusable across calls; learnt clauses persist — including across an
+    [Unknown] answer, so a retry with a fresh budget resumes where the
+    bounded run stopped. An [Unsat] answer under assumptions means no
+    model extends them; without assumptions it is global unsatisfiability.
+
+    [budget] is charged one step per conflict and its deadline/cancel flag
+    is additionally checked periodically between decisions. Without a
+    budget the search is unbounded and never answers [Unknown]. *)
+val solve : ?budget:Eda_util.Budget.t -> ?assumptions:lit list -> t -> result
 
 (** Model access after a [Sat] answer; unassigned variables read false. *)
 val model_value : t -> int -> bool
@@ -50,6 +60,8 @@ type stats = {
   decisions : int;
   propagations : int;
   learnt : int;
+  restarts : int;
 }
 
 val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -118,6 +118,7 @@ let two_safety_leak source ~frames ~secret_state =
   Solver.add_clause solver [ Solver.lit_of_var any ~sign:true ];
   match Solver.solve solver with
   | Solver.Unsat -> None
+  | Solver.Unknown _ -> assert false  (* unbudgeted solve cannot abstain *)
   | Solver.Sat ->
     let witness =
       Array.map
@@ -164,3 +165,4 @@ let bounded_equivalence a b ~frames =
   match Solver.solve solver with
   | Solver.Unsat -> true
   | Solver.Sat -> false
+  | Solver.Unknown _ -> assert false  (* unbudgeted solve cannot abstain *)

@@ -1,0 +1,112 @@
+(** Cooperative resource budgets for long-running engines.
+
+    Security metrics are step functions: a silently-truncated SAT attack or
+    ATPG run reports a number that looks like a measurement but is not one.
+    Every engine in the toolkit therefore takes an optional budget and, when
+    it cannot conclude within it, says so explicitly ([Unknown], partial
+    coverage, degradation notes) instead of hanging or lying.
+
+    A budget combines a step allowance (engine-defined unit: solver
+    conflicts, annealing moves, faults processed) with a wall-clock
+    deadline, plus an external cancellation flag. Budgets compose: a
+    sub-budget may be tighter than its parent, and every step charged to a
+    sub-budget is also charged to its ancestors, so a flow-level budget is
+    honoured no matter how stages split it up.
+
+    Checks are cooperative: engines call [tick]/[check] at their natural
+    checkpoints (per conflict, per move, per fault). The clock is pluggable
+    for deterministic tests. *)
+
+type exhaustion =
+  | Out_of_steps
+  | Deadline_passed
+  | Cancelled
+
+let describe_exhaustion = function
+  | Out_of_steps -> "step budget exhausted"
+  | Deadline_passed -> "deadline exceeded"
+  | Cancelled -> "cancelled"
+
+type t = {
+  parent : t option;
+  mutable steps_left : int option;  (* [None] = unlimited *)
+  deadline : float option;  (* absolute time in [clock] units *)
+  clock : unit -> float;
+  started : float;
+  mutable cancelled : bool;
+}
+
+let default_clock = Sys.time
+
+(** [create ?clock ?steps ?seconds ()] — a root budget. Omitted limits are
+    unlimited; [create ()] never exhausts (useful as a neutral default). *)
+let create ?(clock = default_clock) ?steps ?seconds () =
+  let now = clock () in
+  { parent = None;
+    steps_left = steps;
+    deadline = Option.map (fun s -> now +. s) seconds;
+    clock;
+    started = now;
+    cancelled = false }
+
+let unlimited () = create ()
+
+(** Sub-budget: at most [steps]/[seconds] of its own, and never more than
+    what remains of any ancestor. Charging the child charges the chain. *)
+let sub ?steps ?seconds t =
+  let now = t.clock () in
+  { parent = Some t;
+    steps_left = steps;
+    deadline = Option.map (fun s -> now +. s) seconds;
+    clock = t.clock;
+    started = now;
+    cancelled = false }
+
+(** Request cooperative cancellation; observed at the next [check]. *)
+let cancel t = t.cancelled <- true
+
+(** Why the budget is exhausted, or [None] while work may continue. Checks
+    the whole ancestor chain. *)
+let rec status t =
+  if t.cancelled then Some Cancelled
+  else
+    match t.steps_left with
+    | Some n when n <= 0 -> Some Out_of_steps
+    | _ ->
+      (match t.deadline with
+       | Some d when t.clock () >= d -> Some Deadline_passed
+       | _ -> (match t.parent with Some p -> status p | None -> None))
+
+let exhausted t = status t <> None
+
+let check t = match status t with None -> Ok () | Some e -> Error e
+
+(** Charge [cost] steps to this budget and every ancestor. *)
+let rec tick ?(cost = 1) t =
+  (match t.steps_left with
+   | Some n -> t.steps_left <- Some (n - cost)
+   | None -> ());
+  match t.parent with Some p -> tick ~cost p | None -> ()
+
+(** [tick] then [check]; the common per-iteration call. *)
+let spend ?cost t =
+  tick ?cost t;
+  check t
+
+let remaining_steps t = t.steps_left
+
+let elapsed t = t.clock () -. t.started
+
+(** Human-readable summary for reports and CLI output. *)
+let describe t =
+  let steps =
+    match t.steps_left with
+    | None -> "steps unlimited"
+    | Some n -> Printf.sprintf "%d steps left" (max 0 n)
+  in
+  let time =
+    match t.deadline with
+    | None -> "no deadline"
+    | Some d -> Printf.sprintf "%.3fs to deadline" (d -. t.clock ())
+  in
+  Printf.sprintf "%s, %s" steps time

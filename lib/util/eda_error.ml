@@ -1,0 +1,50 @@
+(** Structured errors for user-reachable failure paths.
+
+    The toolkit's engines historically signalled malformed input with raw
+    [failwith]/[assert] — an uncaught backtrace is exactly the
+    security-unaware brittleness the paper warns about in flow composition.
+    User-reachable entry points (parsing, linting, engine [*_checked]
+    variants, [Flow.run_safe]) instead return [('a, Eda_error.t) result] so
+    callers can report, degrade or retry deliberately. *)
+
+type t =
+  | Parse_error of { line : int option; msg : string }
+      (** Malformed netlist text; [line] is 1-based when known. *)
+  | Lint_error of { check : string; net : string option; msg : string }
+      (** Structurally invalid circuit caught before an engine ran. *)
+  | Budget_exhausted of { engine : string; reason : Budget.exhaustion; progress : string }
+      (** An engine hit its budget with nothing useful to return;
+          [progress] records how far it got. *)
+  | Invalid_input of { what : string; msg : string }
+      (** A well-formed request the toolkit cannot serve
+          (unknown design name, wrong interface, ...). *)
+  | Engine_failure of { engine : string; msg : string }
+      (** An engine raised internally; the exception text is preserved. *)
+
+let to_string = function
+  | Parse_error { line = Some l; msg } -> Printf.sprintf "parse error (line %d): %s" l msg
+  | Parse_error { line = None; msg } -> Printf.sprintf "parse error: %s" msg
+  | Lint_error { check; net = Some n; msg } -> Printf.sprintf "lint [%s] net %s: %s" check n msg
+  | Lint_error { check; net = None; msg } -> Printf.sprintf "lint [%s]: %s" check msg
+  | Budget_exhausted { engine; reason; progress } ->
+    Printf.sprintf "%s: %s (%s)" engine (Budget.describe_exhaustion reason) progress
+  | Invalid_input { what; msg } -> Printf.sprintf "invalid %s: %s" what msg
+  | Engine_failure { engine; msg } -> Printf.sprintf "%s failed: %s" engine msg
+
+exception Error of t
+
+(** Run [f], converting any escaped exception into [Engine_failure] (or the
+    carried [t] for [Error]). The boundary between exception-style internals
+    and result-style public APIs. *)
+let guard ~engine f =
+  match f () with
+  | v -> Ok v
+  | exception Error e -> Result.Error e
+  | exception Failure msg -> Result.Error (Engine_failure { engine; msg })
+  | exception Invalid_argument msg -> Result.Error (Engine_failure { engine; msg })
+  | exception Assert_failure (file, line, _) ->
+    Result.Error
+      (Engine_failure { engine; msg = Printf.sprintf "internal assertion %s:%d" file line })
+  | exception Not_found -> Result.Error (Engine_failure { engine; msg = "not found" })
+
+let ( let* ) = Result.bind

@@ -87,6 +87,7 @@ let test_atpg_pattern_detects_target () =
     (fun fault ->
       match Dft.Atpg.generate c fault with
       | Dft.Atpg.Untestable -> Alcotest.fail "c17 has no untestable faults"
+      | Dft.Atpg.Abstained _ -> Alcotest.fail "unbudgeted ATPG cannot abstain"
       | Dft.Atpg.Pattern p ->
         Alcotest.(check bool) "pattern detects" true (Fault.Model.detects c ~fault p))
     faults
@@ -113,7 +114,8 @@ let test_atpg_finds_untestable () =
   (* g stuck-at-0 never observable: y = a either way. *)
   (match Dft.Atpg.generate c (Fault.Model.Stuck_at { node = g; value = false }) with
    | Dft.Atpg.Untestable -> ()
-   | Dft.Atpg.Pattern _ -> Alcotest.fail "redundant fault must be untestable")
+   | Dft.Atpg.Pattern _ | Dft.Atpg.Abstained _ ->
+     Alcotest.fail "redundant fault must be untestable")
 
 let test_lfsr_maximal_period () =
   Alcotest.(check int) "8-bit lfsr period" 255 (Dft.Bist.period ~width:8 ~seed:1);

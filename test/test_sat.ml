@@ -144,7 +144,8 @@ let test_circuit_encoding_agrees_with_sim () =
            Alcotest.(check bool) (Printf.sprintf "seed %d out %d" seed k) expected.(k)
              (Solver.model_value env.Cnf.solver env.Cnf.vars.(o)))
          (Circuit.output_ids c)
-     | Solver.Unsat -> Alcotest.fail "circuit CNF must be satisfiable under full input assignment")
+     | Solver.Unsat | Solver.Unknown _ ->
+       Alcotest.fail "circuit CNF must be satisfiable under full input assignment")
   done
 
 let test_equivalence_adders () =
