@@ -4,7 +4,10 @@
 
    Run everything:        dune exec bench/main.exe
    Run one section:       dune exec bench/main.exe -- fig2
-   Sections: table1 table2 fig1 fig2 composition stepfn curves ablations micro *)
+   Sections: table1 table2 fig1 fig2 composition stepfn curves ablations micro perf
+
+   The perf section additionally writes BENCH_perf.json — a machine-readable
+   report built from the telemetry counters the engines emit. *)
 
 module Rng = Eda_util.Rng
 module Circuit = Netlist.Circuit
@@ -711,11 +714,98 @@ let micro () =
     (List.sort compare rows)
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry-backed perf report: machine-readable BENCH_perf.json.     *)
+(* ------------------------------------------------------------------ *)
+
+let perf () =
+  banner "PERF — telemetry-instrumented engine runs (writes BENCH_perf.json)";
+  let module T = Eda_util.Telemetry in
+  Printf.printf
+    "Each workload runs under an in-memory telemetry sink; the JSON below\n\
+     is built from the same spans and counters the JSONL exporter streams.\n";
+  (* Overhead of disabled telemetry: with_span with no sink installed must
+     stay in the nanoseconds — the no-measurable-slowdown guarantee the
+     engines rely on to keep instrumentation always-on. *)
+  let iterations = 1_000_000 in
+  let timed f =
+    let t0 = Sys.time () in
+    let r = f () in
+    (r, Sys.time () -. t0)
+  in
+  let (), span_s =
+    timed (fun () ->
+        for i = 1 to iterations do
+          T.with_span "noop" (fun () -> ignore (Sys.opaque_identity i))
+        done)
+  in
+  let (), base_s =
+    timed (fun () ->
+        for i = 1 to iterations do
+          (fun () -> ignore (Sys.opaque_identity i)) ()
+        done)
+  in
+  let overhead_ns = 1e9 *. (span_s -. base_s) /. Float.of_int iterations in
+  Printf.printf "  disabled with_span overhead: %.1f ns/call (%d calls)\n"
+    (Float.max 0.0 overhead_ns) iterations;
+  (* Representative instrumented workloads, one per engine family. *)
+  let workload name f =
+    let sink, events = T.memory_sink () in
+    let (counters, gauges), seconds =
+      timed (fun () ->
+          T.with_sink sink (fun () ->
+              f ();
+              (T.counter_totals (), T.gauge_last "atpg.coverage")))
+    in
+    ignore gauges;
+    let spans =
+      List.length (List.filter (fun e -> e.T.kind = T.Span_end) (events ()))
+    in
+    Printf.printf "  %-24s %8.3f s  %4d span(s)\n" name seconds spans;
+    T.Json.JObj
+      [ ("name", T.Json.JStr name);
+        ("seconds", T.Json.JFloat seconds);
+        ("spans", T.Json.JInt spans);
+        ( "counters",
+          T.Json.JObj (List.map (fun (k, v) -> (k, T.Json.JInt v)) counters) ) ]
+  in
+  let rng = Rng.create 7 in
+  let alu = Gen.alu 4 in
+  let rows =
+    [ workload "synth_optimize" (fun () -> ignore (Synth.Flow.optimize alu));
+      workload "placement_anneal" (fun () ->
+          ignore (Physical.Placement.place rng ~moves:8000 alu));
+      workload "atpg" (fun () -> ignore (Dft.Atpg.run_report alu));
+      workload "sat_attack_epic8" (fun () ->
+          let locked = Locking.Lock.epic rng ~key_bits:8 alu in
+          ignore
+            (Locking.Sat_attack.run
+               ~oracle:(Locking.Sat_attack.oracle_of_circuit alu) locked));
+      workload "tvla_campaign" (fun () ->
+          let masked = Sidechannel.Leakage.synthesize_masked Sidechannel.Leakage.Security_aware in
+          ignore
+            (Sidechannel.Leakage.tvla_campaign rng masked ~traces_per_class:1000
+               ~noise_sigma:0.3));
+      workload "flow_run_safe" (fun () ->
+          ignore (Secure_eda.Flow.run_safe rng alu)) ]
+  in
+  let json =
+    T.Json.JObj
+      [ ("schema", T.Json.JStr "secure_eda_bench_perf/1");
+        ("disabled_span_overhead_ns", T.Json.JFloat (Float.max 0.0 overhead_ns));
+        ("workloads", T.Json.JList rows) ]
+  in
+  let path = "BENCH_perf.json" in
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc (T.Json.to_string json);
+      output_char oc '\n');
+  Printf.printf "  written %s\n" path
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [ ("table1", table1); ("table2", table2); ("fig1", fig1); ("fig2", fig2);
     ("composition", composition); ("stepfn", stepfn); ("curves", curves); ("ablations", ablations);
-    ("micro", micro) ]
+    ("micro", micro); ("perf", perf) ]
 
 let () =
   let requested =

@@ -19,6 +19,7 @@
 open Cmdliner
 module Budget = Eda_util.Budget
 module Eda_error = Eda_util.Eda_error
+module Telemetry = Eda_util.Telemetry
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline ("secure_eda_cli: " ^ s); exit 2) fmt
 
@@ -49,6 +50,22 @@ let budget_of conflicts seconds =
   match conflicts, seconds with
   | None, None -> None
   | steps, seconds -> Some (Budget.create ?steps ?seconds ())
+
+(* Shared telemetry flag: when present, every span/counter the command's
+   engines emit is exported as JSONL, one event per line, readable back
+   with [secure_eda_cli report]. *)
+let trace_arg =
+  let doc = "Export a JSONL telemetry trace of this run to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+    let oc = try open_out path with Sys_error msg -> die "%s: %s" path msg in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> Telemetry.with_sink (Telemetry.jsonl_sink oc) f)
 
 let pp_solver_stats (s : Sat.Solver.stats) =
   Printf.printf "solver: %d conflicts, %d decisions, %d propagations, %d learnt, %d restarts\n"
@@ -150,11 +167,12 @@ let synth_cmd =
   let secure =
     Arg.(value & flag & info [ "secure" ] ~doc:"Honour isw_ order barriers (security-aware mode)")
   in
-  let run path secure output =
+  let run path secure output trace =
     let c = read_circuit path in
     let optimized =
-      if secure then Synth.Flow.optimize_secure ~protect:Sidechannel.Isw.protected_name c
-      else Synth.Flow.optimize c
+      with_trace trace (fun () ->
+          if secure then Synth.Flow.optimize_secure ~protect:Sidechannel.Isw.protected_name c
+          else Synth.Flow.optimize c)
     in
     let before = (Netlist.Circuit.stats c).Netlist.Circuit.gates in
     let after = (Netlist.Circuit.stats optimized).Netlist.Circuit.gates in
@@ -163,7 +181,7 @@ let synth_cmd =
     write_or_print optimized output
   in
   Cmd.v (Cmd.info "synth" ~doc:"Run logic synthesis (classical or security-aware)")
-    Term.(const run $ netlist_arg $ secure $ output_arg)
+    Term.(const run $ netlist_arg $ secure $ output_arg $ trace_arg)
 
 (* --- lock / sat-attack ------------------------------------------------ *)
 
@@ -192,7 +210,7 @@ let sat_attack_cmd =
   let max_iterations =
     Arg.(value & opt int 256 & info [ "max-iterations" ] ~doc:"DIP query cap")
   in
-  let run locked_path oracle_path max_iterations conflicts seconds =
+  let run locked_path oracle_path max_iterations conflicts seconds trace =
     let locked_circuit = read_circuit locked_path in
     let original = read_circuit oracle_path in
     (* Reconstruct the locked view: key inputs are the key* named ones. *)
@@ -211,8 +229,9 @@ let sat_attack_cmd =
     in
     let budget = budget_of conflicts seconds in
     match
-      Locking.Sat_attack.run_checked ~max_iterations ?budget
-        ~oracle:(Locking.Sat_attack.oracle_of_circuit original) locked
+      with_trace trace (fun () ->
+          Locking.Sat_attack.run_checked ~max_iterations ?budget
+            ~oracle:(Locking.Sat_attack.oracle_of_circuit original) locked)
     with
     | Error e -> die "%s: %s" locked_path (Eda_error.to_string e)
     | Ok result ->
@@ -232,7 +251,9 @@ let sat_attack_cmd =
        | None, _ -> Printf.printf "no key recovered\n")
   in
   Cmd.v (Cmd.info "sat-attack" ~doc:"Oracle-guided SAT attack on a locked netlist")
-    Term.(const run $ netlist_arg $ oracle $ max_iterations $ conflicts_arg $ seconds_arg)
+    Term.(
+      const run $ netlist_arg $ oracle $ max_iterations $ conflicts_arg $ seconds_arg
+      $ trace_arg)
 
 (* --- atpg ------------------------------------------------------------- *)
 
@@ -240,10 +261,10 @@ let atpg_cmd =
   let patterns_flag =
     Arg.(value & flag & info [ "patterns" ] ~doc:"Print the generated patterns")
   in
-  let run path conflicts seconds print_patterns =
+  let run path conflicts seconds print_patterns trace =
     let c = read_circuit path in
     let budget = budget_of conflicts seconds in
-    match Dft.Atpg.run_checked ?budget c with
+    match with_trace trace (fun () -> Dft.Atpg.run_checked ?budget c) with
     | Error e -> die "%s: %s" path (Eda_error.to_string e)
     | Ok r ->
       Printf.printf "patterns %d, stuck-at coverage %.1f%%, untestable faults %d\n"
@@ -261,7 +282,7 @@ let atpg_cmd =
           r.Dft.Atpg.patterns
   in
   Cmd.v (Cmd.info "atpg" ~doc:"SAT-based test pattern generation (stuck-at)")
-    Term.(const run $ netlist_arg $ conflicts_arg $ seconds_arg $ patterns_flag)
+    Term.(const run $ netlist_arg $ conflicts_arg $ seconds_arg $ patterns_flag $ trace_arg)
 
 (* --- trojan ------------------------------------------------------------ *)
 
@@ -336,20 +357,23 @@ let watermark_cmd =
 
 let tvla_fig2_cmd =
   let traces = Arg.(value & opt int 4000 & info [ "traces" ] ~doc:"Traces per class") in
-  let run seed traces =
+  let run seed traces trace =
     let rng = Eda_util.Rng.create seed in
     let module L = Sidechannel.Leakage in
     let aware = L.synthesize_masked L.Security_aware in
     let unaware = L.synthesize_masked L.Security_unaware in
-    let ra = L.tvla_campaign rng aware ~traces_per_class:traces ~noise_sigma:0.3 in
-    let ru = L.tvla_campaign rng unaware ~traces_per_class:traces ~noise_sigma:0.3 in
+    let ra, ru =
+      with_trace trace (fun () ->
+          ( L.tvla_campaign rng aware ~traces_per_class:traces ~noise_sigma:0.3,
+            L.tvla_campaign rng unaware ~traces_per_class:traces ~noise_sigma:0.3 ))
+    in
     Printf.printf "security-aware  : max|t| = %.2f (%s)\n" ra.Sidechannel.Tvla.max_abs_t
       (if Sidechannel.Tvla.leaks ra then "LEAKS" else "passes");
     Printf.printf "security-unaware: max|t| = %.2f (%s)\n" ru.Sidechannel.Tvla.max_abs_t
       (if Sidechannel.Tvla.leaks ru then "LEAKS" else "passes")
   in
   Cmd.v (Cmd.info "tvla-fig2" ~doc:"Reproduce the paper's Fig. 2 TVLA contrast")
-    Term.(const run $ seed_arg $ traces)
+    Term.(const run $ seed_arg $ traces $ trace_arg)
 
 let table2_cmd =
   let run seed =
@@ -367,11 +391,11 @@ let table2_cmd =
     Term.(const run $ seed_arg)
 
 let flow_cmd =
-  let run path seed conflicts seconds =
+  let run path seed conflicts seconds trace =
     let c = read_circuit path in
     let rng = Eda_util.Rng.create seed in
     let budget = budget_of conflicts seconds in
-    match Secure_eda.Flow.run_safe rng ?budget c with
+    match with_trace trace (fun () -> Secure_eda.Flow.run_safe rng ?budget c) with
     | Error e -> die "%s: %s" path (Eda_error.to_string e)
     | Ok report ->
       List.iter
@@ -387,7 +411,24 @@ let flow_cmd =
         Printf.printf "%d stage(s) degraded\n" report.Secure_eda.Flow.degraded_stages
   in
   Cmd.v (Cmd.info "flow" ~doc:"Run the budgeted EDA flow (Fig. 1) with degradation notes")
-    Term.(const run $ netlist_arg $ seed_arg $ conflicts_arg $ seconds_arg)
+    Term.(const run $ netlist_arg $ seed_arg $ conflicts_arg $ seconds_arg $ trace_arg)
+
+(* --- report ------------------------------------------------------------ *)
+
+let report_cmd =
+  let trace_file =
+    Arg.(
+      required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"JSONL trace file")
+  in
+  let run path =
+    match Telemetry.Trace.of_file path with
+    | Error msg -> die "%s: malformed trace: %s" path msg
+    | Ok trace -> Format.printf "%a@." Telemetry.Trace.pp_profile trace
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Profile a JSONL telemetry trace: span tree, wall time, counter totals")
+    Term.(const run $ trace_file)
 
 let () =
   let doc = "security-centric EDA toolkit (DATE 2020 reproduction)" in
@@ -397,4 +438,4 @@ let () =
        (Cmd.group info
           [ gen_cmd; stats_cmd; lint_cmd; synth_cmd; lock_cmd; sat_attack_cmd; atpg_cmd;
             trojan_cmd; techmap_cmd; redundancy_cmd; watermark_cmd;
-            tvla_fig2_cmd; table2_cmd; flow_cmd ]))
+            tvla_fig2_cmd; table2_cmd; flow_cmd; report_cmd ]))

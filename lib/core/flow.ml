@@ -113,7 +113,13 @@ type safe_report = {
       with [degraded = Some reason] and the design passes through
       unchanged, so later stages still run;
     - [resume] continues from a {!checkpoint}, skipping completed stages;
-    - [stages] restricts the run (default: all four, in order). *)
+    - [stages] restricts the run (default: all four, in order).
+
+    Telemetry: one [flow.run_safe] span over the run, one [flow.stage]
+    span per stage (attr [stage]); a degradation is exported as a
+    [flow.degraded] note on its stage span, and each stage gauges
+    [flow.budget_utilization] from its sub-budget so partial results can
+    be read as budget pressure. *)
 let run_safe rng ?(protect = fun (_ : string) -> false) ?budget
     ?(stage_steps = fun (_ : stage) -> None) ?(stages = all_stages) ?resume circuit =
   let root = match budget with Some b -> b | None -> Budget.unlimited () in
@@ -125,11 +131,22 @@ let run_safe rng ?(protect = fun (_ : string) -> false) ?budget
   match Netlist.Lint.validate start_circuit with
   | Error e -> Error e
   | Ok _ ->
+    let module T = Eda_util.Telemetry in
     let completed = List.map (fun r -> r.stage) done_reports in
     let todo = List.filter (fun s -> not (List.mem s completed)) stages in
+    T.with_span "flow.run_safe"
+      ~attrs:
+        [ ("stages", T.Int (List.length todo));
+          ("resumed", T.Bool (resume <> None)) ]
+    @@ fun () ->
     let reports = ref (List.rev done_reports) in
     let current = ref start_circuit in
     let report stage ?wirelength ?fault_coverage ?degraded note =
+      (match degraded with
+       | Some why ->
+         T.note "flow.degraded"
+           ~attrs:[ ("stage", T.Str (stage_name stage)); ("reason", T.Str why) ]
+       | None -> ());
       let ppa = Synth.Flow.ppa !current in
       reports :=
         { stage;
@@ -142,12 +159,20 @@ let run_safe rng ?(protect = fun (_ : string) -> false) ?budget
         :: !reports
     in
     let run_stage stage =
+      T.with_span "flow.stage" ~attrs:[ ("stage", T.Str (stage_name stage)) ]
+      @@ fun () ->
       let sub = Budget.sub ?steps:(stage_steps stage) root in
+      let finish () =
+        match Budget.utilization sub with
+        | Some u -> T.gauge "flow.budget_utilization" u
+        | None -> ()
+      in
       match Budget.status sub with
       | Some e ->
         report stage
           ~degraded:(Printf.sprintf "skipped: %s" (Budget.describe_exhaustion e))
-          "stage skipped"
+          "stage skipped";
+        finish ()
       | None ->
         let attempt () =
           match stage with
@@ -207,7 +232,8 @@ let run_safe rng ?(protect = fun (_ : string) -> false) ?budget
          | Error e ->
            (* The stage blew up; the design passes through unchanged and
               the flow keeps going with an honest note. *)
-           report stage ~degraded:(Eda_error.to_string e) "stage failed")
+           report stage ~degraded:(Eda_error.to_string e) "stage failed");
+        finish ()
     in
     List.iter run_stage todo;
     let stages_list = List.rev !reports in

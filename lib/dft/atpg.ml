@@ -70,8 +70,15 @@ type report = {
     new pattern is fault-simulated against the remaining fault list before
     generating tests for survivors. [budget] is charged one step per fault
     processed plus one per solver conflict; on exhaustion the run stops
-    and reports partial coverage with the unprocessed fault count. *)
-let run_report ?budget circuit =
+    and reports partial coverage with the unprocessed fault count.
+
+    Telemetry: an [atpg.run] span over the whole campaign with per-fault
+    outcome counters ([atpg.detected] for SAT-generated patterns,
+    [atpg.covered_by_simulation] for faults swept by fault-simulating a
+    fresh pattern, [atpg.untestable], [atpg.abstained]) and a final
+    [atpg.coverage] gauge; each miter query nests a [sat.solve] span. *)
+let run_report_traced ?budget circuit =
+  let module T = Eda_util.Telemetry in
   let faults = Fault.Model.all_stuck_at_faults circuit in
   let total = List.length faults in
   let patterns = ref [] in
@@ -99,20 +106,38 @@ let run_report ?budget circuit =
        | [] -> ()
        | fault :: rest ->
          (match generate ?budget ~on_stats circuit fault with
-          | Abstained e -> exhausted := Some e
+          | Abstained e ->
+            T.count "atpg.abstained" 1;
+            exhausted := Some e
           | Untestable ->
+            T.count "atpg.untestable" 1;
             untestable := fault :: !untestable;
             remaining := rest
           | Pattern p ->
             patterns := p :: !patterns;
             (* Drop every other remaining fault this pattern also detects. *)
-            remaining := List.filter (fun f -> not (Fault.Model.detects circuit ~fault:f p)) rest);
+            let survivors =
+              List.filter (fun f -> not (Fault.Model.detects circuit ~fault:f p)) rest
+            in
+            T.count "atpg.detected" 1;
+            if T.active () then
+              T.count "atpg.covered_by_simulation"
+                (List.length rest - List.length survivors);
+            remaining := survivors);
          Option.iter (fun b -> Eda_util.Budget.tick b) budget)
   done;
   let untestable_n = List.length !untestable in
   let remaining_n = if !exhausted = None then 0 else List.length !remaining in
   let detected = total - untestable_n - remaining_n in
   let coverage = if total = 0 then 1.0 else Float.of_int detected /. Float.of_int total in
+  (match !exhausted with
+   | Some e ->
+     T.note "atpg.exhausted"
+       ~attrs:
+         [ ("reason", T.Str (Eda_util.Budget.describe_exhaustion e));
+           ("faults_remaining", T.Int remaining_n) ]
+   | None -> ());
+  T.gauge "atpg.coverage" coverage;
   { patterns = List.rev !patterns;
     coverage;
     untestable = !untestable;
@@ -120,6 +145,12 @@ let run_report ?budget circuit =
     faults_remaining = remaining_n;
     exhausted = !exhausted;
     solver_stats = !totals }
+
+let run_report ?budget circuit =
+  let module T = Eda_util.Telemetry in
+  T.with_span "atpg.run"
+    ~attrs:[ ("nodes", T.Int (Circuit.node_count circuit)) ]
+    (fun () -> run_report_traced ?budget circuit)
 
 (** Checked entry point: lint first, structured errors out. *)
 let run_checked ?budget circuit =

@@ -12,6 +12,7 @@ module Solver = Sat.Solver
 module Cnf = Sat.Cnf
 
 module Budget = Eda_util.Budget
+module Telemetry = Eda_util.Telemetry
 
 type status =
   | Converged  (* no DIP remains: the returned key is provably correct *)
@@ -35,6 +36,11 @@ let tie_equal solver va vb =
 
 let fix solver v b = Solver.add_clause solver [ Solver.lit_of_var v ~sign:b ]
 
+let describe_status = function
+  | Converged -> "converged"
+  | Iteration_limit -> "iteration limit reached"
+  | Budget_exhausted e -> Budget.describe_exhaustion e
+
 (** Run the attack. [oracle data] must return the correct outputs for the
     data inputs (the activated chip).
 
@@ -44,8 +50,13 @@ let fix solver v b = Solver.add_clause solver [ Solver.lit_of_var v ~sign:b ]
     the attack stops honestly: [status] records the reason, [iterations]
     how many DIPs completed, and [key] carries a best-effort key consistent
     with the I/O pairs recorded so far (extracted under a small grace
-    budget), which is exactly the partial progress a real attacker keeps. *)
-let run ?(max_iterations = 256) ?budget ?iteration_steps ~oracle (locked : Lock.locked) =
+    budget), which is exactly the partial progress a real attacker keeps.
+
+    Telemetry: one [sat_attack.run] span for the whole attack, one
+    [sat_attack.dip] span per DIP query (the nested [sat.solve] spans
+    carry the solver counters), a [sat_attack.dips] counter, and a final
+    [sat_attack.status] note. *)
+let run_traced ?(max_iterations = 256) ?budget ?iteration_steps ~oracle (locked : Lock.locked) =
   let c = locked.Lock.circuit in
   let solver = Solver.create () in
   let env_a = Cnf.encode ~solver c in
@@ -90,6 +101,11 @@ let run ?(max_iterations = 256) ?budget ?iteration_steps ~oracle (locked : Lock.
     | Solver.Unsat | Solver.Unknown _ -> None
   in
   let finish ?key iterations status =
+    Telemetry.note "sat_attack.status"
+      ~attrs:
+        [ ("status", Telemetry.Str (describe_status status));
+          ("iterations", Telemetry.Int iterations);
+          ("key_recovered", Telemetry.Bool (key <> None)) ];
     { key; iterations; solver_stats = Solver.stats solver; status }
   in
   let rec loop iterations =
@@ -97,11 +113,16 @@ let run ?(max_iterations = 256) ?budget ?iteration_steps ~oracle (locked : Lock.
       (* The scheme resisted this attacker budget; no key claimed. *)
       finish iterations Iteration_limit
     else begin
-      match solve_bounded ~assumptions:[ miter_on ] () with
+      match
+        Telemetry.with_span "sat_attack.dip"
+          ~attrs:[ ("iteration", Telemetry.Int iterations) ]
+          (fun () -> solve_bounded ~assumptions:[ miter_on ] ())
+      with
       | Solver.Sat ->
         let dip = Array.map (fun v -> Solver.model_value solver v) (data_vars env_a) in
         let response = oracle dip in
         add_io_constraint dip response;
+        Telemetry.count "sat_attack.dips" 1;
         loop (iterations + 1)
       | Solver.Unknown reason ->
         finish ?key:(best_effort_key ()) iterations (Budget_exhausted reason)
@@ -120,10 +141,12 @@ let run ?(max_iterations = 256) ?budget ?iteration_steps ~oracle (locked : Lock.
   in
   try loop 0 with Solver.Unsat_root -> finish 0 Converged
 
-let describe_status = function
-  | Converged -> "converged"
-  | Iteration_limit -> "iteration limit reached"
-  | Budget_exhausted e -> Budget.describe_exhaustion e
+let run ?max_iterations ?budget ?iteration_steps ~oracle (locked : Lock.locked) =
+  Telemetry.with_span "sat_attack.run"
+    ~attrs:
+      [ ("key_bits", Telemetry.Int (Array.length locked.Lock.key_inputs));
+        ("data_bits", Telemetry.Int (Array.length locked.Lock.data_inputs)) ]
+    (fun () -> run_traced ?max_iterations ?budget ?iteration_steps ~oracle locked)
 
 (** Checked entry point: lint the locked netlist, then run with internal
     failures converted to structured errors. *)

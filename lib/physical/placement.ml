@@ -45,8 +45,24 @@ let initial rng circuit =
     [budget] is charged one step per attempted move and checked every 64
     moves; annealing is an anytime algorithm, so stopping early degrades
     quality, not validity. Returns the refined placement and the number of
-    moves actually performed. *)
-let anneal_budgeted rng ?(moves = 20_000) ?budget ?(t_start = 8.0) ?(t_end = 0.05) placement =
+    moves actually performed.
+
+    Telemetry: a [placement.anneal] span with [placement.moves_accepted] /
+    [placement.moves_rejected] counters, a periodic [placement.temperature]
+    gauge (every 1024 moves) and a final [placement.final_temperature]
+    gauge. Counters are accumulated locally and emitted once at the end of
+    the span, so the per-move hot path stays telemetry-free. *)
+let anneal_budgeted rng ?(moves = 20_000) ?budget ?(t_start = 8.0) ?(t_end = 0.05) placement
+    =
+  let module T = Eda_util.Telemetry in
+  T.with_span "placement.anneal"
+    ~attrs:
+      [ ("nodes", T.Int (Circuit.node_count placement.circuit));
+        ("moves_requested", T.Int moves) ]
+  @@ fun () ->
+  let traced = T.active () in
+  let accepted = ref 0 in
+  let rejected = ref 0 in
   let pos = Array.copy placement.position in
   let net_list = nets placement.circuit in
   (* Incremental cost: nets touching a node. *)
@@ -82,16 +98,22 @@ let anneal_budgeted rng ?(moves = 20_000) ?budget ?(t_start = 8.0) ?(t_end = 0.0
         let after = cost_around a b in
         let delta = float_of_int (after - before) in
         let accept = delta <= 0.0 || Rng.float rng < exp (-.delta /. !temp) in
-        if not accept then begin
+        if accept then incr accepted
+        else begin
+          incr rejected;
           let tmp = pos.(a) in
           pos.(a) <- pos.(b);
           pos.(b) <- tmp
         end
       end;
       temp := !temp *. alpha;
-      incr performed
+      incr performed;
+      if traced && !performed land 1023 = 0 then T.gauge "placement.temperature" !temp
     end
   done;
+  T.count "placement.moves_accepted" !accepted;
+  T.count "placement.moves_rejected" !rejected;
+  T.gauge "placement.final_temperature" !temp;
   { placement with position = pos }, !performed
 
 let anneal rng ?moves ?budget ?t_start ?t_end placement =

@@ -314,15 +314,8 @@ type result =
           are step functions, so a bounded "don't know" must stay distinct
           from either definite answer. *)
 
-(** Solve under [assumptions]. The solver state is reusable across calls
-    (incremental interface); learnt clauses persist — including across an
-    [Unknown] answer, so a later call with a fresh budget resumes with all
-    learnt clauses retained.
-
-    [budget] is charged one step per conflict and checked at every conflict
-    and periodically between decisions; without it the search is unbounded
-    and the answer is always [Sat]/[Unsat]. *)
-let solve ?budget ?(assumptions = []) s =
+(* The search loop proper; [solve] below wraps it in a telemetry span. *)
+let solve_raw ?budget ~assumptions s =
   (* Reset to root and re-propagate the root-level trail: units enqueued by
      [add_clause] may not have been propagated yet (backtracking clears the
      propagation queue). Re-propagating assigned literals is idempotent. *)
@@ -416,6 +409,44 @@ let solve ?budget ?(assumptions = []) s =
         r
       | None -> assert false
     end
+
+(** Solve under [assumptions]. The solver state is reusable across calls
+    (incremental interface); learnt clauses persist — including across an
+    [Unknown] answer, so a later call with a fresh budget resumes with all
+    learnt clauses retained.
+
+    [budget] is charged one step per conflict and checked at every conflict
+    and periodically between decisions; without it the search is unbounded
+    and the answer is always [Sat]/[Unsat].
+
+    With a telemetry sink installed, each call is one [sat.solve] span
+    carrying this solve's decision/propagation/conflict/restart deltas as
+    counters (the per-conflict hot path itself is never instrumented). *)
+let solve ?budget ?(assumptions = []) s =
+  let module T = Eda_util.Telemetry in
+  if not (T.active ()) then solve_raw ?budget ~assumptions s
+  else
+    T.with_span "sat.solve"
+      ~attrs:[ ("vars", T.Int s.nvars); ("assumptions", T.Int (List.length assumptions)) ]
+      (fun () ->
+        let conflicts0 = s.conflicts
+        and decisions0 = s.num_decisions
+        and propagations0 = s.propagations
+        and restarts0 = s.num_restarts in
+        let result = solve_raw ?budget ~assumptions s in
+        T.count "sat.conflicts" (s.conflicts - conflicts0);
+        T.count "sat.decisions" (s.num_decisions - decisions0);
+        T.count "sat.propagations" (s.propagations - propagations0);
+        T.count "sat.restarts" (s.num_restarts - restarts0);
+        T.note "sat.result"
+          ~attrs:
+            [ ("result",
+               T.Str
+                 (match result with
+                  | Sat -> "sat"
+                  | Unsat -> "unsat"
+                  | Unknown e -> "unknown: " ^ Eda_util.Budget.describe_exhaustion e)) ];
+        result)
 
 (** Model access after a [Sat] answer. Unassigned variables read as false. *)
 let model_value s v =

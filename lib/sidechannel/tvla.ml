@@ -67,30 +67,58 @@ let t_test_second_order fixed_traces random_traces =
     in
     t_test (List.map preprocess fixed_traces) (List.map preprocess random_traces)
 
-(** Fixed-vs-random campaign assessed at first and second order. *)
+module T = Eda_util.Telemetry
+
+(** Fixed-vs-random campaign assessed at first and second order.
+
+    Telemetry: a [tvla.campaign_orders] span counting [tvla.traces]
+    consumed, with [tvla.max_abs_t] / [tvla.max_abs_t_2nd] gauges for the
+    two assessment orders. *)
 let campaign_orders ~traces_per_class ~collect =
+  T.with_span "tvla.campaign_orders"
+    ~attrs:[ ("traces_per_class", T.Int traces_per_class) ]
+  @@ fun () ->
   let fixed = ref [] and random = ref [] in
   for _ = 1 to traces_per_class do
     fixed := collect `Fixed :: !fixed;
-    random := collect `Random :: !random
+    random := collect `Random :: !random;
+    T.count "tvla.traces" 2
   done;
-  t_test !fixed !random, t_test_second_order !fixed !random
+  let first = t_test !fixed !random in
+  let second = t_test_second_order !fixed !random in
+  T.gauge "tvla.max_abs_t" first.max_abs_t;
+  T.gauge "tvla.max_abs_t_2nd" second.max_abs_t;
+  first, second
 
 (** Full fixed-vs-random campaign: [collect cls] must produce one trace for
     class [cls] ([`Fixed] or [`Random]), drawing its own randomness.
     Classes are interleaved to avoid drift artifacts, as the TVLA procedure
-    prescribes. *)
+    prescribes.
+
+    Telemetry: a [tvla.campaign] span counting [tvla.traces] consumed and
+    gauging the final [tvla.max_abs_t]. *)
 let campaign ~traces_per_class ~collect =
+  T.with_span "tvla.campaign" ~attrs:[ ("traces_per_class", T.Int traces_per_class) ]
+  @@ fun () ->
   let fixed = ref [] and random = ref [] in
   for _ = 1 to traces_per_class do
     fixed := collect `Fixed :: !fixed;
-    random := collect `Random :: !random
+    random := collect `Random :: !random;
+    T.count "tvla.traces" 2
   done;
-  t_test !fixed !random
+  let result = t_test !fixed !random in
+  T.gauge "tvla.max_abs_t" result.max_abs_t;
+  result
 
 (** Sweep of max |t| as the trace count grows; the paper-shaped "leakage
-    grows with sqrt(n)" series. [steps] are cumulative trace counts. *)
+    grows with sqrt(n)" series. [steps] are cumulative trace counts.
+
+    Telemetry: a [tvla.escalation] span; each step gauges [tvla.max_abs_t]
+    so the exported trace carries the |t| trajectory, not just the final
+    value. *)
 let escalation ~steps ~collect =
+  T.with_span "tvla.escalation" ~attrs:[ ("steps", T.Int (List.length steps)) ]
+  @@ fun () ->
   let fixed = ref [] and random = ref [] in
   let collected = ref 0 in
   List.map
@@ -98,7 +126,10 @@ let escalation ~steps ~collect =
       while !collected < target do
         fixed := collect `Fixed :: !fixed;
         random := collect `Random :: !random;
-        incr collected
+        incr collected;
+        T.count "tvla.traces" 2
       done;
-      target, (t_test !fixed !random).max_abs_t)
+      let max_abs_t = (t_test !fixed !random).max_abs_t in
+      T.gauge "tvla.max_abs_t" max_abs_t;
+      target, max_abs_t)
     steps

@@ -27,11 +27,31 @@ let ppa c =
     gate_count = st.Circuit.gates;
     power_proxy = !power_proxy }
 
+module T = Eda_util.Telemetry
+
+(* A pass under a [synth.pass.<name>] span with a [synth.gates_removed]
+   counter (net change; negative deltas count as zero since passes never
+   grow the netlist on purpose). Inactive telemetry short-circuits so the
+   extra [Circuit.stats] calls are only paid when tracing. *)
+let traced_pass name f c =
+  if not (T.active ()) then f c
+  else
+    T.with_span ("synth.pass." ^ name) @@ fun () ->
+    let before = (Circuit.stats c).Circuit.gates in
+    let c' = f c in
+    let after = (Circuit.stats c').Circuit.gates in
+    T.count "synth.gates_removed" (max 0 (before - after));
+    T.note "synth.pass"
+      ~attrs:
+        [ ("pass", T.Str name); ("gates_before", T.Int before); ("gates_after", T.Int after) ];
+    c'
+
 let optimize ?(reassoc = true) c =
+  T.with_span "synth.optimize" @@ fun () ->
   let step c =
-    let c = Rewrite.constant_propagation c in
-    let c = Rewrite.strash c in
-    if reassoc then Xor_reassoc.run c else c
+    let c = traced_pass "constant_propagation" Rewrite.constant_propagation c in
+    let c = traced_pass "strash" Rewrite.strash c in
+    if reassoc then traced_pass "xor_reassoc" Xor_reassoc.run c else c
   in
   (* Iterate to fixed point on gate count (bounded). *)
   let rec loop c rounds =
@@ -47,6 +67,7 @@ let optimize ?(reassoc = true) c =
 (** Security-aware variant: [protect] marks nodes whose structure is a
     security property (mask-accumulation chains, locked logic, sensors). *)
 let optimize_secure ~protect c =
-  let c = Rewrite.constant_propagation ~protect c in
-  let c = Rewrite.strash ~protect c in
-  Xor_reassoc.run ~protect c
+  T.with_span "synth.optimize_secure" @@ fun () ->
+  let c = traced_pass "constant_propagation" (Rewrite.constant_propagation ~protect) c in
+  let c = traced_pass "strash" (Rewrite.strash ~protect) c in
+  traced_pass "xor_reassoc" (Xor_reassoc.run ~protect) c

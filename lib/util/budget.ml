@@ -29,7 +29,9 @@ let describe_exhaustion = function
 
 type t = {
   parent : t option;
+  steps_initial : int option;  (* the allowance at creation, for utilization *)
   mutable steps_left : int option;  (* [None] = unlimited *)
+  mutable steps_used : int;  (* total charged, tracked even when unlimited *)
   deadline : float option;  (* absolute time in [clock] units *)
   clock : unit -> float;
   started : float;
@@ -43,7 +45,9 @@ let default_clock = Sys.time
 let create ?(clock = default_clock) ?steps ?seconds () =
   let now = clock () in
   { parent = None;
+    steps_initial = steps;
     steps_left = steps;
+    steps_used = 0;
     deadline = Option.map (fun s -> now +. s) seconds;
     clock;
     started = now;
@@ -56,7 +60,9 @@ let unlimited () = create ()
 let sub ?steps ?seconds t =
   let now = t.clock () in
   { parent = Some t;
+    steps_initial = steps;
     steps_left = steps;
+    steps_used = 0;
     deadline = Option.map (fun s -> now +. s) seconds;
     clock = t.clock;
     started = now;
@@ -83,6 +89,7 @@ let check t = match status t with None -> Ok () | Some e -> Error e
 
 (** Charge [cost] steps to this budget and every ancestor. *)
 let rec tick ?(cost = 1) t =
+  t.steps_used <- t.steps_used + cost;
   (match t.steps_left with
    | Some n -> t.steps_left <- Some (n - cost)
    | None -> ());
@@ -96,6 +103,41 @@ let spend ?cost t =
 let remaining_steps t = t.steps_left
 
 let elapsed t = t.clock () -. t.started
+
+(** Steps charged to this budget so far (tracked even when the step
+    allowance is unlimited). *)
+let consumed_steps t = t.steps_used
+
+(** Fraction of the step allowance spent, clamped to [0, 1]; [None] when
+    steps are unlimited. *)
+let step_fraction t =
+  Option.map
+    (fun total ->
+      if total <= 0 then 1.0
+      else Float.min 1.0 (Float.of_int t.steps_used /. Float.of_int total))
+    t.steps_initial
+
+(** Fraction of the wall-clock allowance elapsed, clamped to [0, 1];
+    [None] when there is no deadline. *)
+let time_fraction t =
+  Option.map
+    (fun deadline ->
+      let allowed = deadline -. t.started in
+      if allowed <= 0.0 then 1.0 else Float.min 1.0 (elapsed t /. allowed))
+    t.deadline
+
+(** Utilization along the most-constrained dimension (max of step and
+    time fractions); [None] when the budget is unlimited in both — an
+    unlimited budget is never "x% used". Telemetry reports this per
+    span so degradation can be read as budget pressure, not mystery. *)
+let utilization t =
+  match step_fraction t, time_fraction t with
+  | None, None -> None
+  | Some f, None | None, Some f -> Some f
+  | Some a, Some b -> Some (Float.max a b)
+
+(** [1 - utilization]; [None] when unlimited. *)
+let remaining_fraction t = Option.map (fun u -> 1.0 -. u) (utilization t)
 
 (** Human-readable summary for reports and CLI output. *)
 let describe t =

@@ -1,0 +1,781 @@
+(** Zero-dependency tracing/metrics core. See the interface for the
+    design rationale; the implementation notes that matter:
+
+    - the active context is ambient (a single mutable ref) so engines
+      carry no telemetry parameter; the disabled fast path is one ref
+      read and one match;
+    - span lifecycle is exception-safe: an escaping exception ends the
+      span with an [error] attribute and re-raises;
+    - counters/gauges/histograms aggregate in per-installation registries
+      (histograms through {!Stats.moments}) in addition to streaming
+      events, so totals are queryable without replaying the trace. *)
+
+type value =
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+
+type attrs = (string * value) list
+
+type kind =
+  | Span_start
+  | Span_end
+  | Point
+  | Count
+  | Gauge
+  | Hist
+
+type event = {
+  kind : kind;
+  span : int;
+  parent : int;
+  name : string;
+  time : float;
+  value : float;
+  attrs : attrs;
+}
+
+type sink = {
+  emit : event -> unit;
+  flush : unit -> unit;
+}
+
+let null = { emit = ignore; flush = ignore }
+
+let memory_sink () =
+  let events = ref [] in
+  ( { emit = (fun e -> events := e :: !events); flush = ignore },
+    fun () -> List.rev !events )
+
+type ctx = {
+  sink : sink;
+  clock : unit -> float;
+  mutable next_id : int;
+  mutable stack : (int * float) list;  (* (span id, start time), innermost first *)
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float) Hashtbl.t;
+  moments : (string, Stats.moments) Hashtbl.t;
+}
+
+let current : ctx option ref = ref None
+
+let active () = !current <> None
+
+let enclosing c = match c.stack with [] -> 0 | (id, _) :: _ -> id
+
+(* --- recording --------------------------------------------------------- *)
+
+let with_span ?(attrs = []) name f =
+  match !current with
+  | None -> f ()
+  | Some c ->
+    let id = c.next_id in
+    c.next_id <- id + 1;
+    let parent = enclosing c in
+    let t0 = c.clock () in
+    c.sink.emit { kind = Span_start; span = id; parent; name; time = t0; value = 0.0; attrs };
+    c.stack <- (id, t0) :: c.stack;
+    let finish error =
+      (* Pop down to (and including) this span: a leaked child cannot
+         corrupt the ancestors' bookkeeping. *)
+      let rec pop = function
+        | (i, start) :: rest ->
+          c.stack <- rest;
+          if i = id then Some start else pop rest
+        | [] -> None
+      in
+      let start = pop c.stack in
+      let t1 = c.clock () in
+      c.sink.emit
+        { kind = Span_end;
+          span = id;
+          parent;
+          name;
+          time = t1;
+          value = (match start with Some s -> t1 -. s | None -> 0.0);
+          attrs = (match error with None -> [] | Some msg -> [ ("error", Str msg) ]) }
+    in
+    (match f () with
+     | v ->
+       finish None;
+       v
+     | exception e ->
+       finish (Some (Printexc.to_string e));
+       raise e)
+
+let note ?(attrs = []) name =
+  match !current with
+  | None -> ()
+  | Some c ->
+    c.sink.emit
+      { kind = Point; span = enclosing c; parent = 0; name; time = c.clock (); value = 0.0; attrs }
+
+let count name n =
+  match !current with
+  | None -> ()
+  | Some c ->
+    (match Hashtbl.find_opt c.counters name with
+     | Some r -> r := !r + n
+     | None -> Hashtbl.replace c.counters name (ref n));
+    if n <> 0 then
+      c.sink.emit
+        { kind = Count;
+          span = enclosing c;
+          parent = 0;
+          name;
+          time = c.clock ();
+          value = Float.of_int n;
+          attrs = [] }
+
+let gauge name v =
+  match !current with
+  | None -> ()
+  | Some c ->
+    Hashtbl.replace c.gauges name v;
+    c.sink.emit
+      { kind = Gauge; span = enclosing c; parent = 0; name; time = c.clock (); value = v; attrs = [] }
+
+let observe name x =
+  match !current with
+  | None -> ()
+  | Some c ->
+    let m =
+      match Hashtbl.find_opt c.moments name with
+      | Some m -> m
+      | None ->
+        let m = Stats.moments_create () in
+        Hashtbl.replace c.moments name m;
+        m
+    in
+    Stats.moments_add m x
+
+(* --- registry access ---------------------------------------------------- *)
+
+let counter_total name =
+  match !current with
+  | None -> 0
+  | Some c -> (match Hashtbl.find_opt c.counters name with Some r -> !r | None -> 0)
+
+let counter_totals () =
+  match !current with
+  | None -> []
+  | Some c ->
+    Hashtbl.fold (fun name r acc -> (name, !r) :: acc) c.counters []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let gauge_last name =
+  match !current with None -> None | Some c -> Hashtbl.find_opt c.gauges name
+
+let observed name =
+  match !current with
+  | None -> None
+  | Some c ->
+    Option.map
+      (fun m ->
+        (m.Stats.n, Stats.moments_mean m, sqrt (Stats.moments_variance m)))
+      (Hashtbl.find_opt c.moments name)
+
+(* --- installation ------------------------------------------------------- *)
+
+let emit_hist_summaries c =
+  Hashtbl.fold (fun name m acc -> (name, m) :: acc) c.moments []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun (name, m) ->
+         let mean = Stats.moments_mean m in
+         c.sink.emit
+           { kind = Hist;
+             span = 0;
+             parent = 0;
+             name;
+             time = c.clock ();
+             value = mean;
+             attrs =
+               [ ("n", Int m.Stats.n);
+                 ("mean", Float mean);
+                 ("std", Float (sqrt (Stats.moments_variance m))) ] })
+
+let with_sink ?(clock = Sys.time) sink f =
+  if sink == null then f ()
+  else begin
+    let ctx =
+      { sink;
+        clock;
+        next_id = 1;
+        stack = [];
+        counters = Hashtbl.create 16;
+        gauges = Hashtbl.create 16;
+        moments = Hashtbl.create 16 }
+    in
+    let saved = !current in
+    current := Some ctx;
+    Fun.protect
+      ~finally:(fun () ->
+        emit_hist_summaries ctx;
+        sink.flush ();
+        current := saved)
+      f
+  end
+
+(* --- JSON --------------------------------------------------------------- *)
+
+module Json = struct
+  type t =
+    | Null
+    | JBool of bool
+    | JInt of int
+    | JFloat of float
+    | JStr of string
+    | JList of t list
+    | JObj of (string * t) list
+
+  let escape buf s =
+    String.iter
+      (fun ch ->
+        match ch with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s
+
+  (* Non-finite values have no JSON number form; [null] round-trips to
+     [nan]. Integral floats keep a ".0" so the parser preserves the
+     int/float distinction; "%.17g" round-trips every other double. *)
+  let float_repr v =
+    if Float.is_nan v || Float.abs v = Float.infinity then "null"
+    else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.1f" v
+    else Printf.sprintf "%.17g" v
+
+  let rec write buf = function
+    | Null -> Buffer.add_string buf "null"
+    | JBool b -> Buffer.add_string buf (if b then "true" else "false")
+    | JInt n -> Buffer.add_string buf (string_of_int n)
+    | JFloat v -> Buffer.add_string buf (float_repr v)
+    | JStr s ->
+      Buffer.add_char buf '"';
+      escape buf s;
+      Buffer.add_char buf '"'
+    | JList xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf x)
+        xs;
+      Buffer.add_char buf ']'
+    | JObj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          escape buf k;
+          Buffer.add_string buf "\":";
+          write buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+  let to_string t =
+    let buf = Buffer.create 128 in
+    write buf t;
+    Buffer.contents buf
+
+  exception Bad of string
+
+  (* Minimal recursive-descent parser for the subset this module emits
+     (which is standard JSON minus \uXXXX beyond U+00FF). *)
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let skip_ws () =
+      while
+        !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        advance ()
+      done
+    in
+    let expect ch =
+      if peek () = Some ch then advance () else fail (Printf.sprintf "expected '%c'" ch)
+    in
+    let literal word v =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        v
+      end
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else
+          match s.[!pos] with
+          | '"' -> advance ()
+          | '\\' ->
+            advance ();
+            (if !pos >= n then fail "unterminated escape"
+             else
+               match s.[!pos] with
+               | '"' -> Buffer.add_char buf '"'; advance ()
+               | '\\' -> Buffer.add_char buf '\\'; advance ()
+               | '/' -> Buffer.add_char buf '/'; advance ()
+               | 'b' -> Buffer.add_char buf '\b'; advance ()
+               | 'f' -> Buffer.add_char buf '\012'; advance ()
+               | 'n' -> Buffer.add_char buf '\n'; advance ()
+               | 'r' -> Buffer.add_char buf '\r'; advance ()
+               | 't' -> Buffer.add_char buf '\t'; advance ()
+               | 'u' ->
+                 advance ();
+                 if !pos + 4 > n then fail "truncated \\u escape";
+                 let hex = String.sub s !pos 4 in
+                 let code =
+                   try int_of_string ("0x" ^ hex) with Failure _ -> fail "bad \\u escape"
+                 in
+                 if code > 0xFF then fail "\\u escape beyond U+00FF unsupported";
+                 Buffer.add_char buf (Char.chr code);
+                 pos := !pos + 4
+               | _ -> fail "unknown escape");
+            go ()
+          | c ->
+            Buffer.add_char buf c;
+            advance ();
+            go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && is_num_char s.[!pos] do
+        advance ()
+      done;
+      let text = String.sub s start (!pos - start) in
+      if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') text then
+        match float_of_string_opt text with
+        | Some v -> JFloat v
+        | None -> fail "malformed number"
+      else
+        match int_of_string_opt text with
+        | Some v -> JInt v
+        | None -> fail "malformed number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '"' -> JStr (parse_string ())
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          JObj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec members () =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (key, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected ',' or '}'"
+          in
+          members ();
+          JObj (List.rev !fields)
+        end
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          JList []
+        end
+        else begin
+          let items = ref [] in
+          let rec elements () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elements ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements ();
+          JList (List.rev !items)
+        end
+      | Some 't' -> literal "true" (JBool true)
+      | Some 'f' -> literal "false" (JBool false)
+      | Some 'n' -> literal "null" Null
+      | Some ('-' | '0' .. '9') -> parse_number ()
+      | Some c -> fail (Printf.sprintf "unexpected character '%c'" c)
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Bad msg -> Error msg
+end
+
+let kind_name = function
+  | Span_start -> "span_start"
+  | Span_end -> "span_end"
+  | Point -> "event"
+  | Count -> "count"
+  | Gauge -> "gauge"
+  | Hist -> "hist"
+
+let kind_of_name = function
+  | "span_start" -> Some Span_start
+  | "span_end" -> Some Span_end
+  | "event" -> Some Point
+  | "count" -> Some Count
+  | "gauge" -> Some Gauge
+  | "hist" -> Some Hist
+  | _ -> None
+
+let json_of_value = function
+  | Bool b -> Json.JBool b
+  | Int n -> Json.JInt n
+  | Float v -> Json.JFloat v
+  | Str s -> Json.JStr s
+
+let value_of_json = function
+  | Json.JBool b -> Ok (Bool b)
+  | Json.JInt n -> Ok (Int n)
+  | Json.JFloat v -> Ok (Float v)
+  | Json.JStr s -> Ok (Str s)
+  | Json.Null | Json.JList _ | Json.JObj _ -> Error "unsupported attribute value"
+
+let event_to_json e =
+  Json.JObj
+    ([ ("kind", Json.JStr (kind_name e.kind));
+       ("span", Json.JInt e.span);
+       ("parent", Json.JInt e.parent);
+       ("name", Json.JStr e.name);
+       ("t", Json.JFloat e.time);
+       ("v", Json.JFloat e.value) ]
+    @
+    if e.attrs = [] then []
+    else [ ("attrs", Json.JObj (List.map (fun (k, v) -> (k, json_of_value v)) e.attrs)) ])
+
+let event_of_json json =
+  let ( let* ) = Result.bind in
+  match json with
+  | Json.JObj fields ->
+    let find key = List.assoc_opt key fields in
+    let* kind =
+      match find "kind" with
+      | Some (Json.JStr s) ->
+        (match kind_of_name s with
+         | Some k -> Ok k
+         | None -> Error (Printf.sprintf "unknown event kind %S" s))
+      | Some _ -> Error "field \"kind\" must be a string"
+      | None -> Error "missing field \"kind\""
+    in
+    let int_field key =
+      match find key with
+      | Some (Json.JInt n) -> Ok n
+      | Some _ -> Error (Printf.sprintf "field %S must be an integer" key)
+      | None -> Error (Printf.sprintf "missing field %S" key)
+    in
+    let float_field key =
+      match find key with
+      | Some (Json.JFloat v) -> Ok v
+      | Some (Json.JInt n) -> Ok (Float.of_int n)
+      | Some Json.Null -> Ok Float.nan
+      | Some _ -> Error (Printf.sprintf "field %S must be a number" key)
+      | None -> Error (Printf.sprintf "missing field %S" key)
+    in
+    let* span = int_field "span" in
+    let* parent = int_field "parent" in
+    let* name =
+      match find "name" with
+      | Some (Json.JStr s) -> Ok s
+      | Some _ -> Error "field \"name\" must be a string"
+      | None -> Error "missing field \"name\""
+    in
+    let* time = float_field "t" in
+    let* value = float_field "v" in
+    let* attrs =
+      match find "attrs" with
+      | None -> Ok []
+      | Some (Json.JObj kvs) ->
+        List.fold_left
+          (fun acc (k, jv) ->
+            let* acc = acc in
+            let* v = value_of_json jv in
+            Ok ((k, v) :: acc))
+          (Ok []) kvs
+        |> Result.map List.rev
+      | Some _ -> Error "field \"attrs\" must be an object"
+    in
+    Ok { kind; span; parent; name; time; value; attrs }
+  | _ -> Error "event line is not a JSON object"
+
+let event_to_line e = Json.to_string (event_to_json e)
+
+let event_of_line line =
+  match Json.parse line with
+  | Error msg -> Error msg
+  | Ok json -> event_of_json json
+
+let jsonl_sink oc =
+  { emit =
+      (fun e ->
+        output_string oc (event_to_line e);
+        output_char oc '\n');
+    flush = (fun () -> flush oc) }
+
+(* --- trace reconstruction ---------------------------------------------- *)
+
+module Trace = struct
+  type span = {
+    id : int;
+    parent : int;
+    name : string;
+    start : float;
+    mutable duration : float option;
+    attrs : attrs;
+    mutable end_attrs : attrs;
+    mutable children : span list;
+    mutable counters : (string * float) list;
+    mutable gauges : (string * float) list;
+    mutable notes : (string * attrs) list;
+  }
+
+  type t = {
+    roots : span list;
+    span_count : int;
+    event_count : int;
+    counter_totals : (string * float) list;
+    gauge_last : (string * float) list;
+    hists : (string * attrs) list;
+  }
+
+  let bump assoc name v =
+    match List.assoc_opt name assoc with
+    | Some prev -> (name, prev +. v) :: List.remove_assoc name assoc
+    | None -> (name, v) :: assoc
+
+  let set assoc name v = (name, v) :: List.remove_assoc name assoc
+
+  let of_events events =
+    let spans : (int, span) Hashtbl.t = Hashtbl.create 64 in
+    let roots = ref [] in
+    let counter_totals = ref [] in
+    let gauge_last = ref [] in
+    let hists = ref [] in
+    let event_count = ref 0 in
+    let error = ref None in
+    let fail msg = if !error = None then error := Some msg in
+    let owner ev_kind id =
+      if id = 0 then None
+      else
+        match Hashtbl.find_opt spans id with
+        | Some sp -> Some sp
+        | None ->
+          fail (Printf.sprintf "%s references span %d which never started" ev_kind id);
+          None
+    in
+    List.iter
+      (fun e ->
+        if !error = None then begin
+          incr event_count;
+          match e.kind with
+          | Span_start ->
+            if Hashtbl.mem spans e.span then
+              fail (Printf.sprintf "span %d started twice" e.span)
+            else begin
+              let sp =
+                { id = e.span;
+                  parent = e.parent;
+                  name = e.name;
+                  start = e.time;
+                  duration = None;
+                  attrs = e.attrs;
+                  end_attrs = [];
+                  children = [];
+                  counters = [];
+                  gauges = [];
+                  notes = [] }
+              in
+              Hashtbl.replace spans e.span sp;
+              match owner "span_start" e.parent with
+              | Some parent -> parent.children <- sp :: parent.children
+              | None -> if e.parent = 0 then roots := sp :: !roots
+            end
+          | Span_end ->
+            (match owner "span_end" e.span with
+             | Some sp ->
+               if sp.duration <> None then fail (Printf.sprintf "span %d ended twice" e.span)
+               else begin
+                 sp.duration <- Some e.value;
+                 sp.end_attrs <- e.attrs
+               end
+             | None -> ())
+          | Count ->
+            counter_totals := bump !counter_totals e.name e.value;
+            (match owner "count" e.span with
+             | Some sp -> sp.counters <- bump sp.counters e.name e.value
+             | None -> ())
+          | Gauge ->
+            gauge_last := set !gauge_last e.name e.value;
+            (match owner "gauge" e.span with
+             | Some sp -> sp.gauges <- set sp.gauges e.name e.value
+             | None -> ())
+          | Point ->
+            (match owner "event" e.span with
+             | Some sp -> sp.notes <- (e.name, e.attrs) :: sp.notes
+             | None -> ())
+          | Hist -> hists := (e.name, e.attrs) :: !hists
+        end)
+      events;
+    match !error with
+    | Some msg -> Error msg
+    | None ->
+      let rec finalize sp =
+        sp.children <- List.rev sp.children;
+        sp.counters <- List.rev sp.counters;
+        sp.gauges <- List.rev sp.gauges;
+        sp.notes <- List.rev sp.notes;
+        List.iter finalize sp.children
+      in
+      let roots = List.rev !roots in
+      List.iter finalize roots;
+      Ok
+        { roots;
+          span_count = Hashtbl.length spans;
+          event_count = !event_count;
+          counter_totals = List.sort compare (List.rev !counter_totals);
+          gauge_last = List.rev !gauge_last;
+          hists = List.rev !hists }
+
+  let of_string text =
+    let lines = String.split_on_char '\n' text in
+    let ( let* ) = Result.bind in
+    let* events =
+      List.fold_left
+        (fun acc (lineno, line) ->
+          let* acc = acc in
+          if String.trim line = "" then Ok acc
+          else
+            match event_of_line line with
+            | Ok e -> Ok (e :: acc)
+            | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+        (Ok [])
+        (List.mapi (fun i l -> (i + 1, l)) lines)
+      |> Result.map List.rev
+    in
+    of_events events
+
+  let of_file path =
+    match In_channel.with_open_text path In_channel.input_all with
+    | text -> of_string text
+    | exception Sys_error msg -> Error msg
+
+  let find_spans t name =
+    let acc = ref [] in
+    let rec go sp =
+      if sp.name = name then acc := sp :: !acc;
+      List.iter go sp.children
+    in
+    List.iter go t.roots;
+    List.rev !acc
+
+  (* --- profile printing ------------------------------------------------ *)
+
+  let pp_value fmt = function
+    | Bool b -> Format.fprintf fmt "%b" b
+    | Int n -> Format.fprintf fmt "%d" n
+    | Float v -> Format.fprintf fmt "%g" v
+    | Str s -> Format.fprintf fmt "%s" s
+
+  let pp_attrs fmt attrs =
+    List.iteri
+      (fun i (k, v) ->
+        Format.fprintf fmt "%s%s=%a" (if i > 0 then ", " else "") k pp_value v)
+      attrs
+
+  let pretty_duration d =
+    if d >= 1.0 then Printf.sprintf "%8.3f s " d
+    else if d >= 1e-3 then Printf.sprintf "%8.3f ms" (d *. 1e3)
+    else Printf.sprintf "%8.1f us" (d *. 1e6)
+
+  let pp_metric_value fmt v =
+    if Float.is_integer v && Float.abs v < 1e15 then Format.fprintf fmt "%.0f" v
+    else Format.fprintf fmt "%g" v
+
+  let pp_profile fmt t =
+    Format.fprintf fmt "trace: %d event(s), %d span(s)@." t.event_count t.span_count;
+    let rec pp_span depth sp =
+      let indent = String.make (2 * depth) ' ' in
+      let label =
+        if sp.attrs = [] then sp.name
+        else Format.asprintf "%s (%a)" sp.name pp_attrs sp.attrs
+      in
+      let time =
+        match sp.duration with
+        | Some d -> pretty_duration d
+        | None -> "   (open)  "
+      in
+      Format.fprintf fmt "%s%-*s %s@." indent (max 1 (56 - (2 * depth))) label time;
+      List.iter
+        (fun (name, v) ->
+          Format.fprintf fmt "%s  . %s = %a@." indent name pp_metric_value v)
+        sp.counters;
+      List.iter
+        (fun (name, v) ->
+          Format.fprintf fmt "%s  ~ %s = %a@." indent name pp_metric_value v)
+        sp.gauges;
+      List.iter
+        (fun (name, attrs) ->
+          if attrs = [] then Format.fprintf fmt "%s  ! %s@." indent name
+          else Format.fprintf fmt "%s  ! %s (%a)@." indent name pp_attrs attrs)
+        sp.notes;
+      List.iter (pp_span (depth + 1)) sp.children
+    in
+    List.iter (pp_span 0) t.roots;
+    if t.counter_totals <> [] then begin
+      Format.fprintf fmt "@.counter totals:@.";
+      List.iter
+        (fun (name, v) -> Format.fprintf fmt "  %-40s %a@." name pp_metric_value v)
+        t.counter_totals
+    end;
+    if t.gauge_last <> [] then begin
+      Format.fprintf fmt "@.gauges (last value):@.";
+      List.iter
+        (fun (name, v) -> Format.fprintf fmt "  %-40s %g@." name v)
+        (List.sort compare t.gauge_last)
+    end;
+    if t.hists <> [] then begin
+      Format.fprintf fmt "@.histograms:@.";
+      List.iter
+        (fun (name, attrs) -> Format.fprintf fmt "  %-40s %a@." name pp_attrs attrs)
+        (List.sort compare t.hists)
+    end
+end

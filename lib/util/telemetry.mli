@@ -1,0 +1,173 @@
+(** Zero-dependency tracing and metrics for every engine in the toolkit.
+
+    Security metrics are step functions of invested effort (Sec. IV); to
+    see the step you must record where the effort went — SAT conflicts,
+    ATPG fault outcomes, annealing moves, TVLA traces — as the flow runs.
+    Telemetry makes every run an analyzable artifact:
+
+    - {b spans}: named, attributed, hierarchically nested intervals whose
+      lifecycle follows engine calls ([Flow.run_safe] stages, SAT solves,
+      DIP iterations);
+    - {b counters / gauges / histograms}: registered by name; histograms
+      aggregate online through {!Stats.moments};
+    - {b sinks}: {!null} (the default ambient state — near-zero overhead),
+      an in-memory collector for tests, and a JSONL exporter streaming one
+      event per line.
+
+    The sink is ambient (installed with {!with_sink}) so engines need no
+    signature changes; with no sink installed every instrumentation point
+    is a single mutable-ref check. *)
+
+(** Attribute values carried by spans and point events. *)
+type value =
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+
+type attrs = (string * value) list
+
+type kind =
+  | Span_start
+  | Span_end  (** [value] holds the span duration in clock units *)
+  | Point  (** a point-in-time note attached to the enclosing span *)
+  | Count  (** [value] holds the increment *)
+  | Gauge  (** [value] holds the sampled level *)
+  | Hist  (** summary of an {!observe} series, emitted at sink teardown *)
+
+type event = {
+  kind : kind;
+  span : int;  (** owning span id; for span events, the span's own id. 0 = none *)
+  parent : int;  (** enclosing span id at emission time; 0 = root *)
+  name : string;
+  time : float;  (** clock reading at emission *)
+  value : float;
+  attrs : attrs;
+}
+
+(** {1 Sinks} *)
+
+type sink
+
+(** The no-op sink: installing it is identical to having no sink at all. *)
+val null : sink
+
+(** In-memory collector; the second component returns everything emitted
+    so far, in emission order. *)
+val memory_sink : unit -> sink * (unit -> event list)
+
+(** Streams one JSON object per line to [oc] (flushed at teardown). *)
+val jsonl_sink : out_channel -> sink
+
+(** Install [sink] for the duration of [f]. Nests: the previous sink is
+    restored afterwards (also on exceptions). [clock] defaults to
+    [Sys.time]; pass a fake clock for deterministic tests. At teardown,
+    one {!Hist} summary event per {!observe}d name is emitted and the
+    sink is flushed. *)
+val with_sink : ?clock:(unit -> float) -> sink -> (unit -> 'a) -> 'a
+
+(** True when a non-null sink is installed — use to guard instrumentation
+    whose {e argument computation} is not free. *)
+val active : unit -> bool
+
+(** {1 Recording} *)
+
+(** Run [f] inside a fresh span. Span ids are per-sink-installation and
+    strictly increasing; nesting follows the dynamic call structure.
+    An exception escaping [f] still ends the span, with an [error]
+    attribute, and is re-raised. *)
+val with_span : ?attrs:attrs -> string -> (unit -> 'a) -> 'a
+
+(** Point event in the current span. *)
+val note : ?attrs:attrs -> string -> unit
+
+(** Add [n] to the named counter (registry total) and emit a {!Count}
+    event when [n <> 0]. *)
+val count : string -> int -> unit
+
+(** Sample the named gauge. *)
+val gauge : string -> float -> unit
+
+(** Feed one observation into the named histogram ({!Stats.moments}
+    under the hood); no per-observation event is emitted — a {!Hist}
+    summary (n, mean, std) appears at sink teardown. *)
+val observe : string -> float -> unit
+
+(** {1 Registry access} (valid inside [with_sink]; empty/0 outside) *)
+
+val counter_total : string -> int
+val counter_totals : unit -> (string * int) list  (** sorted by name *)
+
+val gauge_last : string -> float option
+
+(** [(n, mean, std)] of an {!observe} series. *)
+val observed : string -> (int * float * float) option
+
+(** {1 JSON} — the minimal encoder/parser behind the JSONL sink, exposed
+    for other machine-readable outputs (e.g. bench reports). *)
+
+module Json : sig
+  type t =
+    | Null
+    | JBool of bool
+    | JInt of int
+    | JFloat of float  (** non-finite values serialize as [null] *)
+    | JStr of string
+    | JList of t list
+    | JObj of (string * t) list
+
+  val to_string : t -> string
+  val parse : string -> (t, string) result
+end
+
+val event_to_json : event -> Json.t
+val event_of_json : Json.t -> (event, string) result
+
+(** One JSONL line (no trailing newline). *)
+val event_to_line : event -> string
+
+val event_of_line : string -> (event, string) result
+
+(** {1 Traces} — reconstruction and reporting *)
+
+module Trace : sig
+  type span = {
+    id : int;
+    parent : int;
+    name : string;
+    start : float;
+    mutable duration : float option;  (** [None]: never ended (crashed run) *)
+    attrs : attrs;
+    mutable end_attrs : attrs;
+    mutable children : span list;  (** in start order *)
+    mutable counters : (string * float) list;  (** this span's own increments *)
+    mutable gauges : (string * float) list;  (** last value per name *)
+    mutable notes : (string * attrs) list;
+  }
+
+  type t = {
+    roots : span list;
+    span_count : int;
+    event_count : int;
+    counter_totals : (string * float) list;  (** whole-trace, sorted *)
+    gauge_last : (string * float) list;
+    hists : (string * attrs) list;
+  }
+
+  (** Rebuild the span tree. [Error] on structural violations (an end or
+      a counter referencing a span that never started). *)
+  val of_events : event list -> (t, string) result
+
+  (** Parse JSONL text (one event per line; blank lines ignored). *)
+  val of_string : string -> (t, string) result
+
+  val of_file : string -> (t, string) result
+
+  (** All spans with the given name, in start order. *)
+  val find_spans : t -> string -> span list
+
+  (** Human-readable profile: the span tree with per-span wall time,
+      counters and notes, then whole-trace counter/gauge/histogram
+      totals. *)
+  val pp_profile : Format.formatter -> t -> unit
+end

@@ -1,0 +1,295 @@
+(* Tests for Eda_util.Telemetry: span nesting under the memory sink,
+   counter aggregation determinism, JSONL round-trip fidelity, and the
+   null-sink-emits-nothing guarantee the engines' always-on
+   instrumentation depends on. *)
+
+module T = Eda_util.Telemetry
+
+(* A deterministic fake clock: each reading advances by 1.0. *)
+let fake_clock () =
+  let t = ref 0.0 in
+  fun () ->
+    let now = !t in
+    t := now +. 1.0;
+    now
+
+let collect f =
+  let sink, events = T.memory_sink () in
+  let r = T.with_sink ~clock:(fake_clock ()) sink f in
+  (r, events ())
+
+(* --- spans -------------------------------------------------------- *)
+
+let test_span_nesting () =
+  let (), events =
+    collect (fun () ->
+        T.with_span "outer" (fun () ->
+            T.with_span "inner_a" (fun () -> ());
+            T.with_span "inner_b" (fun () -> T.note "mark")))
+  in
+  let starts = List.filter (fun e -> e.T.kind = T.Span_start) events in
+  let ends = List.filter (fun e -> e.T.kind = T.Span_end) events in
+  Alcotest.(check int) "three starts" 3 (List.length starts);
+  Alcotest.(check int) "three ends" 3 (List.length ends);
+  let find name = List.find (fun e -> e.T.name = name) starts in
+  let outer = find "outer" and a = find "inner_a" and b = find "inner_b" in
+  Alcotest.(check int) "outer is a root" 0 outer.T.parent;
+  Alcotest.(check int) "inner_a under outer" outer.T.span a.T.parent;
+  Alcotest.(check int) "inner_b under outer" outer.T.span b.T.parent;
+  let mark = List.find (fun e -> e.T.kind = T.Point) events in
+  Alcotest.(check int) "note attached to inner_b" b.T.span mark.T.span
+
+let test_span_ids_strictly_increasing () =
+  let (), events =
+    collect (fun () ->
+        for _ = 1 to 5 do
+          T.with_span "s" (fun () -> ())
+        done)
+  in
+  let ids =
+    List.filter_map
+      (fun e -> if e.T.kind = T.Span_start then Some e.T.span else None)
+      events
+  in
+  Alcotest.(check (list int)) "ids 1..5" [ 1; 2; 3; 4; 5 ] ids
+
+let test_span_duration_from_clock () =
+  (* Fake clock ticks once at start and once at end: duration = interval. *)
+  let (), events = collect (fun () -> T.with_span "timed" (fun () -> ())) in
+  let e = List.find (fun e -> e.T.kind = T.Span_end) events in
+  Alcotest.(check bool) "positive duration" true (e.T.value > 0.0)
+
+let test_span_ends_on_exception () =
+  let result, events =
+    collect (fun () ->
+        try T.with_span "boom" (fun () -> failwith "expected")
+        with Failure _ -> `Raised)
+  in
+  Alcotest.(check bool) "exception propagated" true (result = `Raised);
+  let e = List.find (fun e -> e.T.kind = T.Span_end) events in
+  Alcotest.(check bool) "error attr recorded" true
+    (List.mem_assoc "error" e.T.attrs)
+
+(* --- counters / gauges / histograms -------------------------------- *)
+
+let test_counter_aggregation_deterministic () =
+  let run () =
+    collect (fun () ->
+        T.count "a" 3;
+        T.count "b" 1;
+        T.count "a" 4;
+        T.count "zero" 0;
+        (T.counter_totals (), T.counter_total "a"))
+  in
+  let (totals1, a1), events1 = run () in
+  let (totals2, _), events2 = run () in
+  Alcotest.(check int) "a total" 7 a1;
+  Alcotest.(check bool) "totals identical across runs" true (totals1 = totals2);
+  Alcotest.(check int) "same event count" (List.length events1) (List.length events2);
+  (* Sorted by name, and zero increments still register. *)
+  Alcotest.(check bool) "sorted with zero entry" true
+    (totals1 = [ ("a", 7); ("b", 1); ("zero", 0) ]);
+  (* But a zero increment emits no event. *)
+  let counts = List.filter (fun e -> e.T.kind = T.Count) events1 in
+  Alcotest.(check int) "only nonzero increments emitted" 3 (List.length counts)
+
+let test_gauge_and_histogram () =
+  let (last, moments), events =
+    collect (fun () ->
+        T.gauge "temp" 8.0;
+        T.gauge "temp" 0.5;
+        T.observe "delta" 1.0;
+        T.observe "delta" 3.0;
+        (T.gauge_last "temp", T.observed "delta"))
+  in
+  Alcotest.(check (option (float 1e-9))) "gauge keeps last" (Some 0.5) last;
+  (match moments with
+   | Some (n, mean, _) ->
+     Alcotest.(check int) "two observations" 2 n;
+     Alcotest.(check (float 1e-9)) "mean" 2.0 mean
+   | None -> Alcotest.fail "no histogram recorded");
+  (* Histogram summary is emitted once, at sink teardown. *)
+  let hists = List.filter (fun e -> e.T.kind = T.Hist) events in
+  Alcotest.(check int) "one hist summary" 1 (List.length hists)
+
+(* --- null sink / disabled state ------------------------------------ *)
+
+let test_null_sink_adds_no_events () =
+  (* Instrumentation outside any sink, and under the null sink, must both
+     be invisible: no events, no registry state, [active () = false]. *)
+  T.with_span "orphan" (fun () -> T.count "orphan" 5);
+  Alcotest.(check bool) "inactive outside with_sink" false (T.active ());
+  Alcotest.(check int) "registry empty outside" 0 (T.counter_total "orphan");
+  Alcotest.(check bool) "null sink reports inactive" false
+    (T.with_sink T.null (fun () -> T.active ()));
+  T.with_sink T.null (fun () -> T.with_span "hidden" (fun () -> T.count "h" 1));
+  Alcotest.(check int) "null sink leaves no registry trace" 0 (T.counter_total "h");
+  let (), events =
+    collect (fun () ->
+        Alcotest.(check bool) "active under memory sink" true (T.active ());
+        T.with_span "seen" (fun () -> ()))
+  in
+  Alcotest.(check int) "only this sink's events recorded" 2 (List.length events)
+
+(* --- JSONL round-trip ----------------------------------------------- *)
+
+let test_json_value_roundtrip () =
+  let open T.Json in
+  let values =
+    [ Null; JBool true; JBool false; JInt 0; JInt (-42); JInt max_int;
+      JFloat 0.5; JFloat (-1.25e-3); JFloat 3.0; JStr ""; JStr "plain";
+      JStr "esc \"q\" \\ \n \t \x01 end";
+      JList [ JInt 1; JStr "two"; Null ];
+      JObj [ ("k", JInt 1); ("nested", JObj [ ("x", JBool false) ]) ] ]
+  in
+  List.iter
+    (fun v ->
+      match parse (to_string v) with
+      | Ok v' -> Alcotest.(check bool) ("roundtrip " ^ to_string v) true (v = v')
+      | Error msg -> Alcotest.fail ("parse failed: " ^ msg))
+    values
+
+let test_json_rejects_garbage () =
+  let bad = [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "{} trailing" ] in
+  List.iter
+    (fun s ->
+      match T.Json.parse s with
+      | Ok _ -> Alcotest.fail ("accepted garbage: " ^ s)
+      | Error _ -> ())
+    bad
+
+let jsonl_of_run f =
+  let sink, events = T.memory_sink () in
+  T.with_sink ~clock:(fake_clock ()) sink f;
+  let events = events () in
+  (events, String.concat "\n" (List.map T.event_to_line events))
+
+let instrumented_run () =
+  T.with_span "root" ~attrs:[ ("design", T.Str "alu4"); ("bits", T.Int 4) ]
+    (fun () ->
+      T.with_span "stage_a" (fun () ->
+          T.count "work" 3;
+          T.note "checkpoint" ~attrs:[ ("ok", T.Bool true) ]);
+      T.with_span "stage_b" (fun () ->
+          T.gauge "level" 0.75;
+          T.observe "sample" 2.0))
+
+let test_jsonl_roundtrip_reconstructs () =
+  let events, text = jsonl_of_run instrumented_run in
+  (* Every line parses back to the event that produced it. *)
+  let lines = String.split_on_char '\n' text in
+  Alcotest.(check int) "one line per event" (List.length events) (List.length lines);
+  List.iter2
+    (fun e line ->
+      match T.event_of_line line with
+      | Ok e' -> Alcotest.(check bool) "event round-trips" true (e = e')
+      | Error msg -> Alcotest.fail ("line did not parse: " ^ msg))
+    events lines;
+  (* The reconstructed trace matches one built from live events. *)
+  match T.Trace.of_string text, T.Trace.of_events events with
+  | Error msg, _ | _, Error msg -> Alcotest.fail ("trace rebuild failed: " ^ msg)
+  | Ok from_text, Ok from_events ->
+    Alcotest.(check int) "span count" from_events.T.Trace.span_count
+      from_text.T.Trace.span_count;
+    Alcotest.(check int) "event count" (List.length events)
+      from_text.T.Trace.event_count;
+    (match from_text.T.Trace.roots with
+     | [ root ] ->
+       Alcotest.(check string) "root name" "root" root.T.Trace.name;
+       Alcotest.(check int) "two children" 2 (List.length root.T.Trace.children);
+       Alcotest.(check (list string)) "children in start order"
+         [ "stage_a"; "stage_b" ]
+         (List.map (fun s -> s.T.Trace.name) root.T.Trace.children);
+       let a = List.hd root.T.Trace.children in
+       Alcotest.(check (list (pair string (float 1e-9)))) "stage_a counters"
+         [ ("work", 3.0) ] a.T.Trace.counters
+     | roots -> Alcotest.failf "expected one root, got %d" (List.length roots));
+    Alcotest.(check bool) "counter totals survive" true
+      (List.mem_assoc "work" from_text.T.Trace.counter_totals);
+    Alcotest.(check bool) "hist summary survives" true
+      (List.mem_assoc "sample" from_text.T.Trace.hists)
+
+let test_trace_rejects_malformed () =
+  (* Structurally broken traces must be an [Error] (the CI report step
+     relies on this), not a silently-wrong profile. *)
+  let end_without_start =
+    "{\"kind\":\"span_end\",\"span\":7,\"parent\":0,\"name\":\"ghost\",\"time\":1.0,\"value\":1.0}"
+  in
+  (match T.Trace.of_string end_without_start with
+   | Ok _ -> Alcotest.fail "accepted end-without-start"
+   | Error _ -> ());
+  (match T.Trace.of_string "not json at all" with
+   | Ok _ -> Alcotest.fail "accepted non-JSON line"
+   | Error _ -> ())
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  scan 0
+
+let test_profile_prints () =
+  let _, text = jsonl_of_run instrumented_run in
+  match T.Trace.of_string text with
+  | Error msg -> Alcotest.fail msg
+  | Ok trace ->
+    let rendered = Format.asprintf "%a" T.Trace.pp_profile trace in
+    List.iter
+      (fun needle ->
+        Alcotest.(check bool) ("profile mentions " ^ needle) true
+          (contains rendered needle))
+      [ "root"; "stage_a"; "stage_b"; "work" ]
+
+(* --- budget utilization --------------------------------------------- *)
+
+module Budget = Eda_util.Budget
+
+let test_budget_utilization () =
+  let b = Budget.create ~steps:10 () in
+  Alcotest.(check (option (float 1e-9))) "fresh" (Some 0.0) (Budget.utilization b);
+  Budget.tick ~cost:4 b;
+  Alcotest.(check int) "consumed" 4 (Budget.consumed_steps b);
+  Alcotest.(check (option (float 1e-9))) "40% used" (Some 0.4) (Budget.utilization b);
+  Alcotest.(check (option (float 1e-9))) "60% left" (Some 0.6)
+    (Budget.remaining_fraction b);
+  Budget.tick ~cost:100 b;
+  Alcotest.(check (option (float 1e-9))) "clamped at 1" (Some 1.0)
+    (Budget.utilization b);
+  (* Unlimited budgets have no meaningful utilization. *)
+  let u = Budget.unlimited () in
+  Budget.tick u;
+  Alcotest.(check int) "steps still tracked" 1 (Budget.consumed_steps u);
+  Alcotest.(check (option (float 1e-9))) "unlimited is None" None
+    (Budget.utilization u)
+
+let test_budget_sub_utilization_independent () =
+  let root = Budget.create ~steps:100 () in
+  let sub = Budget.sub ~steps:10 root in
+  Budget.tick ~cost:5 sub;
+  Alcotest.(check (option (float 1e-9))) "sub at 50%" (Some 0.5)
+    (Budget.utilization sub);
+  Alcotest.(check (option (float 1e-9))) "root at 5%" (Some 0.05)
+    (Budget.utilization root)
+
+let () =
+  Alcotest.run "telemetry"
+    [ ("spans",
+       [ Alcotest.test_case "nesting" `Quick test_span_nesting;
+         Alcotest.test_case "ids increase" `Quick test_span_ids_strictly_increasing;
+         Alcotest.test_case "duration" `Quick test_span_duration_from_clock;
+         Alcotest.test_case "exception safety" `Quick test_span_ends_on_exception ]);
+      ("metrics",
+       [ Alcotest.test_case "counter determinism" `Quick
+           test_counter_aggregation_deterministic;
+         Alcotest.test_case "gauge + histogram" `Quick test_gauge_and_histogram ]);
+      ("null sink",
+       [ Alcotest.test_case "adds no events" `Quick test_null_sink_adds_no_events ]);
+      ("jsonl",
+       [ Alcotest.test_case "json value roundtrip" `Quick test_json_value_roundtrip;
+         Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+         Alcotest.test_case "trace roundtrip" `Quick test_jsonl_roundtrip_reconstructs;
+         Alcotest.test_case "rejects malformed trace" `Quick test_trace_rejects_malformed;
+         Alcotest.test_case "profile renders" `Quick test_profile_prints ]);
+      ("budget",
+       [ Alcotest.test_case "utilization" `Quick test_budget_utilization;
+         Alcotest.test_case "sub-budget independence" `Quick
+           test_budget_sub_utilization_independent ]) ]
