@@ -7,7 +7,10 @@
    Sections: table1 table2 fig1 fig2 composition stepfn curves ablations micro perf
 
    The perf section additionally writes BENCH_perf.json — a machine-readable
-   report built from the telemetry counters the engines emit. *)
+   report built from the telemetry counters the engines emit, including a
+   before/after comparison of the allocation-free SAT and simulation hot
+   paths against the retained reference implementations. Pass --smoke
+   (with perf) to shrink the comparison workloads for CI. *)
 
 module Rng = Eda_util.Rng
 module Circuit = Netlist.Circuit
@@ -717,6 +720,233 @@ let micro () =
 (* Telemetry-backed perf report: machine-readable BENCH_perf.json.     *)
 (* ------------------------------------------------------------------ *)
 
+(* Reduced workload sizes for CI (--smoke). *)
+let smoke = ref false
+
+(* Before/after harness for the allocation-free hot paths: the identical
+   workload drives both the production engines and the reference
+   implementations retained from before the optimization ([Sat.Solver_ref];
+   local copies of the old allocating simulation loops below). *)
+module Perf_compare = struct
+  module Solver = Sat.Solver
+  module Ref = Sat.Solver_ref
+  module Gate = Netlist.Gate
+
+  (* Minimal solver interface, so one SAT-attack workload can run against
+     either implementation with a bit-identical clause stream. *)
+  type ops = {
+    new_vars : int -> int;  (* allocate a contiguous block, return first *)
+    add_clause : int list -> unit;
+    solve : int list -> bool;  (* under assumptions; true = SAT *)
+    model : int -> bool;
+  }
+
+  let solver_ops s =
+    { new_vars = (fun n -> Solver.new_vars s n);
+      add_clause = (fun lits -> Solver.add_clause s lits);
+      solve = (fun assumptions -> Solver.solve ~assumptions s = Solver.Sat);
+      model = (fun v -> Solver.model_value s v) }
+
+  let ref_ops s =
+    { new_vars =
+        (fun n ->
+          let first = Ref.new_var s in
+          for _ = 2 to n do
+            ignore (Ref.new_var s)
+          done;
+          first);
+      add_clause = (fun lits -> Ref.add_clause s lits);
+      solve = (fun assumptions -> Ref.solve ~assumptions s = Ref.Sat);
+      model = (fun v -> Ref.model_value s v) }
+
+  let plit v = Solver.lit_of_var v ~sign:true
+  let nlit v = Solver.lit_of_var v ~sign:false
+
+  (* Tseitin encoding of a circuit copy; returns the per-node variable
+     array. DFFs are treated as free inputs (combinational abstraction,
+     same as the production CNF layer). *)
+  let encode ops c =
+    let n = Circuit.node_count c in
+    let base = ops.new_vars n in
+    let v i = base + i in
+    for i = 0 to n - 1 do
+      let nd = Circuit.node c i in
+      let f k = v nd.Circuit.fanins.(k) in
+      let y = v i in
+      match nd.Circuit.kind with
+      | Gate.Input | Gate.Dff -> ()
+      | Gate.Const b -> ops.add_clause [ (if b then plit y else nlit y) ]
+      | Gate.Buf ->
+        ops.add_clause [ nlit y; plit (f 0) ];
+        ops.add_clause [ plit y; nlit (f 0) ]
+      | Gate.Not ->
+        ops.add_clause [ nlit y; nlit (f 0) ];
+        ops.add_clause [ plit y; plit (f 0) ]
+      | Gate.And ->
+        ops.add_clause [ nlit y; plit (f 0) ];
+        ops.add_clause [ nlit y; plit (f 1) ];
+        ops.add_clause [ plit y; nlit (f 0); nlit (f 1) ]
+      | Gate.Nand ->
+        ops.add_clause [ plit y; plit (f 0) ];
+        ops.add_clause [ plit y; plit (f 1) ];
+        ops.add_clause [ nlit y; nlit (f 0); nlit (f 1) ]
+      | Gate.Or ->
+        ops.add_clause [ plit y; nlit (f 0) ];
+        ops.add_clause [ plit y; nlit (f 1) ];
+        ops.add_clause [ nlit y; plit (f 0); plit (f 1) ]
+      | Gate.Nor ->
+        ops.add_clause [ nlit y; nlit (f 0) ];
+        ops.add_clause [ nlit y; nlit (f 1) ];
+        ops.add_clause [ plit y; plit (f 0); plit (f 1) ]
+      | Gate.Xor ->
+        ops.add_clause [ nlit y; plit (f 0); plit (f 1) ];
+        ops.add_clause [ nlit y; nlit (f 0); nlit (f 1) ];
+        ops.add_clause [ plit y; nlit (f 0); plit (f 1) ];
+        ops.add_clause [ plit y; plit (f 0); nlit (f 1) ]
+      | Gate.Xnor ->
+        ops.add_clause [ plit y; plit (f 0); plit (f 1) ];
+        ops.add_clause [ plit y; nlit (f 0); nlit (f 1) ];
+        ops.add_clause [ nlit y; nlit (f 0); plit (f 1) ];
+        ops.add_clause [ nlit y; plit (f 0); nlit (f 1) ]
+      | Gate.Mux ->
+        let s = f 0 and d0 = f 1 and d1 = f 2 in
+        ops.add_clause [ nlit s; nlit d1; plit y ];
+        ops.add_clause [ nlit s; plit d1; nlit y ];
+        ops.add_clause [ plit s; nlit d0; plit y ];
+        ops.add_clause [ plit s; plit d0; nlit y ]
+    done;
+    Array.init n (fun i -> v i)
+
+  let xor_var ops a b =
+    let t = ops.new_vars 1 in
+    ops.add_clause [ nlit t; plit a; plit b ];
+    ops.add_clause [ nlit t; nlit a; nlit b ];
+    ops.add_clause [ plit t; nlit a; plit b ];
+    ops.add_clause [ plit t; plit a; nlit b ];
+    t
+
+  let or_var ops ds =
+    let t = ops.new_vars 1 in
+    List.iter (fun d -> ops.add_clause [ nlit d; plit t ]) ds;
+    ops.add_clause (nlit t :: List.map plit ds);
+    t
+
+  let tie ops a b =
+    ops.add_clause [ nlit a; plit b ];
+    ops.add_clause [ plit a; nlit b ]
+
+  let fix ops v b = ops.add_clause [ (if b then plit v else nlit v) ]
+
+  (* The oracle-guided DIP loop of the SAT attack, generic over [ops] —
+     structurally the same incremental workload [Locking.Sat_attack] puts
+     on the solver (double-encoded miter, growing I/O constraints).
+     Returns the number of DIP iterations. *)
+  let dip_attack ops ~original (locked : Locking.Lock.locked) =
+    let c = locked.Locking.Lock.circuit in
+    let vars_a = encode ops c in
+    let vars_b = encode ops c in
+    let key env = Array.map (fun id -> env.(id)) locked.Locking.Lock.key_inputs in
+    let data env = Array.map (fun id -> env.(id)) locked.Locking.Lock.data_inputs in
+    let outs env = Array.map (fun o -> env.(o)) (Circuit.output_ids c) in
+    Array.iteri (fun k va -> tie ops va (data vars_b).(k)) (data vars_a);
+    let diffs =
+      Array.to_list
+        (Array.mapi (fun k oa -> xor_var ops oa (outs vars_b).(k)) (outs vars_a))
+    in
+    let miter_on = plit (or_var ops diffs) in
+    let iterations = ref 0 in
+    while ops.solve [ miter_on ] do
+      incr iterations;
+      let dip = Array.map ops.model (data vars_a) in
+      let response = Netlist.Sim.eval original dip in
+      List.iter
+        (fun env_keys ->
+          let vars_f = encode ops c in
+          Array.iteri (fun k v -> fix ops v dip.(k)) (data vars_f);
+          Array.iteri (fun k v -> fix ops v response.(k)) (outs vars_f);
+          Array.iteri (fun k v -> tie ops v env_keys.(k)) (key vars_f))
+        [ key vars_a; key vars_b ]
+    done;
+    ignore (ops.solve []);  (* final key extraction, as in the real attack *)
+    !iterations
+
+  (* The pre-optimization word simulation, verbatim shape: one input-word
+     array per pattern batch, one result array per call, one operand array
+     per gate ([Gate.eval_word] over [Array.map]). *)
+  let eval_all_word_alloc c inputs =
+    let values = Array.make (Circuit.node_count c) 0 in
+    let next_input = ref 0 in
+    for i = 0 to Circuit.node_count c - 1 do
+      let nd = Circuit.node c i in
+      match nd.Circuit.kind with
+      | Gate.Input ->
+        values.(i) <- inputs.(!next_input);
+        incr next_input
+      | Gate.Dff -> values.(i) <- 0
+      | k ->
+        values.(i) <- Gate.eval_word k (Array.map (fun f -> values.(f)) nd.Circuit.fanins)
+    done;
+    values
+
+  (* Pre-optimization Hamming weight: the bit-at-a-time loop Stats used
+     before the SWAR popcount (same values, 63 iterations per word). *)
+  let hamming_weight_loop x =
+    let rec loop acc i =
+      if i >= 63 then acc else loop (acc + ((x lsr i) land 1)) (i + 1)
+    in
+    loop 0 0
+
+  let signal_probabilities_alloc rng ~patterns c =
+    let ni = Circuit.num_inputs c in
+    let words = max 1 ((patterns + 62) / 63) in
+    let ones = Array.make (Circuit.node_count c) 0 in
+    for _ = 1 to words do
+      let inputs =
+        (* boxed Int64 draw, as the pre-PR [Rng] forced on every caller *)
+        Array.init ni (fun _ -> Int64.to_int (Rng.next_int64 rng))
+      in
+      let values = eval_all_word_alloc c inputs in
+      Array.iteri
+        (fun i w -> ones.(i) <- ones.(i) + hamming_weight_loop w)
+        values
+    done;
+    Array.map (fun k -> Float.of_int k /. Float.of_int (words * 63)) ones
+
+  (* Allocated words so far: minor + major - promoted, the standard
+     double-count-free total. *)
+  let words g = g.Gc.minor_words +. g.Gc.major_words -. g.Gc.promoted_words
+
+  (* CPU time + allocation profile of [f]: (result, seconds, allocated
+     words, major-heap words). *)
+  let measured f =
+    Gc.full_major ();
+    let g0 = Gc.quick_stat () in
+    let t0 = Sys.time () in
+    let r = f () in
+    let dt = Sys.time () -. t0 in
+    let g1 = Gc.quick_stat () in
+    let allocated = words g1 -. words g0 in
+    let major = g1.Gc.major_words -. g0.Gc.major_words in
+    (r, Float.max dt 1e-9, allocated, major)
+
+  (* Wrap [ops.solve] so the solver's own search phase is timed and
+     GC-profiled apart from the bench-side CNF encoding (which is shared
+     verbatim between the two implementations and would otherwise dilute
+     the comparison). Returns the wrapped ops plus accumulators. *)
+  let instrument_solve ops =
+    let seconds = ref 0.0 and allocated = ref 0.0 in
+    let solve assumptions =
+      let g0 = Gc.quick_stat () in
+      let t0 = Sys.time () in
+      let r = ops.solve assumptions in
+      seconds := !seconds +. (Sys.time () -. t0);
+      let g1 = Gc.quick_stat () in
+      allocated := !allocated +. (words g1 -. words g0);
+      r
+    in
+    ({ ops with solve }, seconds, allocated)
+end
+
 let perf () =
   banner "PERF — telemetry-instrumented engine runs (writes BENCH_perf.json)";
   let module T = Eda_util.Telemetry in
@@ -788,11 +1018,131 @@ let perf () =
       workload "flow_run_safe" (fun () ->
           ignore (Secure_eda.Flow.run_safe rng alu)) ]
   in
+  (* ---- Before/after: array-based solver core vs reference CDCL ---- *)
+  let module P = Perf_compare in
+  subbanner "solver core: SAT-attack workload, new vs reference implementation";
+  let key_bits = if !smoke then 8 else 20 in
+  let reps = if !smoke then 1 else 5 in
+  let attack_orig = Gen.alu 4 in
+  let attack_locked = Locking.Lock.epic (Rng.create 90210) ~key_bits attack_orig in
+  let run_new () =
+    let dips = ref 0 and props = ref 0 and learnt_live = ref 0 in
+    let solve_s = ref 0.0 and solve_alloc = ref 0.0 in
+    let (), dt, allocated, major =
+      P.measured (fun () ->
+          for _ = 1 to reps do
+            let s = Sat.Solver.create () in
+            let ops, ss, sa = P.instrument_solve (P.solver_ops s) in
+            dips := P.dip_attack ops ~original:attack_orig attack_locked;
+            solve_s := !solve_s +. !ss;
+            solve_alloc := !solve_alloc +. !sa;
+            let st = Sat.Solver.stats s in
+            props := !props + st.Sat.Solver.propagations;
+            learnt_live := st.Sat.Solver.learnt_live
+          done)
+    in
+    (!dips, !props, !learnt_live, dt, allocated, major, !solve_s, !solve_alloc)
+  in
+  let run_ref () =
+    let dips = ref 0 and props = ref 0 in
+    let solve_s = ref 0.0 and solve_alloc = ref 0.0 in
+    let (), dt, allocated, major =
+      P.measured (fun () ->
+          for _ = 1 to reps do
+            let s = Sat.Solver_ref.create () in
+            let ops, ss, sa = P.instrument_solve (P.ref_ops s) in
+            dips := P.dip_attack ops ~original:attack_orig attack_locked;
+            solve_s := !solve_s +. !ss;
+            solve_alloc := !solve_alloc +. !sa;
+            props := !props + (Sat.Solver_ref.stats s).Sat.Solver_ref.propagations
+          done)
+    in
+    (!dips, !props, dt, allocated, major, !solve_s, !solve_alloc)
+  in
+  let n_dips, n_props, n_learnt, n_dt, n_alloc, n_major, n_ss, n_sa = run_new () in
+  let r_dips, r_props, r_dt, r_alloc, r_major, r_ss, r_sa = run_ref () in
+  if n_dips <> r_dips then
+    Printf.printf "  WARNING: DIP counts differ (new %d, ref %d)\n" n_dips r_dips;
+  let sat_speedup = r_dt /. n_dt in
+  let sat_alloc_reduction = r_alloc /. Float.max n_alloc 1.0 in
+  let solve_speedup = r_ss /. Float.max n_ss 1e-9 in
+  let solve_alloc_reduction = r_sa /. Float.max n_sa 1.0 in
+  let pps dt props = Float.of_int props /. dt in
+  Printf.printf "  %-12s %10s %14s %16s %16s %10s %14s\n" "" "time (s)" "props/sec"
+    "alloc words" "major words" "solve (s)" "solve alloc";
+  Printf.printf "  %-12s %10.3f %14.0f %16.0f %16.0f %10.3f %14.0f\n" "new" n_dt
+    (pps n_dt n_props) n_alloc n_major n_ss n_sa;
+  Printf.printf "  %-12s %10.3f %14.0f %16.0f %16.0f %10.3f %14.0f\n" "reference" r_dt
+    (pps r_dt r_props) r_alloc r_major r_ss r_sa;
+  Printf.printf
+    "  EPIC-%d on alu4, %d DIPs x%d: end-to-end speedup %.1fx (alloc %.0fx down);\n\
+    \  solve phase alone: speedup %.1fx, allocation reduced %.0fx, learnt DB %d live\n"
+    key_bits n_dips reps sat_speedup sat_alloc_reduction solve_speedup
+    solve_alloc_reduction n_learnt;
+  (* ---- Before/after: zero-alloc bit-parallel simulation ---- *)
+  subbanner "simulation: signal_probabilities, new vs allocating baseline";
+  let sim_circuit = Gen.kogge_stone_adder 8 in
+  let sim_patterns = 63 * (if !smoke then 400 else 4000) in
+  let (probs_new, sim_n_dt, sim_n_alloc, sim_n_major) =
+    P.measured (fun () ->
+        Netlist.Sim.signal_probabilities (Rng.create 424242) ~patterns:sim_patterns sim_circuit)
+  in
+  let (probs_ref, sim_r_dt, sim_r_alloc, sim_r_major) =
+    P.measured (fun () ->
+        P.signal_probabilities_alloc (Rng.create 424242) ~patterns:sim_patterns sim_circuit)
+  in
+  if probs_new <> probs_ref then
+    Printf.printf "  WARNING: probability vectors differ between implementations\n";
+  let sim_speedup = sim_r_dt /. sim_n_dt in
+  let sim_alloc_reduction = sim_r_alloc /. Float.max sim_n_alloc 1.0 in
+  let patps dt = Float.of_int sim_patterns /. dt in
+  Printf.printf "  %-12s %10s %14s %16s %16s\n" "" "time (s)" "patterns/sec" "alloc words" "major words";
+  Printf.printf "  %-12s %10.3f %14.0f %16.0f %16.0f\n" "new" sim_n_dt (patps sim_n_dt) sim_n_alloc sim_n_major;
+  Printf.printf "  %-12s %10.3f %14.0f %16.0f %16.0f\n" "reference" sim_r_dt (patps sim_r_dt) sim_r_alloc sim_r_major;
+  Printf.printf "  kogge_stone(8), %d patterns: speedup %.1fx, allocation reduced %.0fx\n"
+    sim_patterns sim_speedup sim_alloc_reduction;
+  let side name seconds throughput alloc major extra =
+    ( name,
+      T.Json.JObj
+        ([ ("seconds", T.Json.JFloat seconds);
+           ("throughput_per_sec", T.Json.JFloat throughput);
+           ("allocated_words", T.Json.JFloat alloc);
+           ("major_words", T.Json.JFloat major) ]
+         @ extra) )
+  in
+  let comparisons =
+    T.Json.JObj
+      [ ( "sat_attack",
+          T.Json.JObj
+            [ ("workload", T.Json.JStr (Printf.sprintf "epic%d_alu4_x%d" key_bits reps));
+              ("dips", T.Json.JInt n_dips);
+              side "new" n_dt (pps n_dt n_props) n_alloc n_major
+                [ ("solve_seconds", T.Json.JFloat n_ss);
+                  ("solve_allocated_words", T.Json.JFloat n_sa);
+                  ("learnt_db_live", T.Json.JInt n_learnt) ];
+              side "reference" r_dt (pps r_dt r_props) r_alloc r_major
+                [ ("solve_seconds", T.Json.JFloat r_ss);
+                  ("solve_allocated_words", T.Json.JFloat r_sa) ];
+              ("speedup", T.Json.JFloat sat_speedup);
+              ("alloc_reduction", T.Json.JFloat sat_alloc_reduction);
+              ("solve_speedup", T.Json.JFloat solve_speedup);
+              ("solve_alloc_reduction", T.Json.JFloat solve_alloc_reduction) ] );
+        ( "signal_probabilities",
+          T.Json.JObj
+            [ ("workload", T.Json.JStr "kogge_stone8");
+              ("patterns", T.Json.JInt sim_patterns);
+              side "new" sim_n_dt (patps sim_n_dt) sim_n_alloc sim_n_major [];
+              side "reference" sim_r_dt (patps sim_r_dt) sim_r_alloc sim_r_major [];
+              ("speedup", T.Json.JFloat sim_speedup);
+              ("alloc_reduction", T.Json.JFloat sim_alloc_reduction) ] ) ]
+  in
   let json =
     T.Json.JObj
-      [ ("schema", T.Json.JStr "secure_eda_bench_perf/1");
+      [ ("schema", T.Json.JStr "secure_eda_bench_perf/2");
+        ("smoke", T.Json.JBool !smoke);
         ("disabled_span_overhead_ns", T.Json.JFloat (Float.max 0.0 overhead_ns));
-        ("workloads", T.Json.JList rows) ]
+        ("workloads", T.Json.JList rows);
+        ("comparisons", comparisons) ]
   in
   let path = "BENCH_perf.json" in
   Out_channel.with_open_text path (fun oc ->
@@ -808,11 +1158,22 @@ let sections =
     ("micro", micro); ("perf", perf) ]
 
 let () =
-  let requested =
+  let args =
     match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as args) -> args
-    | [] | [ _ ] -> List.map fst sections
+    | _ :: rest -> rest
+    | [] -> []
   in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--smoke" then begin
+          smoke := true;
+          false
+        end
+        else true)
+      args
+  in
+  let requested = if args = [] then List.map fst sections else args in
   List.iter
     (fun name ->
       match List.assoc_opt name sections with

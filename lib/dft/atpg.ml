@@ -87,16 +87,21 @@ let run_report_traced ?budget circuit =
   let exhausted = ref None in
   let totals =
     ref
-      { Solver.vars = 0; conflicts = 0; decisions = 0; propagations = 0; learnt = 0; restarts = 0 }
+      { Solver.vars = 0; clauses = 0; conflicts = 0; decisions = 0; propagations = 0;
+        learnt = 0; learnt_live = 0; restarts = 0; db_reductions = 0; clauses_deleted = 0 }
   in
   let on_stats (s : Solver.stats) =
     totals :=
       { Solver.vars = max !totals.Solver.vars s.Solver.vars;
+        clauses = max !totals.Solver.clauses s.Solver.clauses;
         conflicts = !totals.Solver.conflicts + s.Solver.conflicts;
         decisions = !totals.Solver.decisions + s.Solver.decisions;
         propagations = !totals.Solver.propagations + s.Solver.propagations;
         learnt = !totals.Solver.learnt + s.Solver.learnt;
-        restarts = !totals.Solver.restarts + s.Solver.restarts }
+        learnt_live = max !totals.Solver.learnt_live s.Solver.learnt_live;
+        restarts = !totals.Solver.restarts + s.Solver.restarts;
+        db_reductions = !totals.Solver.db_reductions + s.Solver.db_reductions;
+        clauses_deleted = !totals.Solver.clauses_deleted + s.Solver.clauses_deleted }
   in
   while !exhausted = None && !remaining <> [] do
     match Option.map Eda_util.Budget.status budget |> Option.join with

@@ -48,7 +48,7 @@ let eval_all_faulty ?state circuit ~faults inputs =
     let computed =
       match nd.Circuit.kind with
       | Gate.Input | Gate.Dff -> values.(i)
-      | k -> Gate.eval k (Array.map (fun f -> values.(f)) nd.Circuit.fanins)
+      | k -> Gate.eval_indexed k nd.Circuit.fanins values
     in
     values.(i) <- apply_override i computed
   done;

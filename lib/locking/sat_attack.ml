@@ -101,12 +101,15 @@ let run_traced ?(max_iterations = 256) ?budget ?iteration_steps ~oracle (locked 
     | Solver.Unsat | Solver.Unknown _ -> None
   in
   let finish ?key iterations status =
+    let stats = Solver.stats solver in
     Telemetry.note "sat_attack.status"
       ~attrs:
         [ ("status", Telemetry.Str (describe_status status));
           ("iterations", Telemetry.Int iterations);
-          ("key_recovered", Telemetry.Bool (key <> None)) ];
-    { key; iterations; solver_stats = Solver.stats solver; status }
+          ("key_recovered", Telemetry.Bool (key <> None));
+          ("learnt_live", Telemetry.Int stats.Solver.learnt_live);
+          ("db_reductions", Telemetry.Int stats.Solver.db_reductions) ];
+    { key; iterations; solver_stats = stats; status }
   in
   let rec loop iterations =
     if iterations >= max_iterations then
@@ -123,6 +126,9 @@ let run_traced ?(max_iterations = 256) ?budget ?iteration_steps ~oracle (locked 
         let response = oracle dip in
         add_io_constraint dip response;
         Telemetry.count "sat_attack.dips" 1;
+        if Telemetry.active () then
+          Telemetry.gauge "sat_attack.learnt_db"
+            (float_of_int (Solver.stats solver).Solver.learnt_live);
         loop (iterations + 1)
       | Solver.Unknown reason ->
         finish ?key:(best_effort_key ()) iterations (Budget_exhausted reason)

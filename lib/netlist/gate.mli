@@ -36,6 +36,16 @@ val eval : kind -> bool array -> bool
 (** Bit-parallel evaluation over 63 simulation slots packed in an int. *)
 val eval_word : kind -> int array -> int
 
+(** Evaluation reading operands directly out of [values] via the node's
+    fanin-index array: [eval_indexed k fanins values] equals
+    [eval k (Array.map (fun f -> values.(f)) fanins)] but allocates
+    nothing. Fanin arity is trusted (validated at circuit construction).
+    @raise Invalid_argument on stateful kinds. *)
+val eval_indexed : kind -> int array -> bool array -> bool
+
+(** Bit-parallel analogue of {!eval_indexed} over packed 63-slot words. *)
+val eval_word_indexed : kind -> int array -> int array -> int
+
 (** Unit-area cost (NAND2-equivalent flavour) of the cell. *)
 val area : kind -> float
 

@@ -1,26 +1,54 @@
 (** Functional simulation of circuits: single-pattern, bit-parallel
-    (63 patterns per machine word) and multi-cycle sequential. *)
+    (63 patterns per machine word) and multi-cycle sequential.
+
+    The hot loops evaluate gates directly against the net-value array via
+    {!Gate.eval_indexed} / {!Gate.eval_word_indexed} — no per-gate operand
+    array is built — and the [_into] variants reuse a caller-owned buffer,
+    so pattern-sweep workloads ([signal_probabilities], TVLA trace
+    generation, equivalence checking) run without per-pattern heap
+    allocation. *)
+
+(* Combinational sweep over [values] in node (= topological) order. *)
+let run_gates circuit (values : bool array) =
+  for i = 0 to Circuit.node_count circuit - 1 do
+    let nd = Circuit.node circuit i in
+    match nd.Circuit.kind with
+    | Gate.Input | Gate.Dff -> ()
+    | k -> values.(i) <- Gate.eval_indexed k nd.Circuit.fanins values
+  done
+
+let run_gates_word circuit (values : int array) =
+  for i = 0 to Circuit.node_count circuit - 1 do
+    let nd = Circuit.node circuit i in
+    match nd.Circuit.kind with
+    | Gate.Input | Gate.Dff -> ()
+    | k -> values.(i) <- Gate.eval_word_indexed k nd.Circuit.fanins values
+  done
+
+(** Evaluate every net into the caller-supplied buffer [into] (length >=
+    node count), reusing it across calls: the only remaining per-call
+    allocation is the O(#inputs) id lookup inside {!Circuit.inputs}. DFF
+    slots are cleared when [state] is absent, so a dirty buffer from a
+    previous pattern is safe to pass back in. *)
+let eval_all_into ?state circuit inputs ~into =
+  let input_ids = Circuit.inputs circuit in
+  assert (Array.length inputs = Array.length input_ids);
+  Array.iteri (fun k id -> into.(id) <- inputs.(k)) input_ids;
+  (match state with
+   | None ->
+     if Circuit.num_dffs circuit > 0 then
+       Array.iter (fun id -> into.(id) <- false) (Circuit.dffs circuit)
+   | Some st ->
+     let dff_ids = Circuit.dffs circuit in
+     assert (Array.length st = Array.length dff_ids);
+     Array.iteri (fun k id -> into.(id) <- st.(k)) dff_ids);
+  run_gates circuit into
 
 (** Values of every net for one input assignment; DFF outputs come from
     [state] (all-false when absent). *)
 let eval_all ?state circuit inputs =
-  let n = Circuit.node_count circuit in
-  let values = Array.make n false in
-  let input_ids = Circuit.inputs circuit in
-  assert (Array.length inputs = Array.length input_ids);
-  Array.iteri (fun k id -> values.(id) <- inputs.(k)) input_ids;
-  (match state with
-   | None -> ()
-   | Some st ->
-     let dff_ids = Circuit.dffs circuit in
-     assert (Array.length st = Array.length dff_ids);
-     Array.iteri (fun k id -> values.(id) <- st.(k)) dff_ids);
-  for i = 0 to n - 1 do
-    let nd = Circuit.node circuit i in
-    match nd.Circuit.kind with
-    | Gate.Input | Gate.Dff -> ()
-    | k -> values.(i) <- Gate.eval k (Array.map (fun f -> values.(f)) nd.Circuit.fanins)
-  done;
+  let values = Array.make (Circuit.node_count circuit) false in
+  eval_all_into ?state circuit inputs ~into:values;
   values
 
 (** Primary outputs for one input assignment. *)
@@ -37,25 +65,26 @@ let eval_int ?state circuit inputs =
   done;
   !v
 
+(** Bit-parallel analogue of {!eval_all_into}: each input word carries up
+    to 63 independent patterns; every net word lands in [into]. *)
+let eval_all_word_into ?state circuit (inputs : int array) ~into =
+  let input_ids = Circuit.inputs circuit in
+  assert (Array.length inputs = Array.length input_ids);
+  Array.iteri (fun k id -> into.(id) <- inputs.(k)) input_ids;
+  (match state with
+   | None ->
+     if Circuit.num_dffs circuit > 0 then
+       Array.iter (fun id -> into.(id) <- 0) (Circuit.dffs circuit)
+   | Some st ->
+     let dff_ids = Circuit.dffs circuit in
+     Array.iteri (fun k id -> into.(id) <- st.(k)) dff_ids);
+  run_gates_word circuit into
+
 (** Bit-parallel evaluation: each input is a word carrying up to 63
     independent patterns; returns all net words. *)
 let eval_all_word ?state circuit (inputs : int array) =
-  let n = Circuit.node_count circuit in
-  let values = Array.make n 0 in
-  let input_ids = Circuit.inputs circuit in
-  assert (Array.length inputs = Array.length input_ids);
-  Array.iteri (fun k id -> values.(id) <- inputs.(k)) input_ids;
-  (match state with
-   | None -> ()
-   | Some st ->
-     let dff_ids = Circuit.dffs circuit in
-     Array.iteri (fun k id -> values.(id) <- st.(k)) dff_ids);
-  for i = 0 to n - 1 do
-    let nd = Circuit.node circuit i in
-    match nd.Circuit.kind with
-    | Gate.Input | Gate.Dff -> ()
-    | k -> values.(i) <- Gate.eval_word k (Array.map (fun f -> values.(f)) nd.Circuit.fanins)
-  done;
+  let values = Array.make (Circuit.node_count circuit) 0 in
+  eval_all_word_into ?state circuit inputs ~into:values;
   values
 
 let eval_word ?state circuit inputs =
@@ -88,50 +117,89 @@ let truth_table circuit ~output =
       let inputs = Array.init ni (fun i -> (m lsr i) land 1 = 1) in
       (eval circuit inputs).(output))
 
-(** Exhaustive functional equivalence (combinational, <= 20 inputs). *)
+let word_mask = 0x7FFFFFFFFFFFFFFF  (* the 63 usable pattern slots *)
+
+(** Exhaustive functional equivalence (combinational, <= 20 inputs).
+    Word-parallel: enumerates the input space 63 patterns per sweep, with
+    all buffers hoisted out of the loop. Bit [p] of input word [i] is bit
+    [i] of pattern index [base + p]. *)
 let equivalent_exhaustive a b =
   let ni = Circuit.num_inputs a in
   ni = Circuit.num_inputs b
   && Circuit.num_outputs a = Circuit.num_outputs b
   && ni <= 20
   &&
-  let ok = ref true in
-  let m = ref 0 in
+  let va = Array.make (Circuit.node_count a) 0 in
+  let vb = Array.make (Circuit.node_count b) 0 in
+  let inputs = Array.make ni 0 in
+  let out_a = Circuit.output_ids a and out_b = Circuit.output_ids b in
   let limit = 1 lsl ni in
-  while !ok && !m < limit do
-    let inputs = Array.init ni (fun i -> (!m lsr i) land 1 = 1) in
-    if eval a inputs <> eval b inputs then ok := false;
-    incr m
+  let ok = ref true in
+  let base = ref 0 in
+  while !ok && !base < limit do
+    let batch = min 63 (limit - !base) in
+    let mask = if batch = 63 then word_mask else (1 lsl batch) - 1 in
+    for i = 0 to ni - 1 do
+      let w = ref 0 in
+      for p = 0 to batch - 1 do
+        if ((!base + p) lsr i) land 1 = 1 then w := !w lor (1 lsl p)
+      done;
+      inputs.(i) <- !w
+    done;
+    eval_all_word_into a inputs ~into:va;
+    eval_all_word_into b inputs ~into:vb;
+    for k = 0 to Array.length out_a - 1 do
+      if (va.(out_a.(k)) lxor vb.(out_b.(k))) land mask <> 0 then ok := false
+    done;
+    base := !base + batch
   done;
   !ok
 
-(** Randomized functional equivalence for wider circuits. *)
+(** Randomized functional equivalence for wider circuits; word-parallel,
+    so each random draw exercises 63 patterns. At least [patterns]
+    patterns are compared (rounded up to full 63-pattern words). *)
 let equivalent_random rng ~patterns a b =
   let ni = Circuit.num_inputs a in
   ni = Circuit.num_inputs b
   && Circuit.num_outputs a = Circuit.num_outputs b
   &&
+  let va = Array.make (Circuit.node_count a) 0 in
+  let vb = Array.make (Circuit.node_count b) 0 in
+  let inputs = Array.make ni 0 in
+  let out_a = Circuit.output_ids a and out_b = Circuit.output_ids b in
+  let words = (patterns + 62) / 63 in
   let ok = ref true in
-  for _ = 1 to patterns do
-    if !ok then begin
-      let inputs = Array.init ni (fun _ -> Eda_util.Rng.bool rng) in
-      if eval a inputs <> eval b inputs then ok := false
-    end
+  let w = ref 0 in
+  while !ok && !w < words do
+    for i = 0 to ni - 1 do
+      inputs.(i) <- Eda_util.Rng.bits63 rng
+    done;
+    eval_all_word_into a inputs ~into:va;
+    eval_all_word_into b inputs ~into:vb;
+    for k = 0 to Array.length out_a - 1 do
+      if (va.(out_a.(k)) lxor vb.(out_b.(k))) land word_mask <> 0 then ok := false
+    done;
+    incr w
   done;
   !ok
 
 (** Per-node signal probability estimated over random patterns, used for
-    rare-signal (Trojan trigger) analysis. *)
+    rare-signal (Trojan trigger) analysis. Runs 63 patterns per word with
+    reused input/value buffers — no per-pattern allocation. *)
 let signal_probabilities rng ~patterns circuit =
   let n = Circuit.node_count circuit in
   let ones = Array.make n 0 in
   let ni = Circuit.num_inputs circuit in
+  let input_ids = Circuit.inputs circuit in
+  let values = Array.make n 0 in
   let words = (patterns + 62) / 63 in
   for _ = 1 to words do
-    let inputs = Array.init ni (fun _ -> Int64.to_int (Eda_util.Rng.next_int64 rng) land 0x7FFFFFFFFFFFFFFF) in
-    let values = eval_all_word circuit inputs in
+    for k = 0 to ni - 1 do
+      values.(input_ids.(k)) <- Eda_util.Rng.bits63 rng
+    done;
+    run_gates_word circuit values;
     for i = 0 to n - 1 do
-      ones.(i) <- ones.(i) + Eda_util.Stats.hamming_weight ~bits:63 values.(i)
+      ones.(i) <- ones.(i) + Eda_util.Stats.popcount values.(i)
     done
   done;
   let total = Float.of_int (words * 63) in

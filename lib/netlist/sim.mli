@@ -6,6 +6,12 @@
     the circuit's input declaration order. *)
 val eval_all : ?state:bool array -> Circuit.t -> bool array -> bool array
 
+(** As {!eval_all}, but writes into the caller-supplied buffer [into]
+    (length >= node count) instead of allocating. The buffer may be dirty
+    from a previous call: input and DFF slots are (re)initialized and
+    every combinational net is overwritten. *)
+val eval_all_into : ?state:bool array -> Circuit.t -> bool array -> into:bool array -> unit
+
 (** Primary outputs for one input assignment, in output declaration order. *)
 val eval : ?state:bool array -> Circuit.t -> bool array -> bool array
 
@@ -15,6 +21,10 @@ val eval_int : ?state:bool array -> Circuit.t -> bool array -> int
 (** Bit-parallel variants: each input word carries up to 63 independent
     patterns. *)
 val eval_all_word : ?state:int array -> Circuit.t -> int array -> int array
+
+(** Reusable-buffer variant of {!eval_all_word}; zero per-pattern
+    allocation when the buffer is hoisted out of the sweep loop. *)
+val eval_all_word_into : ?state:int array -> Circuit.t -> int array -> into:int array -> unit
 
 val eval_word : ?state:int array -> Circuit.t -> int array -> int array
 
@@ -28,13 +38,17 @@ val run : Circuit.t -> bool array list -> bool array list
 (** Truth table of one output (combinational circuits, <= 16 inputs). *)
 val truth_table : Circuit.t -> output:int -> Logic.Truth_table.t
 
-(** Exhaustive functional equivalence (combinational, <= 20 inputs). *)
+(** Exhaustive functional equivalence (combinational, <= 20 inputs);
+    word-parallel, 63 patterns per circuit sweep. *)
 val equivalent_exhaustive : Circuit.t -> Circuit.t -> bool
 
 (** Randomized functional equivalence for wider circuits; sound only in
-    the "no counterexample found" direction. *)
+    the "no counterexample found" direction. Word-parallel: at least
+    [patterns] patterns are compared, rounded up to full 63-pattern
+    words. *)
 val equivalent_random : Eda_util.Rng.t -> patterns:int -> Circuit.t -> Circuit.t -> bool
 
 (** Per-node one-probability estimated over random patterns; the input to
-    rare-signal (Trojan trigger) analysis. *)
+    rare-signal (Trojan trigger) analysis. 63 patterns per word with
+    reused buffers — no per-pattern allocation. *)
 val signal_probabilities : Eda_util.Rng.t -> patterns:int -> Circuit.t -> float array

@@ -37,10 +37,11 @@ let trace rng ?delay_of ?input_arrivals ?state circuit ~config ~prev_inputs ~nex
       samples.(bin) <- samples.(bin) +. energy)
     transitions;
   if config.noise_sigma > 0.0 then
-    Array.map
-      (fun s -> s +. Eda_util.Rng.gaussian_scaled rng ~mean:0.0 ~sigma:config.noise_sigma)
-      samples
-  else samples
+    for k = 0 to config.time_bins - 1 do
+      samples.(k) <-
+        samples.(k) +. Eda_util.Rng.gaussian_scaled rng ~mean:0.0 ~sigma:config.noise_sigma
+    done;
+  samples
 
 (** Total-energy sample (the whole cycle integrated into one number); the
     model CPA-style attacks typically assume. *)
@@ -56,12 +57,26 @@ let total_energy rng ?delay_of ?state circuit ~noise_sigma ~prev_inputs ~next_in
   in
   e +. Eda_util.Rng.gaussian_scaled rng ~mean:0.0 ~sigma:noise_sigma
 
+(* Net-value buffer for the zero-delay samplers: the caller-provided
+   [?scratch] when present (hoisted out of a trace-campaign loop — zero
+   per-sample allocation), a fresh array otherwise. *)
+let value_buffer ?scratch circuit =
+  match scratch with
+  | Some b ->
+    assert (Array.length b >= Circuit.node_count circuit);
+    b
+  | None -> Array.make (Circuit.node_count circuit) false
+
 (** Zero-delay Hamming-distance power model: energy proportional to the
     number of nets whose settled value changes between two input vectors.
-    Cheaper than event simulation; no glitch component. *)
-let hamming_distance_sample rng circuit ~noise_sigma ~prev_inputs ~next_inputs =
-  let before = Netlist.Sim.eval_all circuit prev_inputs in
-  let after = Netlist.Sim.eval_all circuit next_inputs in
+    Cheaper than event simulation; no glitch component. [scratch] /
+    [scratch2] are reusable net-value buffers (>= node count each). *)
+let hamming_distance_sample rng ?scratch ?scratch2 circuit ~noise_sigma ~prev_inputs
+    ~next_inputs =
+  let before = value_buffer ?scratch circuit in
+  let after = value_buffer ?scratch:scratch2 circuit in
+  Netlist.Sim.eval_all_into circuit prev_inputs ~into:before;
+  Netlist.Sim.eval_all_into circuit next_inputs ~into:after;
   let e = ref 0.0 in
   for i = 0 to Circuit.node_count circuit - 1 do
     if before.(i) <> after.(i) then
@@ -71,9 +86,10 @@ let hamming_distance_sample rng circuit ~noise_sigma ~prev_inputs ~next_inputs =
 
 (** Hamming-weight model of the settled state: energy proportional to the
     weighted count of nets at 1. Used for leakage models of precharged
-    buses. *)
-let hamming_weight_sample rng circuit ~noise_sigma ~inputs =
-  let values = Netlist.Sim.eval_all circuit inputs in
+    buses. [scratch] is a reusable net-value buffer (>= node count). *)
+let hamming_weight_sample rng ?scratch circuit ~noise_sigma ~inputs =
+  let values = value_buffer ?scratch circuit in
+  Netlist.Sim.eval_all_into circuit inputs ~into:values;
   let e = ref 0.0 in
   for i = 0 to Circuit.node_count circuit - 1 do
     if values.(i) then e := !e +. Gate.switch_energy (Circuit.kind circuit i)
@@ -91,8 +107,9 @@ let trace_batch rng ?delay_of circuit ~config pairs =
     nominal quiescent current depending on its input state; Trojans add
     extra cells and thus extra leakage. The [temperature_factor] models
     environmental spread between measurements. *)
-let iddq_sample rng circuit ~inputs ~noise_sigma ~temperature_factor =
-  let values = Netlist.Sim.eval_all circuit inputs in
+let iddq_sample rng ?scratch circuit ~inputs ~noise_sigma ~temperature_factor =
+  let values = value_buffer ?scratch circuit in
+  Netlist.Sim.eval_all_into circuit inputs ~into:values;
   let total = ref 0.0 in
   for i = 0 to Circuit.node_count circuit - 1 do
     let base = 0.1 *. Gate.area (Circuit.kind circuit i) in

@@ -35,18 +35,29 @@ val total_energy :
   next_inputs:bool array ->
   float
 
-(** Zero-delay Hamming-distance sample between two settled states. *)
+(** Zero-delay Hamming-distance sample between two settled states.
+    [scratch]/[scratch2] are reusable net-value buffers (length >= node
+    count); hoist them out of a campaign loop for zero per-sample
+    allocation. *)
 val hamming_distance_sample :
   Eda_util.Rng.t ->
+  ?scratch:bool array ->
+  ?scratch2:bool array ->
   Netlist.Circuit.t ->
   noise_sigma:float ->
   prev_inputs:bool array ->
   next_inputs:bool array ->
   float
 
-(** Weighted Hamming weight of the settled state (precharged-logic model). *)
+(** Weighted Hamming weight of the settled state (precharged-logic model).
+    [scratch] is a reusable net-value buffer (length >= node count). *)
 val hamming_weight_sample :
-  Eda_util.Rng.t -> Netlist.Circuit.t -> noise_sigma:float -> inputs:bool array -> float
+  Eda_util.Rng.t ->
+  ?scratch:bool array ->
+  Netlist.Circuit.t ->
+  noise_sigma:float ->
+  inputs:bool array ->
+  float
 
 (** One trace per input-vector pair. *)
 val trace_batch :
@@ -58,9 +69,11 @@ val trace_batch :
   float array list
 
 (** Quiescent-current (IDDQ) sample: per-cell leakage with input-state
-    dependence and an environmental [temperature_factor]. *)
+    dependence and an environmental [temperature_factor]. [scratch] is a
+    reusable net-value buffer (length >= node count). *)
 val iddq_sample :
   Eda_util.Rng.t ->
+  ?scratch:bool array ->
   Netlist.Circuit.t ->
   inputs:bool array ->
   noise_sigma:float ->

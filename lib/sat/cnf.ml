@@ -18,7 +18,9 @@ let lit env ~node ~sign = Solver.lit_of_var env.vars.(node) ~sign
 let encode ?solver circuit =
   let solver = match solver with Some s -> s | None -> Solver.create () in
   let n = Circuit.node_count circuit in
-  let vars = Array.init n (fun _ -> Solver.new_var solver) in
+  (* One contiguous variable block: a single growth check instead of n. *)
+  let base = Solver.new_vars solver n in
+  let vars = Array.init n (fun k -> base + k) in
   let l node sign = Solver.lit_of_var vars.(node) ~sign in
   let add = Solver.add_clause solver in
   for i = 0 to n - 1 do

@@ -1,11 +1,29 @@
-(** Conflict-driven clause learning SAT solver.
+(** Conflict-driven clause learning SAT solver — allocation-free core.
 
-    Standard architecture: two-watched-literal propagation, first-UIP
-    conflict analysis with clause learning, VSIDS-style activity decision
-    heuristic, Luby restarts, phase saving, solving under assumptions.
+    Same algorithm family as classic MiniSat: two-watched-literal
+    propagation, first-UIP learning, VSIDS activity, Luby restarts, phase
+    saving, incremental solving under assumptions. The data layout is flat
+    mutable arrays throughout:
+
+    - the trail is a preallocated [lit array] plus a length; decision
+      levels are trail *offsets* stored in [trail_lim] (no per-decision
+      trail snapshots);
+    - the propagation queue is a head pointer [qhead] into the trail;
+    - watch lists are growable array-backed vectors compacted in place
+      during propagation (no cons cells on the hot path);
+    - conflict analysis uses a reusable [seen] bitmap with an explicit
+      undo list and a reusable literal buffer (no per-conflict Hashtbl).
+
+    Learnt clauses live in a real database: each carries an activity and
+    an LBD (literal block distance) score, and [reduce_db] periodically
+    drops the cold half — skipping binary clauses, low-LBD "glue" clauses
+    and clauses currently acting as a reason — so long incremental runs
+    (SAT attack, ATPG) stop growing memory without bound.
 
     Literal encoding: variable [v >= 0]; positive literal [2v], negative
     [2v+1]. *)
+
+module T = Eda_util.Telemetry
 
 type lit = int
 
@@ -16,65 +34,129 @@ let negate l = l lxor 1
 
 type lbool = LTrue | LFalse | LUndef
 
+type clause = {
+  lits : lit array;
+  mutable activity : float;
+  mutable lbd : int;
+  learnt : bool;
+  mutable deleted : bool;
+}
+
+(* Sentinel used instead of [clause option] in the reason array and as the
+   "no conflict" return of [propagate]; compared with [==] only, so the
+   hot paths never allocate a [Some]. *)
+let dummy_clause = { lits = [||]; activity = 0.0; lbd = 0; learnt = false; deleted = false }
+
 type t = {
   mutable nvars : int;
-  mutable clauses : lit array list;  (* original + learnt, for stats only *)
-  mutable watches : lit array list array;  (* watch lists per literal *)
+  mutable num_clauses : int;  (* live problem (non-learnt) clauses *)
+  (* Watch vectors: [watches.(l)] holds the clauses in which [negate l] is
+     a watched literal; [watch_len.(l)] is the live prefix length. *)
+  mutable watches : clause array array;
+  mutable watch_len : int array;
   mutable assign : lbool array;  (* per variable *)
   mutable level : int array;  (* decision level per variable *)
-  mutable reason : lit array option array;  (* antecedent clause per variable *)
-  mutable trail : lit list;
+  mutable reason : clause array;  (* antecedent per variable; dummy_clause = none *)
+  mutable trail : lit array;
   mutable trail_len : int;
-  mutable decisions : (lit * lit list) list;  (* decision lit, trail snapshot *)
+  mutable qhead : int;  (* next trail index to propagate *)
+  mutable trail_lim : int array;  (* trail offset at each decision level *)
+  mutable lim_len : int;  (* current decision level *)
   mutable activity : float array;
   mutable var_inc : float;
   mutable phase : bool array;
-  mutable propagation_queue : lit list;
+  (* Learnt-clause database. *)
+  mutable learnts : clause array;
+  mutable learnt_len : int;
+  mutable cla_inc : float;
+  mutable max_learnts : int;  (* 0 = automatic limit *)
+  mutable db_reduction_enabled : bool;
+  (* Reusable conflict-analysis scratch. *)
+  mutable seen : bool array;
+  mutable seen_touched : int array;
+  mutable learnt_buf : lit array;
+  mutable lbd_stamp : int array;
+  mutable lbd_counter : int;
+  (* Counters. *)
   mutable conflicts : int;
   mutable num_decisions : int;
   mutable propagations : int;
-  mutable learnt_count : int;
+  mutable learnt_count : int;  (* total clauses ever learnt *)
   mutable num_restarts : int;
+  mutable db_reductions : int;
+  mutable clauses_deleted : int;
 }
 
 let create () =
   { nvars = 0;
-    clauses = [];
-    watches = Array.make 16 [];
+    num_clauses = 0;
+    watches = Array.make 16 [||];
+    watch_len = Array.make 16 0;
     assign = Array.make 8 LUndef;
     level = Array.make 8 0;
-    reason = Array.make 8 None;
-    trail = [];
+    reason = Array.make 8 dummy_clause;
+    trail = Array.make 8 0;
     trail_len = 0;
-    decisions = [];
+    qhead = 0;
+    trail_lim = Array.make 9 0;
+    lim_len = 0;
     activity = Array.make 8 0.0;
     var_inc = 1.0;
     phase = Array.make 8 false;
-    propagation_queue = [];
+    learnts = Array.make 16 dummy_clause;
+    learnt_len = 0;
+    cla_inc = 1.0;
+    max_learnts = 0;
+    db_reduction_enabled = true;
+    seen = Array.make 8 false;
+    seen_touched = Array.make 8 0;
+    learnt_buf = Array.make 9 0;
+    lbd_stamp = Array.make 9 0;
+    lbd_counter = 0;
     conflicts = 0;
     num_decisions = 0;
     propagations = 0;
     learnt_count = 0;
-    num_restarts = 0 }
+    num_restarts = 0;
+    db_reductions = 0;
+    clauses_deleted = 0 }
 
 let ensure_var s v =
   if v >= s.nvars then begin
     let need = v + 1 in
     if 2 * need > Array.length s.watches then begin
       let cap = max (2 * need) (2 * Array.length s.watches) in
-      let watches = Array.make cap [] in
+      let watches = Array.make cap [||] in
       Array.blit s.watches 0 watches 0 (2 * s.nvars);
       s.watches <- watches;
+      let wl = Array.make cap 0 in
+      Array.blit s.watch_len 0 wl 0 (2 * s.nvars);
+      s.watch_len <- wl;
+      let vars = cap / 2 in
       let grow_arr a def =
-        let b = Array.make (cap / 2) def in
+        let b = Array.make vars def in
         Array.blit a 0 b 0 s.nvars;
         b
       in
       s.assign <- grow_arr s.assign LUndef;
       s.level <- grow_arr s.level 0;
-      s.reason <- grow_arr s.reason None;
       s.activity <- grow_arr s.activity 0.0;
-      s.phase <- grow_arr s.phase false
+      s.phase <- grow_arr s.phase false;
+      let reasons = Array.make vars dummy_clause in
+      Array.blit s.reason 0 reasons 0 s.nvars;
+      s.reason <- reasons;
+      let tr = Array.make vars 0 in
+      Array.blit s.trail 0 tr 0 s.trail_len;
+      s.trail <- tr;
+      let tl = Array.make (vars + 1) 0 in
+      Array.blit s.trail_lim 0 tl 0 s.lim_len;
+      s.trail_lim <- tl;
+      (* Scratch arrays hold no live data outside [analyze]; size-only. *)
+      s.seen <- Array.make vars false;
+      s.seen_touched <- Array.make vars 0;
+      s.learnt_buf <- Array.make (vars + 1) 0;
+      s.lbd_stamp <- Array.make (vars + 1) 0;
+      s.lbd_counter <- 0
     end;
     s.nvars <- need
   end
@@ -84,47 +166,69 @@ let new_var s =
   ensure_var s v;
   v
 
+(** Allocate [n] consecutive variables, returning the first index. One
+    array-growth check instead of [n]. *)
+let new_vars s n =
+  let v = s.nvars in
+  if n > 0 then ensure_var s (v + n - 1);
+  v
+
 let value_lit s l =
   match s.assign.(var_of_lit l) with
   | LUndef -> LUndef
   | LTrue -> if pos l then LTrue else LFalse
   | LFalse -> if pos l then LFalse else LTrue
 
+let push_watch s l c =
+  let ws = s.watches.(l) in
+  let n = s.watch_len.(l) in
+  if n >= Array.length ws then begin
+    let ws' = Array.make (max 4 (2 * n)) dummy_clause in
+    Array.blit ws 0 ws' 0 n;
+    ws'.(n) <- c;
+    s.watches.(l) <- ws'
+  end
+  else ws.(n) <- c;
+  s.watch_len.(l) <- n + 1
+
+let push_learnt s c =
+  let n = s.learnt_len in
+  if n >= Array.length s.learnts then begin
+    let ls = Array.make (max 16 (2 * n)) dummy_clause in
+    Array.blit s.learnts 0 ls 0 n;
+    s.learnts <- ls
+  end;
+  s.learnts.(n) <- c;
+  s.learnt_len <- n + 1
+
 let enqueue s l reason =
   let v = var_of_lit l in
   s.assign.(v) <- (if pos l then LTrue else LFalse);
-  s.level.(v) <- List.length s.decisions;
+  s.level.(v) <- s.lim_len;
   s.reason.(v) <- reason;
   s.phase.(v) <- pos l;
-  s.trail <- l :: s.trail;
-  s.trail_len <- s.trail_len + 1;
-  s.propagation_queue <- l :: s.propagation_queue
+  s.trail.(s.trail_len) <- l;
+  s.trail_len <- s.trail_len + 1
+
+let new_decision s l =
+  s.trail_lim.(s.lim_len) <- s.trail_len;
+  s.lim_len <- s.lim_len + 1;
+  enqueue s l dummy_clause
 
 exception Unsat_root
 
 let backtrack s target_level =
-  let rec drop_decisions ds =
-    if List.length ds <= target_level then ds
-    else match ds with
-      | [] -> []
-      | _ :: tl -> drop_decisions tl
-  in
-  let rec unwind trail =
-    match trail with
-    | [] -> []
-    | l :: rest ->
-      let v = var_of_lit l in
-      if s.level.(v) > target_level then begin
-        s.assign.(v) <- LUndef;
-        s.reason.(v) <- None;
-        unwind rest
-      end
-      else trail
-  in
-  s.trail <- unwind s.trail;
-  s.trail_len <- List.length s.trail;
-  s.decisions <- drop_decisions s.decisions;
-  s.propagation_queue <- []
+  if s.lim_len > target_level then begin
+    let bound = s.trail_lim.(target_level) in
+    for i = s.trail_len - 1 downto bound do
+      let v = var_of_lit s.trail.(i) in
+      s.assign.(v) <- LUndef;
+      s.reason.(v) <- dummy_clause
+    done;
+    s.trail_len <- bound;
+    s.qhead <- bound;
+    s.lim_len <- target_level
+  end
 
 (** Add a clause; simplifies trivially satisfied/duplicate literals.
     Backtracks to the root level first, so it is safe to call between
@@ -139,87 +243,94 @@ let add_clause s lits =
   if not tautology then begin
     List.iter (fun l -> ensure_var s (var_of_lit l)) lits;
     (* Drop root-level false literals. *)
-    let at_root = s.decisions = [] in
-    let lits =
-      if at_root then List.filter (fun l -> value_lit s l <> LFalse) lits
-      else lits
-    in
-    let already_sat = at_root && List.exists (fun l -> value_lit s l = LTrue) lits in
+    let lits = List.filter (fun l -> value_lit s l <> LFalse) lits in
+    let already_sat = List.exists (fun l -> value_lit s l = LTrue) lits in
     if not already_sat then begin
       match lits with
       | [] -> raise Unsat_root
-      | [ l ] ->
-        if value_lit s l = LFalse then raise Unsat_root
-        else if value_lit s l = LUndef then enqueue s l None
+      | [ l ] -> enqueue s l dummy_clause
       | l0 :: l1 :: _ ->
-        let arr = Array.of_list lits in
-        s.clauses <- arr :: s.clauses;
-        s.watches.(negate l0) <- arr :: s.watches.(negate l0);
-        s.watches.(negate l1) <- arr :: s.watches.(negate l1)
+        let c =
+          { lits = Array.of_list lits;
+            activity = 0.0;
+            lbd = 0;
+            learnt = false;
+            deleted = false }
+        in
+        s.num_clauses <- s.num_clauses + 1;
+        push_watch s (negate l0) c;
+        push_watch s (negate l1) c
     end
   end
 
-(* Propagate all enqueued literals; returns conflicting clause if any. *)
+(* Propagate everything pending on the trail; returns the conflicting
+   clause, or [dummy_clause] if none. Watch vectors are compacted in
+   place: clauses that found a new watch elsewhere are dropped from this
+   vector with no allocation. *)
 let propagate s =
-  let conflict = ref None in
-  while s.propagation_queue <> [] && !conflict = None do
-    match s.propagation_queue with
-    | [] -> ()
-    | l :: rest ->
-      s.propagation_queue <- rest;
-      s.propagations <- s.propagations + 1;
-      let watching = s.watches.(l) in
-      s.watches.(l) <- [];
-      let rec go = function
-        | [] -> ()
-        | clause :: tl ->
-          (match !conflict with
-           | Some _ ->
-             (* Conflict found: re-register remaining clauses unchanged. *)
-             s.watches.(l) <- clause :: s.watches.(l);
-             go tl
-           | None ->
-             (* Ensure the false literal is at position 1. *)
-             let falsified = negate l in
-             if clause.(0) = falsified then begin
-               clause.(0) <- clause.(1);
-               clause.(1) <- falsified
-             end;
-             if value_lit s clause.(0) = LTrue then begin
-               (* Satisfied; keep watching. *)
-               s.watches.(l) <- clause :: s.watches.(l);
-               go tl
-             end
-             else begin
-               (* Find a new literal to watch. *)
-               let n = Array.length clause in
-               let found = ref false in
-               let k = ref 2 in
-               while (not !found) && !k < n do
-                 if value_lit s clause.(!k) <> LFalse then begin
-                   let tmp = clause.(1) in
-                   clause.(1) <- clause.(!k);
-                   clause.(!k) <- tmp;
-                   s.watches.(negate clause.(1)) <- clause :: s.watches.(negate clause.(1));
-                   found := true
-                 end;
-                 incr k
-               done;
-               if !found then go tl
-               else begin
-                 (* Unit or conflict. *)
-                 s.watches.(l) <- clause :: s.watches.(l);
-                 (match value_lit s clause.(0) with
-                  | LFalse -> conflict := Some clause
-                  | LUndef -> enqueue s clause.(0) (Some clause)
-                  | LTrue -> ());
-                 go tl
-               end
-             end)
-      in
-      go watching
+  let conflict = ref dummy_clause in
+  while !conflict == dummy_clause && s.qhead < s.trail_len do
+    let l = s.trail.(s.qhead) in
+    s.qhead <- s.qhead + 1;
+    s.propagations <- s.propagations + 1;
+    let ws = s.watches.(l) in
+    let n = s.watch_len.(l) in
+    let keep = ref 0 in
+    let i = ref 0 in
+    while !i < n do
+      let c = ws.(!i) in
+      incr i;
+      if !conflict != dummy_clause then begin
+        (* Conflict found: keep the remaining clauses watched unchanged. *)
+        ws.(!keep) <- c;
+        incr keep
+      end
+      else begin
+        let lits = c.lits in
+        (* Ensure the false literal is at position 1. *)
+        let falsified = negate l in
+        if lits.(0) = falsified then begin
+          lits.(0) <- lits.(1);
+          lits.(1) <- falsified
+        end;
+        if value_lit s lits.(0) = LTrue then begin
+          (* Satisfied; keep watching. *)
+          ws.(!keep) <- c;
+          incr keep
+        end
+        else begin
+          (* Find a new literal to watch. *)
+          let len = Array.length lits in
+          let found = ref false in
+          let k = ref 2 in
+          while (not !found) && !k < len do
+            if value_lit s lits.(!k) <> LFalse then begin
+              let tmp = lits.(1) in
+              lits.(1) <- lits.(!k);
+              lits.(!k) <- tmp;
+              (* The new watch is non-false while [negate l] is false, so
+                 this registers under a different literal — safe while
+                 iterating over [ws]. *)
+              push_watch s (negate lits.(1)) c;
+              found := true
+            end;
+            incr k
+          done;
+          if not !found then begin
+            (* Unit or conflict; stays watched here. *)
+            ws.(!keep) <- c;
+            incr keep;
+            match value_lit s lits.(0) with
+            | LFalse -> conflict := c
+            | LUndef -> enqueue s lits.(0) c
+            | LTrue -> ()
+          end
+        end
+      end
+    done;
+    s.watch_len.(l) <- !keep
   done;
-  if !conflict <> None then s.propagation_queue <- [];
+  if !conflict != dummy_clause then s.qhead <- s.trail_len;
   !conflict
 
 let bump s v =
@@ -233,58 +344,177 @@ let bump s v =
 
 let decay s = s.var_inc <- s.var_inc /. 0.95
 
-(* First-UIP learning. Returns learnt clause (asserting literal first) and
-   backtrack level. *)
+let bump_clause s (c : clause) =
+  c.activity <- c.activity +. s.cla_inc;
+  if c.activity > 1e20 then begin
+    for i = 0 to s.learnt_len - 1 do
+      let d = s.learnts.(i) in
+      d.activity <- d.activity *. 1e-20
+    done;
+    s.cla_inc <- s.cla_inc *. 1e-20
+  end
+
+let decay_clause s = s.cla_inc <- s.cla_inc /. 0.999
+
+(* LBD (literal block distance): number of distinct decision levels among
+   a clause's literals. Computed with a per-level stamp array — no set
+   allocation. Must run before backtracking invalidates the levels. *)
+let compute_lbd s buf len =
+  s.lbd_counter <- s.lbd_counter + 1;
+  let stamp = s.lbd_stamp and c = s.lbd_counter in
+  let lbd = ref 0 in
+  for j = 0 to len - 1 do
+    let lv = s.level.(var_of_lit buf.(j)) in
+    if stamp.(lv) <> c then begin
+      stamp.(lv) <- c;
+      incr lbd
+    end
+  done;
+  !lbd
+
+(* First-UIP learning. Fills [s.learnt_buf] with the learnt clause
+   (asserting literal at index 0) and returns (length, backtrack level,
+   lbd). Scratch state ([seen], [learnt_buf]) is reused across conflicts;
+   [seen] is undone via the [seen_touched] list. *)
 let analyze s conflict =
-  let current_level = List.length s.decisions in
-  let seen = Hashtbl.create 32 in
-  let learnt = ref [] in
+  let current_level = s.lim_len in
   let counter = ref 0 in
-  let asserting = ref (-1) in
-  let absorb clause =
-    Array.iter
-      (fun q ->
-        let v = var_of_lit q in
-        if (not (Hashtbl.mem seen v)) && s.assign.(v) <> LUndef then begin
-          Hashtbl.replace seen v ();
-          bump s v;
-          if s.level.(v) = current_level then incr counter
-          else if s.level.(v) > 0 then learnt := q :: !learnt
-        end)
-      clause
+  let learnt_len = ref 1 in  (* slot 0 reserved for the asserting literal *)
+  let touched = ref 0 in
+  let absorb c =
+    if c.learnt then bump_clause s c;
+    let lits = c.lits in
+    for j = 0 to Array.length lits - 1 do
+      let q = lits.(j) in
+      let v = var_of_lit q in
+      if (not s.seen.(v)) && s.assign.(v) <> LUndef then begin
+        s.seen.(v) <- true;
+        s.seen_touched.(!touched) <- v;
+        incr touched;
+        bump s v;
+        if s.level.(v) = current_level then incr counter
+        else if s.level.(v) > 0 then begin
+          s.learnt_buf.(!learnt_len) <- q;
+          incr learnt_len
+        end
+      end
+    done
   in
   absorb conflict;
   (* Walk the trail backwards until one current-level literal remains. *)
-  let trail = ref s.trail in
+  let idx = ref (s.trail_len - 1) in
+  let asserting = ref (-1) in
   let continue = ref true in
   while !continue do
-    match !trail with
-    | [] -> continue := false
-    | p :: rest ->
-      trail := rest;
+    if !idx < 0 then continue := false
+    else begin
+      let p = s.trail.(!idx) in
+      decr idx;
       let v = var_of_lit p in
-      if Hashtbl.mem seen v && s.level.(v) = current_level then begin
+      if s.seen.(v) && s.level.(v) = current_level then begin
         decr counter;
         if !counter = 0 then begin
           asserting := negate p;
           continue := false
         end
         else begin
-          match s.reason.(v) with
-          | Some clause -> absorb clause
-          | None -> ()  (* decision literal with counter > 0: shouldn't occur *)
+          let r = s.reason.(v) in
+          if r != dummy_clause then absorb r
         end
       end
+    end
   done;
-  let learnt_lits = !asserting :: !learnt in
-  let back_level =
-    List.fold_left
-      (fun acc q ->
-        let lv = s.level.(var_of_lit q) in
-        if q <> !asserting && lv > acc then lv else acc)
-      0 !learnt
-  in
-  learnt_lits, back_level
+  s.learnt_buf.(0) <- !asserting;
+  let back = ref 0 in
+  for j = 1 to !learnt_len - 1 do
+    let lv = s.level.(var_of_lit s.learnt_buf.(j)) in
+    if lv > !back then back := lv
+  done;
+  let lbd = compute_lbd s s.learnt_buf !learnt_len in
+  for j = 0 to !touched - 1 do
+    s.seen.(s.seen_touched.(j)) <- false
+  done;
+  (!learnt_len, !back, lbd)
+
+(* A learnt clause may not be deleted while it is the antecedent of an
+   assignment still on the trail (its implied literal sits at index 0 by
+   the propagation invariant). *)
+let locked s c =
+  Array.length c.lits > 0 && s.reason.(var_of_lit c.lits.(0)) == c
+
+(** Drop the cold half of the learnt database: clauses are ranked by
+    activity and deleted coldest-first, skipping binary clauses (cheap and
+    valuable), "glue" clauses with LBD <= 2, and locked (reason) clauses.
+    Watch vectors are swept eagerly so the hot propagation loop never
+    tests a deletion flag. *)
+let reduce_db s =
+  let n = s.learnt_len in
+  if n > 0 then begin
+    let live = Array.sub s.learnts 0 n in
+    Array.sort (fun (a : clause) (b : clause) -> compare a.activity b.activity) live;
+    let target = n / 2 in
+    let deleted = ref 0 in
+    let i = ref 0 in
+    while !deleted < target && !i < n do
+      let c = live.(!i) in
+      incr i;
+      if Array.length c.lits > 2 && c.lbd > 2 && not (locked s c) then begin
+        c.deleted <- true;
+        incr deleted
+      end
+    done;
+    if !deleted > 0 then begin
+      for l = 0 to (2 * s.nvars) - 1 do
+        let ws = s.watches.(l) in
+        let wn = s.watch_len.(l) in
+        let keep = ref 0 in
+        for j = 0 to wn - 1 do
+          let c = ws.(j) in
+          if not c.deleted then begin
+            ws.(!keep) <- c;
+            incr keep
+          end
+        done;
+        s.watch_len.(l) <- !keep
+      done;
+      let keep = ref 0 in
+      for j = 0 to n - 1 do
+        let c = s.learnts.(j) in
+        if not c.deleted then begin
+          s.learnts.(!keep) <- c;
+          incr keep
+        end
+      done;
+      for j = !keep to n - 1 do
+        s.learnts.(j) <- dummy_clause
+      done;
+      s.learnt_len <- !keep;
+      s.db_reductions <- s.db_reductions + 1;
+      s.clauses_deleted <- s.clauses_deleted + !deleted;
+      T.count "sat.db_reduced" 1;
+      T.count "sat.clauses_deleted" !deleted
+    end
+  end
+
+(** Override the automatic learnt-DB limit ([max 2000 #clauses]); [0]
+    restores the automatic limit. *)
+let set_learnt_limit s n = s.max_learnts <- n
+
+(** Enable/disable periodic DB reduction (on by default). *)
+let set_db_reduction s on = s.db_reduction_enabled <- on
+
+let effective_learnt_limit s =
+  if s.max_learnts > 0 then s.max_learnts else max 2000 s.num_clauses
+
+let maybe_reduce_db s =
+  if s.db_reduction_enabled then begin
+    let limit = effective_learnt_limit s in
+    if s.learnt_len > limit then begin
+      reduce_db s;
+      (* Let the DB grow a little before the next reduction. *)
+      s.max_learnts <- limit + (limit / 10) + 16
+    end
+  end
 
 let pick_branch s =
   let best = ref (-1) and best_act = ref neg_infinity in
@@ -314,16 +544,42 @@ type result =
           are step functions, so a bounded "don't know" must stay distinct
           from either definite answer. *)
 
+(* Record a freshly learnt clause (length >= 2, in learnt_buf), watch it
+   and enqueue its asserting literal. Runs right after backtracking. *)
+let record_learnt s len lbd =
+  let buf = s.learnt_buf in
+  (* Watch the asserting literal and a highest-level tail literal, so the
+     clause wakes up exactly when it can propagate again. *)
+  let best = ref 1 in
+  for j = 2 to len - 1 do
+    if s.level.(var_of_lit buf.(j)) > s.level.(var_of_lit buf.(!best)) then best := j
+  done;
+  let tmp = buf.(1) in
+  buf.(1) <- buf.(!best);
+  buf.(!best) <- tmp;
+  let c =
+    { lits = Array.sub buf 0 len;
+      activity = s.cla_inc;
+      lbd;
+      learnt = true;
+      deleted = false }
+  in
+  push_learnt s c;
+  s.learnt_count <- s.learnt_count + 1;
+  push_watch s (negate c.lits.(0)) c;
+  push_watch s (negate c.lits.(1)) c;
+  if value_lit s c.lits.(0) = LUndef then enqueue s c.lits.(0) c;
+  maybe_reduce_db s
+
 (* The search loop proper; [solve] below wraps it in a telemetry span. *)
 let solve_raw ?budget ~assumptions s =
   (* Reset to root and re-propagate the root-level trail: units enqueued by
-     [add_clause] may not have been propagated yet (backtracking clears the
-     propagation queue). Re-propagating assigned literals is idempotent. *)
+     [add_clause] may not have been propagated yet. Re-propagating assigned
+     literals is idempotent and revisits clauses added since. *)
   backtrack s 0;
-  s.propagation_queue <- s.trail;
-  match propagate s with
-  | Some _ -> Unsat
-  | None ->
+  s.qhead <- 0;
+  if propagate s != dummy_clause then Unsat
+  else begin
     let restart_count = ref 1 in
     let conflicts_until_restart = ref (32 * luby 1) in
     let result = ref None in
@@ -335,18 +591,15 @@ let solve_raw ?budget ~assumptions s =
          | LTrue -> install rest
          | LFalse -> false
          | LUndef ->
-           s.decisions <- (a, s.trail) :: s.decisions;
-           enqueue s a None;
-           (match propagate s with
-            | Some _ -> false
-            | None -> install rest))
+           new_decision s a;
+           if propagate s != dummy_clause then false else install rest)
     in
     let num_assumptions = List.length assumptions in
     if not (install assumptions) then Unsat
     else begin
       while !result = None do
-        match propagate s with
-        | Some conflict ->
+        let conflict = propagate s in
+        if conflict != dummy_clause then begin
           s.conflicts <- s.conflicts + 1;
           (* One budget step per conflict; a definite Unsat at assumption
              level still wins over Unknown. *)
@@ -356,37 +609,32 @@ let solve_raw ?budget ~assumptions s =
             | Some b ->
               (match Eda_util.Budget.spend b with Ok () -> None | Error e -> Some e)
           in
-          let level = List.length s.decisions in
-          if level <= num_assumptions then result := Some Unsat
+          if s.lim_len <= num_assumptions then result := Some Unsat
           else begin
             match stop with
             | Some e -> result := Some (Unknown e)
             | None ->
-            let learnt, back = analyze s conflict in
-            let back = max back num_assumptions in
-            backtrack s back;
-            (match learnt with
-             | [] -> result := Some Unsat
-             | [ l ] ->
-               if value_lit s l = LFalse then result := Some Unsat
-               else if value_lit s l = LUndef then enqueue s l None
-             | l0 :: _ :: _ ->
-               let arr = Array.of_list learnt in
-               s.clauses <- arr :: s.clauses;
-               s.learnt_count <- s.learnt_count + 1;
-               s.watches.(negate arr.(0)) <- arr :: s.watches.(negate arr.(0));
-               s.watches.(negate arr.(1)) <- arr :: s.watches.(negate arr.(1));
-               if value_lit s l0 = LUndef then enqueue s l0 (Some arr));
-            decay s;
-            decr conflicts_until_restart;
-            if !conflicts_until_restart <= 0 && !result = None then begin
-              incr restart_count;
-              s.num_restarts <- s.num_restarts + 1;
-              conflicts_until_restart := 32 * luby !restart_count;
-              backtrack s num_assumptions
-            end
+              let len, back, lbd = analyze s conflict in
+              let back = max back num_assumptions in
+              backtrack s back;
+              (if len = 1 then begin
+                 let l = s.learnt_buf.(0) in
+                 if value_lit s l = LFalse then result := Some Unsat
+                 else if value_lit s l = LUndef then enqueue s l dummy_clause
+               end
+               else record_learnt s len lbd);
+              decay s;
+              decay_clause s;
+              decr conflicts_until_restart;
+              if !conflicts_until_restart <= 0 && !result = None then begin
+                incr restart_count;
+                s.num_restarts <- s.num_restarts + 1;
+                conflicts_until_restart := 32 * luby !restart_count;
+                backtrack s num_assumptions
+              end
           end
-        | None ->
+        end
+        else begin
           (* Deadline/cancellation check between decisions, so an instance
              propagating without conflicts still honours its budget. *)
           let stop =
@@ -394,26 +642,27 @@ let solve_raw ?budget ~assumptions s =
             | Some b when s.num_decisions land 255 = 0 -> Eda_util.Budget.status b
             | Some _ | None -> None
           in
-          (match stop with
-           | Some e -> result := Some (Unknown e)
-           | None ->
-             (match pick_branch s with
-              | None -> result := Some Sat
-              | Some l ->
-                s.num_decisions <- s.num_decisions + 1;
-                s.decisions <- (l, s.trail) :: s.decisions;
-                enqueue s l None))
+          match stop with
+          | Some e -> result := Some (Unknown e)
+          | None ->
+            (match pick_branch s with
+             | None -> result := Some Sat
+             | Some l ->
+               s.num_decisions <- s.num_decisions + 1;
+               new_decision s l)
+        end
       done;
       match !result with
-      | Some r ->
-        r
+      | Some r -> r
       | None -> assert false
     end
+  end
 
 (** Solve under [assumptions]. The solver state is reusable across calls
     (incremental interface); learnt clauses persist — including across an
     [Unknown] answer, so a later call with a fresh budget resumes with all
-    learnt clauses retained.
+    learnt clauses retained (DB reduction only ever drops cold clauses,
+    never the whole database).
 
     [budget] is charged one step per conflict and checked at every conflict
     and periodically between decisions; without it the search is unbounded
@@ -421,9 +670,9 @@ let solve_raw ?budget ~assumptions s =
 
     With a telemetry sink installed, each call is one [sat.solve] span
     carrying this solve's decision/propagation/conflict/restart deltas as
-    counters (the per-conflict hot path itself is never instrumented). *)
+    counters and a [sat.learnt_db] gauge (the per-conflict hot path itself
+    is never instrumented). *)
 let solve ?budget ?(assumptions = []) s =
-  let module T = Eda_util.Telemetry in
   if not (T.active ()) then solve_raw ?budget ~assumptions s
   else
     T.with_span "sat.solve"
@@ -438,6 +687,7 @@ let solve ?budget ?(assumptions = []) s =
         T.count "sat.decisions" (s.num_decisions - decisions0);
         T.count "sat.propagations" (s.propagations - propagations0);
         T.count "sat.restarts" (s.num_restarts - restarts0);
+        T.gauge "sat.learnt_db" (float_of_int s.learnt_len);
         T.note "sat.result"
           ~attrs:
             [ ("result",
@@ -456,21 +706,32 @@ let model_value s v =
 
 type stats = {
   vars : int;
+  clauses : int;  (* live problem clauses *)
   conflicts : int;
   decisions : int;
   propagations : int;
-  learnt : int;
+  learnt : int;  (* total clauses ever learnt *)
+  learnt_live : int;  (* learnt clauses currently in the database *)
   restarts : int;
+  db_reductions : int;
+  clauses_deleted : int;
 }
 
 let stats s =
   { vars = s.nvars;
+    clauses = s.num_clauses;
     conflicts = s.conflicts;
     decisions = s.num_decisions;
     propagations = s.propagations;
     learnt = s.learnt_count;
-    restarts = s.num_restarts }
+    learnt_live = s.learnt_len;
+    restarts = s.num_restarts;
+    db_reductions = s.db_reductions;
+    clauses_deleted = s.clauses_deleted }
 
 let pp_stats fmt st =
-  Format.fprintf fmt "vars %d, conflicts %d, decisions %d, propagations %d, learnt %d, restarts %d"
-    st.vars st.conflicts st.decisions st.propagations st.learnt st.restarts
+  Format.fprintf fmt
+    "vars %d, clauses %d, conflicts %d, decisions %d, propagations %d, \
+     learnt %d (%d live), restarts %d, db reductions %d (%d deleted)"
+    st.vars st.clauses st.conflicts st.decisions st.propagations st.learnt
+    st.learnt_live st.restarts st.db_reductions st.clauses_deleted

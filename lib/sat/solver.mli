@@ -3,7 +3,16 @@
     Two-watched-literal propagation, first-UIP learning, VSIDS-style
     decisions, Luby restarts, phase saving, incremental solving under
     assumptions. Variables are created with {!new_var}; literals are
-    encoded as [2v] (positive) / [2v+1] (negative). *)
+    encoded as [2v] (positive) / [2v+1] (negative).
+
+    The core is allocation-free: the trail is a flat preallocated array
+    indexed by a propagation head pointer (decision levels are trail
+    offsets), watch lists are array-backed vectors compacted in place, and
+    conflict analysis reuses scratch buffers. Learnt clauses carry
+    activity and LBD scores and live in a bounded database: when it
+    outgrows its limit, the cold half is dropped (binary, low-LBD and
+    reason clauses are kept) — see {!set_learnt_limit} /
+    {!set_db_reduction}. *)
 
 type lit = int
 
@@ -21,6 +30,11 @@ val create : unit -> t
 
 (** Allocate the next variable index. *)
 val new_var : t -> int
+
+(** Allocate [n] consecutive variables and return the first index (so the
+    block is [v .. v+n-1]). One growth check instead of [n]; the bulk
+    allocation path for CNF encoders. *)
+val new_vars : t -> int -> int
 
 (** Raised by {!add_clause} when the formula is unsatisfiable at the root
     level (no assumptions involved). *)
@@ -43,8 +57,9 @@ type result =
 (** Solve under [assumptions] (default none). The solver state is
     reusable across calls; learnt clauses persist — including across an
     [Unknown] answer, so a retry with a fresh budget resumes where the
-    bounded run stopped. An [Unsat] answer under assumptions means no
-    model extends them; without assumptions it is global unsatisfiability.
+    bounded run stopped (DB reduction only drops cold clauses, never the
+    whole database). An [Unsat] answer under assumptions means no model
+    extends them; without assumptions it is global unsatisfiability.
 
     [budget] is charged one step per conflict and its deadline/cancel flag
     is additionally checked periodically between decisions. Without a
@@ -54,13 +69,28 @@ val solve : ?budget:Eda_util.Budget.t -> ?assumptions:lit list -> t -> result
 (** Model access after a [Sat] answer; unassigned variables read false. *)
 val model_value : t -> int -> bool
 
+(** Override the learnt-database size limit (default: automatic,
+    [max 2000 #problem-clauses]). Passing [0] restores the automatic
+    limit. Setting a small limit forces frequent reductions — used by
+    stress tests and benchmarks. *)
+val set_learnt_limit : t -> int -> unit
+
+(** Enable or disable periodic learnt-DB reduction (enabled by default).
+    Disabling reproduces the unbounded-growth behaviour of the reference
+    solver — useful for determinism comparisons. *)
+val set_db_reduction : t -> bool -> unit
+
 type stats = {
   vars : int;
+  clauses : int;  (** live problem (non-learnt) clauses *)
   conflicts : int;
   decisions : int;
   propagations : int;
-  learnt : int;
+  learnt : int;  (** total clauses ever learnt *)
+  learnt_live : int;  (** learnt clauses currently in the database *)
   restarts : int;
+  db_reductions : int;  (** number of [reduce_db] passes *)
+  clauses_deleted : int;  (** learnt clauses dropped by reduction *)
 }
 
 val stats : t -> stats

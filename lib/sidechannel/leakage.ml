@@ -42,21 +42,23 @@ let synthesize_masked ?(shares = 3) variant =
   Isw.rebind masked circuit
 
 (** One Hamming-weight leakage sample of the masked circuit for secret
-    inputs [a] and [b] with fresh share/mask randomness. *)
-let hw_sample rng masked ~noise_sigma ~a ~b =
+    inputs [a] and [b] with fresh share/mask randomness. [scratch] is a
+    reusable net-value buffer for campaign loops. *)
+let hw_sample rng ?scratch masked ~noise_sigma ~a ~b =
   let vec = Isw.input_vector rng masked ~values:[ ("a", a); ("b", b) ] in
-  Power.Model.hamming_weight_sample rng masked.Isw.circuit ~noise_sigma ~inputs:vec
+  Power.Model.hamming_weight_sample rng ?scratch masked.Isw.circuit ~noise_sigma ~inputs:vec
 
 (** Fixed-vs-random TVLA on a masked variant. Fixed class: (a,b) = (1,1);
     random class: uniform (a,b). *)
 let tvla_campaign rng masked ~traces_per_class ~noise_sigma =
+  let scratch = Array.make (Circuit.node_count masked.Isw.circuit) false in
   let collect cls =
     let a, b =
       match cls with
       | `Fixed -> true, true
       | `Random -> Rng.bool rng, Rng.bool rng
     in
-    [| hw_sample rng masked ~noise_sigma ~a ~b |]
+    [| hw_sample rng ~scratch masked ~noise_sigma ~a ~b |]
   in
   Tvla.campaign ~traces_per_class ~collect
 
@@ -101,6 +103,7 @@ let tvla_campaign_glitch ?(mask_skew_ps = 0.0) rng masked ~traces_per_class ~con
     evaluation window is as good as no mask). *)
 let tvla_campaign_mask_failure rng masked ~traces_per_class ~noise_sigma =
   let c = masked.Isw.circuit in
+  let scratch = Array.make (Circuit.node_count c) false in
   let pos_of =
     let tbl = Hashtbl.create 16 in
     Array.iteri (fun pos id -> Hashtbl.replace tbl id pos) (Circuit.inputs c);
@@ -114,7 +117,7 @@ let tvla_campaign_mask_failure rng masked ~traces_per_class ~noise_sigma =
     in
     let vec = Isw.input_vector rng masked ~values:[ ("a", a); ("b", b) ] in
     Array.iter (fun id -> vec.(pos_of id) <- false) masked.Isw.random_inputs;
-    [| Power.Model.hamming_weight_sample rng c ~noise_sigma ~inputs:vec |]
+    [| Power.Model.hamming_weight_sample rng ~scratch c ~noise_sigma ~inputs:vec |]
   in
   Tvla.campaign ~traces_per_class ~collect
 
@@ -126,6 +129,7 @@ let leakiest_wire rng masked ~samples =
   let n = Circuit.node_count c in
   let fixed = Array.make_matrix samples n 0.0 in
   let random = Array.make_matrix samples n 0.0 in
+  let values = Array.make n false in
   for t = 0 to samples - 1 do
     let record target cls =
       let a, b =
@@ -134,16 +138,19 @@ let leakiest_wire rng masked ~samples =
         | `Random -> Rng.bool rng, Rng.bool rng
       in
       let vec = Isw.input_vector rng masked ~values:[ ("a", a); ("b", b) ] in
-      let values = Netlist.Sim.eval_all c vec in
-      Array.iteri (fun i v -> target.(i) <- if v then 1.0 else 0.0) values;
-      ignore target
+      Netlist.Sim.eval_all_into c vec ~into:values;
+      Array.iteri (fun i v -> target.(i) <- if v then 1.0 else 0.0) values
     in
     record fixed.(t) `Fixed;
     record random.(t) `Random
   done;
+  let col_f = Array.make samples 0.0 and col_r = Array.make samples 0.0 in
   let t_of_node i =
-    let col m = Array.init samples (fun t -> m.(t).(i)) in
-    Eda_util.Stats.welch_t (col fixed) (col random)
+    for t = 0 to samples - 1 do
+      col_f.(t) <- fixed.(t).(i);
+      col_r.(t) <- random.(t).(i)
+    done;
+    Eda_util.Stats.welch_t col_f col_r
   in
   let best = ref 0 and best_t = ref 0.0 in
   for i = 0 to n - 1 do

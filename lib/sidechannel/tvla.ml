@@ -27,10 +27,17 @@ let t_test fixed_traces random_traces =
   | [], _ | _, [] -> invalid_arg "Tvla.t_test: empty population"
   | f0 :: _, _ ->
     let samples = Array.length f0 in
-    let column traces k = Array.of_list (List.map (fun tr -> tr.(k)) traces) in
+    (* Column buffers are allocated once and refilled per sample — the
+       values and their order fed to [Stats.welch_t] are identical to a
+       per-sample [Array.of_list], without the per-sample allocation. *)
+    let fixed = Array.of_list fixed_traces and random = Array.of_list random_traces in
+    let col_f = Array.make (Array.length fixed) 0.0 in
+    let col_r = Array.make (Array.length random) 0.0 in
     let t_per_sample =
       Array.init samples (fun k ->
-          Stats.welch_t (column fixed_traces k) (column random_traces k))
+          for j = 0 to Array.length fixed - 1 do col_f.(j) <- fixed.(j).(k) done;
+          for j = 0 to Array.length random - 1 do col_r.(j) <- random.(j).(k) done;
+          Stats.welch_t col_f col_r)
     in
     let leaky =
       List.filter
@@ -55,10 +62,12 @@ let t_test_second_order fixed_traces random_traces =
   | [], _ | _, [] -> invalid_arg "Tvla.t_test_second_order: empty population"
   | f0 :: _, _ ->
     let samples = Array.length f0 in
-    let all = fixed_traces @ random_traces in
+    let all = Array.of_list (fixed_traces @ random_traces) in
+    let col = Array.make (Array.length all) 0.0 in
     let pooled_mean =
       Array.init samples (fun k ->
-          Eda_util.Stats.mean (Array.of_list (List.map (fun tr -> tr.(k)) all)))
+          for j = 0 to Array.length all - 1 do col.(j) <- all.(j).(k) done;
+          Eda_util.Stats.mean col)
     in
     let preprocess tr =
       Array.init samples (fun k ->

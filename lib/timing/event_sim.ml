@@ -118,7 +118,7 @@ let cycle ?delay_of ?input_arrivals ?state circuit ~prev_inputs ~next_inputs =
             match nd.Circuit.kind with
             | Gate.Input | Gate.Dff -> ()  (* DFFs capture at the clock edge *)
             | k ->
-              let out = Gate.eval k (Array.map (fun f -> values.(f)) nd.Circuit.fanins) in
+              let out = Gate.eval_indexed k nd.Circuit.fanins values in
               Heap.push heap ~t:(t +. delay_of consumer k) ~node:consumer ~v:out)
           fanouts.(node)
       end;

@@ -25,10 +25,16 @@ let mero_patterns rng ~n_detect ~rare ~max_patterns circuit =
   let patterns = ref [] in
   let all_done () = Array.for_all (fun h -> h >= n_detect) hits in
   let attempts = ref 0 in
+  (* Candidate pattern and net values are generated into reused buffers;
+     only patterns that advance a rare-condition counter are copied out. *)
+  let p = Array.make ni false in
+  let values = Array.make (Circuit.node_count circuit) false in
   while (not (all_done ())) && !attempts < max_patterns do
     incr attempts;
-    let p = Array.init ni (fun _ -> Rng.bool rng) in
-    let values = Netlist.Sim.eval_all circuit p in
+    for i = 0 to ni - 1 do
+      p.(i) <- Rng.bool rng
+    done;
+    Netlist.Sim.eval_all_into circuit p ~into:values;
     let useful = ref false in
     Array.iteri
       (fun k (net, v) ->
@@ -37,7 +43,7 @@ let mero_patterns rng ~n_detect ~rare ~max_patterns circuit =
           useful := true
         end)
       rare_arr;
-    if !useful then patterns := p :: !patterns
+    if !useful then patterns := Array.copy p :: !patterns
   done;
   List.rev !patterns
 
@@ -98,12 +104,16 @@ let fingerprint_detection rng ~chips ~sigma ~extra_load_ps ~threshold_sigmas cir
     beyond [threshold_sigmas]. *)
 let iddq_detection rng ~chips ~patterns ~threshold_sigmas ~clean ~infected =
   let ni = Circuit.num_inputs clean in
+  let inputs = Array.make ni false in
   let measure circuit temperature_factor =
+    let scratch = Array.make (Circuit.node_count circuit) false in
     let acc = ref 0.0 in
     for _ = 1 to patterns do
-      let inputs = Array.init ni (fun _ -> Rng.bool rng) in
+      for i = 0 to ni - 1 do
+        inputs.(i) <- Rng.bool rng
+      done;
       acc := !acc
-             +. Power.Model.iddq_sample rng circuit ~inputs ~noise_sigma:0.05
+             +. Power.Model.iddq_sample rng ~scratch circuit ~inputs ~noise_sigma:0.05
                   ~temperature_factor
     done;
     !acc /. Float.of_int patterns

@@ -71,21 +71,23 @@ let insert rng ?(payload = Flip_output) ~trigger_width ~patterns source =
      conjunction staying SAT-satisfiable. *)
   let ni = Circuit.num_inputs source in
   let words = max 4 ((patterns + 62) / 63) in
-  let value_words =
-    Array.init words (fun _ ->
-        let inputs =
-          Array.init ni (fun _ ->
-              Int64.to_int (Eda_util.Rng.next_int64 rng) land 0x7FFFFFFFFFFFFFFF)
-        in
-        Netlist.Sim.eval_all_word source inputs)
-  in
+  (* The per-word value matrix is retained (indicator bitsets index into
+     it); only the input word vector is scratch, so hoist it. *)
+  let value_words = Array.make words [||] in
+  let inputs = Array.make ni 0 in
+  for w = 0 to words - 1 do
+    for i = 0 to ni - 1 do
+      inputs.(i) <- Eda_util.Rng.bits63 rng
+    done;
+    value_words.(w) <- Netlist.Sim.eval_all_word source inputs
+  done;
   let indicator (net, v) =
     Array.map
       (fun vals -> if v then vals.(net) else Stdlib.lnot vals.(net) land 0x7FFFFFFFFFFFFFFF)
       value_words
   in
   let support ind =
-    Array.fold_left (fun acc w -> acc + Eda_util.Stats.hamming_weight ~bits:63 w) 0 ind
+    Array.fold_left (fun acc w -> acc + Eda_util.Stats.popcount w) 0 ind
   in
   let intersect a b = Array.init (Array.length a) (fun k -> a.(k) land b.(k)) in
   let conditions =
@@ -173,9 +175,13 @@ let trigger_probability rng trojan ~patterns =
   let c = trojan.infected in
   let ni = Circuit.num_inputs c in
   let hits = ref 0 in
+  let inputs = Array.make ni false in
+  let values = Array.make (Circuit.node_count c) false in
   for _ = 1 to patterns do
-    let inputs = Array.init ni (fun _ -> Rng.bool rng) in
-    let values = Netlist.Sim.eval_all c inputs in
+    for i = 0 to ni - 1 do
+      inputs.(i) <- Rng.bool rng
+    done;
+    Netlist.Sim.eval_all_into c inputs ~into:values;
     if values.(trojan.trigger_node) then incr hits
   done;
   Float.of_int !hits /. Float.of_int patterns

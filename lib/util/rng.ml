@@ -3,9 +3,29 @@
     All stochastic components of the toolkit draw randomness through an
     explicit [t] so that every experiment is reproducible from a seed.
     The generator is xoshiro256** seeded through splitmix64, implemented
-    from the public-domain reference algorithms. *)
+    from the public-domain reference algorithms.
 
-type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+    The 256-bit state is stored as eight native ints (32-bit halves), and
+    one step is pure immediate-int arithmetic: drawing via [bits63],
+    [bool], [int] or [float] allocates nothing, which matters in the
+    bit-parallel simulation and sampling hot loops that draw one word per
+    pattern batch. Only [next_int64] boxes (once, for its return value).
+    The stream is bit-identical to the boxed Int64 formulation — a
+    differential test against it guards every derived draw. *)
+
+(* Each 64-bit state word w is split as (hi, lo) with hi = w >> 32 and
+   lo = w & 0xFFFFFFFF, both in [0, 2^32). [r_hi]/[r_lo] hold the halves
+   of the latest scrambled output so the typed accessors below can read
+   the exact bits they need without a 64-bit return value. *)
+type t = {
+  mutable s0h : int; mutable s0l : int;
+  mutable s1h : int; mutable s1l : int;
+  mutable s2h : int; mutable s2l : int;
+  mutable s3h : int; mutable s3l : int;
+  mutable r_hi : int; mutable r_lo : int;
+}
+
+let mask32 = 0xFFFFFFFF
 
 let splitmix64 state =
   let open Int64 in
@@ -17,38 +37,80 @@ let splitmix64 state =
 
 let create seed =
   let state = ref (Int64.of_int seed) in
+  let hi z = Int64.to_int (Int64.shift_right_logical z 32) in
+  let lo z = Int64.to_int (Int64.logand z 0xFFFFFFFFL) in
   let s0 = splitmix64 state in
   let s1 = splitmix64 state in
   let s2 = splitmix64 state in
   let s3 = splitmix64 state in
-  { s0; s1; s2; s3 }
+  { s0h = hi s0; s0l = lo s0;
+    s1h = hi s1; s1l = lo s1;
+    s2h = hi s2; s2l = lo s2;
+    s3h = hi s3; s3l = lo s3;
+    r_hi = 0; r_lo = 0 }
 
-let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+(* xoshiro256** next step on 32-bit halves. The two multiplications of the
+   ** scrambler are by 5 and 9, so a 32x32 partial-product multiply is
+   never needed: multiply the halves directly (fits in 36 bits) and carry
+   the overflow of the low half into the high one. *)
+let step t =
+  (* result = rotl(s1 * 5, 7) * 9 *)
+  let m5l = t.s1l * 5 in
+  let m5h = ((t.s1h * 5) + (m5l lsr 32)) land mask32 in
+  let m5l = m5l land mask32 in
+  (* rotl 7 *)
+  let rh = ((m5h lsl 7) lor (m5l lsr 25)) land mask32 in
+  let rl = ((m5l lsl 7) lor (m5h lsr 25)) land mask32 in
+  let m9l = rl * 9 in
+  t.r_hi <- ((rh * 9) + (m9l lsr 32)) land mask32;
+  t.r_lo <- m9l land mask32;
+  (* state transition *)
+  let tmph = ((t.s1h lsl 17) lor (t.s1l lsr 15)) land mask32 in
+  let tmpl = (t.s1l lsl 17) land mask32 in
+  t.s2h <- t.s2h lxor t.s0h;
+  t.s2l <- t.s2l lxor t.s0l;
+  t.s3h <- t.s3h lxor t.s1h;
+  t.s3l <- t.s3l lxor t.s1l;
+  t.s1h <- t.s1h lxor t.s2h;
+  t.s1l <- t.s1l lxor t.s2l;
+  t.s0h <- t.s0h lxor t.s3h;
+  t.s0l <- t.s0l lxor t.s3l;
+  t.s2h <- t.s2h lxor tmph;
+  t.s2l <- t.s2l lxor tmpl;
+  (* s3 = rotl(s3, 45) = halves swapped (rotl 32), then rotl 13 *)
+  let h = t.s3h and l = t.s3l in
+  t.s3h <- ((l lsl 13) lor (h lsr 19)) land mask32;
+  t.s3l <- ((h lsl 13) lor (l lsr 19)) land mask32
 
-(* xoshiro256** next step. *)
+(** Raw 64-bit step of the generator (boxed; prefer [bits63] in loops). *)
 let next_int64 t =
-  let open Int64 in
-  let result = mul (rotl (mul t.s1 5L) 7) 9L in
-  let tmp = shift_left t.s1 17 in
-  t.s2 <- logxor t.s2 t.s0;
-  t.s3 <- logxor t.s3 t.s1;
-  t.s1 <- logxor t.s1 t.s2;
-  t.s0 <- logxor t.s0 t.s3;
-  t.s2 <- logxor t.s2 tmp;
-  t.s3 <- rotl t.s3 45;
-  result
+  step t;
+  Int64.logor (Int64.shift_left (Int64.of_int t.r_hi) 32) (Int64.of_int t.r_lo)
+
+(** The next draw truncated to a native int, allocation-free. Same stream
+    position and value as [Int64.to_int (next_int64 t)]: the low 63 bits,
+    bit 62 landing in the sign. One word of 63 simulation slots. *)
+let bits63 t =
+  step t;
+  ((t.r_hi land 0x7FFFFFFF) lsl 32) lor t.r_lo
 
 (** [int t bound] draws uniformly from [0, bound). *)
 let int t bound =
   assert (bound > 0);
-  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  step t;
+  (* = Int64.to_int (result >>> 2), which is nonnegative (62 bits) *)
+  let r = (t.r_hi lsl 30) lor (t.r_lo lsr 2) in
   r mod bound
 
-let bool t = Int64.logand (next_int64 t) 1L = 1L
+let bool t =
+  step t;
+  t.r_lo land 1 = 1
 
 (** Uniform float in [0, 1). *)
 let float t =
-  let mantissa = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  step t;
+  (* top 53 bits of the draw, as in the reference double conversion *)
+  let mantissa = Float.of_int ((t.r_hi lsl 21) lor (t.r_lo lsr 11)) in
   mantissa *. (1.0 /. 9007199254740992.0)
 
 (** Standard normal via Box-Muller. *)

@@ -1,14 +1,23 @@
 (** Deterministic pseudo-random number generation (xoshiro256** seeded via
     splitmix64). All stochastic components of the toolkit draw randomness
     through an explicit [t], so every experiment replays bit-identically
-    from its seed. *)
+    from its seed.
+
+    The state is native-int arithmetic throughout: every accessor except
+    [next_int64] is allocation-free, so hot loops (bit-parallel pattern
+    sampling, per-trace noise) can draw without GC pressure. *)
 
 type t
 
 val create : int -> t
 
-(** Raw 64-bit step of the generator. *)
+(** Raw 64-bit step of the generator (boxed return). *)
 val next_int64 : t -> int64
+
+(** The next draw truncated to a native int: identical stream and value as
+    [Int64.to_int (next_int64 t)] but allocation-free. Yields one 63-slot
+    word for the bit-parallel simulators. *)
+val bits63 : t -> int
 
 (** Uniform in [0, bound). @raise Assert_failure when [bound <= 0]. *)
 val int : t -> int -> int

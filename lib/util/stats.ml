@@ -73,13 +73,24 @@ let pearson xs ys =
     if denom <= 0.0 then 0.0 else !sxy /. denom
   end
 
+(** Population count of all 63 bits of a native int. Branch-free SWAR on
+    32-bit halves (64-bit mask literals would wrap on OCaml's 63-bit
+    ints), no allocation — safe to call per net word in simulation
+    sweeps. *)
+let popcount x =
+  let half v =
+    let v = v - ((v lsr 1) land 0x55555555) in
+    let v = (v land 0x33333333) + ((v lsr 2) land 0x33333333) in
+    let v = (v + (v lsr 4)) land 0x0F0F0F0F in
+    (* the byte-sum multiply needs an explicit mask: OCaml ints do not
+       truncate at 32 bits, so the higher partial products survive *)
+    ((v * 0x01010101) lsr 24) land 0xFF
+  in
+  half (x land 0xFFFFFFFF) + half (x lsr 32)
+
 (** Hamming weight of the low [bits] bits of [x]. *)
 let hamming_weight ?(bits = 64) x =
-  let rec loop acc i =
-    if i >= bits then acc
-    else loop (acc + ((x lsr i) land 1)) (i + 1)
-  in
-  loop 0 0
+  if bits >= 63 then popcount x else popcount (x land ((1 lsl bits) - 1))
 
 let hamming_distance ?(bits = 64) x y = hamming_weight ~bits (x lxor y)
 

@@ -241,6 +241,105 @@ let test_equivalence_helpers () =
   let d = Gen.parity_tree 7 in
   Alcotest.(check bool) "different circuits differ" false (Sim.equivalent_exhaustive a d)
 
+(* ---- Zero-allocation simulation paths ---- *)
+
+(* [Gate.eval_indexed] must agree with [Gate.eval] through a scattered
+   fanin indirection, for every combinational kind and operand pattern. *)
+let test_eval_indexed_agrees () =
+  let kinds =
+    [ (Gate.Buf, 1); (Gate.Not, 1); (Gate.And, 2); (Gate.Nand, 2);
+      (Gate.Or, 2); (Gate.Nor, 2); (Gate.Xor, 2); (Gate.Xnor, 2);
+      (Gate.Mux, 3); (Gate.Const true, 0); (Gate.Const false, 0) ]
+  in
+  List.iter
+    (fun (kind, arity) ->
+      for m = 0 to (1 lsl arity) - 1 do
+        let operands = Array.init arity (fun i -> (m lsr i) land 1 = 1) in
+        (* Scatter the operands through a larger value array. *)
+        let values = Array.make 16 false in
+        let fanins = Array.init arity (fun i -> (3 * i) + 2) in
+        Array.iteri (fun i v -> values.(fanins.(i)) <- v) operands;
+        Alcotest.(check bool)
+          (Printf.sprintf "%s m=%d" (Gate.name kind) m)
+          (Gate.eval kind operands)
+          (Gate.eval_indexed kind fanins values);
+        (* Word variant on the all-0/all-1 broadcast of the same operands. *)
+        let wvalues = Array.make 16 0 in
+        Array.iteri (fun i v -> wvalues.(fanins.(i)) <- (if v then -1 else 0)) operands;
+        let wexpected = if Gate.eval kind operands then 1 else 0 in
+        Alcotest.(check int)
+          (Printf.sprintf "%s word m=%d" (Gate.name kind) m)
+          wexpected
+          (Gate.eval_word_indexed kind fanins wvalues land 1)
+      done)
+    kinds
+
+(* [eval_all_into] must match [eval_all] while REUSING one buffer across
+   patterns — including a sequential circuit where stale DFF slots from the
+   previous pattern must not leak into a state-less evaluation. *)
+let test_eval_all_into_matches () =
+  let rng = Rng.create 314 in
+  let comb = Gen.c17 () in
+  let seq = Io.of_string "INPUT(x)\nOUTPUT(q)\nq = DFF(d)\nnq = NOT(q)\nd = XOR(x, nq)\n" in
+  List.iter
+    (fun c ->
+      let ni = Circuit.num_inputs c in
+      let into = Array.make (Circuit.node_count c) true in  (* poisoned buffer *)
+      for _ = 1 to 40 do
+        let inputs = Array.init ni (fun _ -> Rng.bool rng) in
+        let fresh = Sim.eval_all c inputs in
+        Sim.eval_all_into c inputs ~into;
+        Alcotest.(check (array bool)) "into = fresh" fresh into
+      done;
+      (* With explicit state the DFF slots must reflect it. *)
+      if Circuit.num_dffs c > 0 then begin
+        let state = Array.map (fun _ -> true) (Circuit.dffs c) in
+        let inputs = Array.make ni false in
+        let fresh = Sim.eval_all ~state c inputs in
+        Sim.eval_all_into ~state c inputs ~into;
+        Alcotest.(check (array bool)) "stateful into = fresh" fresh into
+      end)
+    [ comb; seq ]
+
+let test_eval_all_word_into_matches () =
+  let rng = Rng.create 2718 in
+  let c = Gen.alu 4 in
+  let ni = Circuit.num_inputs c in
+  let into = Array.make (Circuit.node_count c) (-1) in
+  for _ = 1 to 20 do
+    let inputs =
+      Array.init ni (fun _ ->
+          Int64.to_int (Rng.next_int64 rng) land 0x7FFFFFFFFFFFFFFF)
+    in
+    let fresh = Sim.eval_all_word c inputs in
+    Sim.eval_all_word_into c inputs ~into;
+    Alcotest.(check (array int)) "word into = fresh" fresh into
+  done
+
+(* Word-parallel equivalence must stay exact across the 63-pattern word
+   boundary: 7 inputs = 128 patterns = two full words plus a 2-pattern
+   tail. The almost-parity circuit differs from parity ONLY on the
+   all-ones pattern — the very last bit of the tail word. *)
+let test_word_equivalence_tail_pattern () =
+  let a = Gen.parity_tree 7 in
+  let b = Circuit.create () in
+  let xs = List.init 7 (fun i -> Circuit.add_input ~name:(Printf.sprintf "x%d" i) b) in
+  let p = Circuit.reduce b Gate.Xor xs in
+  let all_and = Circuit.reduce b Gate.And xs in
+  let out = Circuit.add_gate b Gate.Xor [ p; all_and ] in
+  Circuit.set_output b "parity" out;
+  Alcotest.(check bool) "tail difference found" false (Sim.equivalent_exhaustive a b);
+  let a' = Gen.parity_tree 7 in
+  Alcotest.(check bool) "self equal across words" true (Sim.equivalent_exhaustive a a');
+  (* Random equivalence with a pattern count that is not a multiple of 63. *)
+  let rng = Rng.create 6 in
+  Alcotest.(check bool) "random equal" true (Sim.equivalent_random rng ~patterns:100 a a');
+  (* The one distinguishing pattern has probability 1/128 per pattern;
+     4000 random patterns miss it with probability ~2e-14. *)
+  let rng = Rng.create 7 in
+  Alcotest.(check bool) "random finds tail difference" false
+    (Sim.equivalent_random rng ~patterns:4000 a b)
+
 let prop_random_dag_well_formed =
   QCheck.Test.make ~name:"random dags are well-formed" ~count:30
     QCheck.(int_bound 1000)
@@ -277,7 +376,12 @@ let () =
          Alcotest.test_case "sequential counter" `Quick test_sequential_counter;
          Alcotest.test_case "truth table extraction" `Quick test_truth_table_extraction;
          Alcotest.test_case "signal probabilities" `Quick test_signal_probabilities;
-         Alcotest.test_case "equivalence helpers" `Quick test_equivalence_helpers ]);
+         Alcotest.test_case "equivalence helpers" `Quick test_equivalence_helpers;
+         Alcotest.test_case "eval_indexed agrees" `Quick test_eval_indexed_agrees;
+         Alcotest.test_case "eval_all_into matches" `Quick test_eval_all_into_matches;
+         Alcotest.test_case "eval_all_word_into matches" `Quick test_eval_all_word_into_matches;
+         Alcotest.test_case "word equivalence tail pattern" `Quick
+           test_word_equivalence_tail_pattern ]);
       ("generators",
        [ Alcotest.test_case "c17 vectors" `Quick test_c17_reference_vectors;
          Alcotest.test_case "ripple adder exhaustive" `Quick test_ripple_adder;

@@ -192,6 +192,187 @@ let test_xor_chain_equivalence_deep () =
   Circuit.set_output tree "y" (Circuit.reduce tree Gate.Xor ys);
   Alcotest.(check bool) "chain = tree" true (Cnf.check_equivalence left tree = None)
 
+(* ---- Allocation-free core regressions: determinism, learnt-DB
+   reduction, stress instances, differential vs the reference solver. ---- *)
+
+module Ref = Sat.Solver_ref
+
+(* Random 3-SAT over distinct variables (the classic hard distribution;
+   ratio ~4.26 clauses/var sits at the phase transition). *)
+let random_3sat rng ~nvars ~nclauses =
+  List.init nclauses (fun _ ->
+      let rec pick k acc =
+        if k = 0 then acc
+        else begin
+          let v = Rng.int rng nvars in
+          if List.exists (fun l -> Solver.var_of_lit l = v) acc then pick k acc
+          else pick (k - 1) (lit v (Rng.bool rng) :: acc)
+        end
+      in
+      pick 3 [])
+
+(* Feed an instance to a fresh solver; [configure] runs before clauses are
+   added (e.g. to force a tiny learnt limit). *)
+let run_instance ?(configure = fun _ -> ()) ~nvars clauses =
+  let s = Solver.create () in
+  ignore (Solver.new_vars s nvars);
+  configure s;
+  match List.iter (Solver.add_clause s) clauses with
+  | () ->
+    let r = Solver.solve s in
+    (Some r, Solver.stats s)
+  | exception Solver.Unsat_root -> (None, Solver.stats s)
+
+let model_satisfies s clauses =
+  List.for_all
+    (List.exists (fun l ->
+         let value = Solver.model_value s (Solver.var_of_lit l) in
+         if Solver.pos l then value else not value))
+    clauses
+
+let pigeonhole_clauses ~pigeons ~holes =
+  (* Variables p(i,j) = pigeon i in hole j, numbered i*holes + j. *)
+  let v i j = (i * holes) + j in
+  let somewhere =
+    List.init pigeons (fun i -> List.init holes (fun j -> lit (v i j) true))
+  in
+  let exclusive = ref [] in
+  for j = 0 to holes - 1 do
+    for i = 0 to pigeons - 1 do
+      for k = i + 1 to pigeons - 1 do
+        exclusive := [ lit (v i j) false; lit (v k j) false ] :: !exclusive
+      done
+    done
+  done;
+  (pigeons * holes, somewhere @ !exclusive)
+
+(* Satellite: identical instance + seed must give bit-identical statistics
+   across two fresh solvers — the solver has no hidden nondeterminism.
+   Checked both with DB reduction forced on (tiny limit) and disabled. *)
+let test_determinism () =
+  let configs =
+    [ ("default", fun _ -> ());
+      ("forced reduction", fun s -> Solver.set_learnt_limit s 20);
+      ("no reduction", fun s -> Solver.set_db_reduction s false) ]
+  in
+  List.iter
+    (fun seed ->
+      let rng = Rng.create seed in
+      let nvars = 50 in
+      let clauses = random_3sat rng ~nvars ~nclauses:213 in
+      List.iter
+        (fun (label, configure) ->
+          let r1, st1 = run_instance ~configure ~nvars clauses in
+          let r2, st2 = run_instance ~configure ~nvars clauses in
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d %s: same result" seed label)
+            true (r1 = r2);
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d %s: same stats" seed label)
+            true (st1 = st2))
+        configs)
+    [ 11; 42; 99 ]
+
+(* Stress: a pigeonhole instance large enough to force real conflict
+   analysis, restarts and learnt-clause traffic. *)
+let test_pigeonhole_stress () =
+  let nvars, clauses = pigeonhole_clauses ~pigeons:7 ~holes:6 in
+  let r, st = run_instance ~nvars clauses in
+  Alcotest.(check bool) "unsat" true (r = Some Solver.Unsat);
+  Alcotest.(check bool) "learnt something" true (st.Solver.learnt > 0);
+  Alcotest.(check bool) "had conflicts" true (st.Solver.conflicts > 0)
+
+(* Stress + differential: random 3-SAT at the phase transition, new solver
+   vs the retained reference implementation; verdicts must agree and SAT
+   models must validate. *)
+let test_phase_transition_differential () =
+  let rng = Rng.create 2026 in
+  for trial = 1 to 25 do
+    let nvars = 25 + Rng.int rng 15 in
+    let nclauses = Float.to_int (4.26 *. Float.of_int nvars) in
+    let clauses = random_3sat rng ~nvars ~nclauses in
+    let s = Solver.create () in
+    ignore (Solver.new_vars s nvars);
+    (* Tiny limit so DB reduction actually exercises on these instances. *)
+    Solver.set_learnt_limit s 10;
+    let r = Ref.create () in
+    for _ = 1 to nvars do
+      ignore (Ref.new_var r)
+    done;
+    let new_verdict =
+      match List.iter (Solver.add_clause s) clauses with
+      | () -> Solver.solve s = Solver.Sat
+      | exception Solver.Unsat_root -> false
+    in
+    let ref_verdict =
+      match List.iter (Ref.add_clause r) clauses with
+      | () -> Ref.solve r = Ref.Sat
+      | exception Ref.Unsat_root -> false
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "trial %d verdicts agree" trial)
+      ref_verdict new_verdict;
+    if new_verdict then
+      Alcotest.(check bool)
+        (Printf.sprintf "trial %d model valid" trial)
+        true (model_satisfies s clauses)
+  done
+
+(* Satellite: a budgeted call returning [Unknown] must keep its learnt
+   clauses — including across a DB reduction — so the resumed call picks up
+   where it left off instead of starting cold. *)
+let test_budget_resume_preserves_learnts () =
+  let nvars, clauses = pigeonhole_clauses ~pigeons:7 ~holes:6 in
+  let s = Solver.create () in
+  ignore (Solver.new_vars s nvars);
+  Solver.set_learnt_limit s 20;  (* force reductions during the run *)
+  List.iter (Solver.add_clause s) clauses;
+  let budget = Eda_util.Budget.create ~steps:60 () in
+  (match Solver.solve ~budget s with
+   | Solver.Unknown _ -> ()
+   | Solver.Sat | Solver.Unsat ->
+     Alcotest.fail "instance must not fit in 60 conflicts");
+  let mid = Solver.stats s in
+  Alcotest.(check bool) "learnts survive Unknown" true (mid.Solver.learnt_live > 0);
+  (* Resume without a budget: must converge to UNSAT, accumulating on top
+     of the preserved clauses rather than re-learning from zero. *)
+  Alcotest.(check bool) "resumed unsat" true (Solver.solve s = Solver.Unsat);
+  let final = Solver.stats s in
+  Alcotest.(check bool) "reductions happened" true (final.Solver.db_reductions > 0);
+  Alcotest.(check bool) "deletions happened" true (final.Solver.clauses_deleted > 0);
+  Alcotest.(check bool) "learnt total monotone" true
+    (final.Solver.learnt >= mid.Solver.learnt)
+
+(* Acceptance: the learnt DB stays bounded — after a long run with a tiny
+   limit, the live count must sit far below the total ever learnt. *)
+let test_learnt_db_bounded () =
+  let nvars, clauses = pigeonhole_clauses ~pigeons:7 ~holes:6 in
+  let configure s = Solver.set_learnt_limit s 20 in
+  let r, st = run_instance ~configure ~nvars clauses in
+  Alcotest.(check bool) "unsat" true (r = Some Solver.Unsat);
+  Alcotest.(check bool) "db was reduced" true (st.Solver.db_reductions > 0);
+  Alcotest.(check bool) "live strictly below total" true
+    (st.Solver.learnt_live < st.Solver.learnt);
+  Alcotest.(check bool) "deleted accounts for gap" true
+    (st.Solver.learnt_live + st.Solver.clauses_deleted = st.Solver.learnt)
+
+(* Fuzz vs brute force with DB reduction forced on tiny instances: clause
+   deletion must never change a verdict or corrupt a model. *)
+let test_fuzz_forced_reduction () =
+  let rng = Rng.create 5678 in
+  for trial = 1 to 150 do
+    let nvars = 3 + Rng.int rng 6 in
+    let nclauses = 2 + Rng.int rng 20 in
+    let clauses = random_cnf rng ~nvars ~nclauses in
+    let expected = brute_force nvars clauses in
+    let configure s = Solver.set_learnt_limit s 1 in
+    match run_instance ~configure ~nvars clauses with
+    | Some r, _ ->
+      Alcotest.(check bool) (Printf.sprintf "trial %d" trial) expected (r = Solver.Sat)
+    | None, _ ->
+      Alcotest.(check bool) (Printf.sprintf "trial %d (root)" trial) expected false
+  done
+
 let prop_miter_random_dags_self_equal =
   QCheck.Test.make ~name:"every circuit equals itself (SAT miter)" ~count:15
     QCheck.(int_bound 500)
@@ -218,6 +399,16 @@ let () =
          Alcotest.test_case "assumptions" `Quick test_assumptions;
          Alcotest.test_case "incremental reuse" `Quick test_incremental_reuse;
          Alcotest.test_case "fuzz vs brute force" `Slow test_fuzz_against_brute_force ]);
+      ("perf core",
+       [ Alcotest.test_case "determinism" `Quick test_determinism;
+         Alcotest.test_case "pigeonhole stress" `Quick test_pigeonhole_stress;
+         Alcotest.test_case "phase transition differential" `Slow
+           test_phase_transition_differential;
+         Alcotest.test_case "budget resume keeps learnts" `Quick
+           test_budget_resume_preserves_learnts;
+         Alcotest.test_case "learnt DB bounded" `Quick test_learnt_db_bounded;
+         Alcotest.test_case "fuzz with forced reduction" `Slow
+           test_fuzz_forced_reduction ]);
       ("cnf",
        [ Alcotest.test_case "encoding matches sim" `Quick test_circuit_encoding_agrees_with_sim;
          Alcotest.test_case "adder self-equivalence" `Quick test_equivalence_adders;

@@ -19,6 +19,63 @@ let test_rng_seed_sensitivity () =
   done;
   Alcotest.(check bool) "streams differ" true !differs
 
+(* The boxed-Int64 xoshiro256** formulation the half-word implementation
+   replaced; kept verbatim as the differential oracle. Every derived draw
+   ([bool], [int], [float], [bits63]) is defined in terms of [next_int64],
+   so matching it across many steps pins the whole stream. *)
+module Rng_boxed = struct
+  type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+  let splitmix64 state =
+    let open Int64 in
+    state := add !state 0x9E3779B97F4A7C15L;
+    let z = !state in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+    logxor z (shift_right_logical z 31)
+
+  let create seed =
+    let state = ref (Int64.of_int seed) in
+    let s0 = splitmix64 state in
+    let s1 = splitmix64 state in
+    let s2 = splitmix64 state in
+    let s3 = splitmix64 state in
+    { s0; s1; s2; s3 }
+
+  let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+  let next_int64 t =
+    let open Int64 in
+    let result = mul (rotl (mul t.s1 5L) 7) 9L in
+    let tmp = shift_left t.s1 17 in
+    t.s2 <- logxor t.s2 t.s0;
+    t.s3 <- logxor t.s3 t.s1;
+    t.s1 <- logxor t.s1 t.s2;
+    t.s0 <- logxor t.s0 t.s3;
+    t.s2 <- logxor t.s2 tmp;
+    t.s3 <- rotl t.s3 45;
+    result
+end
+
+let test_rng_matches_boxed_reference () =
+  List.iter
+    (fun seed ->
+      let fast = Rng.create seed and boxed = Rng_boxed.create seed in
+      for i = 1 to 10_000 do
+        Alcotest.(check int64)
+          (Printf.sprintf "seed %d draw %d" seed i)
+          (Rng_boxed.next_int64 boxed) (Rng.next_int64 fast)
+      done)
+    [ 0; 1; 42; -7; max_int; min_int ];
+  (* bits63 must be the native-int truncation of the same stream. *)
+  let a = Rng.create 1234 and b = Rng.create 1234 in
+  for i = 1 to 10_000 do
+    Alcotest.(check int)
+      (Printf.sprintf "bits63 draw %d" i)
+      (Int64.to_int (Rng.next_int64 a))
+      (Rng.bits63 b)
+  done
+
 let test_rng_int_bounds () =
   let rng = Rng.create 7 in
   for _ = 1 to 1000 do
@@ -105,6 +162,27 @@ let test_hamming () =
   Alcotest.(check int) "hw 8-bit view" 1 (Stats.hamming_weight ~bits:4 0x10001);
   Alcotest.(check int) "hd" 2 (Stats.hamming_distance 0b1010 0b1001)
 
+(* The SWAR popcount against the obvious bit-at-a-time loop, across all 63
+   bit positions and random words (including negative ones: bit 62 set). *)
+let test_popcount_matches_loop () =
+  let slow x =
+    let c = ref 0 in
+    for i = 0 to 62 do
+      c := !c + ((x lsr i) land 1)
+    done;
+    !c
+  in
+  for i = 0 to 62 do
+    Alcotest.(check int) "single bit" 1 (Stats.popcount (1 lsl i))
+  done;
+  Alcotest.(check int) "zero" 0 (Stats.popcount 0);
+  Alcotest.(check int) "all ones" 63 (Stats.popcount (-1));
+  let rng = Rng.create 77 in
+  for _ = 1 to 10_000 do
+    let x = Rng.bits63 rng in
+    Alcotest.(check int) "random word" (slow x) (Stats.popcount x)
+  done
+
 let test_entropy () =
   Alcotest.(check (float 1e-9)) "uniform 4" 2.0 (Stats.entropy_of_counts [| 5; 5; 5; 5 |]);
   Alcotest.(check (float 1e-9)) "point mass" 0.0 (Stats.entropy_of_counts [| 10; 0; 0 |])
@@ -161,6 +239,7 @@ let () =
     [ ("rng",
        [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+         Alcotest.test_case "matches boxed reference" `Quick test_rng_matches_boxed_reference;
          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
          Alcotest.test_case "float unit interval" `Quick test_rng_float_unit_interval;
          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
@@ -175,6 +254,7 @@ let () =
          Alcotest.test_case "pearson perfect" `Quick test_pearson_perfect;
          Alcotest.test_case "pearson independent" `Quick test_pearson_independent_small;
          Alcotest.test_case "hamming" `Quick test_hamming;
+         Alcotest.test_case "popcount vs loop" `Quick test_popcount_matches_loop;
          Alcotest.test_case "entropy" `Quick test_entropy;
          Alcotest.test_case "histogram" `Quick test_histogram;
          Alcotest.test_case "argmax/max_abs" `Quick test_argmax_maxabs ]);
