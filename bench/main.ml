@@ -19,6 +19,15 @@ module Gen = Netlist.Generators
 let banner title =
   Printf.printf "\n%s\n%s\n%s\n" (String.make 78 '=') title (String.make 78 '=')
 
+(* Bench workloads feed the flow structurally valid netlists; an Error
+   here is a harness bug, not a measurement. *)
+let flow_ok = function
+  | Ok r -> r
+  | Error e -> failwith (Eda_util.Eda_error.to_string e)
+
+(* Domain-count cap for the pool speedup sweep (perf section): -j N. *)
+let jobs = ref (Eda_util.Pool.default_jobs ())
+
 let subbanner title = Printf.printf "\n--- %s ---\n" title
 
 (* ------------------------------------------------------------------ *)
@@ -118,7 +127,7 @@ let fig1 () =
   let module F = Secure_eda.Flow in
   let run_design name circuit =
     subbanner (Printf.sprintf "design: %s" name);
-    let report = F.run rng circuit in
+    let report = flow_ok (F.run rng circuit) in
     Printf.printf "  %-28s %10s %12s %10s %10s\n" "stage" "area" "delay(ps)" "WL" "coverage";
     List.iter
       (fun sr ->
@@ -137,7 +146,7 @@ let fig1 () =
   subbanner "the flow is security-oblivious";
   (* 1. It destroys masked logic (quantified in the fig2 section). *)
   let masked = Sidechannel.Isw.transform (Sidechannel.Leakage.private_and_source ()) in
-  let flowed = F.run rng masked.Sidechannel.Isw.circuit in
+  let flowed = flow_ok (F.run rng masked.Sidechannel.Isw.circuit) in
   let rebound = Sidechannel.Isw.rebind masked flowed.F.final in
   let r = Sidechannel.Leakage.tvla_campaign rng rebound ~traces_per_class:3000 ~noise_sigma:0.3 in
   Printf.printf
@@ -406,7 +415,7 @@ let curves () =
 
   subbanner "split manufacturing: netlist recovery vs defense (alu4)";
   let c = Gen.alu 4 in
-  let placement = Physical.Placement.place rng ~moves:20000 c in
+  let placement = (Physical.Placement.place rng ~moves:20000 c).Physical.Placement.placement in
   let naive = Splitmfg.Split.split_by_length ~feol_threshold:2 placement in
   Printf.printf "  %-34s %10s %10s\n" "configuration" "recovery" "CCR";
   let report name s =
@@ -588,7 +597,7 @@ let ablations () =
 
   subbanner "IR-drop sign-off vs activity model (alu4, the model-accuracy trap)";
   let c = Gen.alu 4 in
-  let p = Physical.Placement.place rng ~moves:5000 c in
+  let p = (Physical.Placement.place rng ~moves:5000 c).Physical.Placement.placement in
   Printf.printf "  %-12s %12s %14s %10s\n" "activity" "bound" "simulated" "sound";
   List.iter
     (fun activity ->
@@ -1101,6 +1110,78 @@ let perf () =
   Printf.printf "  %-12s %10.3f %14.0f %16.0f %16.0f\n" "reference" sim_r_dt (patps sim_r_dt) sim_r_alloc sim_r_major;
   Printf.printf "  kogge_stone(8), %d patterns: speedup %.1fx, allocation reduced %.0fx\n"
     sim_patterns sim_speedup sim_alloc_reduction;
+  (* ---- Domain pool: speedup-vs-domains curves ---- *)
+  subbanner
+    (Printf.sprintf "domain pool: speedup vs domains (sweep capped at -j %d)" (max 1 !jobs));
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let pool_counts =
+    let cap = max 1 !jobs in
+    List.sort_uniq compare (1 :: List.filter (fun d -> d <= cap) [ 2; 4; 8 ])
+  in
+  (* Each sweep runs the identical workload at every domain count (1 =
+     no pool, the sequential baseline) and fingerprints the result: the
+     engines promise bit-identical answers, so a fingerprint mismatch is
+     a determinism bug, reported both on stdout and in the JSON. *)
+  let pool_sweep name run fingerprint =
+    let rows =
+      List.map
+        (fun d ->
+          let pool = if d = 1 then None else Some (Eda_util.Pool.create ~num_domains:d ()) in
+          let r, dt = wall (fun () -> run pool) in
+          Option.iter Eda_util.Pool.shutdown pool;
+          (d, dt, fingerprint r))
+        pool_counts
+    in
+    let _, base_dt, base_fp = List.hd rows in
+    List.iter
+      (fun (d, dt, fp) ->
+        Printf.printf "  %-18s %2d domain(s): %8.3f s  speedup %.2fx%s\n" name d dt
+          (base_dt /. dt)
+          (if fp = base_fp then "" else "  [RESULT MISMATCH]"))
+      rows;
+    ( name,
+      T.Json.JObj
+        [ ( "deterministic",
+            T.Json.JBool (List.for_all (fun (_, _, fp) -> fp = base_fp) rows) );
+          ( "curve",
+            T.Json.JList
+              (List.map
+                 (fun (d, dt, _) ->
+                   T.Json.JObj
+                     [ ("domains", T.Json.JInt d);
+                       ("seconds", T.Json.JFloat dt);
+                       ("speedup", T.Json.JFloat (base_dt /. dt)) ])
+                 rows) ) ] )
+  in
+  let pool_atpg_circuit = Gen.array_multiplier 4 in
+  let pool_tvla_masked =
+    Sidechannel.Leakage.synthesize_masked Sidechannel.Leakage.Security_aware
+  in
+  let pool_tvla_traces = if !smoke then 600 else 4000 in
+  let pool_rows =
+    [ pool_sweep "atpg" (fun pool -> Dft.Atpg.run ?pool pool_atpg_circuit)
+        (fun r ->
+          Printf.sprintf "%.9f/%d" r.Dft.Atpg.coverage (List.length r.Dft.Atpg.patterns));
+      pool_sweep "tvla" (fun pool ->
+          Sidechannel.Leakage.tvla_campaign_seeded ?pool (Rng.create 5150) pool_tvla_masked
+            ~traces_per_class:pool_tvla_traces ~noise_sigma:0.3)
+        (fun r -> Printf.sprintf "%.12f" r.Sidechannel.Tvla.max_abs_t);
+      pool_sweep "placement_x4" (fun pool ->
+          Physical.Placement.place ~starts:4 ~moves:(if !smoke then 2000 else 8000) ?pool
+            (Rng.create 2718) pool_atpg_circuit)
+        (fun o ->
+          Printf.sprintf "%d/%d"
+            (Physical.Placement.wirelength o.Physical.Placement.placement)
+            o.Physical.Placement.best_start) ]
+  in
+  let pool_json =
+    T.Json.JObj
+      (("max_domains", T.Json.JInt (List.fold_left max 1 pool_counts)) :: pool_rows)
+  in
   let side name seconds throughput alloc major extra =
     ( name,
       T.Json.JObj
@@ -1142,6 +1223,7 @@ let perf () =
         ("smoke", T.Json.JBool !smoke);
         ("disabled_span_overhead_ns", T.Json.JFloat (Float.max 0.0 overhead_ns));
         ("workloads", T.Json.JList rows);
+        ("pool", pool_json);
         ("comparisons", comparisons) ]
   in
   let path = "BENCH_perf.json" in
@@ -1163,16 +1245,19 @@ let () =
     | _ :: rest -> rest
     | [] -> []
   in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--smoke" then begin
-          smoke := true;
-          false
-        end
-        else true)
-      args
+  let rec strip = function
+    | [] -> []
+    | "--smoke" :: rest ->
+      smoke := true;
+      strip rest
+    | ("-j" | "--jobs") :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some n when n >= 1 -> jobs := n
+       | Some _ | None -> Printf.eprintf "ignoring bad -j value %s\n" n);
+      strip rest
+    | a :: rest -> a :: strip rest
   in
+  let args = strip args in
   let requested = if args = [] then List.map fst sections else args in
   List.iter
     (fun name ->

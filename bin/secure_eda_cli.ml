@@ -51,6 +51,20 @@ let budget_of conflicts seconds =
   | None, None -> None
   | steps, seconds -> Some (Budget.create ?steps ?seconds ())
 
+(* Shared parallelism flag: the commands with a pool-aware engine accept
+   -j N and run it on a domain pool. The default honours SECURE_EDA_JOBS
+   (else 1), so exported CI environments widen every run at once. *)
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel engines (default: $(b,SECURE_EDA_JOBS) or 1)."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let with_jobs jobs f =
+  let n = match jobs with Some n -> n | None -> Eda_util.Pool.default_jobs () in
+  if n <= 1 then f None
+  else Eda_util.Pool.with_pool ~num_domains:n (fun p -> f (Some p))
+
 (* Shared telemetry flag: when present, every span/counter the command's
    engines emit is exported as JSONL, one event per line, readable back
    with [secure_eda_cli report]. *)
@@ -210,7 +224,7 @@ let sat_attack_cmd =
   let max_iterations =
     Arg.(value & opt int 256 & info [ "max-iterations" ] ~doc:"DIP query cap")
   in
-  let run locked_path oracle_path max_iterations conflicts seconds trace =
+  let run locked_path oracle_path max_iterations conflicts seconds jobs trace =
     let locked_circuit = read_circuit locked_path in
     let original = read_circuit oracle_path in
     (* Reconstruct the locked view: key inputs are the key* named ones. *)
@@ -230,8 +244,9 @@ let sat_attack_cmd =
     let budget = budget_of conflicts seconds in
     match
       with_trace trace (fun () ->
-          Locking.Sat_attack.run_checked ~max_iterations ?budget
-            ~oracle:(Locking.Sat_attack.oracle_of_circuit original) locked)
+          with_jobs jobs (fun pool ->
+              Locking.Sat_attack.run_checked ~max_iterations ?budget ?pool
+                ~oracle:(Locking.Sat_attack.oracle_of_circuit original) locked))
     with
     | Error e -> die "%s: %s" locked_path (Eda_error.to_string e)
     | Ok result ->
@@ -253,7 +268,7 @@ let sat_attack_cmd =
   Cmd.v (Cmd.info "sat-attack" ~doc:"Oracle-guided SAT attack on a locked netlist")
     Term.(
       const run $ netlist_arg $ oracle $ max_iterations $ conflicts_arg $ seconds_arg
-      $ trace_arg)
+      $ jobs_arg $ trace_arg)
 
 (* --- atpg ------------------------------------------------------------- *)
 
@@ -261,10 +276,13 @@ let atpg_cmd =
   let patterns_flag =
     Arg.(value & flag & info [ "patterns" ] ~doc:"Print the generated patterns")
   in
-  let run path conflicts seconds print_patterns trace =
+  let run path conflicts seconds jobs print_patterns trace =
     let c = read_circuit path in
     let budget = budget_of conflicts seconds in
-    match with_trace trace (fun () -> Dft.Atpg.run_checked ?budget c) with
+    match
+      with_trace trace (fun () ->
+          with_jobs jobs (fun pool -> Dft.Atpg.run_checked ?budget ?pool c))
+    with
     | Error e -> die "%s: %s" path (Eda_error.to_string e)
     | Ok r ->
       Printf.printf "patterns %d, stuck-at coverage %.1f%%, untestable faults %d\n"
@@ -282,7 +300,9 @@ let atpg_cmd =
           r.Dft.Atpg.patterns
   in
   Cmd.v (Cmd.info "atpg" ~doc:"SAT-based test pattern generation (stuck-at)")
-    Term.(const run $ netlist_arg $ conflicts_arg $ seconds_arg $ patterns_flag $ trace_arg)
+    Term.(
+      const run $ netlist_arg $ conflicts_arg $ seconds_arg $ jobs_arg $ patterns_flag
+      $ trace_arg)
 
 (* --- trojan ------------------------------------------------------------ *)
 
@@ -357,15 +377,19 @@ let watermark_cmd =
 
 let tvla_fig2_cmd =
   let traces = Arg.(value & opt int 4000 & info [ "traces" ] ~doc:"Traces per class") in
-  let run seed traces trace =
+  let run seed traces jobs trace =
     let rng = Eda_util.Rng.create seed in
     let module L = Sidechannel.Leakage in
     let aware = L.synthesize_masked L.Security_aware in
     let unaware = L.synthesize_masked L.Security_unaware in
+    (* The seeded campaign gives the same max|t| at any -j value. *)
     let ra, ru =
       with_trace trace (fun () ->
-          ( L.tvla_campaign rng aware ~traces_per_class:traces ~noise_sigma:0.3,
-            L.tvla_campaign rng unaware ~traces_per_class:traces ~noise_sigma:0.3 ))
+          with_jobs jobs (fun pool ->
+              ( L.tvla_campaign_seeded ?pool rng aware ~traces_per_class:traces
+                  ~noise_sigma:0.3,
+                L.tvla_campaign_seeded ?pool rng unaware ~traces_per_class:traces
+                  ~noise_sigma:0.3 )))
     in
     Printf.printf "security-aware  : max|t| = %.2f (%s)\n" ra.Sidechannel.Tvla.max_abs_t
       (if Sidechannel.Tvla.leaks ra then "LEAKS" else "passes");
@@ -373,7 +397,7 @@ let tvla_fig2_cmd =
       (if Sidechannel.Tvla.leaks ru then "LEAKS" else "passes")
   in
   Cmd.v (Cmd.info "tvla-fig2" ~doc:"Reproduce the paper's Fig. 2 TVLA contrast")
-    Term.(const run $ seed_arg $ traces $ trace_arg)
+    Term.(const run $ seed_arg $ traces $ jobs_arg $ trace_arg)
 
 let table2_cmd =
   let run seed =
@@ -391,11 +415,14 @@ let table2_cmd =
     Term.(const run $ seed_arg)
 
 let flow_cmd =
-  let run path seed conflicts seconds trace =
+  let run path seed conflicts seconds jobs trace =
     let c = read_circuit path in
     let rng = Eda_util.Rng.create seed in
     let budget = budget_of conflicts seconds in
-    match with_trace trace (fun () -> Secure_eda.Flow.run_safe rng ?budget c) with
+    match
+      with_trace trace (fun () ->
+          with_jobs jobs (fun pool -> Secure_eda.Flow.run rng ?budget ?pool c))
+    with
     | Error e -> die "%s: %s" path (Eda_error.to_string e)
     | Ok report ->
       List.iter
@@ -411,7 +438,9 @@ let flow_cmd =
         Printf.printf "%d stage(s) degraded\n" report.Secure_eda.Flow.degraded_stages
   in
   Cmd.v (Cmd.info "flow" ~doc:"Run the budgeted EDA flow (Fig. 1) with degradation notes")
-    Term.(const run $ netlist_arg $ seed_arg $ conflicts_arg $ seconds_arg $ trace_arg)
+    Term.(
+      const run $ netlist_arg $ seed_arg $ conflicts_arg $ seconds_arg $ jobs_arg
+      $ trace_arg)
 
 (* --- report ------------------------------------------------------------ *)
 

@@ -24,7 +24,11 @@ let () =
     (if cpa.Cpa.best_guess = key then "key LEAKS through power" else "safe");
 
   line "step 1: classical PPA flow (Fig. 1) — security unchanged, of course";
-  let flow = Secure_eda.Flow.run rng datapath in
+  let flow =
+    match Secure_eda.Flow.run rng datapath with
+    | Ok r -> r
+    | Error e -> failwith (Eda_util.Eda_error.to_string e)
+  in
   List.iter
     (fun sr ->
       Printf.printf "  %-26s area %8.1f  delay %7.1f ps\n"

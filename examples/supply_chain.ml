@@ -20,7 +20,10 @@ let () =
   let metered = Locking.Metering.meter rng ~state_bits:10 mark.Locking.Watermark.f_circuit in
   Printf.printf "  added a 10-bit metering FSM: chips power up locked\n";
   (* 3. Split manufacturing for the layout itself. *)
-  let placement = Physical.Placement.place rng ~moves:10000 metered.Locking.Metering.circuit in
+  let placement =
+    (Physical.Placement.place rng ~moves:10000 metered.Locking.Metering.circuit)
+      .Physical.Placement.placement
+  in
   let split =
     Splitmfg.Split.lift_wires ~fraction:1.0
       (Splitmfg.Split.split_by_length ~feol_threshold:2 placement)

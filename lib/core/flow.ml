@@ -1,8 +1,8 @@
-(** The end-to-end EDA flow of Fig. 1, and its security-centric
-    counterpart. The classical flow optimizes PPA and is provably oblivious
-    to security artifacts in the design; the secure flow threads a security
-    context (protection barriers, countermeasure inventory, threat-model
-    checks) through every stage and re-evaluates after each one. *)
+(** The end-to-end EDA flow of Fig. 1: synthesize -> place -> verify
+    timing/power -> generate tests, behind one budgeted, poolable,
+    checkpointable entry point ({!run}). With [protect] empty the flow is
+    fully security-oblivious, exactly the classical PPA flow the paper
+    critiques; [protect] threads protection barriers through synthesis. *)
 
 module Circuit = Netlist.Circuit
 module Rng = Eda_util.Rng
@@ -29,56 +29,6 @@ type stage_report = {
          failure, ...); [None] means it completed as specified *)
 }
 
-type flow_report = {
-  stages : stage_report list;
-  final : Circuit.t;
-}
-
-(** Classical flow (Fig. 1): synthesize -> place -> verify timing/power ->
-    generate tests. [protect] empty = fully security-oblivious. *)
-let run rng ?(protect = fun (_ : string) -> false) circuit =
-  let reports = ref [] in
-  let report stage c ?wirelength ?fault_coverage note =
-    let ppa = Synth.Flow.ppa c in
-    reports :=
-      { stage;
-        area = ppa.Synth.Flow.area;
-        delay_ps = ppa.Synth.Flow.delay_ps;
-        wirelength;
-        fault_coverage;
-        note;
-        degraded = None }
-      :: !reports
-  in
-  (* Logic synthesis. *)
-  let synthesized =
-    if protect == Synth.Rewrite.no_protection then Synth.Flow.optimize circuit
-    else Synth.Flow.optimize_secure ~protect circuit
-  in
-  report Logic_synthesis synthesized "constant-prop + strash + xor-reassoc";
-  (* Physical synthesis: placement; wirelength is the PPA artifact. *)
-  let placement = Physical.Placement.place rng ~moves:4000 synthesized in
-  report Physical_synthesis synthesized
-    ~wirelength:(Physical.Placement.wirelength placement)
-    "simulated-annealing placement";
-  (* Timing/power verification: STA recorded via ppa; note glitch count on
-     a random transition as the power-verification artifact. *)
-  let ni = Circuit.num_inputs synthesized in
-  let prev = Array.make ni false in
-  let next = Array.init ni (fun _ -> Rng.bool rng) in
-  let transitions = Timing.Event_sim.cycle synthesized ~prev_inputs:prev ~next_inputs:next in
-  let glitches = List.length (Timing.Event_sim.glitching_nodes synthesized transitions) in
-  report Timing_power_verification synthesized
-    (Printf.sprintf "event-sim: %d transitions, %d glitching nets"
-       (List.length transitions) glitches);
-  (* Testing: ATPG on the combinational network. *)
-  let `Patterns patterns, `Coverage coverage, `Untestable _ = Dft.Atpg.run synthesized in
-  report Testing synthesized ~fault_coverage:coverage
-    (Printf.sprintf "%d patterns" (List.length patterns));
-  { stages = List.rev !reports; final = synthesized }
-
-(* --- Robust flow: budgets, degradation notes, checkpoint/resume -------- *)
-
 module Budget = Eda_util.Budget
 module Eda_error = Eda_util.Eda_error
 
@@ -92,35 +42,40 @@ type checkpoint = {
 
 let checkpoint_start circuit = { done_stages = []; circuit }
 
-type safe_report = {
+type report = {
   stages : stage_report list;  (* completed-before-resume + this run *)
   final : Circuit.t;
   checkpoint : checkpoint;  (* pass back as [resume] to continue *)
   degraded_stages : int;  (* count of stages with a degradation note *)
 }
 
-(** The security-closure counterpart of [run]: never raises on
-    user-reachable failures, budgets every engine, and reports degradation
-    honestly per stage instead of silently truncating — security metrics
-    are step functions, so "Unknown/partial" must stay distinct from a
-    measured value.
+type safe_report = report
+
+(** The end-to-end flow, one entry point: never raises on user-reachable
+    failures, budgets every engine, and reports degradation honestly per
+    stage instead of silently truncating — security metrics are step
+    functions, so "Unknown/partial" must stay distinct from a measured
+    value.
 
     - the input is linted before anything runs; a structurally invalid
       netlist is the only [Error] case;
     - [budget] bounds the whole flow; every stage draws a sub-budget from
       it ([stage_steps] optionally caps individual stages);
+    - [pool] parallelizes the testing stage's per-fault SAT queries (the
+      flow's dominant cost); stage results stay independent of the
+      domain count;
     - a stage that exhausts its budget or fails internally is recorded
       with [degraded = Some reason] and the design passes through
       unchanged, so later stages still run;
     - [resume] continues from a {!checkpoint}, skipping completed stages;
     - [stages] restricts the run (default: all four, in order).
 
-    Telemetry: one [flow.run_safe] span over the run, one [flow.stage]
-    span per stage (attr [stage]); a degradation is exported as a
+    Telemetry: one [flow.run] span over the run, one [flow.stage] span
+    per stage (attr [stage]); a degradation is exported as a
     [flow.degraded] note on its stage span, and each stage gauges
     [flow.budget_utilization] from its sub-budget so partial results can
     be read as budget pressure. *)
-let run_safe rng ?(protect = fun (_ : string) -> false) ?budget
+let run rng ?(protect = fun (_ : string) -> false) ?budget ?pool
     ?(stage_steps = fun (_ : stage) -> None) ?(stages = all_stages) ?resume circuit =
   let root = match budget with Some b -> b | None -> Budget.unlimited () in
   let start_circuit, done_reports =
@@ -134,7 +89,7 @@ let run_safe rng ?(protect = fun (_ : string) -> false) ?budget
     let module T = Eda_util.Telemetry in
     let completed = List.map (fun r -> r.stage) done_reports in
     let todo = List.filter (fun s -> not (List.mem s completed)) stages in
-    T.with_span "flow.run_safe"
+    T.with_span "flow.run"
       ~attrs:
         [ ("stages", T.Int (List.length todo));
           ("resumed", T.Bool (resume <> None)) ]
@@ -185,9 +140,9 @@ let run_safe rng ?(protect = fun (_ : string) -> false) ?budget
             report stage "constant-prop + strash + xor-reassoc"
           | Physical_synthesis ->
             let moves = 4000 in
-            let placement, performed =
-              Physical.Placement.place_budgeted rng ~moves ~budget:sub !current
-            in
+            let o = Physical.Placement.place rng ~moves ~budget:sub !current in
+            let placement = o.Physical.Placement.placement in
+            let performed = o.Physical.Placement.moves_performed in
             let degraded =
               if performed < moves then
                 Some
@@ -214,7 +169,7 @@ let run_safe rng ?(protect = fun (_ : string) -> false) ?budget
               (Printf.sprintf "event-sim: %d transitions, %d glitching nets"
                  (List.length transitions) glitches)
           | Testing ->
-            let r = Dft.Atpg.run_report ~budget:sub !current in
+            let r = Dft.Atpg.run ~budget:sub ?pool !current in
             let degraded =
               match r.Dft.Atpg.exhausted with
               | Some e ->
@@ -245,3 +200,7 @@ let run_safe rng ?(protect = fun (_ : string) -> false) ?budget
         final = !current;
         checkpoint = { done_stages = stages_list; circuit = !current };
         degraded_stages }
+
+(** @deprecated Alias of {!run} (the unified entry point). *)
+let run_safe rng ?protect ?budget ?pool ?stage_steps ?stages ?resume circuit =
+  run rng ?protect ?budget ?pool ?stage_steps ?stages ?resume circuit

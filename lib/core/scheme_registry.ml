@@ -128,7 +128,7 @@ let run_sensors rng =
 
 let run_split rng =
   let c = Netlist.Generators.alu 4 in
-  let placement = Physical.Placement.place rng ~moves:6000 c in
+  let placement = (Physical.Placement.place rng ~moves:6000 c).Physical.Placement.placement in
   let split = Splitmfg.Split.split_by_length ~feol_threshold:2 placement in
   let rec0 = Splitmfg.Split.netlist_recovery_rate split in
   let lifted = Splitmfg.Split.lift_wires ~fraction:1.0 split in
@@ -260,7 +260,7 @@ let run_active_metering rng =
 
 let run_shield rng =
   let c = Netlist.Generators.alu 4 in
-  let p = Physical.Placement.place rng ~moves:3000 c in
+  let p = (Physical.Placement.place rng ~moves:3000 c).Physical.Placement.placement in
   let sh =
     Physical.Shield.build ~cols:p.Physical.Placement.cols ~rows:p.Physical.Placement.rows
       ~pitch:2 ~offset:0
@@ -271,7 +271,7 @@ let run_shield rng =
 
 let run_ir_drop rng =
   let c = Netlist.Generators.alu 4 in
-  let p = Physical.Placement.place rng ~moves:3000 c in
+  let p = (Physical.Placement.place rng ~moves:3000 c).Physical.Placement.placement in
   let `Bound b, `Worst_simulated w, `Meets_budget _, `Activity_model_sound sound =
     Physical.Ir_drop.verify rng ~vectors:10 p ~budget:10.0
   in
@@ -360,9 +360,9 @@ let run_redundancy _rng =
   let g = Netlist.Circuit.add_gate c Netlist.Gate.And [ a; b ] in
   let y = Netlist.Circuit.add_gate c Netlist.Gate.Or [ a; g ] in
   Netlist.Circuit.set_output c "y" y;
-  let `Patterns _, `Coverage before, `Untestable _ = Dft.Atpg.run c in
+  let before = (Dft.Atpg.run c).Dft.Atpg.coverage in
   let cleaned = Dft.Atpg.remove_redundancy c in
-  let `Patterns _, `Coverage after, `Untestable _ = Dft.Atpg.run cleaned in
+  let after = (Dft.Atpg.run cleaned).Dft.Atpg.coverage in
   Printf.sprintf
     "ATPG-driven redundancy removal: coverage %.0f%% -> %.0f%% (redundancy is where sloppy Trojans hide)"
     (100.0 *. before) (100.0 *. after)

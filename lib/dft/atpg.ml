@@ -66,76 +66,71 @@ type report = {
   solver_stats : Solver.stats;  (* summed over all per-fault miter queries *)
 }
 
-(** Full ATPG run: compact pattern set via greedy fault simulation — each
-    new pattern is fault-simulated against the remaining fault list before
-    generating tests for survivors. [budget] is charged one step per fault
-    processed plus one per solver conflict; on exhaustion the run stops
-    and reports partial coverage with the unprocessed fault count.
+let zero_stats =
+  { Solver.vars = 0; clauses = 0; conflicts = 0; decisions = 0; propagations = 0;
+    learnt = 0; learnt_live = 0; restarts = 0; db_reductions = 0; clauses_deleted = 0 }
 
-    Telemetry: an [atpg.run] span over the whole campaign with per-fault
-    outcome counters ([atpg.detected] for SAT-generated patterns,
-    [atpg.covered_by_simulation] for faults swept by fault-simulating a
-    fresh pattern, [atpg.untestable], [atpg.abstained]) and a final
-    [atpg.coverage] gauge; each miter query nests a [sat.solve] span. *)
-let run_report_traced ?budget circuit =
+(* Fold one per-query stats record into the campaign totals: capacity-like
+   fields (vars, clauses, live learnts) take the max, work-like fields sum. *)
+let merge_stats totals (s : Solver.stats) =
+  { Solver.vars = max totals.Solver.vars s.Solver.vars;
+    clauses = max totals.Solver.clauses s.Solver.clauses;
+    conflicts = totals.Solver.conflicts + s.Solver.conflicts;
+    decisions = totals.Solver.decisions + s.Solver.decisions;
+    propagations = totals.Solver.propagations + s.Solver.propagations;
+    learnt = totals.Solver.learnt + s.Solver.learnt;
+    learnt_live = max totals.Solver.learnt_live s.Solver.learnt_live;
+    restarts = totals.Solver.restarts + s.Solver.restarts;
+    db_reductions = totals.Solver.db_reductions + s.Solver.db_reductions;
+    clauses_deleted = totals.Solver.clauses_deleted + s.Solver.clauses_deleted }
+
+(* The greedy campaign state threaded through both execution strategies.
+   The greedy loop itself is the specification: process the head of the
+   remaining list, fault-simulate each fresh pattern against the rest,
+   drop what it covers. The pooled path below replays exactly this loop,
+   which is why its reports are bit-identical to the sequential path. *)
+type campaign = {
+  mutable patterns_rev : bool array list;
+  mutable untestable_acc : Fault.Model.fault list;
+  mutable remaining : Fault.Model.fault list;
+  mutable exhausted_by : Eda_util.Budget.exhaustion option;
+  mutable totals : Solver.stats;
+}
+
+(* Account one processed fault's outcome: telemetry counters, the greedy
+   pattern/fault-list update, and the one-step-per-fault budget charge.
+   [fault] must be the head of [st.remaining]. *)
+let apply_outcome ?budget st circuit fault outcome =
   let module T = Eda_util.Telemetry in
-  let faults = Fault.Model.all_stuck_at_faults circuit in
-  let total = List.length faults in
-  let patterns = ref [] in
-  let untestable = ref [] in
-  let remaining = ref faults in
-  let exhausted = ref None in
-  let totals =
-    ref
-      { Solver.vars = 0; clauses = 0; conflicts = 0; decisions = 0; propagations = 0;
-        learnt = 0; learnt_live = 0; restarts = 0; db_reductions = 0; clauses_deleted = 0 }
-  in
-  let on_stats (s : Solver.stats) =
-    totals :=
-      { Solver.vars = max !totals.Solver.vars s.Solver.vars;
-        clauses = max !totals.Solver.clauses s.Solver.clauses;
-        conflicts = !totals.Solver.conflicts + s.Solver.conflicts;
-        decisions = !totals.Solver.decisions + s.Solver.decisions;
-        propagations = !totals.Solver.propagations + s.Solver.propagations;
-        learnt = !totals.Solver.learnt + s.Solver.learnt;
-        learnt_live = max !totals.Solver.learnt_live s.Solver.learnt_live;
-        restarts = !totals.Solver.restarts + s.Solver.restarts;
-        db_reductions = !totals.Solver.db_reductions + s.Solver.db_reductions;
-        clauses_deleted = !totals.Solver.clauses_deleted + s.Solver.clauses_deleted }
-  in
-  while !exhausted = None && !remaining <> [] do
-    match Option.map Eda_util.Budget.status budget |> Option.join with
-    | Some e -> exhausted := Some e
-    | None ->
-      (match !remaining with
-       | [] -> ()
-       | fault :: rest ->
-         (match generate ?budget ~on_stats circuit fault with
-          | Abstained e ->
-            T.count "atpg.abstained" 1;
-            exhausted := Some e
-          | Untestable ->
-            T.count "atpg.untestable" 1;
-            untestable := fault :: !untestable;
-            remaining := rest
-          | Pattern p ->
-            patterns := p :: !patterns;
-            (* Drop every other remaining fault this pattern also detects. *)
-            let survivors =
-              List.filter (fun f -> not (Fault.Model.detects circuit ~fault:f p)) rest
-            in
-            T.count "atpg.detected" 1;
-            if T.active () then
-              T.count "atpg.covered_by_simulation"
-                (List.length rest - List.length survivors);
-            remaining := survivors);
-         Option.iter (fun b -> Eda_util.Budget.tick b) budget)
-  done;
-  let untestable_n = List.length !untestable in
-  let remaining_n = if !exhausted = None then 0 else List.length !remaining in
+  (match st.remaining with head :: _ -> assert (head == fault) | [] -> assert false);
+  let rest = match st.remaining with _ :: r -> r | [] -> [] in
+  (match outcome with
+   | Abstained e ->
+     T.count "atpg.abstained" 1;
+     st.exhausted_by <- Some e
+   | Untestable ->
+     T.count "atpg.untestable" 1;
+     st.untestable_acc <- fault :: st.untestable_acc;
+     st.remaining <- rest
+   | Pattern p ->
+     st.patterns_rev <- p :: st.patterns_rev;
+     (* Drop every other remaining fault this pattern also detects. *)
+     let survivors =
+       List.filter (fun f -> not (Fault.Model.detects circuit ~fault:f p)) rest
+     in
+     T.count "atpg.detected" 1;
+     if T.active () then
+       T.count "atpg.covered_by_simulation" (List.length rest - List.length survivors);
+     st.remaining <- survivors);
+  Option.iter (fun b -> Eda_util.Budget.tick b) budget
+
+let finish_report st ~total =
+  let module T = Eda_util.Telemetry in
+  let untestable_n = List.length st.untestable_acc in
+  let remaining_n = if st.exhausted_by = None then 0 else List.length st.remaining in
   let detected = total - untestable_n - remaining_n in
   let coverage = if total = 0 then 1.0 else Float.of_int detected /. Float.of_int total in
-  (match !exhausted with
+  (match st.exhausted_by with
    | Some e ->
      T.note "atpg.exhausted"
        ~attrs:
@@ -143,30 +138,144 @@ let run_report_traced ?budget circuit =
            ("faults_remaining", T.Int remaining_n) ]
    | None -> ());
   T.gauge "atpg.coverage" coverage;
-  { patterns = List.rev !patterns;
+  { patterns = List.rev st.patterns_rev;
     coverage;
-    untestable = !untestable;
+    untestable = st.untestable_acc;
     faults_total = total;
     faults_remaining = remaining_n;
-    exhausted = !exhausted;
-    solver_stats = !totals }
+    exhausted = st.exhausted_by;
+    solver_stats = st.totals }
 
-let run_report ?budget circuit =
+let fresh_campaign faults =
+  { patterns_rev = [];
+    untestable_acc = [];
+    remaining = faults;
+    exhausted_by = None;
+    totals = zero_stats }
+
+let budget_status budget = Option.map Eda_util.Budget.status budget |> Option.join
+
+(* Sequential strategy: the reference greedy loop. *)
+let run_seq ?budget circuit =
+  let faults = Fault.Model.all_stuck_at_faults circuit in
+  let total = List.length faults in
+  let st = fresh_campaign faults in
+  let on_stats s = st.totals <- merge_stats st.totals s in
+  while st.exhausted_by = None && st.remaining <> [] do
+    match budget_status budget with
+    | Some e -> st.exhausted_by <- Some e
+    | None ->
+      (match st.remaining with
+       | [] -> ()
+       | fault :: _ ->
+         apply_outcome ?budget st circuit fault (generate ?budget ~on_stats circuit fault))
+  done;
+  finish_report st ~total
+
+(* Pooled strategy: speculate SAT queries for a chunk of upcoming faults
+   in parallel, then replay the greedy loop over the precomputed
+   outcomes. [generate] is a pure function of (circuit, fault), so
+   replaying in list order makes the report bit-identical to [run_seq]
+   no matter how many domains ran the chunk; speculation only wastes the
+   queries for faults a fresh pattern covers first (bounded per chunk).
+   Solver work performed on worker domains is charged to the main budget
+   during replay, so accounting stays on the calling domain. *)
+let run_pooled ~pool ?budget circuit =
+  let module B = Eda_util.Budget in
+  let module P = Eda_util.Pool in
+  let faults = Fault.Model.all_stuck_at_faults circuit in
+  let total = List.length faults in
+  let st = fresh_campaign faults in
+  let chunk_len = max 2 (2 * P.size pool) in
+  let take n lst =
+    let rec go acc n = function
+      | x :: rest when n > 0 -> go (x :: acc) (n - 1) rest
+      | _ -> List.rev acc
+    in
+    Array.of_list (go [] n lst)
+  in
+  while st.exhausted_by = None && st.remaining <> [] do
+    match budget_status budget with
+    | Some e -> st.exhausted_by <- Some e
+    | None ->
+      let chunk = take chunk_len st.remaining in
+      let step_cap = Option.bind budget B.remaining_steps in
+      let results =
+        P.parallel_map ?budget ~label:"atpg" pool chunk ~f:(fun ctx fault ->
+            let acc = ref [] in
+            let tb = ctx.P.task_budget ?steps:step_cap () in
+            let outcome =
+              generate ~budget:tb ~on_stats:(fun s -> acc := s :: !acc) circuit fault
+            in
+            (outcome, List.rev !acc))
+      in
+      let i = ref 0 in
+      while st.exhausted_by = None && !i < Array.length chunk do
+        let fault = chunk.(!i) in
+        (* a pattern from an earlier chunk member may have covered this
+           fault already — then its speculative query is simply unused *)
+        (if List.memq fault st.remaining then
+           match budget_status budget with
+           | Some e -> st.exhausted_by <- Some e
+           | None ->
+             (match results.(!i) with
+              | None ->
+                (* task skipped: the batch was stopped under us *)
+                st.exhausted_by <-
+                  Some (match budget_status budget with Some e -> e | None -> B.Cancelled)
+              | Some (outcome, per_query) ->
+                List.iter
+                  (fun s ->
+                    st.totals <- merge_stats st.totals s;
+                    (* the conflicts a sequential run would have ticked
+                       from inside the solver *)
+                    Option.iter (fun b -> B.tick ~cost:s.Solver.conflicts b) budget)
+                  per_query;
+                apply_outcome ?budget st circuit fault outcome));
+        incr i
+      done
+  done;
+  finish_report st ~total
+
+(** Full ATPG run: compact pattern set via greedy fault simulation — each
+    new pattern is fault-simulated against the remaining fault list
+    before generating tests for survivors. [budget] is charged one step
+    per fault processed plus one per solver conflict; on exhaustion the
+    run stops and reports honest partial coverage with the unprocessed
+    fault count. [pool] parallelizes the per-fault SAT queries
+    (speculative chunks, sequential replay); an unbounded pooled run
+    reports bit-identically to the sequential path at any domain count,
+    while a budget-truncated pooled run may stop within a chunk of where
+    the sequential run would.
+
+    Telemetry: an [atpg.run] span over the whole campaign with per-fault
+    outcome counters ([atpg.detected] for SAT-generated patterns,
+    [atpg.covered_by_simulation] for faults swept by fault-simulating a
+    fresh pattern, [atpg.untestable], [atpg.abstained]) and a final
+    [atpg.coverage] gauge; each caller-domain miter query nests a
+    [sat.solve] span, and pooled chunks add [pool.batch] spans. *)
+let run ?budget ?pool circuit =
   let module T = Eda_util.Telemetry in
+  let domains = match pool with Some p -> Eda_util.Pool.size p | None -> 1 in
   T.with_span "atpg.run"
-    ~attrs:[ ("nodes", T.Int (Circuit.node_count circuit)) ]
-    (fun () -> run_report_traced ?budget circuit)
+    ~attrs:[ ("nodes", T.Int (Circuit.node_count circuit)); ("domains", T.Int domains) ]
+    (fun () ->
+      match pool with
+      | Some p when Eda_util.Pool.size p > 1 -> run_pooled ~pool:p ?budget circuit
+      | _ -> run_seq ?budget circuit)
 
 (** Checked entry point: lint first, structured errors out. *)
-let run_checked ?budget circuit =
+let run_checked ?budget ?pool circuit =
   let open Eda_util.Eda_error in
   let* _ = Netlist.Lint.validate circuit in
-  guard ~engine:"atpg" (fun () -> run_report ?budget circuit)
+  guard ~engine:"atpg" (fun () -> run ?budget ?pool circuit)
 
-(** Classic interface retained for callers that assume an unbounded run. *)
-let run ?budget circuit =
-  let r = run_report ?budget circuit in
-  `Patterns r.patterns, `Coverage r.coverage, `Untestable r.untestable
+(** @deprecated Alias of {!run} (the unified entry point). *)
+let run_report ?budget circuit = run ?budget circuit
+
+(** @deprecated [run] minus the campaign span; alias kept for callers
+    that managed their own span. *)
+let run_report_traced ?budget circuit = run_seq ?budget circuit
 
 (** Redundancy removal — the classic synthesis-for-test connection: a node
     whose stuck-at-v fault is untestable can be replaced by the constant v

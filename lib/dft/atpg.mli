@@ -1,0 +1,66 @@
+(** SAT-based automatic test pattern generation for single stuck-at
+    faults on combinational circuits: for each fault, a miter between the
+    clean circuit and a faulty copy either yields a detecting pattern or
+    proves the fault untestable (redundant logic).
+
+    One entry point, optional capabilities — the repo-wide convention:
+    {!run} always works; pass [?budget] to bound it, [?pool] to
+    parallelize it, install a {!Eda_util.Telemetry} sink to observe it.
+    An unbounded pooled run reports bit-identically to the sequential
+    path at any domain count (speculative per-fault SAT queries, greedy
+    replay in fault order). *)
+
+type pattern_result =
+  | Pattern of bool array  (** input assignment that detects the fault *)
+  | Untestable  (** proven redundant: no pattern exists *)
+  | Abstained of Eda_util.Budget.exhaustion  (** budget ran out mid-proof *)
+
+(** Generate a test for one stuck-at fault, optionally bounded.
+    @raise Invalid_argument on transient (non-stuck-at) faults. *)
+val generate :
+  ?budget:Eda_util.Budget.t ->
+  ?on_stats:(Sat.Solver.stats -> unit) ->
+  Netlist.Circuit.t ->
+  Fault.Model.fault ->
+  pattern_result
+
+(** Outcome of a (possibly bounded) ATPG run. Coverage counts only faults
+    with a generated detecting pattern — on exhaustion it is the honest
+    partial number, never an extrapolation. *)
+type report = {
+  patterns : bool array list;
+  coverage : float;  (** detected faults / total faults *)
+  untestable : Fault.Model.fault list;
+  faults_total : int;
+  faults_remaining : int;  (** unprocessed because the budget ran out *)
+  exhausted : Eda_util.Budget.exhaustion option;
+  solver_stats : Sat.Solver.stats;  (** totals over all per-fault miter queries *)
+}
+
+(** Full ATPG campaign: greedy pattern compaction (each fresh pattern is
+    fault-simulated against the remaining faults), one budget step per
+    fault plus one per solver conflict, parallel per-fault SAT queries
+    when a pool is supplied. Emits an [atpg.run] span with outcome
+    counters and a coverage gauge when telemetry is installed. *)
+val run : ?budget:Eda_util.Budget.t -> ?pool:Eda_util.Pool.t -> Netlist.Circuit.t -> report
+
+(** {!run} behind a netlist lint and an exception guard, for untrusted
+    inputs. *)
+val run_checked :
+  ?budget:Eda_util.Budget.t ->
+  ?pool:Eda_util.Pool.t ->
+  Netlist.Circuit.t ->
+  (report, Eda_util.Eda_error.t) result
+
+(** @deprecated Alias of {!run}. *)
+val run_report : ?budget:Eda_util.Budget.t -> Netlist.Circuit.t -> report
+
+(** @deprecated Sequential {!run} without the campaign span, for callers
+    that managed their own. *)
+val run_report_traced : ?budget:Eda_util.Budget.t -> Netlist.Circuit.t -> report
+
+(** Redundancy removal: iteratively replace nodes whose stuck-at faults
+    are untestable by the stuck constant and re-simplify — the classic
+    synthesis-for-test connection (redundant logic hides watermarks and
+    Trojans, and caps fault coverage). *)
+val remove_redundancy : Netlist.Circuit.t -> Netlist.Circuit.t

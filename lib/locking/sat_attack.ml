@@ -5,7 +5,11 @@
     independent keys form a miter; each SAT solution is a distinguishing
     input pattern (DIP) whose oracle response prunes all keys disagreeing
     on it. When no DIP remains, any key consistent with the recorded I/O
-    pairs is functionally correct. *)
+    pairs is functionally correct.
+
+    With a [?pool], the attack runs as a solver portfolio: phase-seeded
+    copies of the miter race each DIP query and the first decisive answer
+    wins ({!Eda_util.Pool.race}). *)
 
 module Circuit = Netlist.Circuit
 module Solver = Sat.Solver
@@ -41,22 +45,21 @@ let describe_status = function
   | Iteration_limit -> "iteration limit reached"
   | Budget_exhausted e -> Budget.describe_exhaustion e
 
-(** Run the attack. [oracle data] must return the correct outputs for the
-    data inputs (the activated chip).
+(** One attack state: a solver holding the two-copy miter encoding of the
+    locked circuit. The sequential attack owns one; the portfolio owns
+    one per member and keeps their formulas in lockstep through
+    [add_io]. *)
+type instance = {
+  solver : Solver.t;
+  keys : int array;  (* key variables of circuit copy A *)
+  data : int array;  (* shared data-input variables (copy A side) *)
+  miter_on : Solver.lit;  (* assumption literal activating the miter *)
+  add_io : bool array -> bool array -> unit;
+      (* record a DIP/response pair: both key copies must reproduce the
+         oracle response on this DIP, enforced on fresh circuit copies *)
+}
 
-    [budget] bounds the whole attack (one step per solver conflict);
-    [iteration_steps] additionally caps each individual DIP query, so one
-    pathological miter cannot consume the entire allowance. On exhaustion
-    the attack stops honestly: [status] records the reason, [iterations]
-    how many DIPs completed, and [key] carries a best-effort key consistent
-    with the I/O pairs recorded so far (extracted under a small grace
-    budget), which is exactly the partial progress a real attacker keeps.
-
-    Telemetry: one [sat_attack.run] span for the whole attack, one
-    [sat_attack.dip] span per DIP query (the nested [sat.solve] spans
-    carry the solver counters), a [sat_attack.dips] counter, and a final
-    [sat_attack.status] note. *)
-let run_traced ?(max_iterations = 256) ?budget ?iteration_steps ~oracle (locked : Lock.locked) =
+let make_instance (locked : Lock.locked) =
   let c = locked.Lock.circuit in
   let solver = Solver.create () in
   let env_a = Cnf.encode ~solver c in
@@ -73,18 +76,40 @@ let run_traced ?(max_iterations = 256) ?budget ?iteration_steps ~oracle (locked 
       (Array.mapi (fun k oa -> Cnf.xor_var solver oa (out_vars env_b).(k)) (out_vars env_a))
   in
   let any_diff = Cnf.or_var solver diffs in
-  let miter_on = Solver.lit_of_var any_diff ~sign:true in
-  (* Record an I/O constraint: both key copies must reproduce the oracle
-     response on this DIP, enforced on fresh circuit copies. *)
-  let add_io_constraint dip response =
+  let keys_a = key_vars env_a and keys_b = key_vars env_b in
+  let add_io dip response =
     List.iter
       (fun env_keys ->
         let env_f = Cnf.encode ~solver c in
         Array.iteri (fun k v -> fix solver v dip.(k)) (data_vars env_f);
         Array.iteri (fun k v -> fix solver v response.(k)) (out_vars env_f);
         Array.iteri (fun k v -> tie_equal solver v env_keys.(k)) (key_vars env_f))
-      [ key_vars env_a; key_vars env_b ]
+      [ keys_a; keys_b ]
   in
+  { solver;
+    keys = keys_a;
+    data = data_vars env_a;
+    miter_on = Solver.lit_of_var any_diff ~sign:true;
+    add_io }
+
+(** Run the attack. [oracle data] must return the correct outputs for the
+    data inputs (the activated chip).
+
+    [budget] bounds the whole attack (one step per solver conflict);
+    [iteration_steps] additionally caps each individual DIP query, so one
+    pathological miter cannot consume the entire allowance. On exhaustion
+    the attack stops honestly: [status] records the reason, [iterations]
+    how many DIPs completed, and [key] carries a best-effort key consistent
+    with the I/O pairs recorded so far (extracted under a small grace
+    budget), which is exactly the partial progress a real attacker keeps.
+
+    Telemetry: one [sat_attack.run] span for the whole attack, one
+    [sat_attack.dip] span per DIP query (the nested [sat.solve] spans
+    carry the solver counters), a [sat_attack.dips] counter, and a final
+    [sat_attack.status] note. *)
+let run_traced ?(max_iterations = 256) ?budget ?iteration_steps ~oracle (locked : Lock.locked) =
+  let inst = make_instance locked in
+  let solver = inst.solver in
   let solve_bounded ?(assumptions = []) () =
     match budget, iteration_steps with
     | None, None -> Solver.solve ~assumptions solver
@@ -96,8 +121,7 @@ let run_traced ?(max_iterations = 256) ?budget ?iteration_steps ~oracle (locked 
      budget still yields partial progress rather than nothing. *)
   let best_effort_key () =
     match Solver.solve ~budget:(Budget.create ~steps:4096 ()) solver with
-    | Solver.Sat ->
-      Some (Array.map (fun v -> Solver.model_value solver v) (key_vars env_a))
+    | Solver.Sat -> Some (Array.map (fun v -> Solver.model_value solver v) inst.keys)
     | Solver.Unsat | Solver.Unknown _ -> None
   in
   let finish ?key iterations status =
@@ -119,12 +143,12 @@ let run_traced ?(max_iterations = 256) ?budget ?iteration_steps ~oracle (locked 
       match
         Telemetry.with_span "sat_attack.dip"
           ~attrs:[ ("iteration", Telemetry.Int iterations) ]
-          (fun () -> solve_bounded ~assumptions:[ miter_on ] ())
+          (fun () -> solve_bounded ~assumptions:[ inst.miter_on ] ())
       with
       | Solver.Sat ->
-        let dip = Array.map (fun v -> Solver.model_value solver v) (data_vars env_a) in
+        let dip = Array.map (fun v -> Solver.model_value solver v) inst.data in
         let response = oracle dip in
-        add_io_constraint dip response;
+        inst.add_io dip response;
         Telemetry.count "sat_attack.dips" 1;
         if Telemetry.active () then
           Telemetry.gauge "sat_attack.learnt_db"
@@ -136,7 +160,7 @@ let run_traced ?(max_iterations = 256) ?budget ?iteration_steps ~oracle (locked 
         (* No distinguishing input remains: extract any consistent key. *)
         (match solve_bounded () with
          | Solver.Sat ->
-           let key = Array.map (fun v -> Solver.model_value solver v) (key_vars env_a) in
+           let key = Array.map (fun v -> Solver.model_value solver v) inst.keys in
            finish ~key iterations Converged
          | Solver.Unknown reason ->
            finish ?key:(best_effort_key ()) iterations (Budget_exhausted reason)
@@ -147,20 +171,184 @@ let run_traced ?(max_iterations = 256) ?budget ?iteration_steps ~oracle (locked 
   in
   try loop 0 with Solver.Unsat_root -> finish 0 Converged
 
-let run ?max_iterations ?budget ?iteration_steps ~oracle (locked : Lock.locked) =
+(** Portfolio attack: [members] phase-seeded copies of the miter race each
+    DIP query on [pool]; the first decisive answer (a DIP, or the Unsat
+    that proves none remains) wins and losers are cancelled through their
+    polling task budgets. The winning DIP's oracle response is appended to
+    every member in the same order on the calling domain, so all formulas
+    stay logically identical — an Unsat from any member is therefore a
+    global proof. Which member wins a close race is timing-dependent, so
+    the DIP *sequence* (and the iteration count) may differ from the
+    sequential attack; the convergence guarantee does not: a [Converged]
+    key is provably correct regardless of the race order.
+
+    The main [budget] is charged on the caller after each race by the
+    members' conflict deltas — the total work actually spent, parallel or
+    not. Solver stats in the result aggregate all members (sizes from
+    member 0, work counters summed). *)
+let run_portfolio ~pool ~members ?(max_iterations = 256) ?budget ?iteration_steps ~oracle
+    (locked : Lock.locked) =
+  let module P = Eda_util.Pool in
+  (* Member 0 is the stock solver; the rest differ only in their seeded
+     saved phases — the classic cheap portfolio diversification. *)
+  let instances =
+    Array.init members (fun i ->
+        let inst = make_instance locked in
+        if i > 0 then Solver.randomize_phases inst.solver (0x5eda + i);
+        inst)
+  in
+  (* Conflicts accumulate on worker domains; the main budget is charged
+     here on the caller, by delta, after each race joins. [charged] is
+     the per-member conflict count already accounted for. *)
+  let charged = Array.make members 0 in
+  let charge () =
+    match budget with
+    | None -> ()
+    | Some b ->
+      Array.iteri
+        (fun i inst ->
+          let c = (Solver.stats inst.solver).Solver.conflicts in
+          if c > charged.(i) then begin
+            Budget.tick ~cost:(c - charged.(i)) b;
+            charged.(i) <- c
+          end)
+        instances
+  in
+  let aggregate_stats () =
+    Array.fold_left
+      (fun acc inst ->
+        let s = Solver.stats inst.solver in
+        { acc with
+          Solver.conflicts = acc.Solver.conflicts + s.Solver.conflicts;
+          decisions = acc.Solver.decisions + s.Solver.decisions;
+          propagations = acc.Solver.propagations + s.Solver.propagations;
+          learnt = acc.Solver.learnt + s.Solver.learnt;
+          learnt_live = acc.Solver.learnt_live + s.Solver.learnt_live;
+          restarts = acc.Solver.restarts + s.Solver.restarts;
+          db_reductions = acc.Solver.db_reductions + s.Solver.db_reductions;
+          clauses_deleted = acc.Solver.clauses_deleted + s.Solver.clauses_deleted })
+      (Solver.stats instances.(0).solver)
+      (Array.sub instances 1 (members - 1))
+  in
+  let best_effort_key () =
+    let inst = instances.(0) in
+    match Solver.solve ~budget:(Budget.create ~steps:4096 ()) inst.solver with
+    | Solver.Sat -> Some (Array.map (fun v -> Solver.model_value inst.solver v) inst.keys)
+    | Solver.Unsat | Solver.Unknown _ -> None
+  in
+  let finish ?key iterations status =
+    let stats = aggregate_stats () in
+    Telemetry.note "sat_attack.status"
+      ~attrs:
+        [ ("status", Telemetry.Str (describe_status status));
+          ("iterations", Telemetry.Int iterations);
+          ("key_recovered", Telemetry.Bool (key <> None));
+          ("members", Telemetry.Int members);
+          ("learnt_live", Telemetry.Int stats.Solver.learnt_live);
+          ("db_reductions", Telemetry.Int stats.Solver.db_reductions) ];
+    { key; iterations; solver_stats = stats; status }
+  in
+  (* Cap each member's DIP query by the per-iteration allowance and by
+     whatever remains of the main budget (speculative: every member gets
+     the full remainder; the charge-by-delta above keeps the accounting
+     exact). *)
+  let step_cap () =
+    match iteration_steps, Option.bind budget Budget.remaining_steps with
+    | Some a, Some b -> Some (min a b)
+    | (Some _ as cap), None -> cap
+    | None, cap -> cap
+  in
+  let member_ids = Array.init members (fun i -> i) in
+  let race_dip iterations =
+    Telemetry.with_span "sat_attack.dip"
+      ~attrs:
+        [ ("iteration", Telemetry.Int iterations); ("members", Telemetry.Int members) ]
+    @@ fun () ->
+    let steps = step_cap () in
+    let won =
+      P.race ?budget ~label:"sat_attack" pool member_ids ~f:(fun ctx i ->
+          let inst = instances.(i) in
+          let tb = ctx.P.task_budget ?steps () in
+          match Solver.solve ~budget:tb ~assumptions:[ inst.miter_on ] inst.solver with
+          | Solver.Sat ->
+            (* Extract the DIP here, while still on the solving domain. *)
+            Some (`Dip (Array.map (fun v -> Solver.model_value inst.solver v) inst.data))
+          | Solver.Unsat -> Some `No_dip
+          | Solver.Unknown _ -> None)
+    in
+    charge ();
+    won
+  in
+  let rec loop iterations =
+    if iterations >= max_iterations then finish iterations Iteration_limit
+    else begin
+      match race_dip iterations with
+      | Some (_, `Dip dip) ->
+        let response = oracle dip in
+        (* Same member order every iteration: formulas stay in lockstep. *)
+        Array.iter (fun inst -> inst.add_io dip response) instances;
+        Telemetry.count "sat_attack.dips" 1;
+        loop (iterations + 1)
+      | Some (_, `No_dip) ->
+        (* One member proved no DIP remains; the proof covers all of them.
+           Extract any consistent key (member 0, caller domain; this
+           solve charges the main budget directly through [Budget.sub],
+           not through [charge]). *)
+        let inst = instances.(0) in
+        let solve_extract () =
+          match budget, iteration_steps with
+          | None, None -> Solver.solve inst.solver
+          | Some b, steps -> Solver.solve ~budget:(Budget.sub ?steps b) inst.solver
+          | None, Some steps -> Solver.solve ~budget:(Budget.create ~steps ()) inst.solver
+        in
+        (match solve_extract () with
+         | Solver.Sat ->
+           let key = Array.map (fun v -> Solver.model_value inst.solver v) inst.keys in
+           finish ~key iterations Converged
+         | Solver.Unknown reason ->
+           finish ?key:(best_effort_key ()) iterations (Budget_exhausted reason)
+         | Solver.Unsat -> finish iterations Converged)
+      | None ->
+        (* Every member came back Unknown: the allowance ran out. *)
+        let reason =
+          match Option.bind budget Budget.status with
+          | Some e -> e
+          | None -> Budget.Out_of_steps  (* per-iteration caps consumed *)
+        in
+        finish ?key:(best_effort_key ()) iterations (Budget_exhausted reason)
+    end
+  in
+  try loop 0 with Solver.Unsat_root -> finish 0 Converged
+
+(* Portfolio width cap: phase diversification stops paying for itself
+   quickly, and each member is a full miter encoding. *)
+let max_members = 4
+
+let run ?max_iterations ?budget ?iteration_steps ?pool ~oracle (locked : Lock.locked) =
+  let members =
+    match pool with
+    | Some p -> min (Eda_util.Pool.size p) max_members
+    | None -> 1
+  in
   Telemetry.with_span "sat_attack.run"
     ~attrs:
       [ ("key_bits", Telemetry.Int (Array.length locked.Lock.key_inputs));
-        ("data_bits", Telemetry.Int (Array.length locked.Lock.data_inputs)) ]
-    (fun () -> run_traced ?max_iterations ?budget ?iteration_steps ~oracle locked)
+        ("data_bits", Telemetry.Int (Array.length locked.Lock.data_inputs));
+        ("members", Telemetry.Int members) ]
+    (fun () ->
+      match pool with
+      | Some p when members > 1 ->
+        run_portfolio ~pool:p ~members ?max_iterations ?budget ?iteration_steps ~oracle
+          locked
+      | _ -> run_traced ?max_iterations ?budget ?iteration_steps ~oracle locked)
 
 (** Checked entry point: lint the locked netlist, then run with internal
     failures converted to structured errors. *)
-let run_checked ?max_iterations ?budget ?iteration_steps ~oracle locked =
+let run_checked ?max_iterations ?budget ?iteration_steps ?pool ~oracle locked =
   let open Eda_util.Eda_error in
   let* _ = Netlist.Lint.validate locked.Lock.circuit in
   guard ~engine:"sat-attack" (fun () ->
-      run ?max_iterations ?budget ?iteration_steps ~oracle locked)
+      run ?max_iterations ?budget ?iteration_steps ?pool ~oracle locked)
 
 (** Convenience oracle from the original (unlocked) circuit. *)
 let oracle_of_circuit original data = Netlist.Sim.eval original data

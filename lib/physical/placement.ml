@@ -116,17 +116,109 @@ let anneal_budgeted rng ?(moves = 20_000) ?budget ?(t_start = 8.0) ?(t_end = 0.0
   T.gauge "placement.final_temperature" !temp;
   { placement with position = pos }, !performed
 
-let anneal rng ?moves ?budget ?t_start ?t_end placement =
-  fst (anneal_budgeted rng ?moves ?budget ?t_start ?t_end placement)
-
-(** Full placement flow; returns the placement and moves performed (fewer
-    than requested when the budget ran out). *)
-let place_budgeted rng ?moves ?budget circuit =
-  anneal_budgeted rng ?moves ?budget (initial rng circuit)
-
-let place rng ?moves ?budget circuit = anneal rng ?moves ?budget (initial rng circuit)
-
 let wirelength placement = total_hpwl placement.position (nets placement.circuit)
+
+(** Result of the unified placement entry point. *)
+type outcome = {
+  placement : t;
+  moves_performed : int;  (* the winning start's count; fewer than requested on exhaustion *)
+  starts : int;
+  best_start : int;  (* index of the winning start (0 when [starts = 1]) *)
+}
+
+(** Full placement flow, one entry point: random initial placement plus
+    annealing, optionally [?budget]-bounded, optionally best-of-[starts]
+    multi-start (each start anneals an independent {!Rng.split} stream;
+    the lowest-wirelength result wins, ties to the lowest start index),
+    optionally parallel across starts via [?pool]. The selection is an
+    ordered reduction over start indices, so an unbudgeted multi-start
+    result is identical at any domain count; with [starts = 1] (the
+    default) the result is bit-identical to the classic sequential
+    placer. Under a step budget, sequential starts share the budget
+    serially while pooled starts each receive the remaining allowance
+    speculatively (the caller's budget is charged for all performed
+    moves after the join) — coverage differs at the margin, validity
+    never. *)
+let place ?(starts = 1) ?moves ?budget ?pool rng circuit =
+  let module T = Eda_util.Telemetry in
+  let module P = Eda_util.Pool in
+  if starts < 1 then invalid_arg "Placement.place: starts must be >= 1";
+  let domains = match pool with Some p -> P.size p | None -> 1 in
+  T.with_span "placement.place"
+    ~attrs:
+      [ ("nodes", T.Int (Circuit.node_count circuit));
+        ("starts", T.Int starts);
+        ("domains", T.Int domains) ]
+  @@ fun () ->
+  if starts = 1 then begin
+    let placement, performed = anneal_budgeted rng ?moves ?budget (initial rng circuit) in
+    { placement; moves_performed = performed; starts = 1; best_start = 0 }
+  end
+  else begin
+    let streams = Rng.split rng starts in
+    let run_start ?budget i =
+      let r = streams.(i) in
+      let placement, performed = anneal_budgeted r ?moves ?budget (initial r circuit) in
+      (placement, performed, wirelength placement)
+    in
+    let candidates =
+      match pool with
+      | Some p when P.size p > 1 ->
+        let step_cap = Option.bind budget Eda_util.Budget.remaining_steps in
+        let results =
+          P.parallel_map ?budget ~label:"placement" p
+            (Array.init starts (fun i -> i))
+            ~f:(fun ctx i ->
+              let tb =
+                match budget with
+                | None -> None
+                | Some _ -> Some (ctx.P.task_budget ?steps:step_cap ())
+              in
+              run_start ?budget:tb i)
+        in
+        (* moves performed on worker domains, charged here on the caller *)
+        Option.iter
+          (fun b ->
+            Array.iter
+              (function
+                | Some (_, performed, _) -> Eda_util.Budget.tick ~cost:performed b
+                | None -> ())
+              results)
+          budget;
+        results
+      | _ -> Array.init starts (fun i -> Some (run_start ?budget i))
+    in
+    let best = ref None in
+    let completed = ref 0 in
+    Array.iteri
+      (fun i candidate ->
+        match candidate with
+        | None -> ()
+        | Some (placement, performed, wl) ->
+          incr completed;
+          (match !best with
+           | Some (_, _, _, best_wl) when best_wl <= wl -> ()
+           | _ -> best := Some (i, placement, performed, wl)))
+      candidates;
+    T.count "placement.starts_completed" !completed;
+    match !best with
+    | Some (i, placement, performed, wl) ->
+      T.gauge "placement.best_wirelength" (float_of_int wl);
+      { placement; moves_performed = performed; starts; best_start = i }
+    | None ->
+      (* budget exhausted before any start ran: fall back to stream 0's
+         unrefined initial placement — anytime semantics, never a failure *)
+      { placement = initial streams.(0) circuit;
+        moves_performed = 0;
+        starts;
+        best_start = 0 }
+  end
+
+(** @deprecated Alias of {!place} restricted to one start; returns the
+    classic (placement, moves) pair. *)
+let place_budgeted rng ?moves ?budget circuit =
+  let o = place ?moves ?budget rng circuit in
+  (o.placement, o.moves_performed)
 
 let distance placement a b =
   let xa, ya = placement.position.(a) and xb, yb = placement.position.(b) in

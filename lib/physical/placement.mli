@@ -1,0 +1,66 @@
+(** Grid placement by simulated annealing on half-perimeter wirelength
+    (HPWL) — the physical-synthesis substrate (Fig. 1's place-and-route
+    stage). Proximity is the attack surface of split manufacturing: a
+    PPA-optimal placer puts connected cells next to each other, which is
+    precisely the hint [52]-style attackers exploit.
+
+    One entry point, optional capabilities: {!place} always works; pass
+    [?budget] to bound it (annealing is anytime — early stops degrade
+    quality, not validity), [?starts]/[?pool] for best-of-N multi-start,
+    telemetry is ambient. *)
+
+(** A placement: geometry over the circuit's nodes. The record is
+    transparent — IR-drop analysis, shielding and split-manufacturing
+    attacks read the grid directly. *)
+type t = {
+  circuit : Netlist.Circuit.t;
+  cols : int;
+  rows : int;
+  position : (int * int) array;  (** per node: (col, row) *)
+}
+
+(** Result of {!place}. *)
+type outcome = {
+  placement : t;
+  moves_performed : int;
+      (** the winning start's annealing moves; fewer than requested when
+          the budget ran out *)
+  starts : int;
+  best_start : int;  (** index of the winning start (0 when [starts = 1]) *)
+}
+
+(** [place ?starts ?moves ?budget ?pool rng circuit] — random initial
+    placement refined by simulated annealing. With [starts > 1], each
+    start anneals an independent {!Eda_util.Rng.split} stream and the
+    lowest-wirelength result wins (ties to the lowest index) — an ordered
+    reduction, so unbudgeted results are identical at any domain count.
+    [starts] defaults to 1, which is bit-identical to the classic
+    sequential placer. *)
+val place :
+  ?starts:int ->
+  ?moves:int ->
+  ?budget:Eda_util.Budget.t ->
+  ?pool:Eda_util.Pool.t ->
+  Eda_util.Rng.t ->
+  Netlist.Circuit.t ->
+  outcome
+
+(** @deprecated Alias of {!place} with one start, returning the classic
+    (placement, moves performed) pair. *)
+val place_budgeted :
+  Eda_util.Rng.t ->
+  ?moves:int ->
+  ?budget:Eda_util.Budget.t ->
+  Netlist.Circuit.t ->
+  t * int
+
+(** Total half-perimeter wirelength of the placement. *)
+val wirelength : t -> int
+
+(** Manhattan distance between two placed nodes. *)
+val distance : t -> int -> int -> int
+
+(** Placement perturbation defense [54]: re-place with a privacy term
+    penalizing proximity of connected cells, trading wirelength for
+    resistance against proximity attacks. [lambda] weighs the penalty. *)
+val perturb : Eda_util.Rng.t -> lambda:float -> ?moves:int -> t -> t

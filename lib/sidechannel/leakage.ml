@@ -62,6 +62,27 @@ let tvla_campaign rng masked ~traces_per_class ~noise_sigma =
   in
   Tvla.campaign ~traces_per_class ~collect
 
+(** Seeded/parallel variant of {!tvla_campaign}: every trace draws its
+    randomness from the per-pair stream handed in by
+    {!Tvla.campaign_seeded}, so the assessment is a function of [rng]
+    alone — bit-identical with no pool and with a pool of any domain
+    count. The scratch buffer is allocated per trace (streams may be
+    consumed on different domains concurrently, so a shared buffer would
+    race); the sequential {!tvla_campaign} keeps its allocation-free
+    loop. *)
+let tvla_campaign_seeded ?pool rng masked ~traces_per_class ~noise_sigma =
+  let nodes = Circuit.node_count masked.Isw.circuit in
+  let collect stream cls =
+    let a, b =
+      match cls with
+      | `Fixed -> true, true
+      | `Random -> Rng.bool stream, Rng.bool stream
+    in
+    let scratch = Array.make nodes false in
+    [| hw_sample stream ~scratch masked ~noise_sigma ~a ~b |]
+  in
+  Tvla.campaign_seeded ?pool rng ~traces_per_class ~collect
+
 (** Glitch-aware variant: traces from the delay-annotated event simulation,
     with inputs switching from an all-zero reference state.
     [mask_skew_ps > 0] delays the arrival of the masking randomness inputs

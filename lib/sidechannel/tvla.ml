@@ -119,6 +119,97 @@ let campaign ~traces_per_class ~collect =
   T.gauge "tvla.max_abs_t" result.max_abs_t;
   result
 
+(* Pairs per batch of the seeded campaign. Fixed (not derived from the
+   pool size) so the batch boundaries — and with them the moment-merge
+   order — are identical at any domain count. *)
+let batch_pairs = 32
+
+(** Seeded, batchable fixed-vs-random campaign, the parallel counterpart
+    of {!campaign}: [collect stream cls] must produce one trace for class
+    [cls] drawing randomness only from [stream]. Pair [i] (one fixed then
+    one random trace, interleaved as TVLA prescribes) uses stream [i] of
+    [Rng.split rng traces_per_class]; traces accumulate into per-sample
+    Welford moments per fixed-size batch, and batches merge in index
+    order (Chan's formula). Both the trace values and the floating-point
+    reduction tree are therefore functions of [rng] alone: the result is
+    bit-identical with no pool, and with a pool of any domain count.
+    Streaming moments also mean memory stays O(samples), not O(traces).
+
+    Telemetry: a [tvla.campaign] span (attrs [seeded], [domains])
+    counting [tvla.traces] and gauging the final [tvla.max_abs_t].
+    @raise Invalid_argument on a non-positive trace count or unequal
+    trace lengths. *)
+let campaign_seeded ?pool rng ~traces_per_class ~collect =
+  if traces_per_class <= 0 then
+    invalid_arg "Tvla.campaign_seeded: traces_per_class must be positive";
+  let module P = Eda_util.Pool in
+  let domains = match pool with Some p -> P.size p | None -> 1 in
+  T.with_span "tvla.campaign"
+    ~attrs:
+      [ ("traces_per_class", T.Int traces_per_class);
+        ("seeded", T.Bool true);
+        ("domains", T.Int domains) ]
+  @@ fun () ->
+  let streams = Eda_util.Rng.split rng traces_per_class in
+  let nbatches = (traces_per_class + batch_pairs - 1) / batch_pairs in
+  let run_batch b =
+    let lo = b * batch_pairs in
+    let hi = min traces_per_class (lo + batch_pairs) in
+    let fixed_m = ref [||] and random_m = ref [||] in
+    let accumulate ms tr =
+      if Array.length !ms = 0 then
+        ms := Array.init (Array.length tr) (fun _ -> Stats.moments_create ());
+      if Array.length tr <> Array.length !ms then
+        invalid_arg "Tvla.campaign_seeded: traces must have equal length";
+      Array.iteri (fun k m -> Stats.moments_add m tr.(k)) !ms
+    in
+    for i = lo to hi - 1 do
+      let stream = streams.(i) in
+      accumulate fixed_m (collect stream `Fixed);
+      accumulate random_m (collect stream `Random)
+    done;
+    (!fixed_m, !random_m)
+  in
+  let batch_ids = Array.init nbatches (fun b -> b) in
+  let batches =
+    match pool with
+    | Some p when P.size p > 1 ->
+      P.parallel_map ~label:"tvla" p batch_ids ~f:(fun _ctx b -> run_batch b)
+    | _ -> Array.map (fun b -> Some (run_batch b)) batch_ids
+  in
+  let merged = ref None in
+  Array.iter
+    (function
+      | None -> ()  (* unreachable: no budget is handed to the pool *)
+      | Some (fm, rm) ->
+        (match !merged with
+         | None -> merged := Some (Array.copy fm, Array.copy rm)
+         | Some (mf, mr) ->
+           if Array.length fm <> Array.length mf then
+             invalid_arg "Tvla.campaign_seeded: traces must have equal length";
+           Array.iteri (fun k m -> mf.(k) <- Stats.moments_merge mf.(k) m) fm;
+           Array.iteri (fun k m -> mr.(k) <- Stats.moments_merge mr.(k) m) rm))
+    batches;
+  match !merged with
+  | None -> invalid_arg "Tvla.campaign_seeded: no traces collected"
+  | Some (mf, mr) ->
+    let samples = Array.length mf in
+    let t_per_sample = Array.init samples (fun k -> Stats.welch_t_moments mf.(k) mr.(k)) in
+    let leaky =
+      List.filter
+        (fun k -> Float.abs t_per_sample.(k) > threshold)
+        (List.init samples (fun k -> k))
+    in
+    let result =
+      { t_per_sample;
+        max_abs_t = Stats.max_abs t_per_sample;
+        leaky_samples = leaky;
+        traces_per_class }
+    in
+    T.count "tvla.traces" (2 * traces_per_class);
+    T.gauge "tvla.max_abs_t" result.max_abs_t;
+    result
+
 (** Sweep of max |t| as the trace count grows; the paper-shaped "leakage
     grows with sqrt(n)" series. [steps] are cumulative trace counts.
 

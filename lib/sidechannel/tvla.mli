@@ -29,6 +29,22 @@ val t_test_second_order : float array list -> float array list -> result
 val campaign :
   traces_per_class:int -> collect:([ `Fixed | `Random ] -> float array) -> result
 
+(** Seeded, batchable campaign — the parallel counterpart of {!campaign}.
+    [collect stream cls] must draw randomness only from [stream]; pair
+    [i] uses stream [i] of [Eda_util.Rng.split rng traces_per_class].
+    Traces accumulate into per-sample Welford moments in fixed-size
+    batches merged in index order, so the result (every t value, not
+    just the verdict) is bit-identical with no pool and with a pool of
+    any domain count, and memory stays O(samples).
+    @raise Invalid_argument on a non-positive trace count or unequal
+    trace lengths. *)
+val campaign_seeded :
+  ?pool:Eda_util.Pool.t ->
+  Eda_util.Rng.t ->
+  traces_per_class:int ->
+  collect:(Eda_util.Rng.t -> [ `Fixed | `Random ] -> float array) ->
+  result
+
 (** Campaign assessed at (first, second) order from one trace set. *)
 val campaign_orders :
   traces_per_class:int ->

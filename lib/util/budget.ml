@@ -36,13 +36,17 @@ type t = {
   clock : unit -> float;
   started : float;
   mutable cancelled : bool;
+  poll : (unit -> bool) option;  (* external cancellation probe, e.g. a pool's stop flag *)
 }
 
 let default_clock = Sys.time
 
-(** [create ?clock ?steps ?seconds ()] — a root budget. Omitted limits are
-    unlimited; [create ()] never exhausts (useful as a neutral default). *)
-let create ?(clock = default_clock) ?steps ?seconds () =
+(** [create ?clock ?steps ?seconds ?poll ()] — a root budget. Omitted
+    limits are unlimited; [create ()] never exhausts (useful as a neutral
+    default). [poll], when given, is probed at every [status] check and
+    reads as [Cancelled] once it returns [true] — the hook a worker-pool
+    task budget uses to observe the batch-wide stop flag. *)
+let create ?(clock = default_clock) ?steps ?seconds ?poll () =
   let now = clock () in
   { parent = None;
     steps_initial = steps;
@@ -51,13 +55,14 @@ let create ?(clock = default_clock) ?steps ?seconds () =
     deadline = Option.map (fun s -> now +. s) seconds;
     clock;
     started = now;
-    cancelled = false }
+    cancelled = false;
+    poll }
 
 let unlimited () = create ()
 
 (** Sub-budget: at most [steps]/[seconds] of its own, and never more than
     what remains of any ancestor. Charging the child charges the chain. *)
-let sub ?steps ?seconds t =
+let sub ?steps ?seconds ?poll t =
   let now = t.clock () in
   { parent = Some t;
     steps_initial = steps;
@@ -66,7 +71,8 @@ let sub ?steps ?seconds t =
     deadline = Option.map (fun s -> now +. s) seconds;
     clock = t.clock;
     started = now;
-    cancelled = false }
+    cancelled = false;
+    poll }
 
 (** Request cooperative cancellation; observed at the next [check]. *)
 let cancel t = t.cancelled <- true
@@ -74,7 +80,8 @@ let cancel t = t.cancelled <- true
 (** Why the budget is exhausted, or [None] while work may continue. Checks
     the whole ancestor chain. *)
 let rec status t =
-  if t.cancelled then Some Cancelled
+  if t.cancelled || (match t.poll with Some probe -> probe () | None -> false) then
+    Some Cancelled
   else
     match t.steps_left with
     | Some n when n <= 0 -> Some Out_of_steps

@@ -1,0 +1,276 @@
+(** Fixed-size domain worker pool for the embarrassingly-parallel engines.
+
+    Every hot fan-out in the toolkit — ATPG fault processing, TVLA trace
+    batches, multi-start placement, SAT-attack portfolios — is a set of
+    independent tasks whose *reduction* must stay deterministic. The pool
+    therefore separates scheduling (which domain runs a task: arbitrary,
+    work-stealing) from semantics (which result is kept: ordered by task
+    index, never by completion time):
+
+    - [parallel_map] preserves input order in its result array, so any
+      fold over it is independent of the number of domains;
+    - randomness is never shared: callers pre-split their generator with
+      {!Rng.split} and task [i] draws from stream [i] wherever it runs;
+    - cancellation is cooperative: a shared stop flag is set when the
+      caller's {!Budget} exhausts (polled between tasks on the caller's
+      slot), when a task raises, or when a {!race} finds a winner. Tasks
+      already running finish (or observe the flag through
+      [ctx.cancelled] / a [ctx.task_budget]); tasks not yet started are
+      skipped and report [None]. Domains are always joined.
+
+    Scheduling: the task range is divided into one contiguous stripe per
+    slot, each with an atomic cursor; a slot that exhausts its stripe
+    steals from the other stripes in a fixed scan order. This is chunked
+    fan-out with stealing — cheap, and the placement of tasks onto
+    domains affects throughput only, never results.
+
+    The pool never charges the caller's budget: engines account their own
+    work (solver conflicts, faults, moves) on the calling domain, the
+    pool only *observes* exhaustion. Worker domains start with no ambient
+    {!Telemetry} context (it is domain-local), so engine instrumentation
+    is silent off the caller's domain; the pool itself reports per-batch
+    metrics — a [pool.batch] span, [pool.tasks] / [pool.steals] counters,
+    a [pool.utilization] gauge and one [pool.domain] note per slot — from
+    the caller's domain after the join.
+
+    Not reentrant: calling pool operations from inside a task is
+    unsupported. One caller domain at a time. *)
+
+module T = Telemetry
+
+type slot_stats = {
+  mutable tasks : int;
+  mutable steals : int;
+  mutable busy : float;  (* wall-clock seconds spent executing tasks *)
+}
+
+type job = {
+  gen : int;
+  work : int -> unit;  (* slot index -> runs tasks until none remain *)
+  mutable pending : int;  (* workers that have not finished this job *)
+}
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable job : job option;
+  mutable generation : int;
+  mutable shutting_down : bool;
+  mutable workers : unit Domain.t array;
+}
+
+type task_ctx = {
+  task_index : int;
+  slot : int;
+  cancelled : unit -> bool;
+  task_budget : ?steps:int -> ?seconds:float -> unit -> Budget.t;
+}
+
+let now () = Unix.gettimeofday ()
+
+let recommended () = max 1 (Domain.recommended_domain_count ())
+
+(** Pool size implied by the environment: [SECURE_EDA_JOBS] when set to a
+    positive integer, else 1 (sequential). The CLI's [-j] and the bench
+    harness use this as their default so CI can widen every run at once. *)
+let default_jobs () =
+  match Sys.getenv_opt "SECURE_EDA_JOBS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> min n 64
+     | Some _ | None -> 1)
+  | None -> 1
+
+(* Workers pick up each new job exactly once (generations are strictly
+   increasing) and park on [work_ready] in between. *)
+let rec worker t slot last_gen =
+  Mutex.lock t.mutex;
+  let rec await () =
+    match t.job with
+    | Some j when j.gen > last_gen -> Some j
+    | _ ->
+      if t.shutting_down then None
+      else begin
+        Condition.wait t.work_ready t.mutex;
+        await ()
+      end
+  in
+  let j = await () in
+  Mutex.unlock t.mutex;
+  match j with
+  | None -> ()
+  | Some j ->
+    (try j.work slot with _ -> ());
+    Mutex.lock t.mutex;
+    j.pending <- j.pending - 1;
+    if j.pending = 0 then Condition.broadcast t.work_done;
+    Mutex.unlock t.mutex;
+    worker t slot j.gen
+
+let create ?num_domains () =
+  let requested = match num_domains with Some n -> n | None -> recommended () in
+  let size = max 1 (min requested 64) in
+  let t =
+    { size;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      job = None;
+      generation = 0;
+      shutting_down = false;
+      workers = [||] }
+  in
+  if size > 1 then
+    t.workers <- Array.init (size - 1) (fun k -> Domain.spawn (fun () -> worker t (k + 1) 0));
+  t
+
+let size t = t.size
+
+let shutdown t =
+  if not t.shutting_down then begin
+    Mutex.lock t.mutex;
+    t.shutting_down <- true;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+let with_pool ?num_domains f =
+  let t = create ?num_domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Run [work slot] on every slot: the caller is slot 0, spawned domains
+   are slots 1..size-1. Returns after all slots finished (the join that
+   makes worker-side writes safely visible to the caller). *)
+let run_batch t work =
+  if t.size = 1 then work 0
+  else begin
+    Mutex.lock t.mutex;
+    t.generation <- t.generation + 1;
+    let j = { gen = t.generation; work; pending = t.size - 1 } in
+    t.job <- Some j;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.mutex;
+    (try work 0 with _ -> ());
+    Mutex.lock t.mutex;
+    while j.pending > 0 do
+      Condition.wait t.work_done t.mutex
+    done;
+    t.job <- None;
+    Mutex.unlock t.mutex
+  end
+
+(* The scheduling core shared by map and race. [exec ctx i] must record
+   its own result; exceptions it lets escape are captured per task index
+   and the first (lowest-index) one is re-raised after the join. *)
+let drive ?budget ?(label = "batch") ~stop ~exec t n =
+  let exns = Array.make n None in
+  let lo s = s * n / t.size in
+  let hi s = (s + 1) * n / t.size in
+  let next = Array.init t.size (fun s -> Atomic.make (lo s)) in
+  let stats = Array.init t.size (fun _ -> { tasks = 0; steals = 0; busy = 0.0 }) in
+  let completed = Atomic.make 0 in
+  (match budget with Some b when Budget.exhausted b -> Atomic.set stop true | _ -> ());
+  let cancelled () = Atomic.get stop in
+  let task_budget ?steps ?seconds () =
+    Budget.create ~clock:Unix.gettimeofday ?steps ?seconds ~poll:cancelled ()
+  in
+  let run_one slot i =
+    let st = stats.(slot) in
+    let t0 = now () in
+    (try exec { task_index = i; slot; cancelled; task_budget } i
+     with e ->
+       exns.(i) <- Some (e, Printexc.get_raw_backtrace ());
+       Atomic.set stop true);
+    st.tasks <- st.tasks + 1;
+    st.busy <- st.busy +. (now () -. t0);
+    Atomic.incr completed
+  in
+  let work slot =
+    let rec loop () =
+      (* only the caller's slot touches the (non-thread-safe) budget *)
+      (match budget with
+       | Some b when slot = 0 && Budget.exhausted b -> Atomic.set stop true
+       | _ -> ());
+      if not (Atomic.get stop) then
+        match grab () with
+        | Some i ->
+          run_one slot i;
+          loop ()
+        | None -> ()
+    and grab () =
+      let i = Atomic.fetch_and_add next.(slot) 1 in
+      if i < hi slot then Some i else steal 1
+    and steal k =
+      if k >= t.size then None
+      else begin
+        let v = (slot + k) mod t.size in
+        let i = Atomic.fetch_and_add next.(v) 1 in
+        if i < hi v then begin
+          stats.(slot).steals <- stats.(slot).steals + 1;
+          Some i
+        end
+        else steal (k + 1)
+      end
+    in
+    loop ()
+  in
+  let attrs = [ ("label", T.Str label); ("tasks", T.Int n); ("domains", T.Int t.size) ] in
+  T.with_span "pool.batch" ~attrs (fun () ->
+      let t_start = now () in
+      run_batch t work;
+      let elapsed = now () -. t_start in
+      let executed = Atomic.get completed in
+      let total_steals = Array.fold_left (fun acc s -> acc + s.steals) 0 stats in
+      let total_busy = Array.fold_left (fun acc s -> acc +. s.busy) 0.0 stats in
+      T.count "pool.tasks" executed;
+      T.count "pool.steals" total_steals;
+      if elapsed > 0.0 then
+        T.gauge "pool.utilization"
+          (Float.min 1.0 (total_busy /. (elapsed *. Float.of_int t.size)));
+      Array.iteri
+        (fun slot st ->
+          T.note "pool.domain"
+            ~attrs:
+              [ ("slot", T.Int slot);
+                ("tasks", T.Int st.tasks);
+                ("steals", T.Int st.steals);
+                ("busy_s", T.Float st.busy) ])
+        stats;
+      Array.iter
+        (function
+          | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+          | None -> ())
+        exns)
+
+let parallel_map ?budget ?label t ~f inputs =
+  let n = Array.length inputs in
+  let results = Array.make n None in
+  if n > 0 then begin
+    let stop = Atomic.make false in
+    drive ?budget ?label ~stop t n ~exec:(fun ctx i -> results.(i) <- Some (f ctx inputs.(i)))
+  end;
+  results
+
+let parallel_reduce ?budget ?label t ~f ~combine ~init inputs =
+  let results = parallel_map ?budget ?label t ~f inputs in
+  Array.fold_left
+    (fun acc r -> match r with Some v -> combine acc v | None -> acc)
+    init results
+
+let race ?budget ?label t ~f inputs =
+  let n = Array.length inputs in
+  if n = 0 then None
+  else begin
+    let stop = Atomic.make false in
+    let winner = Atomic.make None in
+    drive ?budget ?label ~stop t n ~exec:(fun ctx i ->
+        match f ctx inputs.(i) with
+        | Some v ->
+          if Atomic.compare_and_set winner None (Some (i, v)) then Atomic.set stop true
+        | None -> ());
+    Atomic.get winner
+  end

@@ -1,0 +1,105 @@
+(** Fixed-size [Domain.t] worker pool with deterministic reduction.
+
+    The engines this pool serves (ATPG fault fan-out, TVLA trace batches,
+    multi-start placement, SAT-attack portfolios) are loops over
+    independent tasks. The pool runs those tasks on [size] domains — the
+    calling domain participates as slot 0, [size - 1] spawned domains
+    fill the rest — while keeping every *result* independent of the
+    domain count:
+
+    - {b ordered reduction}: [parallel_map] returns results positionally,
+      so downstream folds see task [i]'s result at index [i] no matter
+      which domain ran it or when it finished;
+    - {b per-task randomness}: callers split their generator with
+      {!Rng.split} and hand stream [i] to task [i]; no generator is ever
+      shared across tasks;
+    - {b cooperative cancellation}: an atomic stop flag is set when the
+      caller's {!Budget} reports exhaustion (polled on slot 0 between
+      tasks), when any task raises, or when a {!race} wins. Unstarted
+      tasks are skipped ([None]); running tasks can observe the flag via
+      [ctx.cancelled] or a polling [ctx.task_budget]. All domains are
+      joined before any call returns — a cancelled batch still leaves the
+      pool reusable.
+
+    Telemetry is ambient per domain, so tasks on worker domains are
+    silent; the pool reports from the caller's domain: a [pool.batch]
+    span around each batch, [pool.tasks] and [pool.steals] counters, a
+    [pool.utilization] gauge (busy time / (elapsed x domains)) and a
+    [pool.domain] note per slot with its task/steal/busy breakdown.
+
+    The pool is not reentrant (no pool calls from inside tasks) and
+    serves one calling domain at a time. *)
+
+type t
+
+(** What a task knows about its execution context. *)
+type task_ctx = {
+  task_index : int;  (** index of this task in the submitted batch *)
+  slot : int;  (** executing slot, 0 = the calling domain *)
+  cancelled : unit -> bool;  (** true once the batch is stopping *)
+  task_budget : ?steps:int -> ?seconds:float -> unit -> Budget.t;
+      (** fresh per-task budget (wall-clock based) whose [status] also
+          reads as [Cancelled] once the batch stops — hand it to solver
+          calls so they abort promptly on cancellation *)
+}
+
+(** [create ?num_domains ()] spawns the pool. [num_domains] defaults to
+    [Domain.recommended_domain_count ()] and is clamped to [1, 64]. A
+    pool of size 1 spawns no domains and runs every task inline on the
+    caller — same code path, zero parallelism, ambient telemetry intact. *)
+val create : ?num_domains:int -> unit -> t
+
+val size : t -> int
+
+(** Join all worker domains. Idempotent; the pool must not be used
+    afterwards. *)
+val shutdown : t -> unit
+
+(** [with_pool ?num_domains f] — create, run [f], always shut down. *)
+val with_pool : ?num_domains:int -> (t -> 'a) -> 'a
+
+(** Pool size implied by the environment: [SECURE_EDA_JOBS] when set to
+    a positive integer, else 1. The CLI [-j] default and the test suite
+    read this, so exporting the variable widens every run at once. *)
+val default_jobs : unit -> int
+
+(** [parallel_map ?budget ?label t ~f inputs] runs [f ctx inputs.(i)]
+    for every [i] and returns the results in input order. [None] marks a
+    task skipped by cancellation. If a task raises, the batch stops, all
+    domains are joined, and the lowest-index exception is re-raised.
+    [budget] is only polled for exhaustion — the pool never charges it;
+    engines account their own steps on the calling domain. *)
+val parallel_map :
+  ?budget:Budget.t ->
+  ?label:string ->
+  t ->
+  f:(task_ctx -> 'a -> 'b) ->
+  'a array ->
+  'b option array
+
+(** [parallel_map] followed by an ordered left fold over the present
+    results — the reduction order (and so the result) is independent of
+    the domain count. *)
+val parallel_reduce :
+  ?budget:Budget.t ->
+  ?label:string ->
+  t ->
+  f:(task_ctx -> 'a -> 'b) ->
+  combine:('acc -> 'b -> 'acc) ->
+  init:'acc ->
+  'a array ->
+  'acc
+
+(** First-result-wins: run [f] over the inputs until some task returns
+    [Some v]; the win stops the batch (losers observe [ctx.cancelled] /
+    their task budgets), all domains are joined, and [(winner_index, v)]
+    is returned. [None] when every task declined or was skipped. Which
+    member wins a close race is timing-dependent by nature — use only
+    where any winner is acceptable (portfolio solving). *)
+val race :
+  ?budget:Budget.t ->
+  ?label:string ->
+  t ->
+  f:(task_ctx -> 'a -> 'b option) ->
+  'a array ->
+  (int * 'b) option

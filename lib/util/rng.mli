@@ -41,5 +41,9 @@ val sample : t -> int -> int -> int array
 (** Pick one element. @raise Invalid_argument on an empty list. *)
 val choose : t -> 'a list -> 'a
 
-(** Independent stream derived from [t]. *)
-val split : t -> t
+(** [split t n] derives [n] independent child streams, advancing [t] by
+    [n] draws. Reproducible: the same parent state always yields the same
+    children. Used for deterministic parallel fan-out — task [i] draws
+    from stream [i] no matter which domain executes it.
+    @raise Invalid_argument when [n < 0]. *)
+val split : t -> int -> t array

@@ -1,9 +1,13 @@
 (** Zero-dependency tracing/metrics core. See the interface for the
     design rationale; the implementation notes that matter:
 
-    - the active context is ambient (a single mutable ref) so engines
-      carry no telemetry parameter; the disabled fast path is one ref
-      read and one match;
+    - the active context is ambient *per domain* (domain-local storage)
+      so engines carry no telemetry parameter; the disabled fast path is
+      one DLS read and one match. Worker domains spawned by {!Pool} never
+      inherit the installing domain's context, so they are telemetry-
+      silent by construction and the mutable registries are only ever
+      touched from the domain that installed the sink — no cross-domain
+      data races;
     - span lifecycle is exception-safe: an escaping exception ends the
       span with an [error] attribute and re-raises;
     - counters/gauges/histograms aggregate in per-installation registries
@@ -58,16 +62,24 @@ type ctx = {
   moments : (string, Stats.moments) Hashtbl.t;
 }
 
-let current : ctx option ref = ref None
+(* One ambient context per domain. A plain global ref would be shared by
+   every domain in OCaml 5, and the ctx registries (Hashtbl, span stack)
+   are not thread-safe; domain-local storage keeps the ambient-context
+   convenience while confining each ctx to the domain that installed it. *)
+let current : ctx option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
-let active () = !current <> None
+let get_current () = Domain.DLS.get current
+
+let set_current v = Domain.DLS.set current v
+
+let active () = get_current () <> None
 
 let enclosing c = match c.stack with [] -> 0 | (id, _) :: _ -> id
 
 (* --- recording --------------------------------------------------------- *)
 
 let with_span ?(attrs = []) name f =
-  match !current with
+  match get_current () with
   | None -> f ()
   | Some c ->
     let id = c.next_id in
@@ -105,14 +117,14 @@ let with_span ?(attrs = []) name f =
        raise e)
 
 let note ?(attrs = []) name =
-  match !current with
+  match get_current () with
   | None -> ()
   | Some c ->
     c.sink.emit
       { kind = Point; span = enclosing c; parent = 0; name; time = c.clock (); value = 0.0; attrs }
 
 let count name n =
-  match !current with
+  match get_current () with
   | None -> ()
   | Some c ->
     (match Hashtbl.find_opt c.counters name with
@@ -129,7 +141,7 @@ let count name n =
           attrs = [] }
 
 let gauge name v =
-  match !current with
+  match get_current () with
   | None -> ()
   | Some c ->
     Hashtbl.replace c.gauges name v;
@@ -137,7 +149,7 @@ let gauge name v =
       { kind = Gauge; span = enclosing c; parent = 0; name; time = c.clock (); value = v; attrs = [] }
 
 let observe name x =
-  match !current with
+  match get_current () with
   | None -> ()
   | Some c ->
     let m =
@@ -153,22 +165,22 @@ let observe name x =
 (* --- registry access ---------------------------------------------------- *)
 
 let counter_total name =
-  match !current with
+  match get_current () with
   | None -> 0
   | Some c -> (match Hashtbl.find_opt c.counters name with Some r -> !r | None -> 0)
 
 let counter_totals () =
-  match !current with
+  match get_current () with
   | None -> []
   | Some c ->
     Hashtbl.fold (fun name r acc -> (name, !r) :: acc) c.counters []
     |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let gauge_last name =
-  match !current with None -> None | Some c -> Hashtbl.find_opt c.gauges name
+  match get_current () with None -> None | Some c -> Hashtbl.find_opt c.gauges name
 
 let observed name =
-  match !current with
+  match get_current () with
   | None -> None
   | Some c ->
     Option.map
@@ -207,13 +219,13 @@ let with_sink ?(clock = Sys.time) sink f =
         gauges = Hashtbl.create 16;
         moments = Hashtbl.create 16 }
     in
-    let saved = !current in
-    current := Some ctx;
+    let saved = get_current () in
+    set_current (Some ctx);
     Fun.protect
       ~finally:(fun () ->
         emit_hist_summaries ctx;
         sink.flush ();
-        current := saved)
+        set_current saved)
       f
   end
 

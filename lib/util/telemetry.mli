@@ -14,9 +14,12 @@
       an in-memory collector for tests, and a JSONL exporter streaming one
       event per line.
 
-    The sink is ambient (installed with {!with_sink}) so engines need no
-    signature changes; with no sink installed every instrumentation point
-    is a single mutable-ref check. *)
+    The sink is ambient {e per domain} (installed with {!with_sink},
+    stored in domain-local storage) so engines need no signature changes;
+    with no sink installed every instrumentation point is a single
+    DLS read. Worker domains spawned by {!Pool} start with no context, so
+    engine code running on a pool is telemetry-silent there and the pool
+    reports batch-level metrics from the installing domain instead. *)
 
 (** Attribute values carried by spans and point events. *)
 type value =

@@ -70,7 +70,11 @@ let test_composition_cross_effect () =
 
 let test_flow_reports_all_stages () =
   let rng = Rng.create 7 in
-  let report = Flow.run rng (Netlist.Generators.c17 ()) in
+  let report =
+    match Flow.run rng (Netlist.Generators.c17 ()) with
+    | Ok r -> r
+    | Error e -> Alcotest.fail (Eda_util.Eda_error.to_string e)
+  in
   Alcotest.(check int) "four stages" 4 (List.length report.Flow.stages);
   List.iter
     (fun sr ->
@@ -94,8 +98,12 @@ let test_flow_demonstrates_fig2_on_masked_input () =
   let masked = Sidechannel.Isw.transform (Sidechannel.Leakage.private_and_source ()) in
   let c = masked.Sidechannel.Isw.circuit in
   let rng = Rng.create 8 in
-  let classical = Flow.run rng c in
-  let secure = Flow.run rng ~protect:Sidechannel.Isw.protected_name c in
+  let ok = function
+    | Ok r -> r
+    | Error e -> Alcotest.fail (Eda_util.Eda_error.to_string e)
+  in
+  let classical = ok (Flow.run rng c) in
+  let secure = ok (Flow.run rng ~protect:Sidechannel.Isw.protected_name c) in
   Alcotest.(check bool) "both functionally fine" true
     (Netlist.Sim.equivalent_exhaustive classical.Flow.final secure.Flow.final)
 

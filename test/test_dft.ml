@@ -94,9 +94,10 @@ let test_atpg_pattern_detects_target () =
 
 let test_atpg_full_run () =
   let c = Gen.c17 () in
-  let `Patterns patterns, `Coverage coverage, `Untestable untestable = Dft.Atpg.run c in
-  Alcotest.(check (float 1e-9)) "full coverage" 1.0 coverage;
-  Alcotest.(check int) "nothing untestable" 0 (List.length untestable);
+  let r = Dft.Atpg.run c in
+  let patterns = r.Dft.Atpg.patterns in
+  Alcotest.(check (float 1e-9)) "full coverage" 1.0 r.Dft.Atpg.coverage;
+  Alcotest.(check int) "nothing untestable" 0 (List.length r.Dft.Atpg.untestable);
   (* Compaction: far fewer patterns than faults. *)
   Alcotest.(check bool) "compact set" true (List.length patterns < 12);
   let faults = Fault.Model.all_stuck_at_faults c in

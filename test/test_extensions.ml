@@ -275,7 +275,7 @@ let test_shield_coverage () =
 let test_shield_attack_detection () =
   let rng = Rng.create 9 in
   let c = Gen.alu 4 in
-  let p = Physical.Placement.place rng ~moves:2000 c in
+  let p = (Physical.Placement.place rng ~moves:2000 c).Physical.Placement.placement in
   let dense = Physical.Shield.build ~cols:p.Physical.Placement.cols ~rows:p.Physical.Placement.rows ~pitch:2 ~offset:0 in
   Alcotest.(check (float 1e-9)) "dense shield catches all probes" 1.0
     (Physical.Shield.attack_detection_rate dense ~r:1 p ~targets:[ 3; 7; 11; 19 ])
@@ -283,7 +283,7 @@ let test_shield_attack_detection () =
 let test_ir_drop_bound_and_soundness () =
   let rng = Rng.create 10 in
   let c = Gen.alu 4 in
-  let p = Physical.Placement.place rng ~moves:2000 c in
+  let p = (Physical.Placement.place rng ~moves:2000 c).Physical.Placement.placement in
   let `Bound bound, `Worst_simulated sim, `Meets_budget _, `Activity_model_sound sound =
     Physical.Ir_drop.verify rng ~vectors:10 p ~budget:10.0
   in
@@ -299,7 +299,7 @@ let test_ir_drop_bound_and_soundness () =
 let test_ir_drop_center_worse_than_corner () =
   let rng = Rng.create 11 in
   let c = Gen.alu 4 in
-  let p = Physical.Placement.place rng ~moves:2000 c in
+  let p = (Physical.Placement.place rng ~moves:2000 c).Physical.Placement.placement in
   let g = Physical.Ir_drop.vectorless_bound p in
   (* Pads are at the corners: corner drop is 0 by construction. *)
   Alcotest.(check (float 1e-9)) "pad node drop is zero" 0.0 g.Physical.Ir_drop.drop.(0);

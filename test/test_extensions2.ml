@@ -257,12 +257,13 @@ let test_redundancy_removal_restores_coverage () =
   let y = Circuit.add_gate c Gate.Or [ a; g ] in
   let z = Circuit.add_gate c Gate.Xor [ y; b ] in
   Circuit.set_output c "z" z;
-  let `Patterns _, `Coverage cov_before, `Untestable u = Dft.Atpg.run c in
-  Alcotest.(check bool) "redundant faults exist" true (u <> [] && cov_before < 1.0);
+  let before = Dft.Atpg.run c in
+  Alcotest.(check bool) "redundant faults exist" true
+    (before.Dft.Atpg.untestable <> [] && before.Dft.Atpg.coverage < 1.0);
   let cleaned = Dft.Atpg.remove_redundancy c in
-  let `Patterns _, `Coverage cov_after, `Untestable u' = Dft.Atpg.run cleaned in
-  Alcotest.(check (float 1e-9)) "full coverage after removal" 1.0 cov_after;
-  Alcotest.(check int) "nothing untestable" 0 (List.length u')
+  let after = Dft.Atpg.run cleaned in
+  Alcotest.(check (float 1e-9)) "full coverage after removal" 1.0 after.Dft.Atpg.coverage;
+  Alcotest.(check int) "nothing untestable" 0 (List.length after.Dft.Atpg.untestable)
 
 let test_formal_audit_duplication () =
   let prot = Fault.Countermeasure.duplicate_protect (Gen.ripple_adder 2) in

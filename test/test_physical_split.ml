@@ -9,7 +9,8 @@ module Rng = Eda_util.Rng
 let test_initial_placement_valid () =
   let rng = Rng.create 1 in
   let c = Gen.alu 4 in
-  let p = Place.initial rng c in
+  (* [place ~moves:0] is exactly the random initial placement. *)
+  let p = (Place.place rng ~moves:0 c).Place.placement in
   let n = Circuit.node_count c in
   (* All positions distinct and on the grid. *)
   let seen = Hashtbl.create n in
@@ -21,18 +22,18 @@ let test_initial_placement_valid () =
     p.Place.position
 
 let test_annealing_reduces_wirelength () =
-  let rng = Rng.create 2 in
+  (* Same seed, so both runs start from the same initial placement. *)
   let c = Gen.alu 4 in
-  let p0 = Place.initial rng c in
+  let p0 = (Place.place (Rng.create 2) ~moves:0 c).Place.placement in
   let wl0 = Place.wirelength p0 in
-  let p1 = Place.anneal rng ~moves:15000 p0 in
+  let p1 = (Place.place (Rng.create 2) ~moves:15000 c).Place.placement in
   let wl1 = Place.wirelength p1 in
   Alcotest.(check bool) (Printf.sprintf "wl %d -> %d" wl0 wl1) true (wl1 < wl0)
 
 let test_annealing_keeps_validity () =
   let rng = Rng.create 3 in
   let c = Gen.c17 () in
-  let p = Place.place rng ~moves:5000 c in
+  let p = (Place.place rng ~moves:5000 c).Place.placement in
   let seen = Hashtbl.create 16 in
   Array.iter
     (fun pos ->
@@ -43,14 +44,14 @@ let test_annealing_keeps_validity () =
 let test_perturbation_trades_wirelength_for_privacy () =
   let rng = Rng.create 4 in
   let c = Gen.alu 4 in
-  let p = Place.place rng ~moves:15000 c in
+  let p = (Place.place rng ~moves:15000 c).Place.placement in
   let q = Place.perturb rng ~lambda:0.5 ~moves:15000 p in
   Alcotest.(check bool) "wirelength cost" true (Place.wirelength q > Place.wirelength p)
 
 let test_split_partitions_all_connections () =
   let rng = Rng.create 5 in
   let c = Gen.c17 () in
-  let p = Place.place rng ~moves:3000 c in
+  let p = (Place.place rng ~moves:3000 c).Place.placement in
   let s = Split.split_by_length ~feol_threshold:1 p in
   let total = List.length (Split.all_connections c) in
   Alcotest.(check int) "partition" total
@@ -64,7 +65,7 @@ let test_split_partitions_all_connections () =
 let test_lifting_monotone () =
   let rng = Rng.create 6 in
   let c = Gen.alu 4 in
-  let p = Place.place rng ~moves:8000 c in
+  let p = (Place.place rng ~moves:8000 c).Place.placement in
   let s = Split.split_by_length ~feol_threshold:2 p in
   let l30 = Split.lift_wires ~fraction:0.3 s in
   let l100 = Split.lift_wires ~fraction:1.0 s in
@@ -75,7 +76,7 @@ let test_lifting_monotone () =
 let test_attack_beats_random_on_ppa_placement () =
   let rng = Rng.create 7 in
   let c = Gen.alu 4 in
-  let p = Place.place rng ~moves:20000 c in
+  let p = (Place.place rng ~moves:20000 c).Place.placement in
   let s = Split.lift_wires ~fraction:1.0 (Split.split_by_length ~feol_threshold:2 p) in
   let ccr = Split.proximity_attack s in
   let baseline = Split.random_guess_ccr s in
@@ -87,7 +88,7 @@ let test_attack_beats_random_on_ppa_placement () =
 let test_defenses_reduce_recovery () =
   let rng = Rng.create 8 in
   let c = Gen.alu 4 in
-  let p = Place.place rng ~moves:20000 c in
+  let p = (Place.place rng ~moves:20000 c).Place.placement in
   let naive = Split.split_by_length ~feol_threshold:2 p in
   let lifted = Split.lift_wires ~fraction:1.0 naive in
   let perturbed = Place.perturb rng ~lambda:0.5 ~moves:20000 p in
@@ -101,7 +102,7 @@ let test_defenses_reduce_recovery () =
 let test_hidden_wirelength_cost () =
   let rng = Rng.create 9 in
   let c = Gen.c17 () in
-  let p = Place.place rng ~moves:3000 c in
+  let p = (Place.place rng ~moves:3000 c).Place.placement in
   let s = Split.split_by_length ~feol_threshold:1 p in
   let lifted = Split.lift_wires ~fraction:0.5 s in
   Alcotest.(check bool) "lifting adds BEOL wirelength" true
@@ -113,7 +114,7 @@ let prop_split_preserves_connection_count =
     (fun (seed, pct) ->
       let rng = Rng.create seed in
       let c = Gen.random_dag ~seed ~inputs:5 ~gates:25 ~outputs:2 in
-      let p = Place.place rng ~moves:1000 c in
+      let p = (Place.place rng ~moves:1000 c).Place.placement in
       let s = Split.split_by_length ~feol_threshold:1 p in
       let l = Split.lift_wires ~fraction:(Float.of_int pct /. 100.0) s in
       List.length (Split.all_connections c)

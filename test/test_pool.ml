@@ -1,0 +1,281 @@
+(* Tests for the domain pool and the determinism contract of the
+   pool-aware engines: the same answer at any domain count. *)
+
+module Pool = Eda_util.Pool
+module Budget = Eda_util.Budget
+module Rng = Eda_util.Rng
+module Gen = Netlist.Generators
+
+(* --- Rng.split ---------------------------------------------------------- *)
+
+let test_rng_split_reproducible () =
+  let draws rng = Array.init 8 (fun _ -> Rng.next_int64 rng) in
+  let a = Array.map draws (Rng.split (Rng.create 42) 6) in
+  let b = Array.map draws (Rng.split (Rng.create 42) 6) in
+  Alcotest.(check bool) "same parent seed, same streams" true (a = b);
+  let c = Array.map draws (Rng.split (Rng.create 43) 6) in
+  Alcotest.(check bool) "different parent seed, different streams" true (a <> c)
+
+let test_rng_split_disjoint () =
+  (* Streams must look independent: across 16 streams x 16 draws, no
+     value repeats (2^-64-scale collision probability if truly random). *)
+  let streams = Rng.split (Rng.create 7) 16 in
+  let seen = Hashtbl.create 256 in
+  Array.iteri
+    (fun s rng ->
+      for d = 0 to 15 do
+        let v = Rng.next_int64 rng in
+        if Hashtbl.mem seen v then
+          Alcotest.failf "stream %d draw %d collides with an earlier draw" s d;
+        Hashtbl.replace seen v ()
+      done)
+    streams;
+  Alcotest.(check int) "all draws distinct" 256 (Hashtbl.length seen)
+
+let test_rng_split_bad_count () =
+  Alcotest.check_raises "negative count" (Invalid_argument "Rng.split: negative count")
+    (fun () -> ignore (Rng.split (Rng.create 1) (-1)))
+
+(* --- pool core ---------------------------------------------------------- *)
+
+let test_map_ordered_any_size () =
+  let inputs = Array.init 100 (fun i -> i) in
+  let expect = Array.map (fun i -> Some (i * i)) inputs in
+  List.iter
+    (fun d ->
+      Pool.with_pool ~num_domains:d (fun p ->
+          let got = Pool.parallel_map p ~f:(fun _ctx x -> x * x) inputs in
+          Alcotest.(check bool)
+            (Printf.sprintf "ordered results at %d domains" d)
+            true (got = expect)))
+    [ 1; 2; 3; 8 ]
+
+let test_reduce_deterministic () =
+  (* Float reduction order matters; the ordered fold must give the exact
+     same sum at every domain count. *)
+  let inputs = Array.init 257 (fun i -> i) in
+  let sum d =
+    Pool.with_pool ~num_domains:d (fun p ->
+        Pool.parallel_reduce p
+          ~f:(fun _ctx i -> 1.0 /. Float.of_int (i + 1))
+          ~combine:( +. ) ~init:0.0 inputs)
+  in
+  let s1 = sum 1 in
+  List.iter
+    (fun d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bitwise-equal sum at %d domains" d)
+        true (Float.equal s1 (sum d)))
+    [ 2; 4; 8 ]
+
+let test_task_exception_reraised () =
+  Pool.with_pool ~num_domains:2 (fun p ->
+      Alcotest.check_raises "lowest-index exception wins" (Failure "task 3")
+        (fun () ->
+          ignore
+            (Pool.parallel_map p
+               ~f:(fun _ctx i -> if i >= 3 then failwith (Printf.sprintf "task %d" i))
+               (Array.init 8 (fun i -> i))));
+      (* The pool survives a raising batch. *)
+      let ok = Pool.parallel_map p ~f:(fun _ctx x -> x + 1) [| 1; 2; 3 |] in
+      Alcotest.(check bool) "pool reusable after exception" true
+        (ok = [| Some 2; Some 3; Some 4 |]))
+
+let test_budget_cancellation_partial () =
+  (* Task 0 (always on the calling slot, which owns the budget poll)
+     cancels the budget; the spinning tasks only return once they observe
+     cancellation. Stripes at 2 domains are [0;1] and [2;3], so task 1
+     and task 3 are deterministically skipped, task 0 deterministically
+     completes, and every domain joins. *)
+  Pool.with_pool ~num_domains:2 (fun p ->
+      let b = Budget.create ~steps:1000 () in
+      let results =
+        Pool.parallel_map ~budget:b p
+          ~f:(fun ctx i ->
+            if i = 0 then Budget.cancel b
+            else while not (ctx.Pool.cancelled ()) do Domain.cpu_relax () done;
+            i)
+          (Array.init 4 (fun i -> i))
+      in
+      Alcotest.(check bool) "task 0 completed" true (results.(0) = Some 0);
+      Alcotest.(check bool) "task 1 skipped" true (results.(1) = None);
+      Alcotest.(check bool) "task 3 skipped" true (results.(3) = None);
+      (* A fresh batch on the same pool still runs everything. *)
+      let again = Pool.parallel_map p ~f:(fun _ctx x -> -x) [| 1; 2 |] in
+      Alcotest.(check bool) "pool reusable after cancellation" true
+        (again = [| Some (-1); Some (-2) |]))
+
+let test_exhausted_budget_skips_batch () =
+  Pool.with_pool ~num_domains:2 (fun p ->
+      let b = Budget.create ~steps:1 () in
+      Budget.tick b;
+      let r = Pool.parallel_map ~budget:b p ~f:(fun _ctx x -> x) [| 1; 2; 3 |] in
+      Alcotest.(check bool) "nothing ran" true (Array.for_all (( = ) None) r))
+
+let test_race_returns_a_winner () =
+  Pool.with_pool ~num_domains:2 (fun p ->
+      match
+        Pool.race p
+          ~f:(fun _ctx i -> if i mod 2 = 1 then Some (i * 10) else None)
+          (Array.init 6 (fun i -> i))
+      with
+      | None -> Alcotest.fail "a decisive task must win"
+      | Some (i, v) ->
+        Alcotest.(check bool) "winner is a decisive task" true (i mod 2 = 1);
+        Alcotest.(check int) "payload matches winner" (i * 10) v)
+
+let test_default_jobs_env () =
+  let set v = Unix.putenv "SECURE_EDA_JOBS" v in
+  set "3";
+  Alcotest.(check int) "reads SECURE_EDA_JOBS" 3 (Pool.default_jobs ());
+  set "not-a-number";
+  Alcotest.(check int) "garbage falls back to 1" 1 (Pool.default_jobs ());
+  set "0";
+  Alcotest.(check int) "non-positive falls back to 1" 1 (Pool.default_jobs ());
+  set "999";
+  Alcotest.(check int) "clamped to 64" 64 (Pool.default_jobs ());
+  set ""
+
+(* --- engine determinism across domain counts ---------------------------- *)
+
+let pool_sizes = [ 1; 2; 8 ]
+
+let test_atpg_identical_across_domains () =
+  let c = Gen.alu 4 in
+  let seq = Dft.Atpg.run c in
+  List.iter
+    (fun d ->
+      Pool.with_pool ~num_domains:d (fun p ->
+          let r = Dft.Atpg.run ~pool:p c in
+          let tag fmt = Printf.sprintf fmt d in
+          Alcotest.(check bool)
+            (tag "same patterns at %d domains") true
+            (r.Dft.Atpg.patterns = seq.Dft.Atpg.patterns);
+          Alcotest.(check (float 1e-12))
+            (tag "same coverage at %d domains")
+            seq.Dft.Atpg.coverage r.Dft.Atpg.coverage;
+          Alcotest.(check bool)
+            (tag "same untestable set at %d domains") true
+            (r.Dft.Atpg.untestable = seq.Dft.Atpg.untestable)))
+    pool_sizes
+
+let test_atpg_partial_under_pooled_budget () =
+  let c = Gen.alu 4 in
+  Pool.with_pool ~num_domains:2 (fun p ->
+      let b = Budget.create ~steps:12 () in
+      let r = Dft.Atpg.run ~budget:b ~pool:p c in
+      Alcotest.(check bool) "exhaustion reported" true (r.Dft.Atpg.exhausted <> None);
+      Alcotest.(check bool) "some faults left" true (r.Dft.Atpg.faults_remaining > 0);
+      Alcotest.(check bool) "partial coverage is honest" true
+        (r.Dft.Atpg.coverage >= 0.0 && r.Dft.Atpg.coverage < 1.0);
+      (* Whatever patterns were produced must be real detecting patterns. *)
+      let faults = Fault.Model.all_stuck_at_faults c in
+      Alcotest.(check bool) "patterns verify by simulation" true
+        (Fault.Model.coverage c ~faults ~patterns:r.Dft.Atpg.patterns
+         >= r.Dft.Atpg.coverage -. 1e-9))
+
+let test_tvla_identical_across_domains () =
+  let masked = Sidechannel.Leakage.synthesize_masked Sidechannel.Leakage.Security_unaware in
+  let campaign pool =
+    Sidechannel.Leakage.tvla_campaign_seeded ?pool (Rng.create 515) masked
+      ~traces_per_class:300 ~noise_sigma:0.3
+  in
+  (* Leak detection itself is covered by the sidechannel suite; here the
+     subject is determinism, so 300 traces per class is plenty. *)
+  let seq = campaign None in
+  Alcotest.(check bool) "t statistic is meaningful" true (seq.Sidechannel.Tvla.max_abs_t > 0.0);
+  List.iter
+    (fun d ->
+      Pool.with_pool ~num_domains:d (fun p ->
+          let r = campaign (Some p) in
+          Alcotest.(check bool)
+            (Printf.sprintf "bit-identical t statistics at %d domains" d)
+            true
+            (r.Sidechannel.Tvla.t_per_sample = seq.Sidechannel.Tvla.t_per_sample
+             && Float.equal r.Sidechannel.Tvla.max_abs_t seq.Sidechannel.Tvla.max_abs_t
+             && r.Sidechannel.Tvla.leaky_samples = seq.Sidechannel.Tvla.leaky_samples)))
+    pool_sizes
+
+let test_placement_multistart_identical_across_domains () =
+  let c = Gen.alu 4 in
+  let place pool =
+    Physical.Placement.place ~starts:4 ~moves:1500 ?pool (Rng.create 99) c
+  in
+  let seq = place None in
+  Alcotest.(check bool) "multi-start beats or ties a single start" true
+    (Physical.Placement.wirelength seq.Physical.Placement.placement
+     <= Physical.Placement.wirelength
+          (Physical.Placement.place ~moves:1500 (Rng.create 99) c).Physical.Placement
+            .placement);
+  List.iter
+    (fun d ->
+      Pool.with_pool ~num_domains:d (fun p ->
+          let r = place (Some p) in
+          Alcotest.(check int)
+            (Printf.sprintf "same winning start at %d domains" d)
+            seq.Physical.Placement.best_start r.Physical.Placement.best_start;
+          Alcotest.(check bool)
+            (Printf.sprintf "same positions at %d domains" d)
+            true
+            (r.Physical.Placement.placement.Physical.Placement.position
+             = seq.Physical.Placement.placement.Physical.Placement.position)))
+    pool_sizes
+
+let test_flow_identical_with_pool () =
+  let c = Gen.c17 () in
+  let run pool =
+    match Secure_eda.Flow.run (Rng.create 4) ?pool c with
+    | Ok r -> r
+    | Error e -> Alcotest.fail (Eda_util.Eda_error.to_string e)
+  in
+  let seq = run None in
+  Pool.with_pool ~num_domains:2 (fun p ->
+      let r = run (Some p) in
+      let coverages rep =
+        List.map
+          (fun sr -> sr.Secure_eda.Flow.fault_coverage)
+          rep.Secure_eda.Flow.stages
+      in
+      Alcotest.(check bool) "same stage coverage with a pool" true
+        (coverages r = coverages seq);
+      Alcotest.(check bool) "same final netlist" true
+        (Netlist.Sim.equivalent_exhaustive r.Secure_eda.Flow.final
+           seq.Secure_eda.Flow.final))
+
+let test_sat_attack_portfolio_converges () =
+  let rng = Rng.create 1234 in
+  let original = Gen.alu 4 in
+  let locked = Locking.Lock.epic rng ~key_bits:8 original in
+  Pool.with_pool ~num_domains:2 (fun p ->
+      let result =
+        Locking.Sat_attack.run ~pool:p
+          ~oracle:(Locking.Sat_attack.oracle_of_circuit original) locked
+      in
+      Alcotest.(check bool) "portfolio attack converges" true
+        (result.Locking.Sat_attack.status = Locking.Sat_attack.Converged);
+      Alcotest.(check bool) "recovered key unlocks the design" true
+        (Locking.Sat_attack.recovered_key_correct locked ~original result))
+
+let () =
+  Alcotest.run "pool"
+    [ ( "rng-split",
+        [ Alcotest.test_case "reproducible" `Quick test_rng_split_reproducible;
+          Alcotest.test_case "disjoint" `Quick test_rng_split_disjoint;
+          Alcotest.test_case "bad count" `Quick test_rng_split_bad_count ] );
+      ( "pool",
+        [ Alcotest.test_case "ordered map" `Quick test_map_ordered_any_size;
+          Alcotest.test_case "deterministic reduce" `Quick test_reduce_deterministic;
+          Alcotest.test_case "exception reraised" `Quick test_task_exception_reraised;
+          Alcotest.test_case "budget cancellation" `Quick test_budget_cancellation_partial;
+          Alcotest.test_case "pre-exhausted budget" `Quick test_exhausted_budget_skips_batch;
+          Alcotest.test_case "race" `Quick test_race_returns_a_winner;
+          Alcotest.test_case "default jobs env" `Quick test_default_jobs_env ] );
+      ( "engines",
+        [ Alcotest.test_case "atpg identical" `Quick test_atpg_identical_across_domains;
+          Alcotest.test_case "atpg pooled partial" `Quick test_atpg_partial_under_pooled_budget;
+          Alcotest.test_case "tvla identical" `Quick test_tvla_identical_across_domains;
+          Alcotest.test_case "placement identical" `Quick
+            test_placement_multistart_identical_across_domains;
+          Alcotest.test_case "flow identical" `Quick test_flow_identical_with_pool;
+          Alcotest.test_case "sat-attack portfolio" `Quick
+            test_sat_attack_portfolio_converges ] ) ]
