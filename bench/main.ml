@@ -1013,7 +1013,7 @@ let perf () =
     [ workload "synth_optimize" (fun () -> ignore (Synth.Flow.optimize alu));
       workload "placement_anneal" (fun () ->
           ignore (Physical.Placement.place rng ~moves:8000 alu));
-      workload "atpg" (fun () -> ignore (Dft.Atpg.run_report alu));
+      workload "atpg" (fun () -> ignore (Dft.Atpg.run alu));
       workload "sat_attack_epic8" (fun () ->
           let locked = Locking.Lock.epic rng ~key_bits:8 alu in
           ignore
@@ -1024,8 +1024,7 @@ let perf () =
           ignore
             (Sidechannel.Leakage.tvla_campaign rng masked ~traces_per_class:1000
                ~noise_sigma:0.3));
-      workload "flow_run_safe" (fun () ->
-          ignore (Secure_eda.Flow.run_safe rng alu)) ]
+      workload "flow_run" (fun () -> ignore (Secure_eda.Flow.run rng alu)) ]
   in
   (* ---- Before/after: array-based solver core vs reference CDCL ---- *)
   let module P = Perf_compare in

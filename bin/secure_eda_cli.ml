@@ -415,13 +415,32 @@ let table2_cmd =
     Term.(const run $ seed_arg)
 
 let flow_cmd =
-  let run path seed conflicts seconds jobs trace =
+  let checkpoint_arg =
+    let doc =
+      "Persist the flow checkpoint to $(docv) after every completed stage (atomic \
+       write); if $(docv) already holds a valid checkpoint, resume from it."
+    in
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+  in
+  let run path seed conflicts seconds jobs checkpoint trace =
     let c = read_circuit path in
     let rng = Eda_util.Rng.create seed in
     let budget = budget_of conflicts seconds in
+    let resume =
+      match checkpoint with
+      | Some file when Sys.file_exists file ->
+        (match Secure_eda.Flow.load_checkpoint file with
+         | Ok cp ->
+           Printf.eprintf "resuming: %d stage(s) already done\n"
+             (List.length cp.Secure_eda.Flow.done_stages);
+           Some cp
+         | Error e -> die "%s: %s" file (Eda_error.to_string e))
+      | _ -> None
+    in
     match
       with_trace trace (fun () ->
-          with_jobs jobs (fun pool -> Secure_eda.Flow.run rng ?budget ?pool c))
+          with_jobs jobs (fun pool ->
+              Secure_eda.Flow.run rng ?budget ?pool ?resume ?checkpoint_to:checkpoint c))
     with
     | Error e -> die "%s: %s" path (Eda_error.to_string e)
     | Ok report ->
@@ -440,7 +459,192 @@ let flow_cmd =
   Cmd.v (Cmd.info "flow" ~doc:"Run the budgeted EDA flow (Fig. 1) with degradation notes")
     Term.(
       const run $ netlist_arg $ seed_arg $ conflicts_arg $ seconds_arg $ jobs_arg
-      $ trace_arg)
+      $ checkpoint_arg $ trace_arg)
+
+(* --- jobs -------------------------------------------------------------- *)
+
+(* Batch driver over the supervised job engine: a jobs file names one
+   engine invocation per line, the supervisor runs them with retries,
+   backoff, load shedding and quarantine, and the exit status reflects
+   whether anything ended permanently failed. *)
+
+let job_engines = [ "lint"; "synth"; "atpg"; "flow" ]
+
+let job_work ~engine ~input ~seed ~name ~checkpoint_dir =
+  let ( let* ) = Eda_error.( let* ) in
+  let parse () = Netlist.Io.read_file_result input in
+  match engine with
+  | "lint" ->
+    fun (_ : Budget.t) ->
+      let* c = parse () in
+      Ok (Printf.sprintf "clean (%d gates)" (Netlist.Circuit.stats c).Netlist.Circuit.gates)
+  | "synth" ->
+    fun (_ : Budget.t) ->
+      let* c = parse () in
+      let* optimized = Eda_error.guard ~engine:"synth" (fun () -> Synth.Flow.optimize c) in
+      Ok
+        (Printf.sprintf "%d -> %d gates"
+           (Netlist.Circuit.stats c).Netlist.Circuit.gates
+           (Netlist.Circuit.stats optimized).Netlist.Circuit.gates)
+  | "atpg" ->
+    fun budget ->
+      let* c = parse () in
+      let* r = Dft.Atpg.run_checked ~budget c in
+      (match r.Dft.Atpg.exhausted with
+       | Some reason when r.Dft.Atpg.coverage = 0.0 ->
+         (* Nothing useful came out of the slice: report it as exhaustion
+            so the supervisor retries with a fresh attempt budget. *)
+         Error
+           (Eda_error.Budget_exhausted
+              { engine = "atpg";
+                reason;
+                progress =
+                  Printf.sprintf "0/%d faults covered" r.Dft.Atpg.faults_total })
+       | _ ->
+         Ok
+           (Printf.sprintf "coverage %.1f%%%s" (100.0 *. r.Dft.Atpg.coverage)
+              (if r.Dft.Atpg.exhausted <> None then " (partial)" else "")))
+  | "flow" ->
+    let ckpt = Option.map (fun dir -> Filename.concat dir (name ^ ".json")) checkpoint_dir in
+    fun budget ->
+      let* c = parse () in
+      let* resume =
+        match ckpt with
+        | Some file when Sys.file_exists file ->
+          let* cp = Secure_eda.Flow.load_checkpoint file in
+          Ok (Some cp)
+        | _ -> Ok None
+      in
+      (* A fresh rng per attempt: retries replay the same schedule. *)
+      let rng = Eda_util.Rng.create seed in
+      let* report = Secure_eda.Flow.run rng ~budget ?resume ?checkpoint_to:ckpt c in
+      Ok
+        (Printf.sprintf "%d stage(s), %d degraded%s"
+           (List.length report.Secure_eda.Flow.stages)
+           report.Secure_eda.Flow.degraded_stages
+           (match resume with
+            | Some cp ->
+              Printf.sprintf " (resumed past %d)"
+                (List.length cp.Secure_eda.Flow.done_stages)
+            | None -> ""))
+  | other ->
+    fun (_ : Budget.t) ->
+      Error
+        (Eda_error.Invalid_input
+           { what = "job engine";
+             msg =
+               Printf.sprintf "%s (available: %s)" other (String.concat ", " job_engines) })
+
+(* Jobs file: one job per line, [name engine netlist]; blank lines and
+   [#] comments are skipped. *)
+let parse_jobs_file path ~policy ~seed ~checkpoint_dir =
+  let text =
+    try In_channel.with_open_text path In_channel.input_all
+    with Sys_error msg -> die "%s: %s" path msg
+  in
+  String.split_on_char '\n' text
+  |> List.mapi (fun lineno line -> (lineno + 1, String.trim line))
+  |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
+  |> List.map (fun (lineno, line) ->
+         match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+         | [ name; engine; input ] ->
+           Service.Job.create ~klass:engine ~policy ~name
+             (job_work ~engine ~input ~seed ~name ~checkpoint_dir)
+         | _ ->
+           die "%s:%d: expected \"name engine netlist\", got %S" path lineno line)
+
+let jobs_cmd =
+  let jobs_file =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"JOBFILE"
+          ~doc:"Jobs file: one $(b,name engine netlist) triple per line (engines: \
+                lint, synth, atpg, flow); $(b,#) starts a comment.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Retries per job after the first attempt (transient failures only).")
+  in
+  let job_seconds_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "job-seconds" ] ~docv:"S" ~doc:"Wall-clock allowance per attempt.")
+  in
+  let job_conflicts_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "job-conflicts" ] ~docv:"N" ~doc:"Step allowance per attempt.")
+  in
+  let queue_depth_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:"Admission cap: jobs beyond the first $(docv) are shed up front.")
+  in
+  let quarantine_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "quarantine-after" ] ~docv:"N"
+          ~doc:"Consecutive failures that quarantine a job class.")
+  in
+  let checkpoint_dir_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "checkpoint-dir" ] ~docv:"DIR"
+          ~doc:"Flow jobs checkpoint to $(docv)/$(i,name).json after every stage and \
+                resume from it when present.")
+  in
+  let run jobs_file retries job_conflicts job_seconds conflicts seconds queue_depth
+      quarantine_after checkpoint_dir seed jobs trace =
+    (match checkpoint_dir with
+     | Some dir when not (Sys.file_exists dir) ->
+       (try Sys.mkdir dir 0o755 with Sys_error msg -> die "%s: %s" dir msg)
+     | _ -> ());
+    let policy =
+      { Service.Job.default_policy with
+        Service.Job.max_retries = max 0 retries;
+        attempt_steps = job_conflicts;
+        attempt_seconds = job_seconds }
+    in
+    let job_list = parse_jobs_file jobs_file ~policy ~seed ~checkpoint_dir in
+    let budget = budget_of conflicts seconds in
+    let config =
+      { Service.Supervisor.default_config with
+        Service.Supervisor.max_queue_depth = queue_depth;
+        quarantine_after }
+    in
+    let rng = Eda_util.Rng.create seed in
+    let report =
+      with_trace trace (fun () ->
+          with_jobs jobs (fun pool ->
+              Service.Supervisor.run ?pool ?budget ~config rng job_list))
+    in
+    List.iter
+      (fun o ->
+        let module S = Service.Supervisor in
+        Printf.printf "%-20s %-8s %s%s\n" o.S.job.Service.Job.name
+          (S.state_code o.S.state)
+          (S.describe_state o.S.state)
+          (if o.S.attempts > 1 then Printf.sprintf "  [%d attempts]" o.S.attempts else ""))
+      report.Service.Supervisor.outcomes;
+    let module S = Service.Supervisor in
+    Printf.printf "jobs: %d ok, %d failed, %d shed, %d quarantined (%d retries, %d waves)\n"
+      report.S.succeeded report.S.failed report.S.shed report.S.quarantined
+      report.S.retries report.S.waves;
+    if S.permanently_failed report > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "jobs"
+       ~doc:
+         "Run a batch of engine jobs under the supervisor: crash isolation, retries \
+          with backoff, load shedding, quarantine; exits non-zero iff a job ends \
+          permanently failed")
+    Term.(
+      const run $ jobs_file $ retries_arg $ job_conflicts_arg $ job_seconds_arg
+      $ conflicts_arg $ seconds_arg $ queue_depth_arg $ quarantine_arg
+      $ checkpoint_dir_arg $ seed_arg $ jobs_arg $ trace_arg)
 
 (* --- report ------------------------------------------------------------ *)
 
@@ -467,4 +671,4 @@ let () =
        (Cmd.group info
           [ gen_cmd; stats_cmd; lint_cmd; synth_cmd; lock_cmd; sat_attack_cmd; atpg_cmd;
             trojan_cmd; techmap_cmd; redundancy_cmd; watermark_cmd;
-            tvla_fig2_cmd; table2_cmd; flow_cmd; report_cmd ]))
+            tvla_fig2_cmd; table2_cmd; flow_cmd; jobs_cmd; report_cmd ]))

@@ -42,6 +42,198 @@ type checkpoint = {
 
 let checkpoint_start circuit = { done_stages = []; circuit }
 
+(* --- On-disk checkpoints ------------------------------------------------ *)
+
+(* A checkpoint file is one JSON object:
+
+     {"format":"secure-eda/flow-checkpoint","version":1,
+      "hash":"<fnv1a64 of the serialized payload>",
+      "payload":{"circuit":"<bench text>","stages":[...]}}
+
+   Writes are atomic (temp file in the same directory, then rename), so
+   a run killed mid-write can never leave a half checkpoint behind: the
+   previous complete file survives. Reads validate format, version and
+   content hash and reject anything corrupt or stale with a structured
+   error — resuming from a bad file is a refusal, never a crash. *)
+
+module Json = Eda_util.Telemetry.Json
+
+let checkpoint_format = "secure-eda/flow-checkpoint"
+
+let checkpoint_version = 1
+
+let stage_id = function
+  | Logic_synthesis -> "logic-synthesis"
+  | Physical_synthesis -> "physical-synthesis"
+  | Timing_power_verification -> "timing-power-verification"
+  | Testing -> "testing"
+
+let stage_of_id = function
+  | "logic-synthesis" -> Some Logic_synthesis
+  | "physical-synthesis" -> Some Physical_synthesis
+  | "timing-power-verification" -> Some Timing_power_verification
+  | "testing" -> Some Testing
+  | _ -> None
+
+(* FNV-1a, 64-bit: tiny, dependency-free, and plenty to detect the
+   truncation/bit-flip corruption this guards against (not an integrity
+   MAC — the threat is accident, not an adversary with write access). *)
+let fnv1a64 s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+let json_opt inject = function None -> Json.Null | Some v -> inject v
+
+let stage_report_to_json r =
+  Json.JObj
+    [ ("stage", Json.JStr (stage_id r.stage));
+      ("area", Json.JFloat r.area);
+      ("delay_ps", Json.JFloat r.delay_ps);
+      ("wirelength", json_opt (fun n -> Json.JInt n) r.wirelength);
+      ("fault_coverage", json_opt (fun v -> Json.JFloat v) r.fault_coverage);
+      ("note", Json.JStr r.note);
+      ("degraded", json_opt (fun s -> Json.JStr s) r.degraded) ]
+
+let invalid fmt =
+  Printf.ksprintf
+    (fun msg -> Error (Eda_error.Invalid_input { what = "checkpoint"; msg }))
+    fmt
+
+let stage_report_of_json j =
+  let ( let* ) = Result.bind in
+  match j with
+  | Json.JObj fields ->
+    let find k = List.assoc_opt k fields in
+    let* stage =
+      match find "stage" with
+      | Some (Json.JStr s) ->
+        (match stage_of_id s with
+         | Some st -> Ok st
+         | None -> invalid "unknown stage id %S" s)
+      | _ -> invalid "stage entry missing its \"stage\" id"
+    in
+    let number k =
+      match find k with
+      | Some (Json.JFloat v) -> Ok v
+      | Some (Json.JInt n) -> Ok (Float.of_int n)
+      | _ -> invalid "stage entry field %S must be a number" k
+    in
+    let* area = number "area" in
+    let* delay_ps = number "delay_ps" in
+    let* wirelength =
+      match find "wirelength" with
+      | Some (Json.JInt n) -> Ok (Some n)
+      | Some Json.Null | None -> Ok None
+      | Some _ -> invalid "stage entry field \"wirelength\" must be an integer or null"
+    in
+    let* fault_coverage =
+      match find "fault_coverage" with
+      | Some (Json.JFloat v) -> Ok (Some v)
+      | Some (Json.JInt n) -> Ok (Some (Float.of_int n))
+      | Some Json.Null | None -> Ok None
+      | Some _ -> invalid "stage entry field \"fault_coverage\" must be a number or null"
+    in
+    let* note =
+      match find "note" with
+      | Some (Json.JStr s) -> Ok s
+      | _ -> invalid "stage entry field \"note\" must be a string"
+    in
+    let* degraded =
+      match find "degraded" with
+      | Some (Json.JStr s) -> Ok (Some s)
+      | Some Json.Null | None -> Ok None
+      | Some _ -> invalid "stage entry field \"degraded\" must be a string or null"
+    in
+    Ok { stage; area; delay_ps; wirelength; fault_coverage; note; degraded }
+  | _ -> invalid "stage entry is not an object"
+
+let payload_to_json cp =
+  Json.JObj
+    [ ("circuit", Json.JStr (Netlist.Io.to_string cp.circuit));
+      ("stages", Json.JList (List.map stage_report_to_json cp.done_stages)) ]
+
+let checkpoint_to_string cp =
+  let payload = payload_to_json cp in
+  Json.to_string
+    (Json.JObj
+       [ ("format", Json.JStr checkpoint_format);
+         ("version", Json.JInt checkpoint_version);
+         ("hash", Json.JStr (fnv1a64 (Json.to_string payload)));
+         ("payload", payload) ])
+
+let payload_of_json j =
+  let ( let* ) = Result.bind in
+  match j with
+  | Json.JObj fields ->
+    let find k = List.assoc_opt k fields in
+    let* circuit =
+      match find "circuit" with
+      | Some (Json.JStr text) ->
+        (match Netlist.Io.of_string_result text with
+         | Ok c -> Ok c
+         | Error e -> invalid "embedded circuit rejected: %s" (Eda_error.to_string e))
+      | _ -> invalid "payload missing its \"circuit\" text"
+    in
+    let* done_stages =
+      match find "stages" with
+      | Some (Json.JList entries) ->
+        List.fold_left
+          (fun acc entry ->
+            let* acc = acc in
+            let* r = stage_report_of_json entry in
+            Ok (r :: acc))
+          (Ok []) entries
+        |> Result.map List.rev
+      | _ -> invalid "payload missing its \"stages\" list"
+    in
+    Ok { circuit; done_stages }
+  | _ -> invalid "payload is not an object"
+
+let checkpoint_of_string text =
+  match Json.parse text with
+  | Error msg -> invalid "not valid JSON (%s) — corrupt or truncated file" msg
+  | Ok (Json.JObj fields) ->
+    let find k = List.assoc_opt k fields in
+    (match find "format" with
+     | Some (Json.JStr f) when f = checkpoint_format ->
+       (match find "version" with
+        | Some (Json.JInt v) when v = checkpoint_version ->
+          (match find "hash", find "payload" with
+           | Some (Json.JStr h), Some payload ->
+             let actual = fnv1a64 (Json.to_string payload) in
+             if actual <> h then
+               invalid "content hash mismatch (stored %s, computed %s) — corrupt file" h
+                 actual
+             else payload_of_json payload
+           | _ -> invalid "missing \"hash\" or \"payload\" field")
+        | Some (Json.JInt v) ->
+          invalid "unsupported version %d (this build reads v%d) — stale checkpoint" v
+            checkpoint_version
+        | _ -> invalid "missing \"version\" field")
+     | Some (Json.JStr f) -> invalid "not a flow checkpoint (format %S)" f
+     | _ -> invalid "missing \"format\" marker")
+  | Ok _ -> invalid "top level is not a JSON object"
+
+let save_checkpoint path cp =
+  let text = checkpoint_to_string cp in
+  let tmp = path ^ ".tmp" in
+  match
+    Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc text);
+    Sys.rename tmp path
+  with
+  | () -> Ok ()
+  | exception Sys_error msg ->
+    Error (Eda_error.Engine_failure { engine = "checkpoint write"; msg })
+
+let load_checkpoint path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | text -> checkpoint_of_string text
+  | exception Sys_error msg -> invalid "%s" msg
+
 type report = {
   stages : stage_report list;  (* completed-before-resume + this run *)
   final : Circuit.t;
@@ -68,6 +260,9 @@ type safe_report = report
       with [degraded = Some reason] and the design passes through
       unchanged, so later stages still run;
     - [resume] continues from a {!checkpoint}, skipping completed stages;
+    - [checkpoint_to] persists the checkpoint to disk (atomic
+      temp+rename) after every completed stage, so a killed run resumes
+      from its last finished stage via {!load_checkpoint};
     - [stages] restricts the run (default: all four, in order).
 
     Telemetry: one [flow.run] span over the run, one [flow.stage] span
@@ -76,7 +271,8 @@ type safe_report = report
     [flow.budget_utilization] from its sub-budget so partial results can
     be read as budget pressure. *)
 let run rng ?(protect = fun (_ : string) -> false) ?budget ?pool
-    ?(stage_steps = fun (_ : stage) -> None) ?(stages = all_stages) ?resume circuit =
+    ?(stage_steps = fun (_ : stage) -> None) ?(stages = all_stages) ?resume
+    ?checkpoint_to circuit =
   let root = match budget with Some b -> b | None -> Budget.unlimited () in
   let start_circuit, done_reports =
     match resume with
@@ -190,7 +386,22 @@ let run rng ?(protect = fun (_ : string) -> false) ?budget ?pool
            report stage ~degraded:(Eda_error.to_string e) "stage failed");
         finish ()
     in
-    List.iter run_stage todo;
+    let persist () =
+      match checkpoint_to with
+      | None -> ()
+      | Some path ->
+        (match save_checkpoint path { done_stages = List.rev !reports; circuit = !current } with
+         | Ok () -> ()
+         | Error e ->
+           (* A failing save must not fail the flow; surface it on the
+              trace so the operator can see the resume point is stale. *)
+           T.note "flow.checkpoint_error" ~attrs:[ ("reason", T.Str (Eda_error.to_string e)) ])
+    in
+    List.iter
+      (fun stage ->
+        run_stage stage;
+        persist ())
+      todo;
     let stages_list = List.rev !reports in
     let degraded_stages =
       List.length (List.filter (fun r -> r.degraded <> None) stages_list)

@@ -34,6 +34,26 @@ type checkpoint = {
 (** A checkpoint from which nothing has run yet. *)
 val checkpoint_start : Netlist.Circuit.t -> checkpoint
 
+(** {2 On-disk checkpoints}
+
+    A checkpoint serializes to one versioned JSON object carrying the
+    bench text of the circuit, the completed stage reports, and an
+    FNV-1a content hash of the payload. {!save_checkpoint} writes
+    atomically (temp file in the target directory, then rename), so a
+    process killed mid-write never leaves a torn file — the previous
+    complete checkpoint survives. {!load_checkpoint} validates the
+    format marker, the version and the content hash, and rejects
+    corrupt, truncated or stale (wrong-version) files with a structured
+    [Invalid_input] error instead of raising. *)
+
+val checkpoint_to_string : checkpoint -> string
+
+val checkpoint_of_string : string -> (checkpoint, Eda_util.Eda_error.t) result
+
+val save_checkpoint : string -> checkpoint -> (unit, Eda_util.Eda_error.t) result
+
+val load_checkpoint : string -> (checkpoint, Eda_util.Eda_error.t) result
+
 type report = {
   stages : stage_report list;  (** completed-before-resume + this run *)
   final : Netlist.Circuit.t;
@@ -51,7 +71,9 @@ type safe_report = report
     later stages still run. [stage_steps] caps individual stages within
     [budget]; [stages] restricts the run (default: all four, in order);
     [pool] parallelizes the per-fault ATPG queries without changing any
-    stage result. *)
+    stage result; [checkpoint_to] saves the checkpoint to disk (atomic
+    temp+rename) after every completed stage so a killed run resumes
+    from its last finished stage. *)
 val run :
   Eda_util.Rng.t ->
   ?protect:(string -> bool) ->
@@ -60,6 +82,7 @@ val run :
   ?stage_steps:(stage -> int option) ->
   ?stages:stage list ->
   ?resume:checkpoint ->
+  ?checkpoint_to:string ->
   Netlist.Circuit.t ->
   (report, Eda_util.Eda_error.t) result
 

@@ -9,7 +9,7 @@
 
     The harness is engine-agnostic: scenarios are thunks returning
     [(note, Eda_error.t) result], so tests can drive anything from
-    [Io.of_string_result] to [Secure_eda.Flow.run_safe] through it. *)
+    [Io.of_string_result] to [Secure_eda.Flow.run] through it. *)
 
 module Budget = Eda_util.Budget
 module Eda_error = Eda_util.Eda_error
@@ -102,6 +102,98 @@ let starved_budget () = Budget.create ~steps:0 ()
 
 (** A budget far too small for any real engine run. *)
 let tiny_budget ?(steps = 3) () = Budget.create ~steps ()
+
+(* --- Concurrency / supervision scenarios -------------------------------- *)
+
+(* The supervised job engine ([Service.Supervisor]) promises that no job
+   behavior — crash, stall, flake — escapes as an exception or wedges
+   the pool. These builders produce exactly those behaviors as plain
+   [Budget.t -> (string, Eda_error.t) result] work functions, so the
+   supervisor can be driven through its whole failure taxonomy without
+   involving a real engine. Tests classify each scenario by the terminal
+   state the supervisor assigns it (failed / retried-then-done / shed /
+   quarantined). *)
+
+(** The exception {!raising_work} throws: deliberately not one of the
+    constructors {!Eda_error.guard} knows, so only genuine crash
+    isolation (not the guard's catch list) can contain it. *)
+exception Injected_crash of string
+
+(** Work that raises on every call — the misbehaving-task scenario. *)
+let raising_work ?(msg = "injected task crash") () =
+  fun (_ : Budget.t) -> raise (Injected_crash msg)
+
+(** Work that never concludes on its own: it spins, charging its budget
+    one step per iteration, until the budget stops it — the stalled-task
+    scenario. Under an unlimited budget a safety valve of [max_spins]
+    iterations reports an engine failure instead of hanging the suite. *)
+let stalling_work ?(max_spins = 1_000_000) () =
+  fun (budget : Budget.t) ->
+    let rec spin n =
+      if n >= max_spins then
+        Error
+          (Eda_error.Engine_failure
+             { engine = "chaos.stall"; msg = "stall safety valve tripped" })
+      else
+        match Budget.spend budget with
+        | Ok () -> spin (n + 1)
+        | Error reason ->
+          Error
+            (Eda_error.Budget_exhausted
+               { engine = "chaos.stall";
+                 reason;
+                 progress = Printf.sprintf "stalled through %d polls" (n + 1) })
+    in
+    spin 0
+
+(** Work that fails its first [fails] calls (as a transient
+    [Engine_failure]) and succeeds afterwards — the flaky-job scenario a
+    retry policy must ride out. The call counter is atomic, so attempts
+    may land on any pool domain. *)
+let flaky_work ~fails () =
+  let calls = Atomic.make 0 in
+  fun (_ : Budget.t) ->
+    let k = Atomic.fetch_and_add calls 1 in
+    if k < fails then
+      Error
+        (Eda_error.Engine_failure
+           { engine = "chaos.flaky";
+             msg = Printf.sprintf "transient fault %d/%d" (k + 1) fails })
+    else Ok (Printf.sprintf "succeeded on call %d" (k + 1))
+
+(* --- Checkpoint-file corruption ----------------------------------------- *)
+
+type file_corruption =
+  | Truncate_file  (* drop the tail, as a crash mid-copy would *)
+  | Bit_flip  (* flip one random bit, as silent media corruption would *)
+
+let all_file_corruptions = [ Truncate_file; Bit_flip ]
+
+let file_corruption_name = function
+  | Truncate_file -> "truncate-file"
+  | Bit_flip -> "bit-flip"
+
+(** Corrupt the file at [path] in place; deterministic given the [rng]
+    state. Used against on-disk flow checkpoints: a resume from the
+    result must be a structured refusal, never a crash. *)
+let corrupt_file rng corruption path =
+  let text = In_channel.with_open_bin path In_channel.input_all in
+  let corrupted =
+    match corruption with
+    | Truncate_file ->
+      let len = String.length text in
+      String.sub text 0 (len * 2 / 3)
+    | Bit_flip ->
+      if String.length text = 0 then text
+      else begin
+        let b = Bytes.of_string text in
+        let victim = Eda_util.Rng.int rng (Bytes.length b) in
+        let bit = Eda_util.Rng.int rng 8 in
+        Bytes.set b victim (Char.chr (Char.code (Bytes.get b victim) lxor (1 lsl bit)));
+        Bytes.to_string b
+      end
+  in
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc corrupted)
 
 (* --- Scenario execution ------------------------------------------------ *)
 

@@ -7,7 +7,7 @@
     or simulator — the brittle, security-unaware failure mode the paper's
     Sec. IV warns about. [Lint] checks all of it up front and reports
     structured issues; [validate] is the guard used by the [*_checked]
-    engine entry points and [Flow.run_safe]. *)
+    engine entry points and [Flow.run]. *)
 
 type severity = Error | Warning
 

@@ -1,0 +1,32 @@
+(** A job: one engine invocation as data — name, class, retry/budget
+    policy, and the work itself. See the interface for the contract. *)
+
+module Budget = Eda_util.Budget
+module Eda_error = Eda_util.Eda_error
+
+type policy = {
+  max_retries : int;
+  backoff_base_s : float;
+  backoff_max_s : float;
+  jitter : float;
+  attempt_steps : int option;
+  attempt_seconds : float option;
+}
+
+let default_policy =
+  { max_retries = 2;
+    backoff_base_s = 0.05;
+    backoff_max_s = 5.0;
+    jitter = 0.25;
+    attempt_steps = None;
+    attempt_seconds = None }
+
+type t = {
+  name : string;
+  klass : string;
+  policy : policy;
+  work : Budget.t -> (string, Eda_error.t) result;
+}
+
+let create ?(klass = "default") ?(policy = default_policy) ~name work =
+  { name; klass; policy; work }

@@ -1,0 +1,48 @@
+(** A supervised job: one engine invocation described as data.
+
+    A job bundles what to run (the [work] closure — typically an engine
+    entry point partially applied to its inputs), how to group it (the
+    [klass], the unit of circuit breaking: jobs of a repeatedly-failing
+    class get quarantined together), and the policy the supervisor
+    applies to it (retry count, backoff shape, per-attempt budget).
+
+    The work contract: given the per-attempt budget derived from the
+    supervisor's admission budget, conclude with [Ok note] or refuse
+    with a structured {!Eda_util.Eda_error.t}. Raising is a contract
+    violation the supervisor nonetheless contains — the exception is
+    confined to the attempt (via {!Eda_util.Pool.parallel_try_map} on a
+    pool), converted to [Engine_failure], and classified like any other
+    transient error. *)
+
+type policy = {
+  max_retries : int;  (** retries after the first attempt, transient failures only *)
+  backoff_base_s : float;  (** wait before retry 1; doubles each retry *)
+  backoff_max_s : float;  (** cap on the exponential wait *)
+  jitter : float;
+      (** uniform jitter fraction: each wait is scaled by a factor in
+          [1, 1 + jitter] drawn from the job's own split Rng stream, so
+          the schedule is deterministic per seed yet decorrelated across
+          jobs *)
+  attempt_steps : int option;  (** per-attempt step allowance *)
+  attempt_seconds : float option;  (** per-attempt wall-clock allowance *)
+}
+
+(** 2 retries, 50 ms base backoff capped at 5 s, 25% jitter, no
+    per-attempt limits beyond what the admission budget imposes. *)
+val default_policy : policy
+
+type t = {
+  name : string;
+  klass : string;
+  policy : policy;
+  work : Eda_util.Budget.t -> (string, Eda_util.Eda_error.t) result;
+}
+
+(** [create ?klass ?policy ~name work]. [klass] defaults to
+    ["default"]; [policy] to {!default_policy}. *)
+val create :
+  ?klass:string ->
+  ?policy:policy ->
+  name:string ->
+  (Eda_util.Budget.t -> (string, Eda_util.Eda_error.t) result) ->
+  t

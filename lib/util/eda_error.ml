@@ -4,7 +4,7 @@
     [failwith]/[assert] — an uncaught backtrace is exactly the
     security-unaware brittleness the paper warns about in flow composition.
     User-reachable entry points (parsing, linting, engine [*_checked]
-    variants, [Flow.run_safe]) instead return [('a, Eda_error.t) result] so
+    variants, [Flow.run]) instead return [('a, Eda_error.t) result] so
     callers can report, degrade or retry deliberately. *)
 
 type t =

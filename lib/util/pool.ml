@@ -144,7 +144,15 @@ let with_pool ?num_domains f =
 
 (* Run [work slot] on every slot: the caller is slot 0, spawned domains
    are slots 1..size-1. Returns after all slots finished (the join that
-   makes worker-side writes safely visible to the caller). *)
+   makes worker-side writes safely visible to the caller).
+
+   The join is wedge-proof: whatever the caller's own [work 0] does —
+   raise, or be interrupted by an exception from a budget poll — the
+   wait-for-workers runs in a [Fun.protect] finalizer, so a batch can
+   never return (or unwind) with worker domains still executing its
+   closures, and the pool is always reusable afterwards. Worker slots
+   have the same property: their decrement of [pending] is unconditional
+   after the (exception-swallowing) [j.work] call. *)
 let run_batch t work =
   if t.size = 1 then work 0
   else begin
@@ -154,13 +162,15 @@ let run_batch t work =
     t.job <- Some j;
     Condition.broadcast t.work_ready;
     Mutex.unlock t.mutex;
-    (try work 0 with _ -> ());
-    Mutex.lock t.mutex;
-    while j.pending > 0 do
-      Condition.wait t.work_done t.mutex
-    done;
-    t.job <- None;
-    Mutex.unlock t.mutex
+    Fun.protect
+      ~finally:(fun () ->
+        Mutex.lock t.mutex;
+        while j.pending > 0 do
+          Condition.wait t.work_done t.mutex
+        done;
+        t.job <- None;
+        Mutex.unlock t.mutex)
+      (fun () -> try work 0 with _ -> ())
   end
 
 (* The scheduling core shared by map and race. [exec ctx i] must record
@@ -252,6 +262,21 @@ let parallel_map ?budget ?label t ~f inputs =
   if n > 0 then begin
     let stop = Atomic.make false in
     drive ?budget ?label ~stop t n ~exec:(fun ctx i -> results.(i) <- Some (f ctx inputs.(i)))
+  end;
+  results
+
+let parallel_try_map ?budget ?label t ~f inputs =
+  let n = Array.length inputs in
+  let results = Array.make n None in
+  if n > 0 then begin
+    let stop = Atomic.make false in
+    (* Isolation: the task body catches everything itself, so no
+       exception ever reaches [drive]'s per-task capture — the stop flag
+       stays clear and the other tasks keep running. [None] still marks
+       tasks skipped by budget exhaustion or an external cancel. *)
+    drive ?budget ?label ~stop t n ~exec:(fun ctx i ->
+        let r = try Ok (f ctx inputs.(i)) with e -> Error e in
+        results.(i) <- Some r)
   end;
   results
 

@@ -77,6 +77,23 @@ val parallel_map :
   'a array ->
   'b option array
 
+(** Crash-isolating variant of {!parallel_map}: a task that raises
+    yields [Some (Error exn)] at its own index and the rest of the batch
+    keeps running — one crash never cancels its siblings and nothing is
+    re-raised. [None] still marks tasks skipped because the [budget]
+    exhausted (or an external cancel fired) before they started. The
+    join is unconditional: the call returns only after every domain has
+    finished its last task, so the pool is always reusable afterwards —
+    the substrate the supervised job engine ({!module:Service} in the
+    main library) builds on. *)
+val parallel_try_map :
+  ?budget:Budget.t ->
+  ?label:string ->
+  t ->
+  f:(task_ctx -> 'a -> 'b) ->
+  'a array ->
+  ('b, exn) result option array
+
 (** [parallel_map] followed by an ordered left fold over the present
     results — the reduction order (and so the result) is independent of
     the domain count. *)

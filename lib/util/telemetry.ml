@@ -241,19 +241,73 @@ module Json = struct
     | JList of t list
     | JObj of (string * t) list
 
+  (* Strings are emitted as pure ASCII: control characters and every
+     code point above U+007F become spec-compliant \uXXXX escapes (a
+     surrogate pair beyond the BMP), so the JSONL survives strict
+     parsers regardless of transport encoding. Input is decoded as
+     UTF-8; malformed sequences degrade to U+FFFD per offending byte
+     rather than corrupting the emitted document. *)
+  let add_u16 buf code = Buffer.add_string buf (Printf.sprintf "\\u%04x" code)
+
+  let add_code_point buf cp =
+    if cp <= 0xFFFF then add_u16 buf cp
+    else begin
+      let v = cp - 0x10000 in
+      add_u16 buf (0xD800 lor (v lsr 10));
+      add_u16 buf (0xDC00 lor (v land 0x3FF))
+    end
+
+  (* Decode one UTF-8 sequence starting at [i]; returns (code point,
+     bytes consumed), or (0xFFFD, 1) when the bytes are not UTF-8. *)
+  let decode_utf8 s i =
+    let n = String.length s in
+    let byte k = Char.code s.[k] in
+    let cont k = k < n && byte k land 0xC0 = 0x80 in
+    let b0 = byte i in
+    if b0 < 0x80 then (b0, 1)
+    else if b0 land 0xE0 = 0xC0 && cont (i + 1) then begin
+      let cp = ((b0 land 0x1F) lsl 6) lor (byte (i + 1) land 0x3F) in
+      if cp >= 0x80 then (cp, 2) else (0xFFFD, 1) (* overlong *)
+    end
+    else if b0 land 0xF0 = 0xE0 && cont (i + 1) && cont (i + 2) then begin
+      let cp =
+        ((b0 land 0x0F) lsl 12)
+        lor ((byte (i + 1) land 0x3F) lsl 6)
+        lor (byte (i + 2) land 0x3F)
+      in
+      if cp >= 0x800 && not (cp >= 0xD800 && cp <= 0xDFFF) then (cp, 3)
+      else (0xFFFD, 1) (* overlong or stray surrogate *)
+    end
+    else if b0 land 0xF8 = 0xF0 && cont (i + 1) && cont (i + 2) && cont (i + 3) then begin
+      let cp =
+        ((b0 land 0x07) lsl 18)
+        lor ((byte (i + 1) land 0x3F) lsl 12)
+        lor ((byte (i + 2) land 0x3F) lsl 6)
+        lor (byte (i + 3) land 0x3F)
+      in
+      if cp >= 0x10000 && cp <= 0x10FFFF then (cp, 4) else (0xFFFD, 1)
+    end
+    else (0xFFFD, 1)
+
   let escape buf s =
-    String.iter
-      (fun ch ->
-        match ch with
-        | '"' -> Buffer.add_string buf "\\\""
-        | '\\' -> Buffer.add_string buf "\\\\"
-        | '\n' -> Buffer.add_string buf "\\n"
-        | '\r' -> Buffer.add_string buf "\\r"
-        | '\t' -> Buffer.add_string buf "\\t"
-        | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-        | c -> Buffer.add_char buf c)
-      s
+    let n = String.length s in
+    let i = ref 0 in
+    while !i < n do
+      (match s.[!i] with
+       | '"' -> Buffer.add_string buf "\\\""; incr i
+       | '\\' -> Buffer.add_string buf "\\\\"; incr i
+       | '\n' -> Buffer.add_string buf "\\n"; incr i
+       | '\r' -> Buffer.add_string buf "\\r"; incr i
+       | '\t' -> Buffer.add_string buf "\\t"; incr i
+       | c when Char.code c < 0x20 ->
+         add_u16 buf (Char.code c);
+         incr i
+       | c when Char.code c < 0x80 -> Buffer.add_char buf c; incr i
+       | _ ->
+         let cp, used = decode_utf8 s !i in
+         add_code_point buf cp;
+         i := !i + used)
+    done
 
   (* Non-finite values have no JSON number form; [null] round-trips to
      [nan]. Integral floats keep a ".0" so the parser preserves the
@@ -299,8 +353,28 @@ module Json = struct
 
   exception Bad of string
 
-  (* Minimal recursive-descent parser for the subset this module emits
-     (which is standard JSON minus \uXXXX beyond U+00FF). *)
+  (* Append one code point as UTF-8 (input validated by the caller). *)
+  let buffer_add_utf8 buf cp =
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else if cp < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+
+  (* Minimal recursive-descent parser for standard JSON as this module
+     emits it; \uXXXX escapes cover the full Unicode range (surrogate
+     pairs included) and decode to UTF-8 bytes. *)
   let parse s =
     let n = String.length s in
     let pos = ref 0 in
@@ -348,14 +422,32 @@ module Json = struct
                | 't' -> Buffer.add_char buf '\t'; advance ()
                | 'u' ->
                  advance ();
-                 if !pos + 4 > n then fail "truncated \\u escape";
-                 let hex = String.sub s !pos 4 in
-                 let code =
-                   try int_of_string ("0x" ^ hex) with Failure _ -> fail "bad \\u escape"
+                 let read_u16 () =
+                   if !pos + 4 > n then fail "truncated \\u escape";
+                   let hex = String.sub s !pos 4 in
+                   if not (String.for_all (function
+                             | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true
+                             | _ -> false) hex)
+                   then fail "bad \\u escape";
+                   pos := !pos + 4;
+                   int_of_string ("0x" ^ hex)
                  in
-                 if code > 0xFF then fail "\\u escape beyond U+00FF unsupported";
-                 Buffer.add_char buf (Char.chr code);
-                 pos := !pos + 4
+                 let code = read_u16 () in
+                 if code >= 0xD800 && code <= 0xDBFF then begin
+                   (* High surrogate: a low surrogate must follow. *)
+                   if
+                     !pos + 2 <= n && s.[!pos] = '\\' && s.[!pos + 1] = 'u'
+                   then begin
+                     pos := !pos + 2;
+                     let low = read_u16 () in
+                     if low < 0xDC00 || low > 0xDFFF then fail "unpaired high surrogate";
+                     buffer_add_utf8 buf
+                       (0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00))
+                   end
+                   else fail "unpaired high surrogate"
+                 end
+                 else if code >= 0xDC00 && code <= 0xDFFF then fail "unpaired low surrogate"
+                 else buffer_add_utf8 buf code
                | _ -> fail "unknown escape");
             go ()
           | c ->

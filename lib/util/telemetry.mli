@@ -6,7 +6,7 @@
     Telemetry makes every run an analyzable artifact:
 
     - {b spans}: named, attributed, hierarchically nested intervals whose
-      lifecycle follows engine calls ([Flow.run_safe] stages, SAT solves,
+      lifecycle follows engine calls ([Flow.run] stages, SAT solves,
       DIP iterations);
     - {b counters / gauges / histograms}: registered by name; histograms
       aggregate online through {!Stats.moments};
@@ -107,7 +107,11 @@ val gauge_last : string -> float option
 val observed : string -> (int * float * float) option
 
 (** {1 JSON} — the minimal encoder/parser behind the JSONL sink, exposed
-    for other machine-readable outputs (e.g. bench reports). *)
+    for other machine-readable outputs (e.g. bench reports). Strings are
+    emitted as pure ASCII: control characters and every code point above
+    U+007F become spec-compliant [\uXXXX] escapes (surrogate pairs
+    beyond the BMP), and the parser decodes the full escape range back
+    to UTF-8 — traces survive strict JSON parsers byte-for-byte. *)
 
 module Json : sig
   type t =

@@ -131,7 +131,7 @@ let test_sat_attack_budget_exhaustion () =
 
 let test_atpg_partial_coverage () =
   let c = Gen.alu 4 in
-  let r = Dft.Atpg.run_report ~budget:(Budget.create ~steps:3 ()) c in
+  let r = Dft.Atpg.run ~budget:(Budget.create ~steps:3 ()) c in
   (match r.Dft.Atpg.exhausted with
    | Some _ -> ()
    | None -> Alcotest.fail "a 3-step budget cannot cover the alu fault list");
@@ -140,7 +140,7 @@ let test_atpg_partial_coverage () =
   Alcotest.(check bool) "totals consistent" true
     (r.Dft.Atpg.faults_remaining <= r.Dft.Atpg.faults_total);
   (* Unbudgeted report on a small circuit: complete, nothing remaining. *)
-  let full = Dft.Atpg.run_report (Gen.c17 ()) in
+  let full = Dft.Atpg.run (Gen.c17 ()) in
   Alcotest.(check bool) "no exhaustion" true (full.Dft.Atpg.exhausted = None);
   Alcotest.(check int) "nothing remaining" 0 full.Dft.Atpg.faults_remaining;
   Alcotest.(check (float 0.001)) "c17 full coverage" 1.0 full.Dft.Atpg.coverage;
@@ -151,14 +151,15 @@ let test_atpg_partial_coverage () =
 let test_placement_budget_truncates_moves () =
   let c = Gen.alu 4 in
   let rng = Rng.create 3 in
-  let _placement, performed =
-    Physical.Placement.place_budgeted rng ~moves:2000
-      ~budget:(Budget.create ~steps:100 ()) c
+  let outcome =
+    Physical.Placement.place rng ~moves:2000 ~budget:(Budget.create ~steps:100 ()) c
   in
+  let performed = outcome.Physical.Placement.moves_performed in
   Alcotest.(check bool) "stopped early" true (performed < 2000);
   Alcotest.(check bool) "did some work" true (performed > 0);
-  let _p2, full = Physical.Placement.place_budgeted (Rng.create 3) ~moves:500 c in
-  Alcotest.(check int) "unbudgeted performs all moves" 500 full
+  let full = Physical.Placement.place (Rng.create 3) ~moves:500 c in
+  Alcotest.(check int) "unbudgeted performs all moves" 500
+    full.Physical.Placement.moves_performed
 
 (* --- Malformed netlists ------------------------------------------------- *)
 
@@ -267,7 +268,7 @@ let test_lint_fabricated_corruption () =
 
 let test_flow_safe_unbudgeted_matches_run () =
   let c = Gen.c17 () in
-  match Flow.run_safe (Rng.create 1) c with
+  match Flow.run (Rng.create 1) c with
   | Error e -> Alcotest.fail (Eda_error.to_string e)
   | Ok r ->
     Alcotest.(check int) "four stages" 4 (List.length r.Flow.stages);
@@ -278,7 +279,7 @@ let test_flow_safe_unbudgeted_matches_run () =
 
 let test_flow_starved_budget_degrades_every_stage () =
   let c = Gen.alu 4 in
-  match Flow.run_safe (Rng.create 1) ~budget:(Chaos.starved_budget ()) c with
+  match Flow.run (Rng.create 1) ~budget:(Chaos.starved_budget ()) c with
   | Error e -> Alcotest.fail (Eda_error.to_string e)
   | Ok r ->
     Alcotest.(check int) "all four stages reported" 4 (List.length r.Flow.stages);
@@ -293,7 +294,7 @@ let test_flow_starved_budget_degrades_every_stage () =
 let test_flow_rejects_invalid_circuit () =
   let c = Circuit.create () in
   ignore (Circuit.add_input ~name:"a" c);
-  match Flow.run_safe (Rng.create 1) c with
+  match Flow.run (Rng.create 1) c with
   | Error (Eda_error.Lint_error _) -> ()
   | Error e -> Alcotest.fail ("wrong error: " ^ Eda_error.to_string e)
   | Ok _ -> Alcotest.fail "flow accepted an output-less circuit"
@@ -301,12 +302,12 @@ let test_flow_rejects_invalid_circuit () =
 let test_flow_checkpoint_resume () =
   let c = Gen.c17 () in
   let first =
-    match Flow.run_safe (Rng.create 1) ~stages:[ Flow.Logic_synthesis ] c with
+    match Flow.run (Rng.create 1) ~stages:[ Flow.Logic_synthesis ] c with
     | Ok r -> r
     | Error e -> Alcotest.fail (Eda_error.to_string e)
   in
   Alcotest.(check int) "one stage done" 1 (List.length first.Flow.stages);
-  match Flow.run_safe (Rng.create 1) ~resume:first.Flow.checkpoint c with
+  match Flow.run (Rng.create 1) ~resume:first.Flow.checkpoint c with
   | Error e -> Alcotest.fail (Eda_error.to_string e)
   | Ok r ->
     Alcotest.(check int) "all four stages after resume" 4 (List.length r.Flow.stages);
@@ -315,6 +316,101 @@ let test_flow_checkpoint_resume () =
     in
     Alcotest.(check int) "synthesis not re-run" 1 (List.length synth_reports)
 
+(* --- On-disk checkpoints ------------------------------------------------- *)
+
+let tmp_path name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let flow_once_checkpoint () =
+  (* A checkpoint with real content: one completed stage. *)
+  match Flow.run (Rng.create 1) ~stages:[ Flow.Logic_synthesis ] (Gen.c17 ()) with
+  | Ok r -> r.Flow.checkpoint
+  | Error e -> Alcotest.fail (Eda_error.to_string e)
+
+let test_checkpoint_roundtrip () =
+  let cp = flow_once_checkpoint () in
+  match Flow.checkpoint_of_string (Flow.checkpoint_to_string cp) with
+  | Error e -> Alcotest.fail (Eda_error.to_string e)
+  | Ok got ->
+    Alcotest.(check int) "stage reports survive" (List.length cp.Flow.done_stages)
+      (List.length got.Flow.done_stages);
+    Alcotest.(check string) "circuit survives bit-for-bit"
+      (Io.to_string cp.Flow.circuit) (Io.to_string got.Flow.circuit);
+    List.iter2
+      (fun a b ->
+        Alcotest.(check bool) "report fields equal" true
+          (a.Flow.stage = b.Flow.stage && a.Flow.area = b.Flow.area
+           && a.Flow.delay_ps = b.Flow.delay_ps && a.Flow.note = b.Flow.note
+           && a.Flow.degraded = b.Flow.degraded && a.Flow.wirelength = b.Flow.wirelength
+           && a.Flow.fault_coverage = b.Flow.fault_coverage))
+      cp.Flow.done_stages got.Flow.done_stages
+
+let test_checkpoint_corrupt_files_rejected () =
+  let cp = flow_once_checkpoint () in
+  List.iter
+    (fun corruption ->
+      let path = tmp_path ("robustness-ck-" ^ Chaos.file_corruption_name corruption ^ ".json") in
+      (match Flow.save_checkpoint path cp with
+       | Ok () -> ()
+       | Error e -> Alcotest.fail (Eda_error.to_string e));
+      Chaos.corrupt_file (Rng.create 13) corruption path;
+      match Flow.load_checkpoint path with
+      | Ok _ -> Alcotest.failf "%s: corrupt checkpoint accepted"
+                  (Chaos.file_corruption_name corruption)
+      | Error (Eda_error.Invalid_input { what = "checkpoint"; _ }) -> ()
+      | Error e ->
+        Alcotest.failf "%s: wrong error class: %s"
+          (Chaos.file_corruption_name corruption) (Eda_error.to_string e))
+    Chaos.all_file_corruptions
+
+let test_checkpoint_stale_version_rejected () =
+  let cp = flow_once_checkpoint () in
+  let bumped =
+    (* Rewrite the version field; the hash guards content, the version
+       guards format drift, so the rejection must name the version. *)
+    let text = Flow.checkpoint_to_string cp in
+    let marker = "\"version\":1" in
+    let idx =
+      let n = String.length text and m = String.length marker in
+      let rec scan i =
+        if i + m > n then Alcotest.fail "version field not found"
+        else if String.sub text i m = marker then i
+        else scan (i + 1)
+      in
+      scan 0
+    in
+    String.sub text 0 idx ^ "\"version\":999"
+    ^ String.sub text (idx + String.length marker) (String.length text - idx - String.length marker)
+  in
+  match Flow.checkpoint_of_string bumped with
+  | Ok _ -> Alcotest.fail "stale-version checkpoint accepted"
+  | Error (Eda_error.Invalid_input { what = "checkpoint"; msg }) ->
+    Alcotest.(check bool) "names the version" true
+      (let n = String.length msg in
+       let rec scan i = i + 3 <= n && (String.sub msg i 3 = "999" || scan (i + 1)) in
+       scan 0)
+  | Error e -> Alcotest.fail ("wrong error class: " ^ Eda_error.to_string e)
+
+let test_checkpoint_to_persists_and_resumes () =
+  let path = tmp_path "robustness-flow-ck.json" in
+  if Sys.file_exists path then Sys.remove path;
+  let c = Gen.c17 () in
+  (match Flow.run (Rng.create 1) ~checkpoint_to:path c with
+   | Error e -> Alcotest.fail (Eda_error.to_string e)
+   | Ok _ -> ());
+  match Flow.load_checkpoint path with
+  | Error e -> Alcotest.fail (Eda_error.to_string e)
+  | Ok cp ->
+    Alcotest.(check int) "all four stages persisted" 4 (List.length cp.Flow.done_stages);
+    (* Resuming from the loaded file re-runs nothing. *)
+    (match Flow.run (Rng.create 1) ~resume:cp c with
+     | Error e -> Alcotest.fail (Eda_error.to_string e)
+     | Ok r ->
+       Alcotest.(check int) "four stages total" 4 (List.length r.Flow.stages);
+       let synth_reports =
+         List.filter (fun sr -> sr.Flow.stage = Flow.Logic_synthesis) r.Flow.stages
+       in
+       Alcotest.(check int) "synthesis not re-run" 1 (List.length synth_reports))
+
 (* --- Chaos -------------------------------------------------------------- *)
 
 (* Parse-then-flow consumer: the composition a CLI user exercises. *)
@@ -322,7 +418,7 @@ let parse_and_flow text =
   match Io.of_string_result text with
   | Error e -> Error e
   | Ok c ->
-    (match Flow.run_safe (Rng.create 5) ~budget:(Budget.create ~steps:100_000 ()) c with
+    (match Flow.run (Rng.create 5) ~budget:(Budget.create ~steps:100_000 ()) c with
      | Error e -> Error e
      | Ok r -> Ok (Printf.sprintf "%d stages, %d degraded" (List.length r.Flow.stages)
                      r.Flow.degraded_stages))
@@ -349,11 +445,11 @@ let test_chaos_budget_starvation_scenarios () =
   let c = Gen.alu 4 in
   let scenarios =
     [ ("flow:starved", fun () ->
-        (match Flow.run_safe (Rng.create 2) ~budget:(Chaos.starved_budget ()) c with
+        (match Flow.run (Rng.create 2) ~budget:(Chaos.starved_budget ()) c with
          | Ok r -> Ok (Printf.sprintf "%d degraded" r.Flow.degraded_stages)
          | Error e -> Error e));
       ("flow:tiny", fun () ->
-        (match Flow.run_safe (Rng.create 2) ~budget:(Chaos.tiny_budget ()) c with
+        (match Flow.run (Rng.create 2) ~budget:(Chaos.tiny_budget ()) c with
          | Ok r -> Ok (Printf.sprintf "%d degraded" r.Flow.degraded_stages)
          | Error e -> Error e));
       ("atpg:starved", fun () ->
@@ -412,6 +508,14 @@ let () =
            test_flow_starved_budget_degrades_every_stage;
          Alcotest.test_case "rejects invalid circuit" `Quick test_flow_rejects_invalid_circuit;
          Alcotest.test_case "checkpoint/resume" `Quick test_flow_checkpoint_resume ]);
+      ("on-disk checkpoints",
+       [ Alcotest.test_case "string round-trip" `Quick test_checkpoint_roundtrip;
+         Alcotest.test_case "corrupt files rejected" `Quick
+           test_checkpoint_corrupt_files_rejected;
+         Alcotest.test_case "stale version rejected" `Quick
+           test_checkpoint_stale_version_rejected;
+         Alcotest.test_case "checkpoint_to persists and resumes" `Quick
+           test_checkpoint_to_persists_and_resumes ]);
       ("chaos",
        [ Alcotest.test_case "corruption campaign" `Quick test_chaos_corruption_campaign;
          Alcotest.test_case "budget starvation scenarios" `Quick

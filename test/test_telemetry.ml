@@ -149,6 +149,37 @@ let test_json_value_roundtrip () =
       | Error msg -> Alcotest.fail ("parse failed: " ^ msg))
     values
 
+let test_json_unicode_roundtrip () =
+  let open T.Json in
+  (* BMP, multi-byte Latin, and astral (surrogate-pair) content. *)
+  let s = "h\xc3\xa9llo \xe2\x87\x92 \xf0\x9f\x98\x80" in
+  let encoded = to_string (JStr s) in
+  String.iter
+    (fun ch ->
+      Alcotest.(check bool) "encoded output is pure ASCII" true (Char.code ch < 0x80))
+    encoded;
+  (match parse encoded with
+   | Ok (JStr s') -> Alcotest.(check string) "unicode round-trips" s s'
+   | Ok _ -> Alcotest.fail "parsed to a non-string"
+   | Error msg -> Alcotest.fail ("parse failed: " ^ msg));
+  (* A hand-written surrogate pair decodes to the astral code point. *)
+  (match parse "\"\\uD83D\\uDE00\"" with
+   | Ok (JStr got) -> Alcotest.(check string) "surrogate pair decodes" "\xf0\x9f\x98\x80" got
+   | Ok _ -> Alcotest.fail "parsed to a non-string"
+   | Error msg -> Alcotest.fail ("surrogate parse failed: " ^ msg));
+  (* Unpaired surrogates are malformed JSON, not silent data. *)
+  List.iter
+    (fun bad ->
+      match parse bad with
+      | Ok _ -> Alcotest.fail ("accepted unpaired surrogate: " ^ bad)
+      | Error _ -> ())
+    [ "\"\\uD83D\""; "\"\\uD83Dx\""; "\"\\uDE00\"" ];
+  (* Invalid UTF-8 bytes degrade to U+FFFD rather than corrupt output. *)
+  match parse (to_string (JStr "ok\xffend")) with
+  | Ok (JStr got) -> Alcotest.(check string) "lone 0xFF becomes U+FFFD" "ok\xef\xbf\xbdend" got
+  | Ok _ -> Alcotest.fail "parsed to a non-string"
+  | Error msg -> Alcotest.fail ("replacement parse failed: " ^ msg)
+
 let test_json_rejects_garbage () =
   let bad = [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "{} trailing" ] in
   List.iter
@@ -285,6 +316,7 @@ let () =
        [ Alcotest.test_case "adds no events" `Quick test_null_sink_adds_no_events ]);
       ("jsonl",
        [ Alcotest.test_case "json value roundtrip" `Quick test_json_value_roundtrip;
+         Alcotest.test_case "unicode roundtrip" `Quick test_json_unicode_roundtrip;
          Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
          Alcotest.test_case "trace roundtrip" `Quick test_jsonl_roundtrip_reconstructs;
          Alcotest.test_case "rejects malformed trace" `Quick test_trace_rejects_malformed;
