@@ -986,8 +986,10 @@ let perf () =
   let overhead_ns = 1e9 *. (span_s -. base_s) /. Float.of_int iterations in
   Printf.printf "  disabled with_span overhead: %.1f ns/call (%d calls)\n"
     (Float.max 0.0 overhead_ns) iterations;
-  (* Representative instrumented workloads, one per engine family. *)
-  let workload name f =
+  (* Representative instrumented workloads, one per engine family.
+     [gates] is the node count of the circuit the workload runs on, so
+     every JSON row is interpretable as cost-at-size. *)
+  let workload name ~gates f =
     let sink, events = T.memory_sink () in
     let (counters, gauges), seconds =
       timed (fun () ->
@@ -1002,6 +1004,7 @@ let perf () =
     Printf.printf "  %-24s %8.3f s  %4d span(s)\n" name seconds spans;
     T.Json.JObj
       [ ("name", T.Json.JStr name);
+        ("gates", T.Json.JInt gates);
         ("seconds", T.Json.JFloat seconds);
         ("spans", T.Json.JInt spans);
         ( "counters",
@@ -1009,22 +1012,29 @@ let perf () =
   in
   let rng = Rng.create 7 in
   let alu = Gen.alu 4 in
+  let alu_gates = Netlist.Circuit.node_count alu in
   let rows =
-    [ workload "synth_optimize" (fun () -> ignore (Synth.Flow.optimize alu));
-      workload "placement_anneal" (fun () ->
+    [ workload "synth_optimize" ~gates:alu_gates (fun () ->
+          ignore (Synth.Flow.optimize alu));
+      workload "placement_anneal" ~gates:alu_gates (fun () ->
           ignore (Physical.Placement.place rng ~moves:8000 alu));
-      workload "atpg" (fun () -> ignore (Dft.Atpg.run alu));
-      workload "sat_attack_epic8" (fun () ->
+      workload "atpg" ~gates:alu_gates (fun () -> ignore (Dft.Atpg.run alu));
+      workload "sat_attack_epic8" ~gates:alu_gates (fun () ->
           let locked = Locking.Lock.epic rng ~key_bits:8 alu in
           ignore
             (Locking.Sat_attack.run
                ~oracle:(Locking.Sat_attack.oracle_of_circuit alu) locked));
-      workload "tvla_campaign" (fun () ->
-          let masked = Sidechannel.Leakage.synthesize_masked Sidechannel.Leakage.Security_aware in
-          ignore
-            (Sidechannel.Leakage.tvla_campaign rng masked ~traces_per_class:1000
-               ~noise_sigma:0.3));
-      workload "flow_run" (fun () -> ignore (Secure_eda.Flow.run rng alu)) ]
+      (let masked =
+         Sidechannel.Leakage.synthesize_masked Sidechannel.Leakage.Security_aware
+       in
+       workload "tvla_campaign"
+         ~gates:(Netlist.Circuit.node_count masked.Sidechannel.Isw.circuit)
+         (fun () ->
+           ignore
+             (Sidechannel.Leakage.tvla_campaign rng masked ~traces_per_class:1000
+                ~noise_sigma:0.3)));
+      workload "flow_run" ~gates:alu_gates (fun () ->
+          ignore (Secure_eda.Flow.run rng alu)) ]
   in
   (* ---- Before/after: array-based solver core vs reference CDCL ---- *)
   let module P = Perf_compare in
@@ -1109,7 +1119,7 @@ let perf () =
   Printf.printf "  %-12s %10.3f %14.0f %16.0f %16.0f\n" "reference" sim_r_dt (patps sim_r_dt) sim_r_alloc sim_r_major;
   Printf.printf "  kogge_stone(8), %d patterns: speedup %.1fx, allocation reduced %.0fx\n"
     sim_patterns sim_speedup sim_alloc_reduction;
-  (* ---- Domain pool: speedup-vs-domains curves ---- *)
+  (* ---- Domain pool: size-parametrized speedup-vs-domains curves ---- *)
   subbanner
     (Printf.sprintf "domain pool: speedup vs domains (sweep capped at -j %d)" (max 1 !jobs));
   let wall f =
@@ -1124,8 +1134,10 @@ let perf () =
   (* Each sweep runs the identical workload at every domain count (1 =
      no pool, the sequential baseline) and fingerprints the result: the
      engines promise bit-identical answers, so a fingerprint mismatch is
-     a determinism bug, reported both on stdout and in the JSON. *)
-  let pool_sweep name run fingerprint =
+     a determinism bug, reported both on stdout and in the JSON. Each
+     workload carries its circuit's gate count so the JSON curves are
+     interpretable as speedup-vs-size families. *)
+  let pool_sweep name ~gates ~extra run fingerprint =
     let rows =
       List.map
         (fun d ->
@@ -1138,48 +1150,142 @@ let perf () =
     let _, base_dt, base_fp = List.hd rows in
     List.iter
       (fun (d, dt, fp) ->
-        Printf.printf "  %-18s %2d domain(s): %8.3f s  speedup %.2fx%s\n" name d dt
-          (base_dt /. dt)
+        Printf.printf "  %-22s %2d domain(s): %8.3f s  speedup %.2fx%s\n"
+          (Printf.sprintf "%s/%dg" name gates)
+          d dt (base_dt /. dt)
           (if fp = base_fp then "" else "  [RESULT MISMATCH]"))
       rows;
-    ( name,
-      T.Json.JObj
-        [ ( "deterministic",
-            T.Json.JBool (List.for_all (fun (_, _, fp) -> fp = base_fp) rows) );
-          ( "curve",
-            T.Json.JList
-              (List.map
-                 (fun (d, dt, _) ->
-                   T.Json.JObj
-                     [ ("domains", T.Json.JInt d);
-                       ("seconds", T.Json.JFloat dt);
-                       ("speedup", T.Json.JFloat (base_dt /. dt)) ])
-                 rows) ) ] )
+    T.Json.JObj
+      ([ ("workload", T.Json.JStr name); ("gates", T.Json.JInt gates) ]
+       @ extra
+       @ [ ( "deterministic",
+             T.Json.JBool (List.for_all (fun (_, _, fp) -> fp = base_fp) rows) );
+           ( "curve",
+             T.Json.JList
+               (List.map
+                  (fun (d, dt, _) ->
+                    T.Json.JObj
+                      [ ("domains", T.Json.JInt d);
+                        ("seconds", T.Json.JFloat dt);
+                        ("speedup", T.Json.JFloat (base_dt /. dt)) ])
+                  rows) ) ])
   in
-  let pool_atpg_circuit = Gen.array_multiplier 4 in
-  let pool_tvla_masked =
-    Sidechannel.Leakage.synthesize_masked Sidechannel.Leakage.Security_aware
+  (* Deterministic tractable fault subset: shuffled under a fixed seed,
+     filtered to faults random patterns detect (their miters are
+     satisfiable, so per-fault SAT stays bounded; deep redundant faults
+     would serialize the whole sweep behind one pathological proof). *)
+  let atpg_fault_subset ~seed ~count c =
+    let all = Array.of_list (Fault.Model.all_stuck_at_faults c) in
+    let frng = Rng.create seed in
+    Rng.shuffle frng all;
+    let ni = Netlist.Circuit.num_inputs c in
+    let pats = List.init 24 (fun _ -> Array.init ni (fun _ -> Rng.bool frng)) in
+    let picked = ref [] and n = ref 0 and i = ref 0 in
+    while !n < count && !i < Array.length all do
+      let f = all.(!i) in
+      if List.exists (fun p -> Fault.Model.detects c ~fault:f p) pats then begin
+        picked := f :: !picked;
+        incr n
+      end;
+      incr i
+    done;
+    List.rev !picked
   in
-  let pool_tvla_traces = if !smoke then 600 else 4000 in
-  let pool_rows =
-    [ pool_sweep "atpg" (fun pool -> Dft.Atpg.run ?pool pool_atpg_circuit)
-        (fun r ->
-          Printf.sprintf "%.9f/%d" r.Dft.Atpg.coverage (List.length r.Dft.Atpg.patterns));
-      pool_sweep "tvla" (fun pool ->
-          Sidechannel.Leakage.tvla_campaign_seeded ?pool (Rng.create 5150) pool_tvla_masked
-            ~traces_per_class:pool_tvla_traces ~noise_sigma:0.3)
-        (fun r -> Printf.sprintf "%.12f" r.Sidechannel.Tvla.max_abs_t);
-      pool_sweep "placement_x4" (fun pool ->
-          Physical.Placement.place ~starts:4 ~moves:(if !smoke then 2000 else 8000) ?pool
-            (Rng.create 2718) pool_atpg_circuit)
-        (fun o ->
-          Printf.sprintf "%d/%d"
-            (Physical.Placement.wirelength o.Physical.Placement.placement)
-            o.Physical.Placement.best_start) ]
+  (* Workload sizes: smoke keeps CI fast with one small size per engine;
+     full mode sweeps >= 3 sizes per engine with a 10k+-gate top size. *)
+  let atpg_sizes = if !smoke then [ 2000 ] else [ 2000; 6000; 12000 ] in
+  let atpg_fault_count = if !smoke then 16 else 32 in
+  let tvla_sizes = if !smoke then [ 2000 ] else [ 2000; 8000; 20000 ] in
+  let tvla_pairs = if !smoke then 128 else 512 in
+  let place_sizes = if !smoke then [ 2000 ] else [ 2000; 8000; 20000 ] in
+  let place_moves = if !smoke then 1000 else 4000 in
+  let place_starts = 8 in
+  let atpg_rows =
+    List.map
+      (fun tgt ->
+        let c = Netlist.Bench_gen.sized ~seed:11 Netlist.Bench_gen.Layered ~target_gates:tgt in
+        let faults = atpg_fault_subset ~seed:99 ~count:atpg_fault_count c in
+        pool_sweep "atpg_layered"
+          ~gates:(Netlist.Circuit.node_count c)
+          ~extra:[ ("faults", T.Json.JInt (List.length faults)) ]
+          (fun pool -> Dft.Atpg.run ?pool ~faults c)
+          (fun r ->
+            Printf.sprintf "%.9f/%d" r.Dft.Atpg.coverage (List.length r.Dft.Atpg.patterns)))
+      atpg_sizes
+  in
+  let tvla_rows =
+    List.map
+      (fun tgt ->
+        let c = Netlist.Bench_gen.sized ~seed:12 Netlist.Bench_gen.Layered ~target_gates:tgt in
+        let ni = Netlist.Circuit.num_inputs c in
+        let nodes = Netlist.Circuit.node_count c in
+        let collect stream cls =
+          let vec =
+            Array.init ni (fun _ ->
+                match cls with `Fixed -> true | `Random -> Rng.bool stream)
+          in
+          let scratch = Array.make nodes false in
+          [| Power.Model.hamming_weight_sample stream ~scratch c ~noise_sigma:0.5
+               ~inputs:vec |]
+        in
+        pool_sweep "tvla_layered" ~gates:nodes
+          ~extra:[ ("trace_pairs", T.Json.JInt tvla_pairs) ]
+          (fun pool ->
+            Sidechannel.Tvla.campaign_seeded ?pool (Rng.create 5150)
+              ~traces_per_class:tvla_pairs ~collect)
+          (fun r -> Printf.sprintf "%.12f" r.Sidechannel.Tvla.max_abs_t))
+      tvla_sizes
+  in
+  let place_rows =
+    List.map
+      (fun tgt ->
+        let c = Netlist.Bench_gen.sized ~seed:13 Netlist.Bench_gen.C880 ~target_gates:tgt in
+        pool_sweep "placement_c880"
+          ~gates:(Netlist.Circuit.node_count c)
+          ~extra:
+            [ ("starts", T.Json.JInt place_starts); ("moves", T.Json.JInt place_moves) ]
+          (fun pool ->
+            Physical.Placement.place ~starts:place_starts ~moves:place_moves ?pool
+              (Rng.create 2718) c)
+          (fun o ->
+            Printf.sprintf "%d/%d"
+              (Physical.Placement.wirelength o.Physical.Placement.placement)
+              o.Physical.Placement.best_start))
+      place_sizes
+  in
+  (* Scheduling-grain microbench: many tiny tasks, chunk 1 vs a coarse
+     grain — the overhead the ?chunk parameter exists to amortize. *)
+  let grain_tasks = if !smoke then 20_000 else 100_000 in
+  let grain_json =
+    let inputs = Array.init grain_tasks (fun i -> i) in
+    let d = max 1 !jobs in
+    let run chunk =
+      Eda_util.Pool.with_pool ~num_domains:d (fun p ->
+          let (), dt =
+            wall (fun () ->
+                ignore (Eda_util.Pool.parallel_map ~chunk p ~f:(fun _ x -> x + 1) inputs))
+          in
+          dt)
+    in
+    let fine = run 1 in
+    let coarse = run (max 1 (grain_tasks / (4 * d))) in
+    Printf.printf
+      "  pool grain: %d unit tasks at %d domain(s): chunk=1 %.3fs, coarse %.3fs (%.1fx)\n"
+      grain_tasks d fine coarse (fine /. Float.max coarse 1e-9);
+    T.Json.JObj
+      [ ("tasks", T.Json.JInt grain_tasks);
+        ("domains", T.Json.JInt d);
+        ("chunk1_seconds", T.Json.JFloat fine);
+        ("coarse_seconds", T.Json.JFloat coarse);
+        ("coarse_speedup", T.Json.JFloat (fine /. Float.max coarse 1e-9)) ]
   in
   let pool_json =
     T.Json.JObj
-      (("max_domains", T.Json.JInt (List.fold_left max 1 pool_counts)) :: pool_rows)
+      [ ("max_domains", T.Json.JInt (List.fold_left max 1 pool_counts));
+        ("atpg", T.Json.JList atpg_rows);
+        ("tvla", T.Json.JList tvla_rows);
+        ("placement", T.Json.JList place_rows);
+        ("granularity", grain_json) ]
   in
   let side name seconds throughput alloc major extra =
     ( name,
@@ -1195,6 +1301,9 @@ let perf () =
       [ ( "sat_attack",
           T.Json.JObj
             [ ("workload", T.Json.JStr (Printf.sprintf "epic%d_alu4_x%d" key_bits reps));
+              ( "gates",
+                T.Json.JInt
+                  (Netlist.Circuit.node_count attack_locked.Locking.Lock.circuit) );
               ("dips", T.Json.JInt n_dips);
               side "new" n_dt (pps n_dt n_props) n_alloc n_major
                 [ ("solve_seconds", T.Json.JFloat n_ss);
@@ -1210,6 +1319,7 @@ let perf () =
         ( "signal_probabilities",
           T.Json.JObj
             [ ("workload", T.Json.JStr "kogge_stone8");
+              ("gates", T.Json.JInt (Netlist.Circuit.node_count sim_circuit));
               ("patterns", T.Json.JInt sim_patterns);
               side "new" sim_n_dt (patps sim_n_dt) sim_n_alloc sim_n_major [];
               side "reference" sim_r_dt (patps sim_r_dt) sim_r_alloc sim_r_major [];
@@ -1218,7 +1328,7 @@ let perf () =
   in
   let json =
     T.Json.JObj
-      [ ("schema", T.Json.JStr "secure_eda_bench_perf/2");
+      [ ("schema", T.Json.JStr "secure_eda_bench_perf/3");
         ("smoke", T.Json.JBool !smoke);
         ("disabled_span_overhead_ns", T.Json.JFloat (Float.max 0.0 overhead_ns));
         ("workloads", T.Json.JList rows);

@@ -8,50 +8,23 @@ module Gate = Netlist.Gate
 module Solver = Sat.Solver
 module Cnf = Sat.Cnf
 
-(* A copy of [circuit] with [fault] frozen in: the fault site's cone is
-   rebuilt with the node replaced by a constant (stuck-at) — simulated by
-   rebuilding with a const node substitution. *)
-let faulty_copy circuit fault =
-  match (fault : Fault.Model.fault) with
-  | Fault.Model.Bit_flip _ -> invalid_arg "Atpg: transient faults have no static copy"
-  | Fault.Model.Stuck_at { node; value } ->
-    let out = Circuit.create () in
-    let n = Circuit.node_count circuit in
-    let remap = Array.make n (-1) in
-    let name_taken = Hashtbl.create 64 in
-    let copy_name i =
-      let nm = Circuit.name circuit i in
-      if Hashtbl.mem name_taken nm || Circuit.find_by_name out nm <> None then ""
-      else begin
-        Hashtbl.replace name_taken nm ();
-        nm
-      end
-    in
-    (* Every node is copied (inputs must survive for interface
-       compatibility); the fault site is then shadowed downstream by a
-       constant carrying the stuck value. *)
-    for i = 0 to n - 1 do
-      let nd = Circuit.node circuit i in
-      let fanins = Array.map (fun f -> remap.(f)) nd.Circuit.fanins in
-      let id = Circuit.add_node_raw out nd.Circuit.kind fanins (copy_name i) in
-      remap.(i) <-
-        (if i = node then Circuit.add_node_raw out (Gate.Const value) [||] "" else id)
-    done;
-    Array.iter (fun (nm, o) -> Circuit.set_output out nm remap.(o)) (Circuit.outputs circuit);
-    out
-
 type pattern_result =
   | Pattern of bool array
   | Untestable
   | Abstained of Eda_util.Budget.exhaustion  (* budget ran out mid-proof *)
 
-(** Generate a test for one stuck-at fault, optionally bounded. *)
+(** Generate a test for one stuck-at fault, optionally bounded. The miter
+    is cone-based ({!Cnf.check_stuck_at}): only the fault's fanout cone
+    is duplicated in the SAT instance, which keeps per-fault queries
+    tractable on circuits far beyond what a whole-copy miter handles. *)
 let generate ?budget ?on_stats circuit fault =
-  let faulty = faulty_copy circuit fault in
-  match Cnf.check_equivalence_b ?budget ?on_stats circuit faulty with
-  | Cnf.Equivalent -> Untestable
-  | Cnf.Counterexample witness -> Pattern witness
-  | Cnf.Equiv_unknown e -> Abstained e
+  match (fault : Fault.Model.fault) with
+  | Fault.Model.Bit_flip _ -> invalid_arg "Atpg: transient faults have no static copy"
+  | Fault.Model.Stuck_at { node; value } ->
+    (match Cnf.check_stuck_at ?budget ?on_stats circuit ~node ~value with
+     | Cnf.Equivalent -> Untestable
+     | Cnf.Counterexample witness -> Pattern witness
+     | Cnf.Equiv_unknown e -> Abstained e)
 
 (** Outcome of a (possibly bounded) ATPG run. Coverage counts only faults
     with a generated detecting pattern — on exhaustion it is the honest
@@ -155,9 +128,14 @@ let fresh_campaign faults =
 
 let budget_status budget = Option.map Eda_util.Budget.status budget |> Option.join
 
+let fault_universe ?faults circuit =
+  match faults with
+  | Some fs -> fs
+  | None -> Fault.Model.all_stuck_at_faults circuit
+
 (* Sequential strategy: the reference greedy loop. *)
-let run_seq ?budget circuit =
-  let faults = Fault.Model.all_stuck_at_faults circuit in
+let run_seq ?budget ?faults circuit =
+  let faults = fault_universe ?faults circuit in
   let total = List.length faults in
   let st = fresh_campaign faults in
   let on_stats s = st.totals <- merge_stats st.totals s in
@@ -180,10 +158,10 @@ let run_seq ?budget circuit =
    queries for faults a fresh pattern covers first (bounded per chunk).
    Solver work performed on worker domains is charged to the main budget
    during replay, so accounting stays on the calling domain. *)
-let run_pooled ~pool ?budget circuit =
+let run_pooled ~pool ?budget ?faults circuit =
   let module B = Eda_util.Budget in
   let module P = Eda_util.Pool in
-  let faults = Fault.Model.all_stuck_at_faults circuit in
+  let faults = fault_universe ?faults circuit in
   let total = List.length faults in
   let st = fresh_campaign faults in
   let chunk_len = max 2 (2 * P.size pool) in
@@ -254,21 +232,21 @@ let run_pooled ~pool ?budget circuit =
     fresh pattern, [atpg.untestable], [atpg.abstained]) and a final
     [atpg.coverage] gauge; each caller-domain miter query nests a
     [sat.solve] span, and pooled chunks add [pool.batch] spans. *)
-let run ?budget ?pool circuit =
+let run ?budget ?pool ?faults circuit =
   let module T = Eda_util.Telemetry in
   let domains = match pool with Some p -> Eda_util.Pool.size p | None -> 1 in
   T.with_span "atpg.run"
     ~attrs:[ ("nodes", T.Int (Circuit.node_count circuit)); ("domains", T.Int domains) ]
     (fun () ->
       match pool with
-      | Some p when Eda_util.Pool.size p > 1 -> run_pooled ~pool:p ?budget circuit
-      | _ -> run_seq ?budget circuit)
+      | Some p when Eda_util.Pool.size p > 1 -> run_pooled ~pool:p ?budget ?faults circuit
+      | _ -> run_seq ?budget ?faults circuit)
 
 (** Checked entry point: lint first, structured errors out. *)
-let run_checked ?budget ?pool circuit =
+let run_checked ?budget ?pool ?faults circuit =
   let open Eda_util.Eda_error in
   let* _ = Netlist.Lint.validate circuit in
-  guard ~engine:"atpg" (fun () -> run ?budget ?pool circuit)
+  guard ~engine:"atpg" (fun () -> run ?budget ?pool ?faults circuit)
 
 (** @deprecated Alias of {!run} (the unified entry point). *)
 let run_report ?budget circuit = run ?budget circuit
@@ -276,6 +254,36 @@ let run_report ?budget circuit = run ?budget circuit
 (** @deprecated [run] minus the campaign span; alias kept for callers
     that managed their own span. *)
 let run_report_traced ?budget circuit = run_seq ?budget circuit
+
+(* A copy of [circuit] with [fault] frozen in: the fault site is shadowed
+   downstream by a constant carrying the stuck value. Used by redundancy
+   removal, which really does want a standalone circuit (the SAT queries
+   themselves go through the cone miter and never build one). *)
+let faulty_copy circuit fault =
+  match (fault : Fault.Model.fault) with
+  | Fault.Model.Bit_flip _ -> invalid_arg "Atpg: transient faults have no static copy"
+  | Fault.Model.Stuck_at { node; value } ->
+    let out = Circuit.create () in
+    let n = Circuit.node_count circuit in
+    let remap = Array.make n (-1) in
+    let name_taken = Hashtbl.create 64 in
+    let copy_name i =
+      let nm = Circuit.name circuit i in
+      if Hashtbl.mem name_taken nm || Circuit.find_by_name out nm <> None then ""
+      else begin
+        Hashtbl.replace name_taken nm ();
+        nm
+      end
+    in
+    for i = 0 to n - 1 do
+      let nd = Circuit.node circuit i in
+      let fanins = Array.map (fun f -> remap.(f)) nd.Circuit.fanins in
+      let id = Circuit.add_node_raw out nd.Circuit.kind fanins (copy_name i) in
+      remap.(i) <-
+        (if i = node then Circuit.add_node_raw out (Gate.Const value) [||] "" else id)
+    done;
+    Array.iter (fun (nm, o) -> Circuit.set_output out nm remap.(o)) (Circuit.outputs circuit);
+    out
 
 (** Redundancy removal — the classic synthesis-for-test connection: a node
     whose stuck-at-v fault is untestable can be replaced by the constant v

@@ -40,15 +40,25 @@ type report = {
 (** Full ATPG campaign: greedy pattern compaction (each fresh pattern is
     fault-simulated against the remaining faults), one budget step per
     fault plus one per solver conflict, parallel per-fault SAT queries
-    when a pool is supplied. Emits an [atpg.run] span with outcome
-    counters and a coverage gauge when telemetry is installed. *)
-val run : ?budget:Eda_util.Budget.t -> ?pool:Eda_util.Pool.t -> Netlist.Circuit.t -> report
+    when a pool is supplied. [faults] restricts the campaign to an
+    explicit fault list (default: every stuck-at fault of the circuit) —
+    the benchmark harness uses deterministic subsets to keep large
+    circuits tractable; coverage is then relative to that list. Emits an
+    [atpg.run] span with outcome counters and a coverage gauge when
+    telemetry is installed. *)
+val run :
+  ?budget:Eda_util.Budget.t ->
+  ?pool:Eda_util.Pool.t ->
+  ?faults:Fault.Model.fault list ->
+  Netlist.Circuit.t ->
+  report
 
 (** {!run} behind a netlist lint and an exception guard, for untrusted
     inputs. *)
 val run_checked :
   ?budget:Eda_util.Budget.t ->
   ?pool:Eda_util.Pool.t ->
+  ?faults:Fault.Model.fault list ->
   Netlist.Circuit.t ->
   (report, Eda_util.Eda_error.t) result
 

@@ -1,0 +1,395 @@
+(** Parametric, seed-deterministic benchmark generators. See the .mli
+    for the contracts (seed determinism, lint cleanliness); README
+    "Workloads" describes the families and their size knobs.
+
+    Every random choice draws from one [Rng.t] created from the caller's
+    [seed], and construction order is fixed, so a (family, parameters)
+    pair pins the circuit structure exactly — {!fingerprint} is the
+    witness the benchmark's determinism checks compare across domain
+    counts. *)
+
+module Rng = Eda_util.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Structural fingerprint.                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* FNV-1a, 64-bit, over the full structural content: node kinds, fanin
+   wiring, net names and the declared outputs. Stable across processes
+   and domain counts — it hashes structure only, never addresses. *)
+let fingerprint c =
+  let h = ref 0xcbf29ce484222325L in
+  let byte b =
+    h := Int64.mul (Int64.logxor !h (Int64.of_int (b land 0xff))) 0x100000001b3L
+  in
+  let int_ i =
+    byte i; byte (i asr 8); byte (i asr 16); byte (i asr 24)
+  in
+  let str s =
+    int_ (String.length s);
+    String.iter (fun ch -> byte (Char.code ch)) s
+  in
+  let n = Circuit.node_count c in
+  int_ n;
+  for i = 0 to n - 1 do
+    let nd = Circuit.node c i in
+    (match nd.Circuit.kind with
+     | Gate.Const b -> byte 1; byte (if b then 1 else 0)
+     | k -> byte 2; str (Gate.name k));
+    int_ (Array.length nd.Circuit.fanins);
+    Array.iter int_ nd.Circuit.fanins;
+    str nd.Circuit.name
+  done;
+  let outs = Circuit.outputs c in
+  int_ (Array.length outs);
+  Array.iter (fun (nm, o) -> str nm; int_ o) outs;
+  Printf.sprintf "%016Lx" !h
+
+(* ------------------------------------------------------------------ *)
+(* Observability sink: no generated circuit leaves dangling logic.     *)
+(* ------------------------------------------------------------------ *)
+
+(* Fold every node [live_set] cannot reach into one XOR-tree output, so
+   the whole circuit is observable: ATPG can target any gate, TVLA and
+   placement see all of them, and [Lint.check] reports no dangling-net
+   warnings. Called last by every generator that can strand logic. *)
+let seal_observability c =
+  let live = Circuit.live_set c in
+  let dead = ref [] in
+  for i = Circuit.node_count c - 1 downto 0 do
+    if not live.(i) then dead := i :: !dead
+  done;
+  (match !dead with
+   | [] -> ()
+   | ids -> Circuit.set_output c "po_obs" (Circuit.reduce c Gate.Xor ids));
+  c
+
+(* ------------------------------------------------------------------ *)
+(* Layered random logic.                                               *)
+(* ------------------------------------------------------------------ *)
+
+let default_kinds =
+  (* 2-input cells dominate, as in mapped netlists; NOT appears but does
+     not overwhelm the mix. *)
+  [ Gate.And; Gate.Nand; Gate.Nand; Gate.Or; Gate.Nor; Gate.Nor;
+    Gate.Xor; Gate.Xnor; Gate.Not ]
+
+let layered ~seed ?(kinds = default_kinds) ?(locality = 0.75) ?outputs ~inputs ~layers
+    ~width () =
+  if inputs <= 0 || layers <= 0 || width <= 0 then
+    invalid_arg "Bench_gen.layered: inputs, layers and width must be positive";
+  if kinds = [] then invalid_arg "Bench_gen.layered: empty kind list";
+  let rng = Rng.create seed in
+  let c = Circuit.create () in
+  let pis = Array.init inputs (fun i -> Circuit.add_input ~name:(Printf.sprintf "pi%d" i) c) in
+  ignore pis;
+  (* previous rank (dense fanin pool) and the flat list of all nodes so
+     far (long-range wires when locality misses) *)
+  let prev = ref (Array.init inputs (fun i -> i)) in
+  for _l = 1 to layers do
+    let rank =
+      Array.init width (fun _ ->
+          let kind = Rng.choose rng kinds in
+          let pick () =
+            if Rng.float rng < locality then !prev.(Rng.int rng (Array.length !prev))
+            else Rng.int rng (Circuit.node_count c)
+          in
+          let fanins = List.init (Gate.arity kind) (fun _ -> pick ()) in
+          Circuit.add_gate c kind fanins)
+    in
+    prev := rank
+  done;
+  let n_out = match outputs with Some n -> max 1 n | None -> max 1 (width / 4) in
+  for k = 0 to n_out - 1 do
+    Circuit.set_output c (Printf.sprintf "po%d" k) !prev.(k mod Array.length !prev)
+  done;
+  seal_observability c
+
+(* ------------------------------------------------------------------ *)
+(* c432 class: XOR conditioning into deep NAND/NOR priority trees.     *)
+(* ------------------------------------------------------------------ *)
+
+let c432_like ~seed ~scale () =
+  if scale <= 0 then invalid_arg "Bench_gen.c432_like: scale must be positive";
+  let rng = Rng.create seed in
+  let c = Circuit.create () in
+  let groups = scale in
+  let m = 9 * groups in
+  (* Four input buses, as in the original's A/B/C/E channel groups. *)
+  let bus nm = Array.init m (fun i -> Circuit.add_input ~name:(Printf.sprintf "%s%d" nm i) c) in
+  let a = bus "a" and b = bus "b" and e = bus "e" and d = bus "d" in
+  (* Stage 1: XOR conditioning of paired buses. *)
+  let x = Array.init m (fun i -> Circuit.add_gate c Gate.Xor [ a.(i); b.(i) ]) in
+  let y = Array.init m (fun i -> Circuit.add_gate c Gate.Xor [ e.(i); d.(i) ]) in
+  (* Stage 2: per-group 9-input NAND / NOR priority trees. *)
+  let group arr g = List.init 9 (fun k -> arr.((9 * g) + k)) in
+  let xg = Array.init groups (fun g -> Circuit.reduce c Gate.Nand (group x g)) in
+  let yg = Array.init groups (fun g -> Circuit.reduce c Gate.Nor (group y g)) in
+  (* Stage 3: seeded cross-bus products — every (x-group, y-group) pair
+     contributes a 9-wide AND row over shuffled channel picks, NANDed
+     with the group summaries. *)
+  let outs = ref [] in
+  for gx = 0 to groups - 1 do
+    for gy = 0 to groups - 1 do
+      let row =
+        List.init 9 (fun _ ->
+            let xi = x.((9 * gx) + Rng.int rng 9) in
+            let yi = y.((9 * gy) + Rng.int rng 9) in
+            Circuit.add_gate c Gate.And [ xi; yi ])
+      in
+      let row_or = Circuit.reduce c Gate.Or row in
+      let gated = Circuit.add_gate c Gate.Nand [ row_or; xg.(gx) ] in
+      outs := Circuit.add_gate c Gate.Nand [ gated; yg.(gy) ] :: !outs
+    done
+  done;
+  (* ~7 outputs per scale step, as in the original's PA/PB/PC + chans. *)
+  let outs = Array.of_list (List.rev !outs) in
+  let n_out = max 1 (7 * scale) in
+  for k = 0 to n_out - 1 do
+    if k < Array.length outs then
+      Circuit.set_output c (Printf.sprintf "po%d" k) outs.(k)
+  done;
+  (* Cross products beyond the exported ones are folded by the sink. *)
+  seal_observability c
+
+(* ------------------------------------------------------------------ *)
+(* c880 class: mux-selected ALU datapath with CLA and control outputs. *)
+(* ------------------------------------------------------------------ *)
+
+let c880_like ~seed ~width () =
+  if width <= 0 then invalid_arg "Bench_gen.c880_like: width must be positive";
+  let rng = Rng.create seed in
+  let c = Circuit.create () in
+  let a = Array.init width (fun i -> Circuit.add_input ~name:(Printf.sprintf "a%d" i) c) in
+  let b = Array.init width (fun i -> Circuit.add_input ~name:(Printf.sprintf "b%d" i) c) in
+  let op0 = Circuit.add_input ~name:"op0" c in
+  let op1 = Circuit.add_input ~name:"op1" c in
+  let cin = Circuit.add_input ~name:"cin" c in
+  (* Seed permutes which operand bit pairs with which — the "wiring
+     harness" variation across instances of the class. *)
+  let perm = Array.init width (fun i -> i) in
+  Rng.shuffle rng perm;
+  let carry = ref cin in
+  let ys = Array.make width 0 in
+  let props = Array.make width 0 in
+  let gens = Array.make width 0 in
+  for i = 0 to width - 1 do
+    let ai = a.(i) and bi = b.(perm.(i)) in
+    let and_i = Circuit.add_gate c Gate.And [ ai; bi ] in
+    let or_i = Circuit.add_gate c Gate.Or [ ai; bi ] in
+    let xor_i = Circuit.add_gate c Gate.Xor [ ai; bi ] in
+    let sum_i = Circuit.add_gate c Gate.Xor [ xor_i; !carry ] in
+    let c1 = Circuit.add_gate c Gate.And [ xor_i; !carry ] in
+    carry := Circuit.add_gate c Gate.Or [ and_i; c1 ];
+    props.(i) <- xor_i;
+    gens.(i) <- and_i;
+    let lo = Circuit.add_gate c Gate.Mux [ op0; and_i; or_i ] in
+    let hi = Circuit.add_gate c Gate.Mux [ op0; xor_i; sum_i ] in
+    let y = Circuit.add_gate c Gate.Mux [ op1; lo; hi ] in
+    ys.(i) <- y;
+    Circuit.set_output c (Printf.sprintf "y%d" i) y
+  done;
+  Circuit.set_output c "cout" !carry;
+  (* Carry-lookahead section: group-generate/propagate over 4-bit
+     slices, as the original's lookahead logic. *)
+  let slice = 4 in
+  let rec group_gen lo hi =
+    (* generate of [lo, hi): G = g_{hi-1} + p_{hi-1} * G(lo, hi-1) *)
+    if hi - lo = 1 then gens.(lo)
+    else
+      let t = Circuit.add_gate c Gate.And [ props.(hi - 1); group_gen lo (hi - 1) ] in
+      Circuit.add_gate c Gate.Or [ gens.(hi - 1); t ]
+  in
+  let n_slices = (width + slice - 1) / slice in
+  for s = 0 to n_slices - 1 do
+    let lo = s * slice and hi = min width ((s + 1) * slice) in
+    let gg = group_gen lo hi in
+    let gp = Circuit.reduce c Gate.And (List.init (hi - lo) (fun k -> props.(lo + k))) in
+    Circuit.set_output c (Printf.sprintf "gg%d" s) gg;
+    Circuit.set_output c (Printf.sprintf "gp%d" s) gp
+  done;
+  (* Control outputs: result parity and zero-detect. *)
+  Circuit.set_output c "par" (Circuit.reduce c Gate.Xor (Array.to_list ys));
+  Circuit.set_output c "zero" (Circuit.reduce c Gate.Nor (Array.to_list ys));
+  seal_observability c
+
+(* ------------------------------------------------------------------ *)
+(* c6288 class: the array-multiplier full-adder grid.                  *)
+(* ------------------------------------------------------------------ *)
+
+let c6288_like ~width () =
+  if width <= 0 then invalid_arg "Bench_gen.c6288_like: width must be positive";
+  seal_observability (Generators.array_multiplier width)
+
+(* ------------------------------------------------------------------ *)
+(* Carry-save (Wallace) multiplier tree.                               *)
+(* ------------------------------------------------------------------ *)
+
+let csa_multiplier ~width () =
+  if width <= 0 then invalid_arg "Bench_gen.csa_multiplier: width must be positive";
+  let c = Circuit.create () in
+  let a = Array.init width (fun i -> Circuit.add_input ~name:(Printf.sprintf "a%d" i) c) in
+  let b = Array.init width (fun i -> Circuit.add_input ~name:(Printf.sprintf "b%d" i) c) in
+  let ncols = 2 * width in
+  let full_adder x y z =
+    let xy = Circuit.add_gate c Gate.Xor [ x; y ] in
+    let s = Circuit.add_gate c Gate.Xor [ xy; z ] in
+    let t1 = Circuit.add_gate c Gate.And [ x; y ] in
+    let t2 = Circuit.add_gate c Gate.And [ xy; z ] in
+    (s, Circuit.add_gate c Gate.Or [ t1; t2 ])
+  in
+  let half_adder x y =
+    (Circuit.add_gate c Gate.Xor [ x; y ], Circuit.add_gate c Gate.And [ x; y ])
+  in
+  (* Partial products by column. *)
+  let columns = Array.make ncols [] in
+  for i = 0 to width - 1 do
+    for j = 0 to width - 1 do
+      columns.(i + j) <-
+        Circuit.add_gate c Gate.And [ a.(i); b.(j) ] :: columns.(i + j)
+    done
+  done;
+  Array.iteri (fun k l -> columns.(k) <- List.rev l) columns;
+  (* Wallace rounds: compress every column with >2 bits using 3:2 and
+     2:2 compressors until at most two rows remain. Each round builds
+     the next column set whole, so compression depth is logarithmic. *)
+  let too_tall cols = Array.exists (fun l -> List.length l > 2) cols in
+  let cols = ref columns in
+  while too_tall !cols do
+    let nxt = Array.make ncols [] in
+    let push k v = if k < ncols then nxt.(k) <- v :: nxt.(k) in
+    Array.iteri
+      (fun k bits ->
+        let rec compress = function
+          | x :: y :: z :: rest ->
+            let s, carry = full_adder x y z in
+            push k s;
+            push (k + 1) carry;
+            compress rest
+          | [ x; y ] when List.length bits > 2 ->
+            (* only compress pairs in columns that are being reduced *)
+            let s, carry = half_adder x y in
+            push k s;
+            push (k + 1) carry
+          | leftover -> List.iter (push k) leftover
+        in
+        compress bits)
+      !cols;
+    cols := Array.map List.rev nxt
+  done;
+  (* Final carry-propagate stage over the remaining (<= 2)-bit columns.
+     The last column's carry is never materialized — nothing dangles. *)
+  let carry = ref None in
+  for k = 0 to ncols - 1 do
+    let bits = match !carry with None -> !cols.(k) | Some cy -> cy :: !cols.(k) in
+    let want_carry = k < ncols - 1 in
+    let s, cy =
+      match bits with
+      | [] -> (Circuit.add_const c false, None)
+      | [ x ] -> (x, None)
+      | [ x; y ] ->
+        if want_carry then
+          let s, cy = half_adder x y in
+          (s, Some cy)
+        else (Circuit.add_gate c Gate.Xor [ x; y ], None)
+      | [ x; y; z ] ->
+        if want_carry then
+          let s, cy = full_adder x y z in
+          (s, Some cy)
+        else
+          let xy = Circuit.add_gate c Gate.Xor [ x; y ] in
+          (Circuit.add_gate c Gate.Xor [ xy; z ], None)
+      | _ -> assert false (* rounds above leave <= 2 bits + 1 carry *)
+    in
+    carry := cy;
+    Circuit.set_output c (Printf.sprintf "m%d" k) s
+  done;
+  seal_observability c
+
+(* ------------------------------------------------------------------ *)
+(* Mixes.                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let mix ~seed components () =
+  if components = [] then invalid_arg "Bench_gen.mix: empty component list";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (p, _) ->
+      if Hashtbl.mem seen p then
+        invalid_arg (Printf.sprintf "Bench_gen.mix: duplicate prefix %s" p);
+      Hashtbl.replace seen p ())
+    components;
+  let rng = Rng.create seed in
+  let c = Circuit.create () in
+  (* Shared input pool sized for the widest component. *)
+  let pool_size =
+    List.fold_left (fun acc (_, sub) -> max acc (Circuit.num_inputs sub)) 1 components
+  in
+  let pool =
+    Array.init pool_size (fun i -> Circuit.add_input ~name:(Printf.sprintf "pi%d" i) c)
+  in
+  List.iter
+    (fun (prefix, sub) ->
+      let ni = Circuit.num_inputs sub in
+      (* Seeded binding: a shuffled slice of the pool, so components
+         overlap on inputs without being identically wired. *)
+      let order = Array.init pool_size (fun i -> i) in
+      Rng.shuffle rng order;
+      let binding = Array.init ni (fun k -> pool.(order.(k mod pool_size))) in
+      let outs = Circuit.inline ~into:c ~sub ~prefix binding in
+      Array.iteri
+        (fun k (nm, _) ->
+          Circuit.set_output c (Printf.sprintf "%s_%s" prefix nm) outs.(k))
+        (Circuit.outputs sub))
+    components;
+  seal_observability c
+
+(* ------------------------------------------------------------------ *)
+(* Size-targeted family dispatch.                                      *)
+(* ------------------------------------------------------------------ *)
+
+type family = Layered | C432 | C880 | C6288 | Csa_mult | Mixed
+
+let family_name = function
+  | Layered -> "layered"
+  | C432 -> "c432_like"
+  | C880 -> "c880_like"
+  | C6288 -> "c6288_like"
+  | Csa_mult -> "csa_mult"
+  | Mixed -> "mixed"
+
+let all_families = [ Layered; C432; C880; C6288; Csa_mult; Mixed ]
+
+let rec sized ~seed family ~target_gates =
+  if target_gates < 16 then invalid_arg "Bench_gen.sized: target_gates < 16";
+  let t = Float.of_int target_gates in
+  let iround f = max 1 (int_of_float (Float.round f)) in
+  match family with
+  | Layered ->
+    (* gates ~ layers * width; keep depth ~ 4 * sqrt(size / 16). The
+       1.38 divisor absorbs the measured overhead of inputs, outputs
+       and the observability fold on top of the rank gates. *)
+    let layers = max 2 (iround (4.0 *. sqrt (t /. 64.0))) in
+    let width = max 4 (iround (t /. 1.38 /. Float.of_int layers)) in
+    layered ~seed ~inputs:(max 8 (width / 2)) ~layers ~width ()
+  | C432 ->
+    (* measured: gates ~ 37 * scale^2 once cross rows dominate. *)
+    let scale = max 1 (iround (sqrt (t /. 36.0))) in
+    c432_like ~seed ~scale ()
+  | C880 ->
+    (* gates ~ 13 per datapath bit plus lookahead/control. *)
+    c880_like ~seed ~width:(max 4 (iround (t /. 13.5))) ()
+  | C6288 ->
+    (* full-adder grid: gates ~ 6 * width^2. *)
+    c6288_like ~width:(max 4 (iround (sqrt (t /. 6.0)))) ()
+  | Csa_mult ->
+    (* compressor tree: gates ~ 6.5 * width^2. *)
+    csa_multiplier ~width:(max 4 (iround (sqrt (t /. 6.5)))) ()
+  | Mixed ->
+    let quarter = max 16 (target_gates / 4) in
+    mix ~seed
+      [ ("lay", sized ~seed:(seed + 1) Layered ~target_gates:quarter);
+        ("ctl", sized ~seed:(seed + 2) C432 ~target_gates:quarter);
+        ("alu", sized ~seed:(seed + 3) C880 ~target_gates:quarter);
+        ("mul", sized ~seed:(seed + 4) Csa_mult ~target_gates:quarter) ]
+      ()

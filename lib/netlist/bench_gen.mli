@@ -1,0 +1,99 @@
+(** Parametric, seed-deterministic benchmark-circuit generators at
+    realistic scale.
+
+    The reference generators in {!Generators} top out at a few hundred
+    gates — fine for functional tests, far too small to amortize domain
+    startup or exercise cache behaviour. This module produces the
+    ISCAS/ITC-scale workloads the surveyed literature evaluates on:
+    layered random logic with controllable depth/width/fanout, ISCAS-85
+    topology classes (c432/c880/c6288-style), carry-save multiplier
+    trees, and configurable mixes — from thousands to hundreds of
+    thousands of gates.
+
+    Contracts, relied on by the benchmark harness and the property suite:
+
+    - {b seed determinism}: a generator is a pure function of its
+      parameters (including [seed]); the same call always yields a
+      circuit with the same {!fingerprint}, on any machine, at any
+      domain count;
+    - {b lint cleanliness}: every generated circuit passes
+      {!Lint.check} with no errors and no [dangling-net] warnings —
+      unconsumed logic is folded into a dedicated observability output,
+      so ATPG/TVLA/placement see every gate. *)
+
+(** Stable structural content hash (FNV-1a 64, hex): covers every node's
+    kind, fanins and name plus the declared outputs. Two circuits with
+    the same fingerprint are structurally identical. *)
+val fingerprint : Circuit.t -> string
+
+(** [layered ~seed ~inputs ~layers ~width ()] — random combinational
+    logic in [layers] ranks of [width] gates. Each gate's fanins come
+    from the previous rank with probability [locality] (default 0.75),
+    else from any earlier node — so [locality] controls the
+    depth/fanout trade-off: 1.0 gives a strict pipeline of depth
+    [layers], lower values thicken reconvergent fanout. [kinds]
+    (default: the 2-input cell vocabulary plus NOT) weights the cell
+    mix. [outputs] (default [max 1 (width/4)]) primary outputs read the
+    final rank; everything left unconsumed is XOR-folded into one
+    additional [po_obs] output. *)
+val layered :
+  seed:int ->
+  ?kinds:Gate.kind list ->
+  ?locality:float ->
+  ?outputs:int ->
+  inputs:int ->
+  layers:int ->
+  width:int ->
+  unit ->
+  Circuit.t
+
+(** [c432_like ~seed ~scale ()] — the c432 topology class (27-channel
+    interrupt controller): XOR input conditioning feeding deep 9-input
+    NAND/NOR priority trees with seeded cross-bus wiring. [scale = 1]
+    is roughly original size (~200 gates); gate count grows ~linearly
+    in [scale * scale] (buses widen and cross-products multiply). *)
+val c432_like : seed:int -> scale:int -> unit -> Circuit.t
+
+(** [c880_like ~seed ~width ()] — the c880 topology class (8-bit ALU):
+    a [width]-bit mux-selected AND/OR/XOR/ADD datapath with a
+    carry-lookahead section, result parity and zero-detect control
+    outputs. [width = 8] is roughly original size (~400 gates); gate
+    count grows linearly in [width]. The [seed] permutes operand
+    wiring. *)
+val c880_like : seed:int -> width:int -> unit -> Circuit.t
+
+(** [c6288_like ~width ()] — the c6288 topology class: the [width] x
+    [width] array-multiplier full-adder grid ([width = 16] is the
+    original, ~2.4k gates; gate count grows with [width * width]). Pure
+    structure, no seed. *)
+val c6288_like : width:int -> unit -> Circuit.t
+
+(** [csa_multiplier ~width ()] — [width] x [width] carry-save (Wallace)
+    multiplier: 3:2 compressor tree over the partial products, final
+    ripple carry-propagate stage — same function as {!c6288_like} at
+    logarithmic compression depth, the wide-and-shallow contrast to the
+    array grid. *)
+val csa_multiplier : width:int -> unit -> Circuit.t
+
+(** [mix ~seed components ()] — one circuit instantiating each
+    [(prefix, circuit)] component over a shared primary-input pool
+    (seeded binding), re-exporting each component's outputs under
+    [prefix ^ "_" ^ name]. Component net names are prefixed, so
+    identical components can repeat under distinct prefixes.
+    @raise Invalid_argument on an empty component list or duplicate
+    prefixes. *)
+val mix : seed:int -> (string * Circuit.t) list -> unit -> Circuit.t
+
+(** The generator families the benchmark sweeps, keyed by a stable
+    name. *)
+type family = Layered | C432 | C880 | C6288 | Csa_mult | Mixed
+
+val family_name : family -> string
+val all_families : family list
+
+(** [sized ~seed family ~target_gates] picks family parameters so the
+    generated circuit lands near [target_gates] combinational cells
+    (within roughly +-35%; exact for a given (family, seed, target)).
+    Intended for size-parametrized benchmark sweeps.
+    @raise Invalid_argument when [target_gates < 16]. *)
+val sized : seed:int -> family -> target_gates:int -> Circuit.t

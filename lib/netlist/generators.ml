@@ -164,8 +164,13 @@ let array_multiplier width =
       columns.(i + j) <- pp :: columns.(i + j)
     done
   done;
-  (* Column compression with full/half adders, carries ripple upward. *)
+  (* Column compression with full/half adders, carries ripple upward.
+     The top column's carry would be product bit [2 * width], which a
+     width x width product can never set — so those carry gates are
+     never built (building and dropping them would leave dangling
+     logic). *)
   for col = 0 to (2 * width) - 1 do
+    let keep_carry = col + 1 < 2 * width in
     let rec compress bits =
       match bits with
       | [] ->
@@ -173,13 +178,22 @@ let array_multiplier width =
       | [ bit ] -> Circuit.set_output c (Printf.sprintf "m%d" col) bit
       | [ x; y ] ->
         let s = Circuit.add_gate c Gate.Xor [ x; y ] in
-        let carry = Circuit.add_gate c Gate.And [ x; y ] in
-        if col + 1 < 2 * width then columns.(col + 1) <- carry :: columns.(col + 1);
+        if keep_carry then begin
+          let carry = Circuit.add_gate c Gate.And [ x; y ] in
+          columns.(col + 1) <- carry :: columns.(col + 1)
+        end;
         compress [ s ]
       | x :: y :: z :: rest ->
-        let s, carry = full_adder x y z in
-        if col + 1 < 2 * width then columns.(col + 1) <- carry :: columns.(col + 1);
-        compress (s :: rest)
+        if keep_carry then begin
+          let s, carry = full_adder x y z in
+          columns.(col + 1) <- carry :: columns.(col + 1);
+          compress (s :: rest)
+        end
+        else begin
+          let xy = Circuit.add_gate c Gate.Xor [ x; y ] in
+          let s = Circuit.add_gate c Gate.Xor [ xy; z ] in
+          compress (s :: rest)
+        end
     in
     compress columns.(col)
   done;

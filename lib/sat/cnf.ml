@@ -13,6 +13,54 @@ type env = {
 
 let lit env ~node ~sign = Solver.lit_of_var env.vars.(node) ~sign
 
+(* Tseitin clauses for node [i]'s gate, with every literal supplied by
+   [l : node -> sign -> lit]. Shared by the whole-circuit encoder and the
+   fault-cone encoder (which maps cone fanins to faulty variables and
+   everything else to the clean copy's). *)
+let encode_node ~add ~l i nd =
+  let f = nd.Circuit.fanins in
+  match nd.Circuit.kind with
+  | Gate.Input | Gate.Dff -> ()
+  | Gate.Const b -> add [ l i b ]
+  | Gate.Buf ->
+    add [ l i true; l f.(0) false ];
+    add [ l i false; l f.(0) true ]
+  | Gate.Not ->
+    add [ l i true; l f.(0) true ];
+    add [ l i false; l f.(0) false ]
+  | Gate.And ->
+    add [ l i false; l f.(0) true ];
+    add [ l i false; l f.(1) true ];
+    add [ l i true; l f.(0) false; l f.(1) false ]
+  | Gate.Nand ->
+    add [ l i true; l f.(0) true ];
+    add [ l i true; l f.(1) true ];
+    add [ l i false; l f.(0) false; l f.(1) false ]
+  | Gate.Or ->
+    add [ l i true; l f.(0) false ];
+    add [ l i true; l f.(1) false ];
+    add [ l i false; l f.(0) true; l f.(1) true ]
+  | Gate.Nor ->
+    add [ l i false; l f.(0) false ];
+    add [ l i false; l f.(1) false ];
+    add [ l i true; l f.(0) true; l f.(1) true ]
+  | Gate.Xor ->
+    add [ l i false; l f.(0) true; l f.(1) true ];
+    add [ l i false; l f.(0) false; l f.(1) false ];
+    add [ l i true; l f.(0) true; l f.(1) false ];
+    add [ l i true; l f.(0) false; l f.(1) true ]
+  | Gate.Xnor ->
+    add [ l i true; l f.(0) true; l f.(1) true ];
+    add [ l i true; l f.(0) false; l f.(1) false ];
+    add [ l i false; l f.(0) true; l f.(1) false ];
+    add [ l i false; l f.(0) false; l f.(1) true ]
+  | Gate.Mux ->
+    (* i = s ? b : a  with f = [s; a; b] *)
+    add [ l f.(0) true; l i false; l f.(1) true ];
+    add [ l f.(0) true; l i true; l f.(1) false ];
+    add [ l f.(0) false; l i false; l f.(2) true ];
+    add [ l f.(0) false; l i true; l f.(2) false ]
+
 (** Encode the combinational logic of [circuit]. DFF outputs are treated as
     free variables (pseudo-inputs), matching one unrolled time frame. *)
 let encode ?solver circuit =
@@ -24,49 +72,7 @@ let encode ?solver circuit =
   let l node sign = Solver.lit_of_var vars.(node) ~sign in
   let add = Solver.add_clause solver in
   for i = 0 to n - 1 do
-    let nd = Circuit.node circuit i in
-    let f = nd.Circuit.fanins in
-    match nd.Circuit.kind with
-    | Gate.Input | Gate.Dff -> ()
-    | Gate.Const b -> add [ l i b ]
-    | Gate.Buf ->
-      add [ l i true; l f.(0) false ];
-      add [ l i false; l f.(0) true ]
-    | Gate.Not ->
-      add [ l i true; l f.(0) true ];
-      add [ l i false; l f.(0) false ]
-    | Gate.And ->
-      add [ l i false; l f.(0) true ];
-      add [ l i false; l f.(1) true ];
-      add [ l i true; l f.(0) false; l f.(1) false ]
-    | Gate.Nand ->
-      add [ l i true; l f.(0) true ];
-      add [ l i true; l f.(1) true ];
-      add [ l i false; l f.(0) false; l f.(1) false ]
-    | Gate.Or ->
-      add [ l i true; l f.(0) false ];
-      add [ l i true; l f.(1) false ];
-      add [ l i false; l f.(0) true; l f.(1) true ]
-    | Gate.Nor ->
-      add [ l i false; l f.(0) false ];
-      add [ l i false; l f.(1) false ];
-      add [ l i true; l f.(0) true; l f.(1) true ]
-    | Gate.Xor ->
-      add [ l i false; l f.(0) true; l f.(1) true ];
-      add [ l i false; l f.(0) false; l f.(1) false ];
-      add [ l i true; l f.(0) true; l f.(1) false ];
-      add [ l i true; l f.(0) false; l f.(1) true ]
-    | Gate.Xnor ->
-      add [ l i true; l f.(0) true; l f.(1) true ];
-      add [ l i true; l f.(0) false; l f.(1) false ];
-      add [ l i false; l f.(0) true; l f.(1) false ];
-      add [ l i false; l f.(0) false; l f.(1) true ]
-    | Gate.Mux ->
-      (* i = s ? b : a  with f = [s; a; b] *)
-      add [ l f.(0) true; l i false; l f.(1) true ];
-      add [ l f.(0) true; l i true; l f.(1) false ];
-      add [ l f.(0) false; l i false; l f.(2) true ];
-      add [ l f.(0) false; l i true; l f.(2) false ]
+    encode_node ~add ~l i (Circuit.node circuit i)
   done;
   { solver; vars }
 
@@ -146,6 +152,65 @@ let check_equivalence_b ?budget ?on_stats a b =
   in
   Option.iter (fun f -> f (Solver.stats solver)) on_stats;
   answer
+
+(** Cone-based stuck-at query: is some input assignment able to expose
+    [node] stuck at [value] on a primary output? The clean circuit is
+    encoded once; faulty variables exist only for the fault's transitive
+    fanout cone, whose gates read non-cone fanins directly from the
+    clean encoding. Outside the cone the two copies share variables, so
+    their equality is structural instead of something the solver must
+    derive — the whole-copy miter forced exactly that derivation, which
+    is what made large-circuit ATPG intractable. The cone is cut at DFF
+    boundaries (a stuck fault cannot change this frame's latched state),
+    matching {!encode}'s single-time-frame semantics. A fault whose cone
+    reaches no output is undetectable without any solving. *)
+let check_stuck_at ?budget ?on_stats circuit ~node ~value =
+  let n = Circuit.node_count circuit in
+  if node < 0 || node >= n then invalid_arg "Cnf.check_stuck_at: node out of range";
+  let in_cone = Array.make n false in
+  in_cone.(node) <- true;
+  for i = node + 1 to n - 1 do
+    if
+      (match Circuit.kind circuit i with Gate.Dff -> false | _ -> true)
+      && Array.exists (fun f -> in_cone.(f)) (Circuit.fanins circuit i)
+    then in_cone.(i) <- true
+  done;
+  let affected =
+    Array.to_list (Circuit.output_ids circuit)
+    |> List.filter (fun o -> in_cone.(o))
+    |> List.sort_uniq compare
+  in
+  match affected with
+  | [] -> Equivalent
+  | _ ->
+    let solver = Solver.create () in
+    let env = encode ~solver circuit in
+    let fvars = Array.make n (-1) in
+    for i = 0 to n - 1 do
+      if in_cone.(i) then fvars.(i) <- Solver.new_var solver
+    done;
+    let add = Solver.add_clause solver in
+    add [ Solver.lit_of_var fvars.(node) ~sign:value ];
+    let l j sign =
+      Solver.lit_of_var (if in_cone.(j) then fvars.(j) else env.vars.(j)) ~sign
+    in
+    for i = node + 1 to n - 1 do
+      if in_cone.(i) then encode_node ~add ~l i (Circuit.node circuit i)
+    done;
+    let diffs = List.map (fun o -> xor_var solver env.vars.(o) fvars.(o)) affected in
+    add [ Solver.lit_of_var (or_var solver diffs) ~sign:true ];
+    let answer =
+      match Solver.solve ?budget solver with
+      | Solver.Unsat -> Equivalent
+      | Solver.Sat ->
+        Counterexample
+          (Array.map
+             (fun ia -> Solver.model_value solver env.vars.(ia))
+             (Circuit.inputs circuit))
+      | Solver.Unknown e -> Equiv_unknown e
+    in
+    Option.iter (fun f -> f (Solver.stats solver)) on_stats;
+    answer
 
 (** Unbounded equivalence check; [None] when equivalent, or a
     distinguishing input assignment. *)

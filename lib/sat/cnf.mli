@@ -39,6 +39,24 @@ val check_equivalence_b :
   Netlist.Circuit.t ->
   equivalence
 
+(** Cone-based stuck-at detectability query — the ATPG miter. The clean
+    circuit is encoded once; faulty variables exist only in the fault's
+    transitive fanout cone (cut at DFF boundaries), and the miter XORs
+    only the affected outputs. Outside the cone the copies share
+    variables, so the solver never has to re-derive their equality —
+    this is what keeps per-fault queries tractable on 10k+-gate
+    circuits, where a whole-copy miter blows up. [Equivalent] means
+    undetectable (the cone reaches no output, or the miter is UNSAT);
+    [Counterexample] carries a detecting input assignment.
+    @raise Invalid_argument when [node] is out of range. *)
+val check_stuck_at :
+  ?budget:Eda_util.Budget.t ->
+  ?on_stats:(Solver.stats -> unit) ->
+  Netlist.Circuit.t ->
+  node:int ->
+  value:bool ->
+  equivalence
+
 (** Unbounded combinational equivalence of two identically-shaped
     circuits; [None] when equivalent, otherwise a distinguishing input
     assignment. *)

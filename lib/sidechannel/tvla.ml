@@ -174,7 +174,10 @@ let campaign_seeded ?pool rng ~traces_per_class ~collect =
   let batches =
     match pool with
     | Some p when P.size p > 1 ->
-      P.parallel_map ~label:"tvla" p batch_ids ~f:(fun _ctx b -> run_batch b)
+      (* scheduling grain only: batch boundaries (and so the merge
+         order) stay fixed by [batch_pairs] at any domain count *)
+      let chunk = max 1 (nbatches / (4 * P.size p)) in
+      P.parallel_map ~label:"tvla" ~chunk p batch_ids ~f:(fun _ctx b -> run_batch b)
     | _ -> Array.map (fun b -> Some (run_batch b)) batch_ids
   in
   let merged = ref None in

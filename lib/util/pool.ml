@@ -175,8 +175,17 @@ let run_batch t work =
 
 (* The scheduling core shared by map and race. [exec ctx i] must record
    its own result; exceptions it lets escape are captured per task index
-   and the first (lowest-index) one is re-raised after the join. *)
-let drive ?budget ?(label = "batch") ~stop ~exec t n =
+   and the first (lowest-index) one is re-raised after the join.
+
+   [chunk] is the scheduling grain: a slot claims up to [chunk]
+   consecutive task indices per atomic cursor bump and amortizes the
+   per-claim bookkeeping (two clock reads, counter updates) over the
+   block. Chunking moves tasks between domains, never changes which
+   results land where — semantics are grain-independent. The stop flag
+   is still polled before every task inside a block, so cancellation
+   latency stays one task, not one chunk. *)
+let drive ?budget ?(label = "batch") ?(chunk = 1) ~stop ~exec t n =
+  let chunk = max 1 chunk in
   let exns = Array.make n None in
   let lo s = s * n / t.size in
   let hi s = (s + 1) * n / t.size in
@@ -188,16 +197,21 @@ let drive ?budget ?(label = "batch") ~stop ~exec t n =
   let task_budget ?steps ?seconds () =
     Budget.create ~clock:Unix.gettimeofday ?steps ?seconds ~poll:cancelled ()
   in
-  let run_one slot i =
+  (* Run tasks [i, j): one timing window for the whole block. *)
+  let run_block slot i j =
     let st = stats.(slot) in
     let t0 = now () in
-    (try exec { task_index = i; slot; cancelled; task_budget } i
-     with e ->
-       exns.(i) <- Some (e, Printexc.get_raw_backtrace ());
-       Atomic.set stop true);
-    st.tasks <- st.tasks + 1;
-    st.busy <- st.busy +. (now () -. t0);
-    Atomic.incr completed
+    let k = ref i in
+    while !k < j && not (Atomic.get stop) do
+      (try exec { task_index = !k; slot; cancelled; task_budget } !k
+       with e ->
+         exns.(!k) <- Some (e, Printexc.get_raw_backtrace ());
+         Atomic.set stop true);
+      st.tasks <- st.tasks + 1;
+      Atomic.incr completed;
+      incr k
+    done;
+    st.busy <- st.busy +. (now () -. t0)
   in
   let work slot =
     let rec loop () =
@@ -207,21 +221,22 @@ let drive ?budget ?(label = "batch") ~stop ~exec t n =
        | _ -> ());
       if not (Atomic.get stop) then
         match grab () with
-        | Some i ->
-          run_one slot i;
+        | Some (i, j) ->
+          run_block slot i j;
           loop ()
         | None -> ()
     and grab () =
-      let i = Atomic.fetch_and_add next.(slot) 1 in
-      if i < hi slot then Some i else steal 1
+      let i = Atomic.fetch_and_add next.(slot) chunk in
+      if i < hi slot then Some (i, min (i + chunk) (hi slot)) else steal 1
     and steal k =
       if k >= t.size then None
       else begin
         let v = (slot + k) mod t.size in
+        (* steal single tasks: finer grain rebalances the tail *)
         let i = Atomic.fetch_and_add next.(v) 1 in
         if i < hi v then begin
           stats.(slot).steals <- stats.(slot).steals + 1;
-          Some i
+          Some (i, i + 1)
         end
         else steal (k + 1)
       end
@@ -256,16 +271,17 @@ let drive ?budget ?(label = "batch") ~stop ~exec t n =
           | None -> ())
         exns)
 
-let parallel_map ?budget ?label t ~f inputs =
+let parallel_map ?budget ?label ?chunk t ~f inputs =
   let n = Array.length inputs in
   let results = Array.make n None in
   if n > 0 then begin
     let stop = Atomic.make false in
-    drive ?budget ?label ~stop t n ~exec:(fun ctx i -> results.(i) <- Some (f ctx inputs.(i)))
+    drive ?budget ?label ?chunk ~stop t n
+      ~exec:(fun ctx i -> results.(i) <- Some (f ctx inputs.(i)))
   end;
   results
 
-let parallel_try_map ?budget ?label t ~f inputs =
+let parallel_try_map ?budget ?label ?chunk t ~f inputs =
   let n = Array.length inputs in
   let results = Array.make n None in
   if n > 0 then begin
@@ -274,14 +290,14 @@ let parallel_try_map ?budget ?label t ~f inputs =
        exception ever reaches [drive]'s per-task capture — the stop flag
        stays clear and the other tasks keep running. [None] still marks
        tasks skipped by budget exhaustion or an external cancel. *)
-    drive ?budget ?label ~stop t n ~exec:(fun ctx i ->
+    drive ?budget ?label ?chunk ~stop t n ~exec:(fun ctx i ->
         let r = try Ok (f ctx inputs.(i)) with e -> Error e in
         results.(i) <- Some r)
   end;
   results
 
-let parallel_reduce ?budget ?label t ~f ~combine ~init inputs =
-  let results = parallel_map ?budget ?label t ~f inputs in
+let parallel_reduce ?budget ?label ?chunk t ~f ~combine ~init inputs =
+  let results = parallel_map ?budget ?label ?chunk t ~f inputs in
   Array.fold_left
     (fun acc r -> match r with Some v -> combine acc v | None -> acc)
     init results

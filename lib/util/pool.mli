@@ -63,15 +63,26 @@ val with_pool : ?num_domains:int -> (t -> 'a) -> 'a
     read this, so exporting the variable widens every run at once. *)
 val default_jobs : unit -> int
 
-(** [parallel_map ?budget ?label t ~f inputs] runs [f ctx inputs.(i)]
-    for every [i] and returns the results in input order. [None] marks a
-    task skipped by cancellation. If a task raises, the batch stops, all
-    domains are joined, and the lowest-index exception is re-raised.
-    [budget] is only polled for exhaustion — the pool never charges it;
-    engines account their own steps on the calling domain. *)
+(** [parallel_map ?budget ?label ?chunk t ~f inputs] runs
+    [f ctx inputs.(i)] for every [i] and returns the results in input
+    order. [None] marks a task skipped by cancellation. If a task
+    raises, the batch stops, all domains are joined, and the
+    lowest-index exception is re-raised. [budget] is only polled for
+    exhaustion — the pool never charges it; engines account their own
+    steps on the calling domain.
+
+    [chunk] (default 1) is the scheduling grain: each atomic claim takes
+    up to [chunk] consecutive tasks, amortizing per-claim bookkeeping
+    when tasks are tiny. Chunking affects scheduling only — which domain
+    runs what — never results: the result array is positional and the
+    stop flag is still polled before every task. Steals stay grain-1 so
+    the tail rebalances. Raise it (e.g. [tasks / (4 * size)]) when tasks
+    are microseconds; leave it at 1 when tasks are chunky or wildly
+    uneven. *)
 val parallel_map :
   ?budget:Budget.t ->
   ?label:string ->
+  ?chunk:int ->
   t ->
   f:(task_ctx -> 'a -> 'b) ->
   'a array ->
@@ -89,6 +100,7 @@ val parallel_map :
 val parallel_try_map :
   ?budget:Budget.t ->
   ?label:string ->
+  ?chunk:int ->
   t ->
   f:(task_ctx -> 'a -> 'b) ->
   'a array ->
@@ -100,6 +112,7 @@ val parallel_try_map :
 val parallel_reduce :
   ?budget:Budget.t ->
   ?label:string ->
+  ?chunk:int ->
   t ->
   f:(task_ctx -> 'a -> 'b) ->
   combine:('acc -> 'b -> 'acc) ->
