@@ -921,22 +921,19 @@ module Perf_compare = struct
     done;
     Array.map (fun k -> Float.of_int k /. Float.of_int (words * 63)) ones
 
-  (* Allocated words so far: minor + major - promoted, the standard
-     double-count-free total. *)
-  let words g = g.Gc.minor_words +. g.Gc.major_words -. g.Gc.promoted_words
-
   (* CPU time + allocation profile of [f]: (result, seconds, allocated
-     words, major-heap words). *)
+     words, major-heap words). Allocation accounting rides the same
+     [Telemetry.alloc_snapshot] primitive the tracer uses for per-span
+     GC deltas, so bench and traces report from one cost model. *)
   let measured f =
     Gc.full_major ();
-    let g0 = Gc.quick_stat () in
+    let g0 = Eda_util.Telemetry.alloc_snapshot () in
     let t0 = Sys.time () in
     let r = f () in
     let dt = Sys.time () -. t0 in
-    let g1 = Gc.quick_stat () in
-    let allocated = words g1 -. words g0 in
-    let major = g1.Gc.major_words -. g0.Gc.major_words in
-    (r, Float.max dt 1e-9, allocated, major)
+    let d = Eda_util.Telemetry.alloc_since g0 in
+    (r, Float.max dt 1e-9, d.Eda_util.Telemetry.alloc_words,
+     d.Eda_util.Telemetry.major_words)
 
   (* Wrap [ops.solve] so the solver's own search phase is timed and
      GC-profiled apart from the bench-side CNF encoding (which is shared
@@ -945,12 +942,12 @@ module Perf_compare = struct
   let instrument_solve ops =
     let seconds = ref 0.0 and allocated = ref 0.0 in
     let solve assumptions =
-      let g0 = Gc.quick_stat () in
+      let g0 = Eda_util.Telemetry.alloc_snapshot () in
       let t0 = Sys.time () in
       let r = ops.solve assumptions in
       seconds := !seconds +. (Sys.time () -. t0);
-      let g1 = Gc.quick_stat () in
-      allocated := !allocated +. (words g1 -. words g0);
+      allocated :=
+        !allocated +. (Eda_util.Telemetry.alloc_since g0).Eda_util.Telemetry.alloc_words;
       r
     in
     ({ ops with solve }, seconds, allocated)

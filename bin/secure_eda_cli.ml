@@ -79,7 +79,8 @@ let with_trace trace f =
     let oc = try open_out path with Sys_error msg -> die "%s: %s" path msg in
     Fun.protect
       ~finally:(fun () -> close_out oc)
-      (fun () -> Telemetry.with_sink (Telemetry.jsonl_sink oc) f)
+      (* gc:true — traced CLI runs also record per-span allocation deltas *)
+      (fun () -> Telemetry.with_sink ~gc:true (Telemetry.jsonl_sink oc) f)
 
 let pp_solver_stats (s : Sat.Solver.stats) =
   Printf.printf "solver: %d conflicts, %d decisions, %d propagations, %d learnt, %d restarts\n"
@@ -649,19 +650,65 @@ let jobs_cmd =
 (* --- report ------------------------------------------------------------ *)
 
 let report_cmd =
+  let module Trace = Telemetry.Trace in
   let trace_file =
     Arg.(
       required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"JSONL trace file")
   in
-  let run path =
-    match Telemetry.Trace.of_file path with
+  let flame_arg =
+    let doc = "Print folded stacks (path;to;span <self µs>) instead of the profile." in
+    Arg.(value & flag & info [ "flame" ] ~doc)
+  in
+  let critical_arg =
+    let doc = "Print the critical path through the span tree instead of the profile." in
+    Arg.(value & flag & info [ "critical-path" ] ~doc)
+  in
+  let diff_arg =
+    let doc =
+      "Diff $(docv) (baseline) against TRACE: per-span duration totals, counter \
+       totals and final gauges. Exits 1 when any metric regresses past --threshold."
+    in
+    Arg.(value & opt (some file) None & info [ "diff" ] ~docv:"BASE" ~doc)
+  in
+  let threshold_arg =
+    let doc = "Relative tolerance for --diff verdicts (0.25 = 25%)." in
+    Arg.(value & opt float 0.25 & info [ "threshold" ] ~docv:"FRAC" ~doc)
+  in
+  let min_duration_arg =
+    let doc =
+      "Ignore span metrics whose larger duration total is below $(docv) seconds in \
+       --diff (filters microsecond jitter)."
+    in
+    Arg.(value & opt float 0.0 & info [ "min-duration" ] ~docv:"SECONDS" ~doc)
+  in
+  let load path =
+    match Trace.of_file path with
     | Error msg -> die "%s: malformed trace: %s" path msg
-    | Ok trace -> Format.printf "%a@." Telemetry.Trace.pp_profile trace
+    | Ok trace -> trace
+  in
+  let run path flame critical diff threshold min_duration =
+    let trace = load path in
+    match diff with
+    | Some base_path ->
+      let base = load base_path in
+      let d = Trace.diff_traces ~threshold ~min_duration ~base trace in
+      Format.printf "%a@." Trace.pp_diff d;
+      if d.Trace.regressions > 0 then exit 1
+    | None ->
+      if flame then Format.printf "%a@?" Trace.pp_flame trace
+      else if critical then Format.printf "%a@." Trace.pp_critical_path trace
+      else
+        Format.printf "%a%a@." Trace.pp_profile trace Trace.pp_domains trace
   in
   Cmd.v
     (Cmd.info "report"
-       ~doc:"Profile a JSONL telemetry trace: span tree, wall time, counter totals")
-    Term.(const run $ trace_file)
+       ~doc:
+         "Profile a JSONL telemetry trace (span tree, wall time, counters, per-domain \
+          busy time); --flame for folded stacks, --critical-path for the longest \
+          chain, --diff BASE for a regression gate (exit 1 past --threshold)")
+    Term.(
+      const run $ trace_file $ flame_arg $ critical_arg $ diff_arg $ threshold_arg
+      $ min_duration_arg)
 
 let () =
   let doc = "security-centric EDA toolkit (DATE 2020 reproduction)" in

@@ -164,7 +164,11 @@ let run_pooled ~pool ?budget ?faults circuit =
   let faults = fault_universe ?faults circuit in
   let total = List.length faults in
   let st = fresh_campaign faults in
-  let chunk_len = max 2 (2 * P.size pool) in
+  (* Fixed speculation horizon, deliberately not a function of pool
+     size: the executed query set — and so the captured trace — is
+     identical at any domain count. 16 keeps 8 domains busy at two
+     queries each while bounding wasted speculation. *)
+  let chunk_len = 16 in
   let take n lst =
     let rec go acc n = function
       | x :: rest when n > 0 -> go (x :: acc) (n - 1) rest
@@ -230,8 +234,12 @@ let run_pooled ~pool ?budget ?faults circuit =
     outcome counters ([atpg.detected] for SAT-generated patterns,
     [atpg.covered_by_simulation] for faults swept by fault-simulating a
     fresh pattern, [atpg.untestable], [atpg.abstained]) and a final
-    [atpg.coverage] gauge; each caller-domain miter query nests a
-    [sat.solve] span, and pooled chunks add [pool.batch] spans. *)
+    [atpg.coverage] gauge. Pooled chunks add [pool.batch] spans whose
+    [pool.task] children carry the workers' captured telemetry — each
+    speculative miter query's [sat.solve] span appears under the task
+    that ran it, tagged with [task]/[domain] attributes. Any pool,
+    including size 1, takes the pooled path so the trace shape is
+    uniform across domain counts. *)
 let run ?budget ?pool ?faults circuit =
   let module T = Eda_util.Telemetry in
   let domains = match pool with Some p -> Eda_util.Pool.size p | None -> 1 in
@@ -239,8 +247,8 @@ let run ?budget ?pool ?faults circuit =
     ~attrs:[ ("nodes", T.Int (Circuit.node_count circuit)); ("domains", T.Int domains) ]
     (fun () ->
       match pool with
-      | Some p when Eda_util.Pool.size p > 1 -> run_pooled ~pool:p ?budget ?faults circuit
-      | _ -> run_seq ?budget ?faults circuit)
+      | Some p -> run_pooled ~pool:p ?budget ?faults circuit
+      | None -> run_seq ?budget ?faults circuit)
 
 (** Checked entry point: lint first, structured errors out. *)
 let run_checked ?budget ?pool ?faults circuit =

@@ -9,7 +9,12 @@
 
     With a [?pool], the attack runs as a solver portfolio: phase-seeded
     copies of the miter race each DIP query and the first decisive answer
-    wins ({!Eda_util.Pool.race}). *)
+    wins ({!Eda_util.Pool.race}). The portfolio path is taken only when
+    it buys parallelism ([members > 1]) — unlike the deterministic pooled
+    engines, which take their pooled path at any pool size, a race is
+    timing-dependent by design (which member wins picks the DIP order),
+    so its captured [pool.task] telemetry is honest but not expected to
+    be bit-identical across runs or domain counts. *)
 
 module Circuit = Netlist.Circuit
 module Solver = Sat.Solver

@@ -163,7 +163,9 @@ let place ?(starts = 1) ?moves ?budget ?pool rng circuit =
     in
     let candidates =
       match pool with
-      | Some p when P.size p > 1 ->
+      | Some p ->
+        (* any pool size, 1 included, takes this path: captured
+           [pool.task] spans keep the trace shape uniform across -j *)
         let step_cap = Option.bind budget Eda_util.Budget.remaining_steps in
         let results =
           P.parallel_map ?budget ~label:"placement" p
@@ -186,7 +188,7 @@ let place ?(starts = 1) ?moves ?budget ?pool rng circuit =
               results)
           budget;
         results
-      | _ -> Array.init starts (fun i -> Some (run_start ?budget i))
+      | None -> Array.init starts (fun i -> Some (run_start ?budget i))
     in
     let best = ref None in
     let completed = ref 0 in

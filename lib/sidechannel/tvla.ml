@@ -136,7 +136,9 @@ let batch_pairs = 32
     Streaming moments also mean memory stays O(samples), not O(traces).
 
     Telemetry: a [tvla.campaign] span (attrs [seeded], [domains])
-    counting [tvla.traces] and gauging the final [tvla.max_abs_t].
+    counting [tvla.traces] and gauging the final [tvla.max_abs_t];
+    pooled runs (any size, including 1) nest a [pool.batch] span with
+    one captured [pool.task] span per Welford batch.
     @raise Invalid_argument on a non-positive trace count or unequal
     trace lengths. *)
 let campaign_seeded ?pool rng ~traces_per_class ~collect =
@@ -173,12 +175,12 @@ let campaign_seeded ?pool rng ~traces_per_class ~collect =
   let batch_ids = Array.init nbatches (fun b -> b) in
   let batches =
     match pool with
-    | Some p when P.size p > 1 ->
+    | Some p ->
       (* scheduling grain only: batch boundaries (and so the merge
          order) stay fixed by [batch_pairs] at any domain count *)
       let chunk = max 1 (nbatches / (4 * P.size p)) in
       P.parallel_map ~label:"tvla" ~chunk p batch_ids ~f:(fun _ctx b -> run_batch b)
-    | _ -> Array.map (fun b -> Some (run_batch b)) batch_ids
+    | None -> Array.map (fun b -> Some (run_batch b)) batch_ids
   in
   let merged = ref None in
   Array.iter

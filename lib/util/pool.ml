@@ -27,11 +27,19 @@
     The pool never charges the caller's budget: engines account their own
     work (solver conflicts, faults, moves) on the calling domain, the
     pool only *observes* exhaustion. Worker domains start with no ambient
-    {!Telemetry} context (it is domain-local), so engine instrumentation
-    is silent off the caller's domain; the pool itself reports per-batch
-    metrics — a [pool.batch] span, [pool.tasks] / [pool.steals] counters,
-    a [pool.utilization] gauge and one [pool.domain] note per slot — from
-    the caller's domain after the join.
+    {!Telemetry} context (it is domain-local); instead every task runs
+    under a private capture context ({!Telemetry.capture_task}) wrapped
+    in a [pool.task] span with [task]/[domain] attributes, and the frozen
+    buffers are merged into the caller's trace after the join
+    ({!Telemetry.absorb}), in task-index order, reparented under the
+    dispatching [pool.batch] span — engine instrumentation inside pooled
+    tasks is fully visible, and deterministic workloads merge to
+    bit-identical traces at any pool size (modulo the scheduling noise
+    {!Telemetry.Trace.canonicalize} projects away). The pool itself still
+    reports per-batch scheduling metrics — [pool.tasks] / [pool.steals]
+    counters, a [pool.utilization] gauge and one [pool.domain] note per
+    slot — from the caller's domain, all stamped with a single clock
+    reading so the caller's clock-read count per batch is fixed.
 
     Not reentrant: calling pool operations from inside a task is
     unsupported. One caller domain at a time. *)
@@ -187,6 +195,18 @@ let run_batch t work =
 let drive ?budget ?(label = "batch") ?(chunk = 1) ~stop ~exec t n =
   let chunk = max 1 chunk in
   let exns = Array.make n None in
+  (* Worker-side telemetry: each task runs under a private capture
+     context derived from the caller's ([spec] is an immutable snapshot,
+     None when no sink is installed); its frozen buffer lands in
+     [captures] — one writer per index, published by the batch join —
+     and is absorbed into the caller's trace afterwards in task order. *)
+  let spec = T.capture_spec () in
+  let captures = Array.make n None in
+  let exec ctx i =
+    T.capture_task spec ~task:i ~domain:ctx.slot
+      ~into:(fun b -> captures.(i) <- Some b)
+      (fun () -> exec ctx i)
+  in
   let lo s = s * n / t.size in
   let hi s = (s + 1) * n / t.size in
   let next = Array.init t.size (fun s -> Atomic.make (lo s)) in
@@ -248,17 +268,22 @@ let drive ?budget ?(label = "batch") ?(chunk = 1) ~stop ~exec t n =
       let t_start = now () in
       run_batch t work;
       let elapsed = now () -. t_start in
+      Array.iter (function Some b -> T.absorb b | None -> ()) captures;
       let executed = Atomic.get completed in
       let total_steals = Array.fold_left (fun acc s -> acc + s.steals) 0 stats in
       let total_busy = Array.fold_left (fun acc s -> acc +. s.busy) 0.0 stats in
-      T.count "pool.tasks" executed;
-      T.count "pool.steals" total_steals;
+      (* One shared timestamp for all scheduling events: the caller's
+         clock is read exactly once here regardless of pool size or
+         steal count, which keeps ticking fake clocks deterministic. *)
+      let t_sched = T.now () in
+      T.count ~time:t_sched "pool.tasks" executed;
+      T.count ~time:t_sched "pool.steals" total_steals;
       if elapsed > 0.0 then
-        T.gauge "pool.utilization"
+        T.gauge ~time:t_sched "pool.utilization"
           (Float.min 1.0 (total_busy /. (elapsed *. Float.of_int t.size)));
       Array.iteri
         (fun slot st ->
-          T.note "pool.domain"
+          T.note ~time:t_sched "pool.domain"
             ~attrs:
               [ ("slot", T.Int slot);
                 ("tasks", T.Int st.tasks);

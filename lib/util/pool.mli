@@ -21,11 +21,20 @@
       joined before any call returns — a cancelled batch still leaves the
       pool reusable.
 
-    Telemetry is ambient per domain, so tasks on worker domains are
-    silent; the pool reports from the caller's domain: a [pool.batch]
-    span around each batch, [pool.tasks] and [pool.steals] counters, a
-    [pool.utilization] gauge (busy time / (elapsed x domains)) and a
-    [pool.domain] note per slot with its task/steal/busy breakdown.
+    Telemetry is ambient per domain; worker domains start without the
+    caller's context, so each task instead runs under a private capture
+    context ({!Telemetry.capture_task}): everything the task records is
+    buffered in a [pool.task] span tagged with [task]/[domain]
+    attributes, and after the join the buffers are merged into the
+    caller's trace in task-index order ({!Telemetry.absorb}) — span ids
+    remapped, worker spans reparented under the dispatching [pool.batch]
+    span. Deterministic workloads merge bit-identically at any pool size
+    once {!Telemetry.Trace.canonicalize} drops scheduling noise. The
+    pool also reports scheduling metrics from the caller's domain:
+    [pool.tasks] and [pool.steals] counters, a [pool.utilization] gauge
+    (busy time / (elapsed x domains)) and a [pool.domain] note per slot
+    with its task/steal/busy breakdown, all stamped from one clock
+    reading per batch.
 
     The pool is not reentrant (no pool calls from inside tasks) and
     serves one calling domain at a time. *)

@@ -4,15 +4,20 @@
     - the active context is ambient *per domain* (domain-local storage)
       so engines carry no telemetry parameter; the disabled fast path is
       one DLS read and one match. Worker domains spawned by {!Pool} never
-      inherit the installing domain's context, so they are telemetry-
-      silent by construction and the mutable registries are only ever
-      touched from the domain that installed the sink — no cross-domain
-      data races;
+      inherit the installing domain's context; instead the pool installs
+      a private *capture* context per task ({!capture_task}) whose buffer
+      is merged back into the installing domain's trace after the join
+      ({!absorb}) — every mutable registry is only ever touched from the
+      domain that owns it, so there are no cross-domain data races;
     - span lifecycle is exception-safe: an escaping exception ends the
       span with an [error] attribute and re-raises;
     - counters/gauges/histograms aggregate in per-installation registries
       (histograms through {!Stats.moments}) in addition to streaming
-      events, so totals are queryable without replaying the trace. *)
+      events, so totals are queryable without replaying the trace;
+    - the default clock is a monotonized [Unix.gettimeofday] — wall
+      seconds, never decreasing — because [Sys.time] is process CPU time
+      and reads wrong on multicore runs. [?clock] still accepts fake
+      clocks for deterministic tests. *)
 
 type value =
   | Bool of bool
@@ -52,11 +57,46 @@ let memory_sink () =
   ( { emit = (fun e -> events := e :: !events); flush = ignore },
     fun () -> List.rev !events )
 
+(* Default clock: wall time forced non-decreasing (gettimeofday may step
+   backwards under NTP adjustment; a negative span duration would poison
+   every downstream profile). One closure per installation — the ref is
+   confined to the installing domain, like the rest of the ctx. *)
+let monotonic_clock () =
+  let last = ref Float.neg_infinity in
+  fun () ->
+    let t = Unix.gettimeofday () in
+    if t > !last then last := t;
+    !last
+
+(* GC cost model shared by per-span deltas and the bench harness:
+   allocated words = minor + major - promoted (the double-count-free
+   total), plus the major-heap share. [Gc.counters] — not [quick_stat],
+   whose copies of these counters only refresh at collection points on
+   OCaml 5 — reads the live per-domain allocation counters without
+   forcing a collection. *)
+type alloc = {
+  alloc_words : float;
+  major_words : float;
+}
+
+let alloc_snapshot () =
+  let minor, promoted, major = Gc.counters () in
+  { alloc_words = minor +. major -. promoted; major_words = major }
+
+let alloc_since before =
+  let now = alloc_snapshot () in
+  { alloc_words = now.alloc_words -. before.alloc_words;
+    major_words = now.major_words -. before.major_words }
+
 type ctx = {
   sink : sink;
   clock : unit -> float;
+  task_clock : int -> unit -> float;  (* clock factory for pooled task captures *)
+  gc : bool;  (* attach per-span allocation deltas to Span_end events *)
   mutable next_id : int;
-  mutable stack : (int * float) list;  (* (span id, start time), innermost first *)
+  (* (span id, start time, alloc words at start, major words at start),
+     innermost first; the GC marks are 0 when [gc] is off *)
+  mutable stack : (int * float * float * float) list;
   counters : (string, int ref) Hashtbl.t;
   gauges : (string, float) Hashtbl.t;
   moments : (string, Stats.moments) Hashtbl.t;
@@ -74,9 +114,11 @@ let set_current v = Domain.DLS.set current v
 
 let active () = get_current () <> None
 
-let enclosing c = match c.stack with [] -> 0 | (id, _) :: _ -> id
+let enclosing c = match c.stack with [] -> 0 | (id, _, _, _) :: _ -> id
 
 (* --- recording --------------------------------------------------------- *)
+
+let now () = match get_current () with None -> 0.0 | Some c -> c.clock ()
 
 let with_span ?(attrs = []) name f =
   match get_current () with
@@ -87,17 +129,31 @@ let with_span ?(attrs = []) name f =
     let parent = enclosing c in
     let t0 = c.clock () in
     c.sink.emit { kind = Span_start; span = id; parent; name; time = t0; value = 0.0; attrs };
-    c.stack <- (id, t0) :: c.stack;
+    let a0, m0 =
+      if c.gc then
+        let s = alloc_snapshot () in
+        (s.alloc_words, s.major_words)
+      else (0.0, 0.0)
+    in
+    c.stack <- (id, t0, a0, m0) :: c.stack;
     let finish error =
       (* Pop down to (and including) this span: a leaked child cannot
          corrupt the ancestors' bookkeeping. *)
       let rec pop = function
-        | (i, start) :: rest ->
+        | (i, start, a, mw) :: rest ->
           c.stack <- rest;
-          if i = id then Some start else pop rest
+          if i = id then Some (start, a, mw) else pop rest
         | [] -> None
       in
-      let start = pop c.stack in
+      let popped = pop c.stack in
+      let gc_attrs =
+        match popped with
+        | Some (_, a, mw) when c.gc ->
+          let s = alloc_snapshot () in
+          [ ("gc.alloc_words", Float (s.alloc_words -. a));
+            ("gc.major_words", Float (s.major_words -. mw)) ]
+        | _ -> []
+      in
       let t1 = c.clock () in
       c.sink.emit
         { kind = Span_end;
@@ -105,8 +161,9 @@ let with_span ?(attrs = []) name f =
           parent;
           name;
           time = t1;
-          value = (match start with Some s -> t1 -. s | None -> 0.0);
-          attrs = (match error with None -> [] | Some msg -> [ ("error", Str msg) ]) }
+          value = (match popped with Some (s, _, _) -> t1 -. s | None -> 0.0);
+          attrs =
+            gc_attrs @ (match error with None -> [] | Some msg -> [ ("error", Str msg) ]) }
     in
     (match f () with
      | v ->
@@ -116,37 +173,45 @@ let with_span ?(attrs = []) name f =
        finish (Some (Printexc.to_string e));
        raise e)
 
-let note ?(attrs = []) name =
+(* [?time] lets the pool stamp its batch-level bookkeeping events with a
+   single shared clock reading, keeping the caller's clock-read count —
+   and so the whole merged trace under a fake clock — independent of how
+   many events the batch happens to emit. *)
+let note ?time ?(attrs = []) name =
   match get_current () with
   | None -> ()
   | Some c ->
+    let time = match time with Some t -> t | None -> c.clock () in
     c.sink.emit
-      { kind = Point; span = enclosing c; parent = 0; name; time = c.clock (); value = 0.0; attrs }
+      { kind = Point; span = enclosing c; parent = 0; name; time; value = 0.0; attrs }
 
-let count name n =
+let count ?time name n =
   match get_current () with
   | None -> ()
   | Some c ->
     (match Hashtbl.find_opt c.counters name with
      | Some r -> r := !r + n
      | None -> Hashtbl.replace c.counters name (ref n));
-    if n <> 0 then
+    if n <> 0 then begin
+      let time = match time with Some t -> t | None -> c.clock () in
       c.sink.emit
         { kind = Count;
           span = enclosing c;
           parent = 0;
           name;
-          time = c.clock ();
+          time;
           value = Float.of_int n;
           attrs = [] }
+    end
 
-let gauge name v =
+let gauge ?time name v =
   match get_current () with
   | None -> ()
   | Some c ->
     Hashtbl.replace c.gauges name v;
+    let time = match time with Some t -> t | None -> c.clock () in
     c.sink.emit
-      { kind = Gauge; span = enclosing c; parent = 0; name; time = c.clock (); value = v; attrs = [] }
+      { kind = Gauge; span = enclosing c; parent = 0; name; time; value = v; attrs = [] }
 
 let observe name x =
   match get_current () with
@@ -188,6 +253,14 @@ let observed name =
         (m.Stats.n, Stats.moments_mean m, sqrt (Stats.moments_variance m)))
       (Hashtbl.find_opt c.moments name)
 
+let observed_range name =
+  match get_current () with
+  | None -> None
+  | Some c ->
+    (match Hashtbl.find_opt c.moments name with
+     | Some m when m.Stats.n > 0 -> Some (m.Stats.vmin, m.Stats.vmax)
+     | _ -> None)
+
 (* --- installation ------------------------------------------------------- *)
 
 let emit_hist_summaries c =
@@ -205,14 +278,25 @@ let emit_hist_summaries c =
              attrs =
                [ ("n", Int m.Stats.n);
                  ("mean", Float mean);
-                 ("std", Float (sqrt (Stats.moments_variance m))) ] })
+                 ("std", Float (sqrt (Stats.moments_variance m)));
+                 ("min", Float m.Stats.vmin);
+                 ("max", Float m.Stats.vmax) ] })
 
-let with_sink ?(clock = Sys.time) sink f =
+let with_sink ?clock ?task_clock ?(gc = false) sink f =
   if sink == null then f ()
   else begin
+    let clock = match clock with Some c -> c | None -> monotonic_clock () in
+    (* Per-task clocks default to fresh monotonic closures so concurrent
+       captures never share a mutable [last] ref across domains. Tests
+       override this with deterministic per-index fake clocks. *)
+    let task_clock =
+      match task_clock with Some f -> f | None -> fun _ -> monotonic_clock ()
+    in
     let ctx =
       { sink;
         clock;
+        task_clock;
+        gc;
         next_id = 1;
         stack = [];
         counters = Hashtbl.create 16;
@@ -228,6 +312,119 @@ let with_sink ?(clock = Sys.time) sink f =
         set_current saved)
       f
   end
+
+(* --- cross-domain capture ----------------------------------------------- *)
+
+(* A worker buffer: everything a single pooled task recorded, frozen at
+   task end. Registry snapshots are sorted by name so the merge is
+   independent of Hashtbl iteration order. *)
+type buffer = {
+  b_task : int;
+  b_events : event list;  (* in emission order *)
+  b_span_count : int;  (* ids used by the capture ctx: 1 .. b_span_count *)
+  b_counters : (string * int) list;  (* name-sorted totals *)
+  b_gauges : (string * float) list;  (* name-sorted last values *)
+  b_moments : (string * Stats.moments) list;  (* name-sorted accumulators *)
+}
+
+(* What a worker needs from the installing domain's ctx to build its
+   capture ctx: the task-clock factory and the gc flag. Immutable, so
+   safe to share across domains by construction. *)
+type worker_spec = {
+  ws_task_clock : int -> unit -> float;
+  ws_gc : bool;
+}
+
+let capture_spec () =
+  match get_current () with
+  | None -> None
+  | Some c -> Some { ws_task_clock = c.task_clock; ws_gc = c.gc }
+
+let capture_task spec ~task ~domain ~into f =
+  match spec with
+  | None -> f ()
+  | Some spec ->
+    let sink, drain = memory_sink () in
+    let ctx =
+      { sink;
+        clock = spec.ws_task_clock task;
+        task_clock = spec.ws_task_clock;
+        gc = spec.ws_gc;
+        next_id = 1;
+        stack = [];
+        counters = Hashtbl.create 8;
+        gauges = Hashtbl.create 8;
+        moments = Hashtbl.create 8 }
+    in
+    let saved = get_current () in
+    set_current (Some ctx);
+    Fun.protect
+      ~finally:(fun () ->
+        set_current saved;
+        let sorted_assoc fold tbl =
+          fold tbl |> List.sort (fun (a, _) (b, _) -> compare a b)
+        in
+        into
+          { b_task = task;
+            b_events = drain ();
+            b_span_count = ctx.next_id - 1;
+            b_counters =
+              sorted_assoc
+                (fun t -> Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t [])
+                ctx.counters;
+            b_gauges =
+              sorted_assoc
+                (fun t -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) t [])
+                ctx.gauges;
+            b_moments =
+              sorted_assoc
+                (fun t -> Hashtbl.fold (fun k m acc -> (k, m) :: acc) t [])
+                ctx.moments })
+      (fun () ->
+        with_span "pool.task"
+          ~attrs:[ ("task", Int task); ("domain", Int domain) ]
+          f)
+
+let absorb buf =
+  match get_current () with
+  | None -> ()
+  | Some c ->
+    (* Remap the buffer's span ids 1..k onto a fresh contiguous block of
+       the caller's id space, and reparent the buffer's roots (parent 0)
+       under the caller's enclosing span — normally the pool.batch span
+       that dispatched the task. *)
+    let base = c.next_id - 1 in
+    c.next_id <- c.next_id + buf.b_span_count;
+    let here = enclosing c in
+    let remap id = if id = 0 then 0 else id + base in
+    let reparent id = if id = 0 then here else remap id in
+    List.iter
+      (fun e ->
+        c.sink.emit
+          { e with
+            span = (match e.kind with
+                    | Span_start | Span_end -> remap e.span
+                    | Point | Count | Gauge | Hist -> reparent e.span);
+            parent = (match e.kind with
+                      | Span_start | Span_end -> reparent e.parent
+                      | Point | Count | Gauge | Hist -> e.parent) })
+      buf.b_events;
+    (* Registries merge once from the frozen totals — the re-emitted
+       Count events above are raw stream data and must not double-bump
+       the caller's counters, so they bypass [count]. *)
+    List.iter
+      (fun (name, n) ->
+        match Hashtbl.find_opt c.counters name with
+        | Some r -> r := !r + n
+        | None -> Hashtbl.replace c.counters name (ref n))
+      buf.b_counters;
+    List.iter (fun (name, v) -> Hashtbl.replace c.gauges name v) buf.b_gauges;
+    List.iter
+      (fun (name, m) ->
+        match Hashtbl.find_opt c.moments name with
+        | Some prev -> Hashtbl.replace c.moments name (Stats.moments_merge prev m)
+        | None -> Hashtbl.replace c.moments name (Stats.moments_merge (Stats.moments_create ()) m))
+      buf.b_moments
 
 (* --- JSON --------------------------------------------------------------- *)
 
@@ -882,4 +1079,249 @@ module Trace = struct
         (fun (name, attrs) -> Format.fprintf fmt "  %-40s %a@." name pp_attrs attrs)
         (List.sort compare t.hists)
     end
+
+  (* --- analysis --------------------------------------------------------- *)
+
+  let duration sp = match sp.duration with Some d -> d | None -> 0.0
+
+  (* Self time: a span's duration minus its children's. Clamped at zero —
+     overlapping child intervals (merged worker spans run concurrently in
+     wall time) can sum past the parent. *)
+  let self_time sp =
+    let kids = List.fold_left (fun acc ch -> acc +. duration ch) 0.0 sp.children in
+    Float.max 0.0 (duration sp -. kids)
+
+  (* Critical path: from the longest root, repeatedly descend into the
+     longest child. Ties break to the earliest span in start order, so
+     the path is deterministic on deterministic traces. *)
+  let critical_path t =
+    let widest = function
+      | [] -> None
+      | first :: rest ->
+        Some
+          (List.fold_left
+             (fun best sp -> if duration sp > duration best then sp else best)
+             first rest)
+    in
+    match widest t.roots with
+    | None -> []
+    | Some root ->
+      let rec go sp acc =
+        match widest sp.children with
+        | None -> List.rev (sp :: acc)
+        | Some ch -> go ch (sp :: acc)
+      in
+      go root []
+
+  let pp_critical_path fmt t =
+    match critical_path t with
+    | [] -> Format.fprintf fmt "critical path: (no spans)@."
+    | path ->
+      let total = duration (List.hd path) in
+      Format.fprintf fmt "critical path (%s total):@."
+        (String.trim (pretty_duration total));
+      List.iteri
+        (fun depth sp ->
+          Format.fprintf fmt "%s%-*s %s  self %s@."
+            (String.make (2 * depth) ' ')
+            (max 1 (48 - (2 * depth)))
+            sp.name
+            (pretty_duration (duration sp))
+            (String.trim (pretty_duration (self_time sp))))
+        path
+
+  (* Folded stacks: one line per distinct root-to-span name path, value =
+     total self time. The format Brendan Gregg's flamegraph.pl and every
+     speedscope-style viewer ingest directly. *)
+  let fold_stacks t =
+    let acc : (string, float) Hashtbl.t = Hashtbl.create 64 in
+    let rec go prefix sp =
+      let path = if prefix = "" then sp.name else prefix ^ ";" ^ sp.name in
+      let prev = Option.value (Hashtbl.find_opt acc path) ~default:0.0 in
+      Hashtbl.replace acc path (prev +. self_time sp);
+      List.iter (go path) sp.children
+    in
+    List.iter (go "") t.roots;
+    Hashtbl.fold (fun k v l -> (k, v) :: l) acc []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+  let pp_flame fmt t =
+    List.iter
+      (fun (path, self) ->
+        Format.fprintf fmt "%s %.0f@." path (Float.max 0.0 (self *. 1e6)))
+      (fold_stacks t)
+
+  (* Per-domain busy accounting from merged pool.task spans:
+     (domain, tasks run, busy seconds), sorted by domain id. *)
+  let domain_timeline t =
+    let tbl : (int, int * float) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun sp ->
+        match List.assoc_opt "domain" sp.attrs with
+        | Some (Int d) ->
+          let tasks, busy =
+            Option.value (Hashtbl.find_opt tbl d) ~default:(0, 0.0)
+          in
+          Hashtbl.replace tbl d (tasks + 1, busy +. duration sp)
+        | _ -> ())
+      (find_spans t "pool.task");
+    Hashtbl.fold (fun d (tasks, busy) acc -> (d, tasks, busy) :: acc) tbl []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+  let pp_domains fmt t =
+    match domain_timeline t with
+    | [] -> ()
+    | rows ->
+      let wall =
+        List.fold_left
+          (fun acc sp -> Float.max acc (duration sp))
+          0.0 (find_spans t "pool.batch")
+      in
+      Format.fprintf fmt "@.per-domain busy time (pool.task spans):@.";
+      List.iter
+        (fun (d, tasks, busy) ->
+          if wall > 0.0 then
+            Format.fprintf fmt "  domain %-3d %4d task(s)  busy %s (%.0f%% of longest batch)@."
+              d tasks (pretty_duration busy)
+              (100.0 *. busy /. wall)
+          else
+            Format.fprintf fmt "  domain %-3d %4d task(s)  busy %s@." d tasks
+              (pretty_duration busy))
+        rows
+
+  (* --- canonical projection -------------------------------------------- *)
+
+  (* Scheduling telemetry is honest about where work ran, which is
+     exactly what varies with pool size; the canonical projection drops
+     it so deterministic workloads compare bit-identical at 1/2/8
+     domains. pool.tasks counts survive (the executed task set is
+     pool-size-independent); placement attrs and GC deltas do not. *)
+  let scheduling_event (e : event) =
+    match e.name with
+    | "pool.steals" | "pool.utilization" | "pool.domain" -> true
+    | _ -> false
+
+  let nondeterministic_attr (k, _) =
+    match k with
+    | "domain" | "domains" | "slot" | "busy_s" | "gc.alloc_words" | "gc.major_words" ->
+      true
+    | _ -> false
+
+  let canonicalize events =
+    List.filter_map
+      (fun (e : event) ->
+        if scheduling_event e then None
+        else
+          Some
+            { e with attrs = List.filter (fun a -> not (nondeterministic_attr a)) e.attrs })
+      events
+
+  (* --- trace diff ------------------------------------------------------- *)
+
+  type verdict =
+    | Regression
+    | Improvement
+    | Unchanged
+    | Added
+    | Removed
+    | Changed
+
+  type diff_entry = {
+    metric : string;
+    base_value : float option;
+    run_value : float option;
+    diff_verdict : verdict;
+  }
+
+  type diff = {
+    entries : diff_entry list;
+    regressions : int;
+  }
+
+  let span_totals t =
+    let tbl : (string, float) Hashtbl.t = Hashtbl.create 32 in
+    let rec go sp =
+      let prev = Option.value (Hashtbl.find_opt tbl sp.name) ~default:0.0 in
+      Hashtbl.replace tbl sp.name (prev +. duration sp);
+      List.iter go sp.children
+    in
+    List.iter go t.roots;
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+  let diff_traces ?(threshold = 0.25) ?(min_duration = 0.0) ~base run =
+    (* Symmetric relative test — avoids dividing by zero and treats the
+       two traces even-handedly. Metrics are assumed nonnegative (span
+       seconds, counter totals); exact equality always passes. *)
+    let within b r =
+      b = r || (r <= b *. (1.0 +. threshold) && b <= r *. (1.0 +. threshold))
+    in
+    let classify ~bigger_is_regression b r =
+      if within b r then Unchanged
+      else if not bigger_is_regression then Changed
+      else if r > b then Regression
+      else Improvement
+    in
+    let join prefix ~bigger_is_regression ~keep bs rs =
+      let names = List.sort_uniq compare (List.map fst bs @ List.map fst rs) in
+      List.filter_map
+        (fun name ->
+          let metric = prefix ^ name in
+          match (List.assoc_opt name bs, List.assoc_opt name rs) with
+          | Some b, Some r ->
+            if keep b r then
+              Some
+                { metric;
+                  base_value = Some b;
+                  run_value = Some r;
+                  diff_verdict = classify ~bigger_is_regression b r }
+            else None
+          | Some b, None ->
+            if keep b 0.0 then
+              Some { metric; base_value = Some b; run_value = None; diff_verdict = Removed }
+            else None
+          | None, Some r ->
+            if keep 0.0 r then
+              Some { metric; base_value = None; run_value = Some r; diff_verdict = Added }
+            else None
+          | None, None -> None)
+        names
+    in
+    let keep_span b r = Float.max b r >= min_duration in
+    let keep_all _ _ = true in
+    let entries =
+      join "span:" ~bigger_is_regression:true ~keep:keep_span (span_totals base)
+        (span_totals run)
+      @ join "counter:" ~bigger_is_regression:true ~keep:keep_all base.counter_totals
+          run.counter_totals
+      @ join "gauge:" ~bigger_is_regression:false ~keep:keep_all
+          (List.sort compare base.gauge_last)
+          (List.sort compare run.gauge_last)
+    in
+    let regressions =
+      List.length (List.filter (fun e -> e.diff_verdict = Regression) entries)
+    in
+    { entries; regressions }
+
+  let verdict_name = function
+    | Regression -> "REGRESSION"
+    | Improvement -> "improvement"
+    | Unchanged -> "unchanged"
+    | Added -> "added"
+    | Removed -> "removed"
+    | Changed -> "changed"
+
+  let pp_diff fmt d =
+    let pp_opt fmt = function
+      | None -> Format.fprintf fmt "%12s" "-"
+      | Some v -> Format.fprintf fmt "%12g" v
+    in
+    Format.fprintf fmt "%-44s %12s %12s  %s@." "metric" "base" "run" "verdict";
+    List.iter
+      (fun e ->
+        Format.fprintf fmt "%-44s %a %a  %s@." e.metric pp_opt e.base_value pp_opt
+          e.run_value
+          (verdict_name e.diff_verdict))
+      d.entries;
+    Format.fprintf fmt "@.%d regression(s)@." d.regressions
 end

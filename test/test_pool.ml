@@ -256,6 +256,143 @@ let test_sat_attack_portfolio_converges () =
       Alcotest.(check bool) "recovered key unlocks the design" true
         (Locking.Sat_attack.recovered_key_correct locked ~original result))
 
+(* --- cross-domain trace capture ----------------------------------------- *)
+
+module T = Eda_util.Telemetry
+
+(* Deterministic clocks: the caller ticks from 0, task [i] from
+   1000*(i+1) — every event timestamp is a pure function of who emitted
+   it, never of scheduling. *)
+let fake_clock () =
+  let t = ref 0.0 in
+  fun () ->
+    let v = !t in
+    t := v +. 1.0;
+    v
+
+let task_clock i =
+  let t = ref (1000.0 *. Float.of_int (i + 1)) in
+  fun () ->
+    let v = !t in
+    t := v +. 1.0;
+    v
+
+(* One traced pooled batch at [d] domains: 8 tasks, each recording a
+   span, a counter and a gauge. Returns the raw merged event list. *)
+let traced_batch d =
+  let sink, events = T.memory_sink () in
+  T.with_sink ~clock:(fake_clock ()) ~task_clock sink (fun () ->
+      Pool.with_pool ~num_domains:d (fun p ->
+          ignore
+            (Pool.parallel_map p
+               ~f:(fun _ctx i ->
+                 T.with_span "task.work" ~attrs:[ ("i", T.Int i) ] (fun () ->
+                     T.count "work.done" 1;
+                     T.observe "work.cost" (Float.of_int i));
+                 i * i)
+               (Array.init 8 (fun i -> i)))));
+  events ()
+
+let canonical_lines events =
+  String.concat "\n" (List.map T.event_to_line (T.Trace.canonicalize events))
+
+let test_merged_trace_bit_identical () =
+  let base = canonical_lines (traced_batch 1) in
+  Alcotest.(check bool) "canonical trace is non-trivial" true (String.length base > 0);
+  List.iter
+    (fun d ->
+      Alcotest.(check string)
+        (Printf.sprintf "canonical merged trace identical at %d domains" d)
+        base
+        (canonical_lines (traced_batch d)))
+    [ 2; 8 ]
+
+let test_merged_trace_structure () =
+  let events = traced_batch 2 in
+  match T.Trace.of_events events with
+  | Error msg -> Alcotest.fail ("merged trace invalid: " ^ msg)
+  | Ok trace ->
+    let tasks = T.Trace.find_spans trace "pool.task" in
+    Alcotest.(check int) "one pool.task span per task" 8 (List.length tasks);
+    Alcotest.(check (list (option int))) "task attrs in index order"
+      (List.init 8 (fun i -> Some i))
+      (List.map
+         (fun sp ->
+           match List.assoc_opt "task" sp.T.Trace.attrs with
+           | Some (T.Int i) -> Some i
+           | _ -> None)
+         tasks);
+    List.iter
+      (fun sp ->
+        Alcotest.(check bool) "every task span carries a domain attr" true
+          (List.mem_assoc "domain" sp.T.Trace.attrs);
+        Alcotest.(check (list string)) "worker span nested under its task"
+          [ "task.work" ]
+          (List.map (fun s -> s.T.Trace.name) sp.T.Trace.children))
+      tasks;
+    (match T.Trace.find_spans trace "pool.batch" with
+     | [ batch ] ->
+       Alcotest.(check int) "all tasks reparented under pool.batch" 8
+         (List.length
+            (List.filter (fun s -> s.T.Trace.name = "pool.task") batch.T.Trace.children))
+     | l -> Alcotest.failf "expected one pool.batch span, got %d" (List.length l));
+    Alcotest.(check (option (float 1e-9))) "worker counters merged" (Some 8.0)
+      (List.assoc_opt "work.done" trace.T.Trace.counter_totals);
+    (* Worker moments merged in task order and summarized at teardown. *)
+    (match List.assoc_opt "work.cost" trace.T.Trace.hists with
+     | Some attrs ->
+       Alcotest.(check bool) "hist n covers every task" true
+         (List.assoc_opt "n" attrs = Some (T.Int 8));
+       Alcotest.(check bool) "hist min observed" true
+         (List.assoc_opt "min" attrs = Some (T.Float 0.0));
+       Alcotest.(check bool) "hist max observed" true
+         (List.assoc_opt "max" attrs = Some (T.Float 7.0))
+     | None -> Alcotest.fail "worker histogram lost in merge");
+    (* The per-domain timeline sees the capture spans. *)
+    let timeline = T.Trace.domain_timeline trace in
+    Alcotest.(check int) "timeline covers all 8 tasks" 8
+      (List.fold_left (fun acc (_, tasks, _) -> acc + tasks) 0 timeline)
+
+let test_crashed_worker_trace_well_formed () =
+  (* A raising task still delivers its capture buffer: the merged trace
+     stays structurally valid and the crashed pool.task span carries the
+     error attribute. Task 0 is on the caller stripe, so it always runs. *)
+  let sink, events = T.memory_sink () in
+  let raised =
+    T.with_sink ~clock:(fake_clock ()) ~task_clock sink (fun () ->
+        Pool.with_pool ~num_domains:2 (fun p ->
+            match
+              Pool.parallel_map p
+                ~f:(fun _ctx i ->
+                  if i = 0 then failwith "boom";
+                  i)
+                (Array.init 4 (fun i -> i))
+            with
+            | _ -> false
+            | exception Failure _ -> true))
+  in
+  Alcotest.(check bool) "exception re-raised through the batch" true raised;
+  match T.Trace.of_events (events ()) with
+  | Error msg -> Alcotest.fail ("crashed batch broke the trace: " ^ msg)
+  | Ok trace ->
+    let crashed =
+      List.filter
+        (fun sp -> List.mem_assoc "error" sp.T.Trace.end_attrs)
+        (T.Trace.find_spans trace "pool.task")
+    in
+    (match crashed with
+     | [ sp ] ->
+       Alcotest.(check bool) "the crashed span is task 0" true
+         (List.assoc_opt "task" sp.T.Trace.attrs = Some (T.Int 0));
+       Alcotest.(check bool) "crashed span still closed" true
+         (sp.T.Trace.duration <> None)
+     | l -> Alcotest.failf "expected exactly one crashed task span, got %d" (List.length l));
+    (match T.Trace.find_spans trace "pool.batch" with
+     | [ batch ] ->
+       Alcotest.(check bool) "batch span records the re-raise" true
+         (List.mem_assoc "error" batch.T.Trace.end_attrs)
+     | _ -> Alcotest.fail "expected one pool.batch span")
+
 let () =
   Alcotest.run "pool"
     [ ( "rng-split",
@@ -270,6 +407,12 @@ let () =
           Alcotest.test_case "pre-exhausted budget" `Quick test_exhausted_budget_skips_batch;
           Alcotest.test_case "race" `Quick test_race_returns_a_winner;
           Alcotest.test_case "default jobs env" `Quick test_default_jobs_env ] );
+      ( "tracing",
+        [ Alcotest.test_case "merged trace bit-identical" `Quick
+            test_merged_trace_bit_identical;
+          Alcotest.test_case "merged trace structure" `Quick test_merged_trace_structure;
+          Alcotest.test_case "crashed worker trace" `Quick
+            test_crashed_worker_trace_well_formed ] );
       ( "engines",
         [ Alcotest.test_case "atpg identical" `Quick test_atpg_identical_across_domains;
           Alcotest.test_case "atpg pooled partial" `Quick test_atpg_partial_under_pooled_budget;

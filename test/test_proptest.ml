@@ -404,6 +404,46 @@ let test_placement_pool_identical () =
   Alcotest.(check bool) "placement bit-identical at 1/2/8 domains" true
     (all_equal results)
 
+let test_trace_merge_deterministic () =
+  (* Canonical merged telemetry must be byte-identical at 1/2/8 domains
+     for any deterministic workload: random task counts and payloads,
+     deterministic caller/worker clocks. *)
+  let module T = Eda_util.Telemetry in
+  let fake_clock () =
+    let t = ref 0.0 in
+    fun () ->
+      let v = !t in
+      t := v +. 1.0;
+      v
+  in
+  let task_clock i =
+    let t = ref (1000.0 *. Float.of_int (i + 1)) in
+    fun () ->
+      let v = !t in
+      t := v +. 1.0;
+      v
+  in
+  let traced_batch ~tasks ~salt d =
+    let sink, events = T.memory_sink () in
+    T.with_sink ~clock:(fake_clock ()) ~task_clock sink (fun () ->
+        Pool.with_pool ~num_domains:d (fun p ->
+            ignore
+              (Pool.parallel_map p
+                 ~f:(fun _ctx i ->
+                   T.with_span "task.work" ~attrs:[ ("i", T.Int i) ] (fun () ->
+                       T.count "work.done" 1;
+                       T.observe "work.cost" (Float.of_int ((i * salt) mod 97)));
+                   i)
+                 (Array.init tasks (fun i -> i)))));
+    String.concat "\n" (List.map T.event_to_line (T.Trace.canonicalize (events ())))
+  in
+  let arb = P.pair (P.int_range 1 12) (P.int_range 1 1000) in
+  P.check_exn ~count:15 ~name:"canonical merged trace identical at 1/2/8 domains" arb
+    (fun (tasks, salt) ->
+      let base = traced_batch ~tasks ~salt 1 in
+      String.length base > 0
+      && List.for_all (fun d -> traced_batch ~tasks ~salt d = base) [ 2; 8 ])
+
 let test_pool_chunking_preserves_results () =
   (* scheduling grain must never leak into results *)
   let inputs = Array.init 500 (fun i -> i) in
@@ -447,5 +487,7 @@ let () =
         [ Alcotest.test_case "atpg 1/2/8 domains" `Slow test_atpg_pool_identical;
           Alcotest.test_case "tvla 1/2/8 domains" `Slow test_tvla_pool_identical;
           Alcotest.test_case "placement 1/2/8 domains" `Slow test_placement_pool_identical;
+          Alcotest.test_case "trace merge deterministic" `Quick
+            test_trace_merge_deterministic;
           Alcotest.test_case "chunking invariant" `Quick
             test_pool_chunking_preserves_results ] ) ]

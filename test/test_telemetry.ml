@@ -270,6 +270,307 @@ let test_profile_prints () =
           (contains rendered needle))
       [ "root"; "stage_a"; "stage_b"; "work" ]
 
+(* --- clock & GC cost model ------------------------------------------ *)
+
+let test_monotonic_clock () =
+  let clock = T.monotonic_clock () in
+  let prev = ref (clock ()) in
+  for _ = 1 to 1000 do
+    let t = clock () in
+    Alcotest.(check bool) "never decreases" true (t >= !prev);
+    prev := t
+  done;
+  (* The default with_sink clock is wall time: a sleeping span still has
+     positive duration (Sys.time, the old default, would report ~0). *)
+  let sink, events = T.memory_sink () in
+  T.with_sink sink (fun () -> T.with_span "sleep" (fun () -> Unix.sleepf 0.02));
+  let e = List.find (fun e -> e.T.kind = T.Span_end) (events ()) in
+  Alcotest.(check bool) "wall-clock duration covers the sleep" true (e.T.value >= 0.015)
+
+let test_hist_min_max () =
+  let range, events =
+    collect (fun () ->
+        Alcotest.(check (option (pair (float 1e-9) (float 1e-9))))
+          "no range before observations" None (T.observed_range "delta");
+        T.observe "delta" 4.0;
+        T.observe "delta" (-1.0);
+        T.observe "delta" 2.5;
+        T.observed_range "delta")
+  in
+  Alcotest.(check (option (pair (float 1e-9) (float 1e-9))))
+    "range tracks extremes" (Some (-1.0, 4.0)) range;
+  let hist = List.find (fun e -> e.T.kind = T.Hist) events in
+  let attr k = List.assoc k hist.T.attrs in
+  Alcotest.(check bool) "hist summary carries min" true (attr "min" = T.Float (-1.0));
+  Alcotest.(check bool) "hist summary carries max" true (attr "max" = T.Float 4.0);
+  Alcotest.(check bool) "n/mean/std still present" true
+    (List.mem_assoc "n" hist.T.attrs && List.mem_assoc "mean" hist.T.attrs
+     && List.mem_assoc "std" hist.T.attrs)
+
+let test_gc_span_attrs () =
+  let run gc =
+    let sink, events = T.memory_sink () in
+    T.with_sink ~clock:(fake_clock ()) ~gc sink (fun () ->
+        T.with_span "alloc" (fun () -> ignore (Sys.opaque_identity (Array.make 4096 0.0))));
+    List.find (fun e -> e.T.kind = T.Span_end) (events ())
+  in
+  let off = run false in
+  Alcotest.(check bool) "gc attrs absent by default" false
+    (List.mem_assoc "gc.alloc_words" off.T.attrs);
+  let on = run true in
+  (match List.assoc_opt "gc.alloc_words" on.T.attrs with
+   | Some (T.Float w) ->
+     Alcotest.(check bool) "allocation delta covers the array" true (w >= 4096.0)
+   | _ -> Alcotest.fail "gc.alloc_words missing with ~gc:true");
+  Alcotest.(check bool) "major words attr present" true
+    (List.mem_assoc "gc.major_words" on.T.attrs);
+  (* The standalone snapshot API agrees with itself. *)
+  let s0 = T.alloc_snapshot () in
+  ignore (Sys.opaque_identity (Array.make 4096 0.0));
+  let d = T.alloc_since s0 in
+  Alcotest.(check bool) "alloc_since sees the allocation" true
+    (d.T.alloc_words >= 4096.0)
+
+(* --- capture / absorb ------------------------------------------------ *)
+
+(* Deterministic per-task clocks: task [i] ticks from 1000*(i+1). *)
+let task_clock i =
+  let t = ref (1000.0 *. Float.of_int (i + 1)) in
+  fun () ->
+    let v = !t in
+    t := v +. 1.0;
+    v
+
+let test_capture_absorb_merges () =
+  let sink, events = T.memory_sink () in
+  let buffers = ref [] in
+  let total =
+    T.with_sink ~clock:(fake_clock ()) ~task_clock sink (fun () ->
+        T.with_span "batch" (fun () ->
+            let spec = T.capture_spec () in
+            (* Completion order 1 then 0 — absorb order must not care. *)
+            T.capture_task spec ~task:1 ~domain:3
+              ~into:(fun b -> buffers := (1, b) :: !buffers)
+              (fun () ->
+                T.with_span "work" (fun () -> T.count "done" 1);
+                T.gauge "progress" 1.0);
+            T.capture_task spec ~task:0 ~domain:2
+              ~into:(fun b -> buffers := (0, b) :: !buffers)
+              (fun () ->
+                T.count "done" 1;
+                T.gauge "progress" 0.5;
+                T.observe "cost" 2.0);
+            List.iter
+              (fun (_, b) -> T.absorb b)
+              (List.sort (fun (a, _) (b, _) -> compare a b) !buffers);
+            T.counter_total "done"))
+  in
+  Alcotest.(check int) "registry counter merged once" 2 total;
+  let events = events () in
+  match T.Trace.of_events events with
+  | Error msg -> Alcotest.fail ("merged trace is structurally invalid: " ^ msg)
+  | Ok trace ->
+    (match trace.T.Trace.roots with
+     | [ batch ] ->
+       Alcotest.(check string) "one root: the batch span" "batch" batch.T.Trace.name;
+       let tasks =
+         List.filter (fun sp -> sp.T.Trace.name = "pool.task") batch.T.Trace.children
+       in
+       Alcotest.(check int) "both worker spans reparented under batch" 2
+         (List.length tasks);
+       Alcotest.(check (list (option int))) "absorbed in task-index order"
+         [ Some 0; Some 1 ]
+         (List.map
+            (fun sp ->
+              match List.assoc_opt "task" sp.T.Trace.attrs with
+              | Some (T.Int i) -> Some i
+              | _ -> None)
+            tasks);
+       let t1 = List.nth tasks 1 in
+       Alcotest.(check (list string)) "nested worker span survives remap" [ "work" ]
+         (List.map (fun s -> s.T.Trace.name) t1.T.Trace.children)
+     | roots -> Alcotest.failf "expected one root, got %d" (List.length roots));
+    (* Counters merged once from buffer totals (stream Counts are data,
+       not double-bumps); gauges land task-order-last-wins. *)
+    Alcotest.(check (option (float 1e-9))) "counter total merged once" (Some 2.0)
+      (List.assoc_opt "done" trace.T.Trace.counter_totals);
+    Alcotest.(check (option (float 1e-9))) "gauge from highest task index" (Some 1.0)
+      (List.assoc_opt "progress" trace.T.Trace.gauge_last);
+    Alcotest.(check bool) "worker histogram reaches the hist summary" true
+      (List.mem_assoc "cost" trace.T.Trace.hists)
+
+let test_capture_crash_delivers_buffer () =
+  let sink, events = T.memory_sink () in
+  let delivered = ref None in
+  let raised =
+    T.with_sink ~clock:(fake_clock ()) ~task_clock sink (fun () ->
+        T.with_span "batch" (fun () ->
+            let spec = T.capture_spec () in
+            let r =
+              match
+                T.capture_task spec ~task:0 ~domain:1
+                  ~into:(fun b -> delivered := Some b)
+                  (fun () -> failwith "worker crash")
+              with
+              | () -> false
+              | exception Failure _ -> true
+            in
+            (match !delivered with
+             | Some b -> T.absorb b
+             | None -> Alcotest.fail "buffer not delivered on crash");
+            r))
+  in
+  Alcotest.(check bool) "exception re-raised through capture" true raised;
+  match T.Trace.of_events (events ()) with
+  | Error msg -> Alcotest.fail ("crashed capture broke the trace: " ^ msg)
+  | Ok trace ->
+    (match T.Trace.find_spans trace "pool.task" with
+     | [ sp ] ->
+       Alcotest.(check bool) "pool.task span closed" true (sp.T.Trace.duration <> None);
+       Alcotest.(check bool) "error attribute recorded" true
+         (List.mem_assoc "error" sp.T.Trace.end_attrs)
+     | l -> Alcotest.failf "expected one pool.task span, got %d" (List.length l))
+
+(* --- trace analysis --------------------------------------------------- *)
+
+(* root{a, b{c, d}} under the ticking fake clock: a/c/d last 1, b lasts
+   5, root lasts 9. *)
+let analysis_trace () =
+  let (), events =
+    collect (fun () ->
+        T.with_span "root" (fun () ->
+            T.with_span "a" (fun () -> ());
+            T.with_span "b" (fun () ->
+                T.with_span "c" (fun () -> ());
+                T.with_span "d" (fun () -> ()))))
+  in
+  match T.Trace.of_events events with
+  | Ok t -> t
+  | Error msg -> Alcotest.fail msg
+
+let test_critical_path () =
+  let t = analysis_trace () in
+  let path = T.Trace.critical_path t in
+  Alcotest.(check (list string)) "descends the longest chain, ties earliest"
+    [ "root"; "b"; "c" ]
+    (List.map (fun sp -> sp.T.Trace.name) path);
+  Alcotest.(check (list (float 1e-9))) "self times along the path" [ 3.0; 3.0; 1.0 ]
+    (List.map T.Trace.self_time path);
+  let rendered = Format.asprintf "%a" T.Trace.pp_critical_path t in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("critical path mentions " ^ needle) true
+        (contains rendered needle))
+    [ "root"; "b"; "c"; "self" ]
+
+let test_fold_stacks () =
+  let t = analysis_trace () in
+  Alcotest.(check (list (pair string (float 1e-9)))) "folded self times, path-sorted"
+    [ ("root", 3.0); ("root;a", 1.0); ("root;b", 3.0); ("root;b;c", 1.0);
+      ("root;b;d", 1.0) ]
+    (T.Trace.fold_stacks t);
+  let rendered = Format.asprintf "%a" T.Trace.pp_flame t in
+  Alcotest.(check bool) "flame output in folded format" true
+    (contains rendered "root;b;c 1000000")
+
+let test_canonicalize () =
+  let mk kind span parent name attrs =
+    { T.kind; span; parent; name; time = 0.0; value = 0.0; attrs }
+  in
+  let events =
+    [ mk T.Span_start 1 0 "pool.batch" [ ("label", T.Str "atpg"); ("domains", T.Int 8) ];
+      mk T.Count 1 0 "pool.steals" [];
+      mk T.Gauge 1 0 "pool.utilization" [];
+      mk T.Point 1 0 "pool.domain" [ ("slot", T.Int 0); ("busy_s", T.Float 0.1) ];
+      mk T.Count 1 0 "pool.tasks" [];
+      mk T.Span_end 1 0 "pool.batch"
+        [ ("gc.alloc_words", T.Float 10.0); ("gc.major_words", T.Float 2.0) ] ]
+  in
+  let canon = T.Trace.canonicalize events in
+  Alcotest.(check (list string)) "scheduling events dropped, work kept"
+    [ "pool.batch"; "pool.tasks"; "pool.batch" ]
+    (List.map (fun e -> e.T.name) canon);
+  List.iter
+    (fun e ->
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) (k ^ " stripped") false (List.mem_assoc k e.T.attrs))
+        [ "domains"; "domain"; "slot"; "busy_s"; "gc.alloc_words"; "gc.major_words" ])
+    canon;
+  Alcotest.(check bool) "deterministic attrs survive" true
+    (List.mem_assoc "label" (List.hd canon).T.attrs)
+
+(* --- trace diff ------------------------------------------------------- *)
+
+let span_pair ?(attrs = []) id name dur =
+  [ { T.kind = T.Span_start; span = id; parent = 0; name; time = 0.0; value = 0.0;
+      attrs = [] };
+    { T.kind = T.Span_end; span = id; parent = 0; name; time = dur; value = dur; attrs } ]
+
+let count_ev name v =
+  { T.kind = T.Count; span = 0; parent = 0; name; time = 0.0; value = v; attrs = [] }
+
+let gauge_ev name v =
+  { T.kind = T.Gauge; span = 0; parent = 0; name; time = 0.0; value = v; attrs = [] }
+
+let trace_of events =
+  match T.Trace.of_events events with
+  | Ok t -> t
+  | Error msg -> Alcotest.fail msg
+
+let test_diff_same_trace_clean () =
+  let events =
+    span_pair 1 "solve" 1.0 @ [ count_ev "conflicts" 100.0; gauge_ev "coverage" 0.9 ]
+  in
+  let d = T.Trace.diff_traces ~base:(trace_of events) (trace_of events) in
+  Alcotest.(check int) "no regressions on identical traces" 0 d.T.Trace.regressions;
+  Alcotest.(check bool) "every verdict unchanged" true
+    (List.for_all (fun e -> e.T.Trace.diff_verdict = T.Trace.Unchanged) d.T.Trace.entries)
+
+let test_diff_classification () =
+  let base =
+    trace_of
+      (span_pair 1 "solve" 1.0 @ span_pair 2 "gone" 0.5
+      @ [ count_ev "conflicts" 100.0; gauge_ev "coverage" 0.9 ])
+  in
+  let run =
+    trace_of
+      (span_pair 1 "solve" 2.0 @ span_pair 2 "fresh" 0.5
+      @ [ count_ev "conflicts" 90.0; gauge_ev "coverage" 0.2 ])
+  in
+  let d = T.Trace.diff_traces ~threshold:0.25 ~base run in
+  let verdict m =
+    (List.find (fun e -> e.T.Trace.metric = m) d.T.Trace.entries).T.Trace.diff_verdict
+  in
+  Alcotest.(check bool) "2x slower span regresses" true
+    (verdict "span:solve" = T.Trace.Regression);
+  Alcotest.(check bool) "span only in base is removed" true
+    (verdict "span:gone" = T.Trace.Removed);
+  Alcotest.(check bool) "span only in run is added" true
+    (verdict "span:fresh" = T.Trace.Added);
+  Alcotest.(check bool) "counter within threshold unchanged" true
+    (verdict "counter:conflicts" = T.Trace.Unchanged);
+  Alcotest.(check bool) "gauge shift is direction-free" true
+    (verdict "gauge:coverage" = T.Trace.Changed);
+  Alcotest.(check int) "exactly one regression" 1 d.T.Trace.regressions;
+  (* The same slowdown under min_duration filtering is ignored. *)
+  let filtered = T.Trace.diff_traces ~min_duration:5.0 ~base run in
+  Alcotest.(check int) "min_duration swallows small spans" 0
+    filtered.T.Trace.regressions;
+  (* Counter blowups are regressions too. *)
+  let noisy = trace_of [ count_ev "conflicts" 100.0 ] in
+  let worse = trace_of [ count_ev "conflicts" 200.0 ] in
+  let d2 = T.Trace.diff_traces ~base:noisy worse in
+  Alcotest.(check int) "counter regression counted" 1 d2.T.Trace.regressions;
+  let d3 = T.Trace.diff_traces ~base:worse noisy in
+  Alcotest.(check int) "improvement is not a regression" 0 d3.T.Trace.regressions;
+  let rendered = Format.asprintf "%a" T.Trace.pp_diff d in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("diff output mentions " ^ needle) true
+        (contains rendered needle))
+    [ "span:solve"; "REGRESSION"; "1 regression(s)" ]
+
 (* --- budget utilization --------------------------------------------- *)
 
 module Budget = Eda_util.Budget
@@ -314,6 +615,22 @@ let () =
          Alcotest.test_case "gauge + histogram" `Quick test_gauge_and_histogram ]);
       ("null sink",
        [ Alcotest.test_case "adds no events" `Quick test_null_sink_adds_no_events ]);
+      ("clock & gc",
+       [ Alcotest.test_case "monotonic wall clock" `Quick test_monotonic_clock;
+         Alcotest.test_case "hist min/max" `Quick test_hist_min_max;
+         Alcotest.test_case "per-span gc deltas" `Quick test_gc_span_attrs ]);
+      ("capture",
+       [ Alcotest.test_case "absorb merges deterministically" `Quick
+           test_capture_absorb_merges;
+         Alcotest.test_case "crash delivers buffer" `Quick
+           test_capture_crash_delivers_buffer ]);
+      ("analysis",
+       [ Alcotest.test_case "critical path" `Quick test_critical_path;
+         Alcotest.test_case "fold stacks" `Quick test_fold_stacks;
+         Alcotest.test_case "canonicalize" `Quick test_canonicalize ]);
+      ("diff",
+       [ Alcotest.test_case "same trace clean" `Quick test_diff_same_trace_clean;
+         Alcotest.test_case "classification" `Quick test_diff_classification ]);
       ("jsonl",
        [ Alcotest.test_case "json value roundtrip" `Quick test_json_value_roundtrip;
          Alcotest.test_case "unicode roundtrip" `Quick test_json_unicode_roundtrip;
