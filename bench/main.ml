@@ -1167,26 +1167,46 @@ let perf () =
                         ("speedup", T.Json.JFloat (base_dt /. dt)) ])
                   rows) ) ])
   in
-  (* Deterministic tractable fault subset: shuffled under a fixed seed,
-     filtered to faults random patterns detect (their miters are
+  (* Deterministic, cost-representative fault subset: shuffle under a
+     fixed seed, keep random-testable candidates (their miters are
      satisfiable, so per-fault SAT stays bounded; deep redundant faults
-     would serialize the whole sweep behind one pathological proof). *)
+     would serialize the whole sweep behind one pathological proof),
+     then stratify the pick by fanout-cone size — sort the candidate
+     pool by cone gate count and take evenly spaced ranks. The subset
+     then spans the circuit's cone-size distribution at every size, so
+     per-fault cost scales with the circuit instead of jumping with the
+     luck of the shuffle (the unstratified pick made the 6k-gate sweep
+     slower than the 12k one). Returns the picked faults paired with
+     their cone gate counts, which the JSON rows record. *)
   let atpg_fault_subset ~seed ~count c =
     let all = Array.of_list (Fault.Model.all_stuck_at_faults c) in
     let frng = Rng.create seed in
     Rng.shuffle frng all;
     let ni = Netlist.Circuit.num_inputs c in
     let pats = List.init 24 (fun _ -> Array.init ni (fun _ -> Rng.bool frng)) in
-    let picked = ref [] and n = ref 0 and i = ref 0 in
-    while !n < count && !i < Array.length all do
+    let scratch = Array.make (Netlist.Circuit.node_count c) false in
+    let cands = ref [] and n = ref 0 and i = ref 0 in
+    let cap = 4 * count in
+    while !n < cap && !i < Array.length all do
       let f = all.(!i) in
       if List.exists (fun p -> Fault.Model.detects c ~fault:f p) pats then begin
-        picked := f :: !picked;
+        let cone = Sat.Cnf.fanout_cone_gates ~scratch c ~node:(Fault.Model.node_of f) in
+        cands := (f, cone) :: !cands;
         incr n
       end;
       incr i
     done;
-    List.rev !picked
+    let cands = Array.of_list (List.rev !cands) in
+    Array.sort
+      (fun (fa, ca) (fb, cb) ->
+        compare (ca, Fault.Model.node_of fa, fa) (cb, Fault.Model.node_of fb, fb))
+      cands;
+    let m = Array.length cands in
+    let picked =
+      if m <= count then Array.to_list cands
+      else List.init count (fun j -> cands.(j * m / count))
+    in
+    (List.map fst picked, List.map snd picked)
   in
   (* Workload sizes: smoke keeps CI fast with one small size per engine;
      full mode sweeps >= 3 sizes per engine with a 10k+-gate top size. *)
@@ -1197,18 +1217,26 @@ let perf () =
   let place_sizes = if !smoke then [ 2000 ] else [ 2000; 8000; 20000 ] in
   let place_moves = if !smoke then 1000 else 4000 in
   let place_starts = 8 in
-  let atpg_rows =
+  let atpg_cases =
     List.map
       (fun tgt ->
         let c = Netlist.Bench_gen.sized ~seed:11 Netlist.Bench_gen.Layered ~target_gates:tgt in
-        let faults = atpg_fault_subset ~seed:99 ~count:atpg_fault_count c in
+        let faults, cones = atpg_fault_subset ~seed:99 ~count:atpg_fault_count c in
+        (c, faults, cones))
+      atpg_sizes
+  in
+  let atpg_rows =
+    List.map
+      (fun (c, faults, cones) ->
         pool_sweep "atpg_layered"
           ~gates:(Netlist.Circuit.node_count c)
-          ~extra:[ ("faults", T.Json.JInt (List.length faults)) ]
+          ~extra:
+            [ ("faults", T.Json.JInt (List.length faults));
+              ("fault_cones", T.Json.JList (List.map (fun g -> T.Json.JInt g) cones)) ]
           (fun pool -> Dft.Atpg.run ?pool ~faults c)
           (fun r ->
             Printf.sprintf "%.9f/%d" r.Dft.Atpg.coverage (List.length r.Dft.Atpg.patterns)))
-      atpg_sizes
+      atpg_cases
   in
   let tvla_rows =
     List.map
@@ -1276,6 +1304,166 @@ let perf () =
         ("coarse_seconds", T.Json.JFloat coarse);
         ("coarse_speedup", T.Json.JFloat (fine /. Float.max coarse 1e-9)) ]
   in
+  (* ---- Incremental vs fresh ATPG: the before/after comparison ---- *)
+  subbanner "atpg: incremental sessions vs per-fault fresh solvers";
+  (* The pre-incremental ATPG path, kept inline as the reference side: a
+     fresh solver + whole clean-circuit re-encode per fault
+     ([Cnf.check_stuck_at]) and scalar per-fault pattern simulation —
+     exactly what [Dft.Atpg.run]'s persistent sessions and word-parallel
+     dropping replaced. Same greedy compaction, so detection statuses
+     (and so coverage) must agree with the incremental engine; witness
+     patterns may differ. *)
+  let atpg_fresh_reference c faults =
+    let remaining = ref faults in
+    let patterns = ref [] in
+    let untestable = ref 0 in
+    while !remaining <> [] do
+      match !remaining with
+      | [] -> ()
+      | Fault.Model.Bit_flip _ :: rest -> remaining := rest
+      | (Fault.Model.Stuck_at { node; value } as _f) :: rest ->
+        (match Sat.Cnf.check_stuck_at c ~node ~value with
+         | Sat.Cnf.Equivalent ->
+           incr untestable;
+           remaining := rest
+         | Sat.Cnf.Equiv_unknown _ -> remaining := rest
+         | Sat.Cnf.Counterexample p ->
+           patterns := p :: !patterns;
+           remaining :=
+             List.filter (fun g -> not (Fault.Model.detects c ~fault:g p)) rest)
+    done;
+    (List.rev !patterns, !untestable)
+  in
+  (* Run a side under an in-memory sink and split its wall time into the
+     encode ([cnf.encode] spans) and solve ([sat.solve] spans) phases
+     from the trace's span totals. *)
+  let measure_atpg_split f =
+    let sink, events = T.memory_sink () in
+    let r, dt = wall (fun () -> T.with_sink sink f) in
+    let totals =
+      match T.Trace.of_events (events ()) with
+      | Ok tr -> T.Trace.span_totals tr
+      | Error _ -> []
+    in
+    let total name = Option.value (List.assoc_opt name totals) ~default:0.0 in
+    (r, dt, total "cnf.encode", total "sat.solve")
+  in
+  let atpg_cmp_rows =
+    List.map
+      (fun (c, faults, _cones) ->
+        let gates = Netlist.Circuit.node_count c in
+        let inc, inc_dt, inc_enc, inc_solve =
+          measure_atpg_split (fun () -> Dft.Atpg.run ~faults c)
+        in
+        let (ref_pats, ref_untestable), ref_dt, ref_enc, ref_solve =
+          measure_atpg_split (fun () -> atpg_fresh_reference c faults)
+        in
+        let total = List.length faults in
+        let ref_coverage =
+          if total = 0 then 1.0
+          else Float.of_int (total - ref_untestable) /. Float.of_int total
+        in
+        let coverage_match = Float.abs (inc.Dft.Atpg.coverage -. ref_coverage) < 1e-9 in
+        let speedup = ref_dt /. Float.max inc_dt 1e-9 in
+        Printf.printf
+          "  atpg %6dg/%2d faults: fresh %7.3fs (enc %6.3f solve %6.3f) -> \
+           incremental %7.3fs (enc %6.3f solve %6.3f)  %5.2fx%s\n"
+          gates total ref_dt ref_enc ref_solve inc_dt inc_enc inc_solve speedup
+          (if coverage_match then "" else "  [COVERAGE MISMATCH]");
+        T.Json.JObj
+          [ ("workload", T.Json.JStr "atpg_layered");
+            ("gates", T.Json.JInt gates);
+            ("faults", T.Json.JInt total);
+            ( "new",
+              T.Json.JObj
+                [ ("seconds", T.Json.JFloat inc_dt);
+                  ("encode_seconds", T.Json.JFloat inc_enc);
+                  ("solve_seconds", T.Json.JFloat inc_solve);
+                  ("patterns", T.Json.JInt (List.length inc.Dft.Atpg.patterns)) ] );
+            ( "reference",
+              T.Json.JObj
+                [ ("seconds", T.Json.JFloat ref_dt);
+                  ("encode_seconds", T.Json.JFloat ref_enc);
+                  ("solve_seconds", T.Json.JFloat ref_solve);
+                  ("patterns", T.Json.JInt (List.length ref_pats)) ] );
+            ("speedup", T.Json.JFloat speedup);
+            ("coverage_match", T.Json.JBool coverage_match) ])
+      atpg_cases
+  in
+  (* ---- Persistent session vs fresh solvers, SAT phase isolated ----
+     The full-engine comparison above can resolve the whole subset in
+     its random-pattern bootstrap, leaving the SAT phase idle; this row
+     measures the clause-group session machinery on its own. The same
+     stuck-at queries run head-order through one persistent
+     [Stuck_at_session] and through per-fault fresh [check_stuck_at] —
+     no pattern dropping on either side — so the contrast is exactly
+     shared-clean-encode + persistent learnts vs a full re-encode and
+     cold solver per query. Per-query statuses must agree. *)
+  subbanner "sat: persistent session vs per-query fresh solvers";
+  let sat_session_rows =
+    List.map
+      (fun (c, faults, _cones) ->
+        let gates = Netlist.Circuit.node_count c in
+        let queries =
+          List.filter_map
+            (function
+              | Fault.Model.Stuck_at { node; value } -> Some (node, value)
+              | Fault.Model.Bit_flip _ -> None)
+            faults
+        in
+        let fresh_answers = ref [] in
+        let (), ref_dt, ref_enc, ref_solve =
+          measure_atpg_split (fun () ->
+              List.iter
+                (fun (node, value) ->
+                  let a = Sat.Cnf.check_stuck_at c ~node ~value in
+                  fresh_answers := a :: !fresh_answers)
+                queries)
+        in
+        let sess_answers = ref [] in
+        let (), sess_dt, sess_enc, sess_solve =
+          measure_atpg_split (fun () ->
+              let s = Sat.Cnf.Stuck_at_session.create c in
+              List.iter
+                (fun (node, value) ->
+                  let a = Sat.Cnf.Stuck_at_session.query s ~node ~value in
+                  sess_answers := a :: !sess_answers)
+                queries)
+        in
+        let status = function
+          | Sat.Cnf.Equivalent -> 0
+          | Sat.Cnf.Counterexample _ -> 1
+          | Sat.Cnf.Equiv_unknown _ -> 2
+        in
+        let answers_match =
+          List.length !fresh_answers = List.length !sess_answers
+          && List.for_all2 (fun a b -> status a = status b) !fresh_answers !sess_answers
+        in
+        let speedup = ref_dt /. Float.max sess_dt 1e-9 in
+        Printf.printf
+          "  sat  %6dg/%2d queries: fresh %7.3fs (enc %6.3f solve %6.3f) -> \
+           session %7.3fs (enc %6.3f solve %6.3f)  %5.2fx%s\n"
+          gates (List.length queries) ref_dt ref_enc ref_solve sess_dt sess_enc
+          sess_solve speedup
+          (if answers_match then "" else "  [ANSWER MISMATCH]");
+        T.Json.JObj
+          [ ("workload", T.Json.JStr "atpg_layered");
+            ("gates", T.Json.JInt gates);
+            ("queries", T.Json.JInt (List.length queries));
+            ( "session",
+              T.Json.JObj
+                [ ("seconds", T.Json.JFloat sess_dt);
+                  ("encode_seconds", T.Json.JFloat sess_enc);
+                  ("solve_seconds", T.Json.JFloat sess_solve) ] );
+            ( "reference",
+              T.Json.JObj
+                [ ("seconds", T.Json.JFloat ref_dt);
+                  ("encode_seconds", T.Json.JFloat ref_enc);
+                  ("solve_seconds", T.Json.JFloat ref_solve) ] );
+            ("speedup", T.Json.JFloat speedup);
+            ("answers_match", T.Json.JBool answers_match) ])
+      atpg_cases
+  in
   let pool_json =
     T.Json.JObj
       [ ("max_domains", T.Json.JInt (List.fold_left max 1 pool_counts));
@@ -1321,7 +1509,9 @@ let perf () =
               side "new" sim_n_dt (patps sim_n_dt) sim_n_alloc sim_n_major [];
               side "reference" sim_r_dt (patps sim_r_dt) sim_r_alloc sim_r_major [];
               ("speedup", T.Json.JFloat sim_speedup);
-              ("alloc_reduction", T.Json.JFloat sim_alloc_reduction) ] ) ]
+              ("alloc_reduction", T.Json.JFloat sim_alloc_reduction) ] );
+        ("atpg_incremental", T.Json.JList atpg_cmp_rows);
+        ("sat_session", T.Json.JList sat_session_rows) ]
   in
   let json =
     T.Json.JObj

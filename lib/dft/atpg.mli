@@ -6,9 +6,13 @@
     One entry point, optional capabilities — the repo-wide convention:
     {!run} always works; pass [?budget] to bound it, [?pool] to
     parallelize it, install a {!Eda_util.Telemetry} sink to observe it.
+    The engine is incremental: fixed 8-lane waves of persistent
+    {!Sat.Cnf.Stuck_at_session}s (clean circuit encoded once per lane,
+    per-fault cones under retired clause groups) with word-parallel
+    fault dropping of each fresh pattern against the remaining faults.
     An unbounded pooled run reports bit-identically to the sequential
-    path at any domain count (speculative per-fault SAT queries, greedy
-    replay in fault order). *)
+    path at any domain count — the wave plan, and so every lane's query
+    history, is executor-independent. *)
 
 type pattern_result =
   | Pattern of bool array  (** input assignment that detects the fault *)
@@ -38,17 +42,21 @@ type report = {
 }
 
 (** Full ATPG campaign: greedy pattern compaction (each fresh pattern is
-    fault-simulated against the remaining faults), one budget step per
-    fault plus one per solver conflict, parallel per-fault SAT queries
-    when a pool is supplied. [faults] restricts the campaign to an
-    explicit fault list (default: every stuck-at fault of the circuit) —
-    the benchmark harness uses deterministic subsets to keep large
-    circuits tractable; coverage is then relative to that list. Emits an
-    [atpg.run] span with outcome counters and a coverage gauge when
-    telemetry is installed. *)
+    word-parallel fault-simulated against the remaining faults, 63 per
+    sweep), one budget step per fault plus one per solver conflict,
+    per-fault incremental-session SAT queries run in parallel when a
+    pool is supplied. [faults] restricts the campaign to an explicit
+    fault list (default: every stuck-at fault of the circuit) — the
+    benchmark harness uses deterministic subsets to keep large circuits
+    tractable; coverage is then relative to that list. [chunk] overrides
+    the pooled scheduling grain (default adaptive: wave size over twice
+    the domain count); scheduling-only — reports are grain-invariant.
+    Emits an [atpg.run] span with outcome/session counters and a
+    coverage gauge when telemetry is installed. *)
 val run :
   ?budget:Eda_util.Budget.t ->
   ?pool:Eda_util.Pool.t ->
+  ?chunk:int ->
   ?faults:Fault.Model.fault list ->
   Netlist.Circuit.t ->
   report
@@ -58,6 +66,7 @@ val run :
 val run_checked :
   ?budget:Eda_util.Budget.t ->
   ?pool:Eda_util.Pool.t ->
+  ?chunk:int ->
   ?faults:Fault.Model.fault list ->
   Netlist.Circuit.t ->
   (report, Eda_util.Eda_error.t) result

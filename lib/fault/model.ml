@@ -75,6 +75,97 @@ let all_stuck_at_faults circuit =
 let detects circuit ~fault inputs =
   Netlist.Sim.eval circuit inputs <> eval_faulty circuit ~faults:[ fault ] inputs
 
+(* The 63 usable lanes of a native int word (Sim's convention: the sign
+   bit is unused so [lnot]-based gates stay maskable). *)
+let word_mask = 0x7FFFFFFFFFFFFFFF
+let max_lanes = 63
+
+(** Reusable scratch for word-parallel multi-fault simulation: one
+    circuit evaluation carries up to 63 {e faults} in the bit lanes of
+    each net word, against a single broadcast input pattern. *)
+type wsim = {
+  values : int array;  (* per-net words, lane k = circuit under fault k *)
+  clean : bool array;  (* scalar clean evaluation of the same pattern *)
+  stuck_mask : int array;  (* per-net: lanes overridden by a stuck-at *)
+  stuck_val : int array;  (* per-net: forced value in overridden lanes *)
+  flip_mask : int array;  (* per-net: lanes inverted by a bit-flip *)
+  touched : int array;  (* fault sites whose masks need clearing *)
+  mutable ntouched : int;
+}
+
+let wsim_create circuit =
+  let n = Circuit.node_count circuit in
+  { values = Array.make n 0;
+    clean = Array.make n false;
+    stuck_mask = Array.make n 0;
+    stuck_val = Array.make n 0;
+    flip_mask = Array.make n 0;
+    touched = Array.make max_lanes 0;
+    ntouched = 0 }
+
+(** [detects_many w circuit ~faults pattern] fault-simulates [pattern]
+    against every fault in [faults] (at most 63) in one word-parallel
+    sweep and returns a bitmask: bit [k] is set iff [pattern] detects
+    [faults.(k)] on a primary output. Allocation-free after
+    {!wsim_create}; agrees with per-fault {!detects} lane by lane
+    (differential-tested). *)
+let detects_many w circuit ~faults pattern =
+  let nf = Array.length faults in
+  if nf > max_lanes then invalid_arg "Model.detects_many: more than 63 faults";
+  if Array.length w.values < Circuit.node_count circuit then
+    invalid_arg "Model.detects_many: scratch built for a smaller circuit";
+  (* Install per-lane overrides; OR so both polarities at one site and
+     duplicate sites compose (each lane carries exactly one fault). *)
+  Array.iteri
+    (fun k f ->
+      let bit = 1 lsl k in
+      let v = node_of f in
+      w.touched.(w.ntouched) <- v;
+      w.ntouched <- w.ntouched + 1;
+      match f with
+      | Stuck_at { value; _ } ->
+        w.stuck_mask.(v) <- w.stuck_mask.(v) lor bit;
+        if value then w.stuck_val.(v) <- w.stuck_val.(v) lor bit
+      | Bit_flip _ -> w.flip_mask.(v) <- w.flip_mask.(v) lor bit)
+    faults;
+  (* Clean scalar reference for the broadcast comparison. *)
+  Netlist.Sim.eval_all_into circuit pattern ~into:w.clean;
+  let n = Circuit.node_count circuit in
+  let values = w.values in
+  Array.iter (fun id -> values.(id) <- 0) (Circuit.dffs circuit);
+  Array.iteri
+    (fun k id -> values.(id) <- (if pattern.(k) then word_mask else 0))
+    (Circuit.inputs circuit);
+  for i = 0 to n - 1 do
+    let nd = Circuit.node circuit i in
+    let computed =
+      match nd.Circuit.kind with
+      | Gate.Input | Gate.Dff -> values.(i)
+      | k -> Gate.eval_word_indexed k nd.Circuit.fanins values
+    in
+    (* Per-lane override, mirroring [eval_all_faulty]'s apply_override:
+       force the stuck lanes, then invert the flip lanes. *)
+    values.(i) <-
+      ((computed land lnot w.stuck_mask.(i)) lor w.stuck_val.(i))
+      lxor w.flip_mask.(i)
+  done;
+  let detected = ref 0 in
+  Array.iter
+    (fun (_, o) ->
+      let clean_word = if w.clean.(o) then word_mask else 0 in
+      detected := !detected lor ((values.(o) lxor clean_word) land word_mask))
+    (Circuit.outputs circuit);
+  (* Reset the override masks via the touched-site list (zeroing clears
+     both polarities at a shared site at once). *)
+  for j = 0 to w.ntouched - 1 do
+    let v = w.touched.(j) in
+    w.stuck_mask.(v) <- 0;
+    w.stuck_val.(v) <- 0;
+    w.flip_mask.(v) <- 0
+  done;
+  w.ntouched <- 0;
+  !detected land ((1 lsl nf) - 1)
+
 (** Fault simulation of a pattern set: returns per-fault detection. *)
 let fault_simulation circuit ~faults ~patterns =
   List.map

@@ -26,6 +26,24 @@ val all_stuck_at_faults : Netlist.Circuit.t -> fault list
 (** Does the pattern change any primary output under the fault? *)
 val detects : Netlist.Circuit.t -> fault:fault -> bool array -> bool
 
+(** Reusable scratch for {!detects_many}: one word-parallel circuit
+    evaluation carries up to 63 {e faults} in the bit lanes of each net
+    word, against a single broadcast input pattern. *)
+type wsim
+
+(** Scratch sized for [circuit] (usable for any circuit with at most as
+    many nodes). *)
+val wsim_create : Netlist.Circuit.t -> wsim
+
+(** [detects_many w circuit ~faults pattern] fault-simulates [pattern]
+    against every fault in [faults] in one sweep; bit [k] of the result
+    is set iff [pattern] detects [faults.(k)] on a primary output.
+    Agrees with per-fault {!detects} lane by lane; allocation-free after
+    {!wsim_create}.
+    @raise Invalid_argument when [faults] exceeds 63 entries or the
+    scratch was built for a smaller circuit. *)
+val detects_many : wsim -> Netlist.Circuit.t -> faults:fault array -> bool array -> int
+
 (** Per-fault detection by a pattern set. *)
 val fault_simulation :
   Netlist.Circuit.t -> faults:fault list -> patterns:bool array list -> (fault * bool) list

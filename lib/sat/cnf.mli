@@ -57,6 +57,60 @@ val check_stuck_at :
   value:bool ->
   equivalence
 
+(** Size (in nodes, including the fault site) of the DFF-cut transitive
+    fanout cone of [node] — the number of gates a stuck-at query at
+    [node] must duplicate, i.e. a direct proxy for that query's encoding
+    cost. [scratch] (length >= node count) avoids the per-call cone
+    buffer allocation; its contents are reset before use.
+    @raise Invalid_argument when [node] is out of range. *)
+val fanout_cone_gates : ?scratch:bool array -> Netlist.Circuit.t -> node:int -> int
+
+(** Incremental stuck-at sessions: the clean circuit is Tseitin-encoded
+    {e once} per session; each {!Stuck_at_session.query} adds only the
+    fault's fanout-cone faulty copy and miter under a fresh clause group
+    ({!Solver.new_group}), solves under the group's activation literal,
+    and retires the group afterwards. Learnt clauses about the clean
+    circuit persist across queries and accelerate every later one, while
+    {!Solver.shrink_vars} recycles each query's variable indices so the
+    session's footprint stays bounded by one query.
+
+    Answers match fresh-solver {!check_stuck_at} exactly — both are
+    sound and complete, so the per-fault status is identical
+    (differential-tested). A [Counterexample]'s witness pattern may
+    differ (persistent learnt clauses steer the search), but it always
+    detects the fault. Within one session, answers are a deterministic
+    function of the query sequence. *)
+module Stuck_at_session : sig
+  type t
+
+  (** Encode [circuit]'s clean copy once into [solver] (fresh by
+      default). *)
+  val create : ?solver:Solver.t -> Netlist.Circuit.t -> t
+
+  (** One stuck-at query; same contract as {!check_stuck_at}. The query's
+      clause group is retired and its variables recycled before
+      returning — also after an [Equiv_unknown], so a later retry with a
+      larger budget re-encodes only the fault's cone while keeping every
+      clean-circuit learnt clause. [on_stats] observes this query's
+      solver-statistics {e delta} (capacity fields are post-query
+      totals, work fields per-query differences).
+      @raise Invalid_argument when [node] is out of range. *)
+  val query :
+    ?budget:Eda_util.Budget.t ->
+    ?on_stats:(Solver.stats -> unit) ->
+    t ->
+    node:int ->
+    value:bool ->
+    equivalence
+
+  (** Number of queries issued so far (including cone-misses answered
+      without solving). *)
+  val queries : t -> int
+
+  (** Session solver's cumulative statistics. *)
+  val stats : t -> Solver.stats
+end
+
 (** Unbounded combinational equivalence of two identically-shaped
     circuits; [None] when equivalent, otherwise a distinguishing input
     assignment. *)

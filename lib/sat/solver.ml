@@ -496,6 +496,173 @@ let reduce_db s =
     end
   end
 
+(** Remove every clause satisfied at the root level from the watch lists
+    and the learnt database. Sound unconditionally: a root-satisfied
+    clause can never propagate or conflict again. Root antecedents are
+    detached first — conflict analysis never consults reasons of level-0
+    literals, so clauses locked only by a root assignment can be
+    reclaimed too. This is what makes {!retire_group} actually reclaim memory —
+    a retired group's clauses, and every learnt clause derived from them
+    (all of which contain the group's negated activation literal), become
+    root-satisfied and are swept here instead of lingering as watch-list
+    noise for the rest of an incremental session. *)
+let simplify s =
+  backtrack s 0;
+  s.qhead <- 0;
+  (* A conflict here means the formula is root-unsat. The sweep below is
+     still sound: it only removes root-SATISFIED clauses, and a
+     conflicting clause (every literal false) is never one of them, so
+     the conflict — and every subsequent [solve]'s Unsat answer —
+     survives the sweep. *)
+  ignore (propagate s);
+  begin
+    (* The whole trail is level 0 here and conflict analysis skips
+       level-0 literals, so no antecedent on it will ever be consulted
+       again. Detaching them unlocks clauses that both imply a root
+       literal and are root-satisfied — e.g. a group clause whose base
+       literals were all root-falsified, leaving it to force its own
+       activation variable — so the sweep below can reclaim them. *)
+    for i = 0 to s.trail_len - 1 do
+      s.reason.(var_of_lit s.trail.(i)) <- dummy_clause
+    done;
+    let removed_problem = ref 0 and removed_learnt = ref 0 in
+    (* At the root the whole trail is level 0, so a true literal is a
+       root-true literal. *)
+    let root_satisfied (c : clause) =
+      let lits = c.lits in
+      let len = Array.length lits in
+      let sat = ref false in
+      let j = ref 0 in
+      while (not !sat) && !j < len do
+        if value_lit s lits.(!j) = LTrue then sat := true;
+        incr j
+      done;
+      !sat
+    in
+    for l = 0 to (2 * s.nvars) - 1 do
+      let ws = s.watches.(l) in
+      for j = 0 to s.watch_len.(l) - 1 do
+        let c = ws.(j) in
+        if (not c.deleted) && (not (locked s c)) && root_satisfied c then begin
+          c.deleted <- true;
+          if c.learnt then incr removed_learnt else incr removed_problem
+        end
+      done
+    done;
+    if !removed_problem > 0 || !removed_learnt > 0 then begin
+      for l = 0 to (2 * s.nvars) - 1 do
+        let ws = s.watches.(l) in
+        let wn = s.watch_len.(l) in
+        let keep = ref 0 in
+        for j = 0 to wn - 1 do
+          let c = ws.(j) in
+          if not c.deleted then begin
+            ws.(!keep) <- c;
+            incr keep
+          end
+        done;
+        s.watch_len.(l) <- !keep
+      done;
+      let n = s.learnt_len in
+      let keep = ref 0 in
+      for j = 0 to n - 1 do
+        let c = s.learnts.(j) in
+        if not c.deleted then begin
+          s.learnts.(!keep) <- c;
+          incr keep
+        end
+      done;
+      for j = !keep to n - 1 do
+        s.learnts.(j) <- dummy_clause
+      done;
+      s.learnt_len <- !keep;
+      s.num_clauses <- s.num_clauses - !removed_problem;
+      s.clauses_deleted <- s.clauses_deleted + !removed_learnt
+    end
+  end
+
+(* --- clause groups ---------------------------------------------------- *)
+
+(** A clause group: clauses guarded by a shared activation variable. Every
+    clause added through {!add_clause_in} carries the extra literal
+    [¬act], so the group is inert unless a solve assumes {!group_lit}
+    (the positive activation literal). Retiring the group root-falsifies
+    the activation variable, permanently satisfying the group's clauses
+    and every learnt clause derived from them — resolution can never
+    eliminate [¬act] because no clause contains the positive literal. *)
+type group = { act : int; mutable retired : bool }
+
+let new_group s = { act = new_var s; retired = false }
+
+let group_lit g = lit_of_var g.act ~sign:true
+
+let add_clause_in s g lits =
+  if g.retired then invalid_arg "Solver.add_clause_in: group already retired";
+  add_clause s (lit_of_var g.act ~sign:false :: lits)
+
+(** Permanently deactivate a group: a root unit clause falsifies its
+    activation variable, then {!simplify} physically removes the now
+    root-satisfied member clauses and their learnt descendants.
+    Idempotent. *)
+let retire_group s g =
+  if not g.retired then begin
+    g.retired <- true;
+    add_clause s [ lit_of_var g.act ~sign:false ];
+    simplify s;
+    T.count "sat.groups_retired" 1
+  end
+
+(** Roll variable allocation back to [n] variables. The caller must have
+    removed every clause mentioning a variable [>= n] first — the
+    intended discipline is per-query variables above a fixed floor,
+    all guarded by one group, with {!retire_group} run before the
+    shrink. Root assignments of released variables are dropped from the
+    trail and their activity/saved phase reset, so re-allocating the
+    same indices behaves like fresh variables. Keeps incremental
+    sessions' variable range (and the decision heuristic's scan) bounded
+    by one query's footprint instead of growing with session length. *)
+let shrink_vars s n =
+  if n < 0 || n > s.nvars then invalid_arg "Solver.shrink_vars";
+  backtrack s 0;
+  let keep = ref 0 in
+  for i = 0 to s.trail_len - 1 do
+    let l = s.trail.(i) in
+    let v = var_of_lit l in
+    if v < n then begin
+      s.trail.(!keep) <- l;
+      incr keep
+    end
+    else begin
+      s.assign.(v) <- LUndef;
+      s.reason.(v) <- dummy_clause
+    end
+  done;
+  s.trail_len <- !keep;
+  s.qhead <- 0;
+  for v = n to s.nvars - 1 do
+    (* Released variables must be clause-free by the caller's contract. *)
+    assert (s.watch_len.(2 * v) = 0 && s.watch_len.((2 * v) + 1) = 0);
+    s.assign.(v) <- LUndef;
+    s.level.(v) <- 0;
+    s.reason.(v) <- dummy_clause;
+    s.activity.(v) <- 0.0;
+    s.phase.(v) <- false
+  done;
+  s.nvars <- n
+
+(** Reset the decision heuristic — VSIDS activities and saved phases —
+    to a fresh solver's initial state (all-zero activity makes the
+    decision order fall back to variable index; all-false phases match
+    [create]'s default). Incremental sessions call this between
+    unrelated queries: activity earned on one query's fault cone is
+    noise for the next, and with zero activity the search order is
+    fixed, so stale phases can deterministically replay a bad subtree
+    that restarts cannot escape — both were observed as orders-of-
+    magnitude conflict blow-ups. Only the learnt clauses persist. *)
+let reset_activity s =
+  Array.fill s.activity 0 (Array.length s.activity) 0.0;
+  Array.fill s.phase 0 (Array.length s.phase) false
+
 (** Override the automatic learnt-DB limit ([max 2000 #clauses]); [0]
     restores the automatic limit. *)
 let set_learnt_limit s n = s.max_learnts <- n

@@ -69,6 +69,71 @@ val solve : ?budget:Eda_util.Budget.t -> ?assumptions:lit list -> t -> result
 (** Model access after a [Sat] answer; unassigned variables read false. *)
 val model_value : t -> int -> bool
 
+(** {2 Clause groups}
+
+    A clause group tags clauses with a shared activation literal: every
+    clause added through {!add_clause_in} carries the extra disjunct
+    [¬act], making the whole group inert unless a {!solve} call assumes
+    {!group_lit}. This is the classic MiniSat activation-literal idiom
+    for incremental sessions — encode a shared base formula once, push
+    each query's private clauses under a fresh group, solve under the
+    group's assumption, then retire the group.
+
+    {!retire_group} permanently falsifies the activation variable with a
+    root unit clause and then runs {!simplify}, which physically removes
+    the group's clauses {e and every learnt clause derived from them}:
+    resolution can never eliminate [¬act] (no clause contains the
+    positive activation literal), so each such learnt clause contains
+    [¬act] and becomes root-satisfied. Learnt clauses that mention only
+    base-formula variables survive and keep accelerating later queries.
+
+    Answers are unaffected: with the assumption installed a group behaves
+    exactly as if its clauses had been added plainly, and after
+    retirement exactly as if they never existed (differential-tested
+    against a fresh solver in the test suite). *)
+
+type group
+
+(** Allocate a group (costs one variable — the activation variable). *)
+val new_group : t -> group
+
+(** The positive activation literal; pass it in [assumptions] to enable
+    the group's clauses for one {!solve} call. *)
+val group_lit : group -> lit
+
+(** Add a clause guarded by the group's activation literal.
+    @raise Invalid_argument if the group was retired. *)
+val add_clause_in : t -> group -> lit list -> unit
+
+(** Permanently deactivate a group and reclaim its clauses and learnt
+    descendants (see the section comment). Idempotent. *)
+val retire_group : t -> group -> unit
+
+(** Remove every root-satisfied clause from the watch lists and the
+    learnt database. Antecedents of root assignments are detached first
+    (conflict analysis never consults level-0 reasons), so clauses locked
+    only by a root assignment are reclaimed too. Sound unconditionally;
+    called automatically by {!retire_group}. *)
+val simplify : t -> unit
+
+(** Roll variable allocation back to [n] variables. The caller must have
+    removed every clause mentioning a released variable first — the
+    intended use is recycling per-query scratch variables above a fixed
+    floor after {!retire_group}. Root assignments, activity and saved
+    phases of released variables are reset, so re-allocating the same
+    indices behaves like fresh variables.
+    @raise Invalid_argument when [n] is negative or above the current
+    variable count. *)
+val shrink_vars : t -> int -> unit
+
+(** Reset the decision heuristic — VSIDS activities and saved phases —
+    to a fresh solver's initial state (index-order decisions, all-false
+    phases). Incremental sessions call this between unrelated queries:
+    stale activity or phases from an earlier query can deterministically
+    steer the search into a pathological subtree. Learnt clauses are
+    unaffected. *)
+val reset_activity : t -> unit
+
 (** Override the learnt-database size limit (default: automatic,
     [max 2000 #problem-clauses]). Passing [0] restores the automatic
     limit. Setting a small limit forces frequent reductions — used by

@@ -1256,13 +1256,26 @@ module Trace = struct
     let within b r =
       b = r || (r <= b *. (1.0 +. threshold) && b <= r *. (1.0 +. threshold))
     in
-    let classify ~bigger_is_regression b r =
+    let classify direction b r =
       if within b r then Unchanged
-      else if not bigger_is_regression then Changed
-      else if r > b then Regression
-      else Improvement
+      else
+        match direction with
+        | `Neutral -> Changed
+        | `Lower_better -> if r > b then Regression else Improvement
+        | `Higher_better -> if r < b then Regression else Improvement
     in
-    let join prefix ~bigger_is_regression ~keep bs rs =
+    (* Per-metric improvement direction. Spans and most counters measure
+       work, so bigger is worse; a handful of counters measure how well
+       an optimization engaged — a drop there means the fast path
+       stopped firing and IS the regression; a few are neutral workload
+       descriptors. Gauges have no generic direction. *)
+    let counter_direction = function
+      | "atpg.session_reused" | "atpg.faults_dropped" | "atpg.covered_by_simulation" ->
+        `Higher_better
+      | "sat.groups_retired" -> `Neutral
+      | _ -> `Lower_better
+    in
+    let join prefix ~direction ~keep bs rs =
       let names = List.sort_uniq compare (List.map fst bs @ List.map fst rs) in
       List.filter_map
         (fun name ->
@@ -1274,7 +1287,7 @@ module Trace = struct
                 { metric;
                   base_value = Some b;
                   run_value = Some r;
-                  diff_verdict = classify ~bigger_is_regression b r }
+                  diff_verdict = classify (direction name) b r }
             else None
           | Some b, None ->
             if keep b 0.0 then
@@ -1290,11 +1303,11 @@ module Trace = struct
     let keep_span b r = Float.max b r >= min_duration in
     let keep_all _ _ = true in
     let entries =
-      join "span:" ~bigger_is_regression:true ~keep:keep_span (span_totals base)
+      join "span:" ~direction:(fun _ -> `Lower_better) ~keep:keep_span (span_totals base)
         (span_totals run)
-      @ join "counter:" ~bigger_is_regression:true ~keep:keep_all base.counter_totals
+      @ join "counter:" ~direction:counter_direction ~keep:keep_all base.counter_totals
           run.counter_totals
-      @ join "gauge:" ~bigger_is_regression:false ~keep:keep_all
+      @ join "gauge:" ~direction:(fun _ -> `Neutral) ~keep:keep_all
           (List.sort compare base.gauge_last)
           (List.sort compare run.gauge_last)
     in

@@ -299,6 +299,11 @@ module Trace : sig
       ["path;to;span <self µs>"] per line. *)
   val pp_flame : Format.formatter -> t -> unit
 
+  (** Per-name summed span durations over the whole trace, name-sorted —
+      the aggregation {!diff_traces} compares; also the phase-split
+      primitive (e.g. encode vs solve seconds) the bench reports. *)
+  val span_totals : t -> (string * float) list
+
   (** Per-domain busy accounting from merged [pool.task] spans:
       [(domain, tasks, busy seconds)], sorted by domain id. *)
   val domain_timeline : t -> (int * int * float) list
@@ -341,7 +346,14 @@ module Trace : sig
       (default threshold 0.25); metrics are assumed nonnegative.
       [min_duration] (seconds, default 0) drops span entries whose
       larger total is below it, so microsecond-level jitter cannot flag
-      regressions. *)
+      regressions.
+
+      Direction is per metric: span totals and counters generally
+      measure work (bigger is the regression), but optimization-health
+      counters ([atpg.session_reused], [atpg.faults_dropped],
+      [atpg.covered_by_simulation]) invert — a {e drop} means the fast
+      path stopped engaging and reads as [Regression]; neutral workload
+      descriptors ([sat.groups_retired]) and gauges read as [Changed]. *)
   val diff_traces : ?threshold:float -> ?min_duration:float -> base:t -> t -> diff
 
   val pp_diff : Format.formatter -> diff -> unit

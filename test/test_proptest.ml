@@ -347,6 +347,101 @@ let test_word_sim_differential () =
       done;
       !ok)
 
+let test_session_vs_fresh () =
+  (* One persistent Stuck_at_session must answer every query exactly like a
+     throwaway check_stuck_at solver: same Equivalent/Counterexample status,
+     and any session witness must actually detect the fault. *)
+  let arb =
+    P.make
+      ~show:(fun (seed, fseed) -> Printf.sprintf "circuit=%d faults=%d" seed fseed)
+      (fun rng -> (Rng.int rng 1_000_000, Rng.int rng 1_000_000))
+  in
+  P.check_exn ~count:20 ~name:"incremental session matches fresh check_stuck_at" arb
+    (fun (seed, fseed) ->
+      let c = BG.layered ~seed ~inputs:8 ~layers:4 ~width:12 () in
+      let faults = Array.of_list (Fault.Model.all_stuck_at_faults c) in
+      Rng.shuffle (Rng.create fseed) faults;
+      let n = min 25 (Array.length faults) in
+      let session = Sat.Cnf.Stuck_at_session.create c in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        match faults.(i) with
+        | Fault.Model.Bit_flip _ -> ()
+        | Fault.Model.Stuck_at { node; value } as f ->
+          let fresh = Sat.Cnf.check_stuck_at c ~node ~value in
+          let inc = Sat.Cnf.Stuck_at_session.query session ~node ~value in
+          (match (fresh, inc) with
+           | Sat.Cnf.Equivalent, Sat.Cnf.Equivalent -> ()
+           | Sat.Cnf.Counterexample _, Sat.Cnf.Counterexample w ->
+             (* The witness pattern may legitimately differ between the two
+                solvers, but it must detect the fault either way. *)
+             if not (Fault.Model.detects c ~fault:f w) then ok := false
+           | _ -> ok := false)
+      done;
+      !ok)
+
+let test_session_budget_resume () =
+  (* A zero-step budget forces Equiv_unknown on every query whose solve
+     needs at least one conflict. The session must survive the abandoned
+     query: an unbudgeted retry of the same fault — and every later query —
+     must still match a fresh solver. *)
+  let c = BG.layered ~seed:47 ~inputs:8 ~layers:5 ~width:14 () in
+  let faults = Array.of_list (Fault.Model.all_stuck_at_faults c) in
+  Rng.shuffle (Rng.create 48) faults;
+  let session = Sat.Cnf.Stuck_at_session.create c in
+  let checked = ref 0 and unknowns = ref 0 in
+  Array.iter
+    (fun f ->
+      if !checked < 12 then
+        match f with
+        | Fault.Model.Bit_flip _ -> ()
+        | Fault.Model.Stuck_at { node; value } ->
+          incr checked;
+          let b = Eda_util.Budget.create ~steps:0 () in
+          (match Sat.Cnf.Stuck_at_session.query ~budget:b session ~node ~value with
+           | Sat.Cnf.Equiv_unknown _ -> incr unknowns
+           | Sat.Cnf.Equivalent | Sat.Cnf.Counterexample _ -> ());
+          let retry = Sat.Cnf.Stuck_at_session.query session ~node ~value in
+          (match (Sat.Cnf.check_stuck_at c ~node ~value, retry) with
+           | Sat.Cnf.Equivalent, Sat.Cnf.Equivalent -> ()
+           | Sat.Cnf.Counterexample _, Sat.Cnf.Counterexample w ->
+             Alcotest.(check bool) "retry witness detects" true
+               (Fault.Model.detects c ~fault:f w)
+           | _ -> Alcotest.fail "post-Unknown session answer diverged from fresh"))
+    faults;
+  Alcotest.(check bool) "at least one query hit the budget" true (!unknowns > 0)
+
+let test_detects_many_differential () =
+  (* Lane k of the word-parallel fault simulation must agree with the
+     scalar [detects] oracle, and reusing the scratch must not leak state
+     between calls. *)
+  let arb =
+    P.make
+      ~show:(fun (seed, pseed) -> Printf.sprintf "circuit=%d pattern=%d" seed pseed)
+      (fun rng -> (Rng.int rng 1_000_000, Rng.int rng 1_000_000))
+  in
+  P.check_exn ~count:25 ~name:"word-parallel fault drop matches scalar detects" arb
+    (fun (seed, pseed) ->
+      let c = BG.layered ~seed ~inputs:10 ~layers:4 ~width:16 () in
+      let rng = Rng.create pseed in
+      let all = Array.of_list (Fault.Model.all_stuck_at_faults c) in
+      Rng.shuffle rng all;
+      let nf = min 63 (Array.length all) in
+      let faults = Array.sub all 0 nf in
+      if nf > 2 then
+        faults.(1) <- Fault.Model.Bit_flip { node = Fault.Model.node_of faults.(1) };
+      let pattern = Array.init (Circuit.num_inputs c) (fun _ -> Rng.bool rng) in
+      let w = Fault.Model.wsim_create c in
+      let mask = Fault.Model.detects_many w c ~faults pattern in
+      let again = Fault.Model.detects_many w c ~faults pattern in
+      let lanes_agree = ref true in
+      Array.iteri
+        (fun k f ->
+          if (mask lsr k) land 1 = 1 <> Fault.Model.detects c ~fault:f pattern then
+            lanes_agree := false)
+        faults;
+      mask = again && !lanes_agree)
+
 (* --- pooled vs sequential bit-identity at 1/2/8 domains ------------------ *)
 
 let domain_counts = [ 1; 2; 8 ]
@@ -457,6 +552,24 @@ let test_pool_chunking_preserves_results () =
             true (got = expect)))
     [ 1; 3; 64; 1000 ]
 
+let test_atpg_chunk_invariance () =
+  (* The scheduling grain (?chunk) must never leak into ATPG results: any
+     grain at 4 domains must reproduce the no-pool run bit for bit. *)
+  let c = BG.sized ~seed:34 BG.C880 ~target_gates:260 in
+  let summary (r : Dft.Atpg.report) =
+    (r.Dft.Atpg.coverage, r.Dft.Atpg.patterns, List.length r.Dft.Atpg.untestable)
+  in
+  let base = summary (Dft.Atpg.run c) in
+  List.iter
+    (fun chunk ->
+      Pool.with_pool ~num_domains:4 (fun p ->
+          let got = summary (Dft.Atpg.run ?chunk ~pool:p c) in
+          Alcotest.(check bool)
+            (Printf.sprintf "chunk=%s matches no-pool run"
+               (match chunk with None -> "auto" | Some n -> string_of_int n))
+            true (got = base)))
+    [ None; Some 1; Some 3; Some 64 ]
+
 let () =
   Alcotest.run "proptest"
     [ ( "harness",
@@ -482,7 +595,11 @@ let () =
           Alcotest.test_case "sized hits target" `Quick test_sized_hits_target ] );
       ( "differential",
         [ Alcotest.test_case "sat vs reference" `Quick test_sat_differential;
-          Alcotest.test_case "word sim vs naive" `Quick test_word_sim_differential ] );
+          Alcotest.test_case "word sim vs naive" `Quick test_word_sim_differential;
+          Alcotest.test_case "session vs fresh" `Slow test_session_vs_fresh;
+          Alcotest.test_case "session budget resume" `Quick test_session_budget_resume;
+          Alcotest.test_case "word fault drop vs scalar" `Quick
+            test_detects_many_differential ] );
       ( "pooled",
         [ Alcotest.test_case "atpg 1/2/8 domains" `Slow test_atpg_pool_identical;
           Alcotest.test_case "tvla 1/2/8 domains" `Slow test_tvla_pool_identical;
@@ -490,4 +607,6 @@ let () =
           Alcotest.test_case "trace merge deterministic" `Quick
             test_trace_merge_deterministic;
           Alcotest.test_case "chunking invariant" `Quick
-            test_pool_chunking_preserves_results ] ) ]
+            test_pool_chunking_preserves_results;
+          Alcotest.test_case "atpg chunk invariant" `Slow
+            test_atpg_chunk_invariance ] ) ]

@@ -68,6 +68,28 @@ let test_incremental_reuse () =
     (Solver.solve ~assumptions:[ lit vs.(9) false ] s = Solver.Sat);
   Alcotest.(check bool) "v0 must be false" false (Solver.model_value s vs.(0))
 
+let test_group_retire_reclaims () =
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  Solver.add_clause s [ lit a true; lit b true ];
+  let base_clauses = (Solver.stats s).Solver.clauses in
+  let floor = (Solver.stats s).Solver.vars in
+  let g = Solver.new_group s in
+  let x = Solver.new_var s in
+  Solver.add_clause_in s g [ lit a false; lit x true ];
+  Solver.add_clause_in s g [ lit x false; lit b false ];
+  Alcotest.(check bool) "sat under group" true
+    (Solver.solve ~assumptions:[ Solver.group_lit g ] s = Solver.Sat);
+  Solver.retire_group s g;
+  Solver.shrink_vars s floor;
+  let st = Solver.stats s in
+  Alcotest.(check int) "group clauses reclaimed" base_clauses st.Solver.clauses;
+  Alcotest.(check int) "scratch vars rolled back" floor st.Solver.vars;
+  (match Solver.add_clause_in s g [ lit a true ] with
+   | () -> Alcotest.fail "expected Invalid_argument on retired group"
+   | exception Invalid_argument _ -> ());
+  Alcotest.(check bool) "base still sat" true (Solver.solve s = Solver.Sat)
+
 (* Brute-force reference: enumerate assignments over n vars. *)
 let brute_force nvars clauses =
   let sat = ref false in
@@ -123,6 +145,56 @@ let test_fuzz_against_brute_force () =
            clauses
      | exception Solver.Unsat_root ->
        Alcotest.(check bool) (Printf.sprintf "trial %d (root)" trial) expected false)
+  done
+
+(* Answer of a throwaway solver on [clauses]; root conflicts count as unsat. *)
+let fresh_answer nvars clauses =
+  let s = Solver.create () in
+  for _ = 1 to nvars do
+    ignore (Solver.new_var s)
+  done;
+  match List.iter (Solver.add_clause s) clauses with
+  | () -> Solver.solve s = Solver.Sat
+  | exception Solver.Unsat_root -> false
+
+(* Differential check of the clause-group lifecycle: solving under a group's
+   activation literal must answer exactly like a fresh solver on base+extra,
+   and after retire_group + shrink_vars the session must answer exactly like
+   a fresh solver on the base alone, with the variable count back at the
+   pre-group floor. *)
+let test_group_fuzz_vs_fresh () =
+  let rng = Rng.create 4242 in
+  for trial = 1 to 150 do
+    let nvars = 3 + Rng.int rng 6 in
+    let base = random_cnf rng ~nvars ~nclauses:(2 + Rng.int rng 12) in
+    let extra = random_cnf rng ~nvars ~nclauses:(1 + Rng.int rng 8) in
+    let name what = Printf.sprintf "trial %d: %s" trial what in
+    match
+      let s = Solver.create () in
+      for _ = 1 to nvars do
+        ignore (Solver.new_var s)
+      done;
+      List.iter (Solver.add_clause s) base;
+      s
+    with
+    | exception Solver.Unsat_root ->
+      Alcotest.(check bool) (name "root unsat") false (fresh_answer nvars base)
+    | s ->
+      let floor = (Solver.stats s).Solver.vars in
+      let g = Solver.new_group s in
+      List.iter (Solver.add_clause_in s g) extra;
+      let combined =
+        Solver.solve ~assumptions:[ Solver.group_lit g ] s = Solver.Sat
+      in
+      Alcotest.(check bool) (name "combined answer")
+        (fresh_answer nvars (base @ extra))
+        combined;
+      Solver.retire_group s g;
+      Solver.shrink_vars s floor;
+      Alcotest.(check int) (name "vars at floor") floor (Solver.stats s).Solver.vars;
+      Alcotest.(check bool) (name "base answer after retire")
+        (fresh_answer nvars base)
+        (Solver.solve s = Solver.Sat)
   done
 
 let test_circuit_encoding_agrees_with_sim () =
@@ -398,6 +470,8 @@ let () =
          Alcotest.test_case "pigeonhole unsat" `Quick test_unsat_pigeon;
          Alcotest.test_case "assumptions" `Quick test_assumptions;
          Alcotest.test_case "incremental reuse" `Quick test_incremental_reuse;
+         Alcotest.test_case "group retire reclaims" `Quick test_group_retire_reclaims;
+         Alcotest.test_case "group fuzz vs fresh" `Quick test_group_fuzz_vs_fresh;
          Alcotest.test_case "fuzz vs brute force" `Slow test_fuzz_against_brute_force ]);
       ("perf core",
        [ Alcotest.test_case "determinism" `Quick test_determinism;

@@ -571,6 +571,35 @@ let test_diff_classification () =
         (contains rendered needle))
     [ "span:solve"; "REGRESSION"; "1 regression(s)" ]
 
+let test_diff_counter_directions () =
+  (* Optimization-health counters invert the usual direction: a drop in
+     session reuse or dropped faults means the incremental fast path
+     stopped engaging — that IS the regression — while a rise is an
+     improvement; sat.groups_retired is a neutral workload descriptor. *)
+  let base =
+    trace_of
+      [ count_ev "atpg.session_reused" 100.0;
+        count_ev "atpg.faults_dropped" 50.0;
+        count_ev "sat.groups_retired" 40.0 ]
+  in
+  let run =
+    trace_of
+      [ count_ev "atpg.session_reused" 10.0;
+        count_ev "atpg.faults_dropped" 200.0;
+        count_ev "sat.groups_retired" 10.0 ]
+  in
+  let d = T.Trace.diff_traces ~base run in
+  let verdict m =
+    (List.find (fun e -> e.T.Trace.metric = m) d.T.Trace.entries).T.Trace.diff_verdict
+  in
+  Alcotest.(check bool) "session-reuse collapse is a regression" true
+    (verdict "counter:atpg.session_reused" = T.Trace.Regression);
+  Alcotest.(check bool) "more faults dropped is an improvement" true
+    (verdict "counter:atpg.faults_dropped" = T.Trace.Improvement);
+  Alcotest.(check bool) "groups retired is direction-free" true
+    (verdict "counter:sat.groups_retired" = T.Trace.Changed);
+  Alcotest.(check int) "exactly the reuse collapse regresses" 1 d.T.Trace.regressions
+
 (* --- budget utilization --------------------------------------------- *)
 
 module Budget = Eda_util.Budget
@@ -630,7 +659,9 @@ let () =
          Alcotest.test_case "canonicalize" `Quick test_canonicalize ]);
       ("diff",
        [ Alcotest.test_case "same trace clean" `Quick test_diff_same_trace_clean;
-         Alcotest.test_case "classification" `Quick test_diff_classification ]);
+         Alcotest.test_case "classification" `Quick test_diff_classification;
+         Alcotest.test_case "counter directions" `Quick
+           test_diff_counter_directions ]);
       ("jsonl",
        [ Alcotest.test_case "json value roundtrip" `Quick test_json_value_roundtrip;
          Alcotest.test_case "unicode roundtrip" `Quick test_json_unicode_roundtrip;
