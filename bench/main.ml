@@ -568,7 +568,7 @@ let ablations () =
   let sm_resynth =
     { sm with
       Locking.Watermark.s_circuit =
-        Synth.Rewrite.constant_propagation sm.Locking.Watermark.s_circuit }
+        Synth.Pass.apply "constant_propagation" sm.Locking.Watermark.s_circuit }
   in
   Printf.printf "  %-34s %12s %18s\n" "scheme" "embedded" "after resynthesis";
   Printf.printf "  %-34s %12s %18s\n" "structural (buffer gadgets)"
@@ -622,9 +622,9 @@ let ablations () =
   List.iter
     (fun (name, c) ->
       let a0 = (Circuit.stats c).Circuit.area in
-      let a1 = (Circuit.stats (Synth.Techmap.run ~target:Synth.Techmap.Nand_inv c)).Circuit.area in
+      let a1 = (Circuit.stats (Synth.Pass.apply "techmap" c)).Circuit.area in
       let a2 =
-        (Circuit.stats (Synth.Techmap.run ~target:Synth.Techmap.Nand_nor_xnor c)).Circuit.area
+        (Circuit.stats (Synth.Pass.apply ~params:[ ("target", "camo") ] "techmap" c)).Circuit.area
       in
       Printf.printf "  %-12s %14.1f %16.1f %14.1f\n" name a0 a1 a2)
     [ ("c17", Gen.c17 ()); ("alu4", Gen.alu 4); ("adder8", Gen.ripple_adder 8) ];

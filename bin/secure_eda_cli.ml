@@ -5,6 +5,8 @@
      secure_eda_cli stats alu.bench
      secure_eda_cli lint alu.bench
      secure_eda_cli synth alu.bench -o alu_opt.bench
+     secure_eda_cli synth alu.bench --recipe secure_synthesis -o masked.bench
+     secure_eda_cli synth --list-recipes
      secure_eda_cli lock alu.bench --key-bits 16 -o locked.bench
      secure_eda_cli sat-attack locked.bench --oracle alu.bench --conflicts 50000
      secure_eda_cli atpg alu.bench --conflicts 20000
@@ -179,24 +181,111 @@ let lint_cmd =
 (* --- synth ------------------------------------------------------------ *)
 
 let synth_cmd =
-  let secure =
-    Arg.(value & flag & info [ "secure" ] ~doc:"Honour isw_ order barriers (security-aware mode)")
+  let recipe =
+    Arg.(value & opt string "optimize"
+         & info [ "recipe" ] ~docv:"NAME" ~doc:"Recipe to run (see $(b,--list-recipes)).")
   in
-  let run path secure output trace =
+  let list_recipes =
+    Arg.(value & flag
+         & info [ "list-recipes" ] ~doc:"List registered recipes and passes, then exit.")
+  in
+  let print_ir_after =
+    Arg.(value & opt (some string) None
+         & info [ "print-ir-after" ] ~docv:"PASS"
+             ~doc:"Dump the lint-checked intermediate netlist after every execution of PASS.")
+  in
+  let params =
+    Arg.(value & opt_all (pair ~sep:'=' string string) []
+         & info [ "param"; "p" ] ~docv:"KEY=VALUE"
+             ~doc:"Recipe parameter, repeatable (e.g. $(b,--param shares=3)).")
+  in
+  let max_passes =
+    Arg.(value & opt (some int) None
+         & info [ "max-passes" ]
+             ~doc:"Stop the recipe after this many pass executions (budgeted run).")
+  in
+  let secure =
+    Arg.(value & flag
+         & info [ "secure" ]
+             ~doc:"Deprecated alias for $(b,--recipe optimize_secure) (honour gadget order barriers).")
+  in
+  let list_and_exit () =
+    print_endline "recipes:";
+    List.iter
+      (fun (r : Synth.Pipeline.t) -> Printf.printf "  %-22s %s\n" r.Synth.Pipeline.name r.Synth.Pipeline.doc)
+      (Synth.Pipeline.all ());
+    print_endline "passes:";
+    List.iter
+      (fun (p : Synth.Pass.t) -> Printf.printf "  %-22s %s\n" p.Synth.Pass.name p.Synth.Pass.doc)
+      (Synth.Pass.all ());
+    exit 0
+  in
+  let run path recipe secure list_recipes params print_ir_after max_passes seconds jobs output trace =
+    Sidechannel.Secure_synth.register ();
+    if list_recipes then list_and_exit ();
+    let recipe =
+      if secure then begin
+        prerr_endline "secure_eda_cli: --secure is deprecated; use --recipe optimize_secure";
+        "optimize_secure"
+      end
+      else recipe
+    in
+    let r =
+      match Synth.Pipeline.find recipe with
+      | Some r -> r
+      | None ->
+        die "unknown recipe %s (available: %s)" recipe
+          (String.concat ", " (Synth.Pipeline.names ()))
+    in
+    let path = match path with
+      | Some p -> p
+      | None -> die "a NETLIST argument is required (except with --list-recipes)"
+    in
     let c = read_circuit path in
+    let observe =
+      match print_ir_after with
+      | None -> None
+      | Some target ->
+        let used = Synth.Pipeline.passes_used r in
+        if not (List.mem target used) then
+          die "--print-ir-after %s: recipe %s only runs: %s" target recipe
+            (String.concat ", " used);
+        let stem = Filename.remove_extension (Option.value output ~default:path) in
+        Some
+          (fun ~seq ~pass ir ->
+            if pass = target then begin
+              (match Netlist.Lint.errors ir with
+               | [] -> ()
+               | issue :: _ ->
+                 die "IR after %s (step %d) fails lint: %s" pass seq (Netlist.Lint.describe issue));
+              let file = Printf.sprintf "%s.after-%02d-%s.bench" stem seq pass in
+              Netlist.Io.write_file file ir;
+              Printf.eprintf "ir: wrote %s\n" file
+            end)
+    in
+    let budget = budget_of max_passes seconds in
     let optimized =
-      with_trace trace (fun () ->
-          if secure then Synth.Flow.optimize_secure ~protect:Sidechannel.Isw.protected_name c
-          else Synth.Flow.optimize c)
+      try
+        with_trace trace (fun () ->
+            with_jobs jobs (fun pool ->
+                Synth.Pipeline.run_recipe ?budget ?pool ?observe ~params recipe c))
+      with
+      | Synth.Pass.Check_failed { pass; msg } -> die "pass %s failed its check: %s" pass msg
+      | Invalid_argument msg -> die "%s" msg
     in
     let before = (Netlist.Circuit.stats c).Netlist.Circuit.gates in
     let after = (Netlist.Circuit.stats optimized).Netlist.Circuit.gates in
-    Printf.eprintf "synthesis: %d -> %d gates (%s)\n" before after
-      (if secure then "security-aware" else "classical");
+    Printf.eprintf "synthesis: %d -> %d gates (recipe %s)\n" before after recipe;
     write_or_print optimized output
   in
-  Cmd.v (Cmd.info "synth" ~doc:"Run logic synthesis (classical or security-aware)")
-    Term.(const run $ netlist_arg $ secure $ output_arg $ trace_arg)
+  let netlist_opt =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"NETLIST" ~doc:"Input netlist file")
+  in
+  Cmd.v
+    (Cmd.info "synth"
+       ~doc:"Run a synthesis recipe (classical, security-aware or masking; see --list-recipes)")
+    Term.(const run $ netlist_opt $ recipe $ secure $ list_recipes $ params $ print_ir_after
+          $ max_passes $ seconds_arg $ jobs_arg $ output_arg $ trace_arg)
 
 (* --- lock / sat-attack ------------------------------------------------ *)
 
@@ -330,17 +419,17 @@ let techmap_cmd =
   in
   let run path target output =
     let c = read_circuit path in
-    let target =
+    let target_t =
       match target with
       | "nand-inv" -> Synth.Techmap.Nand_inv
       | "camo" -> Synth.Techmap.Nand_nor_xnor
       | other -> die "unknown target %s (available: nand-inv, camo)" other
     in
-    let mapped = Synth.Techmap.run ~target c in
+    let mapped = Synth.Pass.apply ~params:[ ("target", target) ] "techmap" c in
     Printf.eprintf "mapped: area %.1f -> %.1f, conforms = %b\n"
       (Netlist.Circuit.stats c).Netlist.Circuit.area
       (Netlist.Circuit.stats mapped).Netlist.Circuit.area
-      (Synth.Techmap.conforms target mapped);
+      (Synth.Techmap.conforms target_t mapped);
     write_or_print mapped output
   in
   Cmd.v (Cmd.info "techmap" ~doc:"Map a netlist to a restricted cell library")

@@ -485,7 +485,7 @@ let remove_redundancy circuit =
       | None -> c
       | Some (node, value) ->
         (* Replace the node with the constant and simplify. *)
-        let simplified = Synth.Rewrite.constant_propagation (faulty_copy c (Fault.Model.Stuck_at { node; value })) in
+        let simplified = Synth.Pass.apply "constant_propagation" (faulty_copy c (Fault.Model.Stuck_at { node; value })) in
         pass simplified (budget - 1)
     end
   in

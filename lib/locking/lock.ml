@@ -145,7 +145,7 @@ let apply_key locked ~key =
          Circuit.add_node_raw out nd.Circuit.kind fanins (copy_name i))
   done;
   Array.iter (fun (nm, o) -> Circuit.set_output out nm remap.(o)) (Circuit.outputs c);
-  Synth.Rewrite.constant_propagation out
+  Synth.Pass.apply "constant_propagation" out
 
 (** Correctness of locking (functional-validation row): the locked design
     under the correct key is equivalent to the original; returns the SAT

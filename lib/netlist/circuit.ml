@@ -20,6 +20,11 @@ type t = {
   mutable outputs : (string * int) list;  (* reversed *)
   mutable dffs : int list;  (* reversed *)
   by_name : (string, int) Hashtbl.t;
+  (* Region annotations: region name -> member *net names*, declaration
+     order. Membership is by name, not id, so annotations survive the id
+     renumbering every synthesis pass performs; names that no longer
+     resolve are dropped at query time, not eagerly. *)
+  mutable regions : (string * string list) list;
 }
 
 let create () =
@@ -28,7 +33,8 @@ let create () =
     inputs = [];
     outputs = [];
     dffs = [];
-    by_name = Hashtbl.create 64 }
+    by_name = Hashtbl.create 64;
+    regions = [] }
 
 let node_count c = c.n
 
@@ -109,6 +115,46 @@ let num_dffs c = List.length c.dffs
 
 let find_by_name c net = Hashtbl.find_opt c.by_name net
 
+(* --- Region annotations ------------------------------------------------ *)
+
+(** Add [ids] (resolved to their current net names) to [region], creating
+    it on first use. Annotating the same net twice is idempotent. *)
+let annotate_region c ~region ids =
+  let names = List.map (fun id -> (node c id).name) ids in
+  let rec upd = function
+    | [] -> [ (region, names) ]
+    | (r, ms) :: rest when r = region ->
+      (r, ms @ List.filter (fun n -> not (List.mem n ms)) names) :: rest
+    | entry :: rest -> entry :: upd rest
+  in
+  c.regions <- upd c.regions
+
+(** Region names, in declaration order. *)
+let region_names c = List.map fst c.regions
+
+(** Current member ids of [region]: member names that no longer resolve
+    (dropped or renamed by a pass) are silently omitted; an unknown region
+    is empty. *)
+let region_members c region =
+  match List.assoc_opt region c.regions with
+  | None -> []
+  | Some names -> List.filter_map (fun nm -> Hashtbl.find_opt c.by_name nm) names
+
+(** Membership as a [node_count]-sized mask, for per-node sweeps. *)
+let region_mask c region =
+  let mask = Array.make (max 1 c.n) false in
+  List.iter (fun id -> mask.(id) <- true) (region_members c region);
+  mask
+
+(** Carry [from]'s region annotations over to [c] (a rebuilt version of the
+    same design). Additive: regions [c] already declares are kept as-is;
+    member names that do not resolve in [c] simply stop matching. *)
+let transfer_regions ~from c =
+  List.iter
+    (fun (r, ms) ->
+      if not (List.mem_assoc r c.regions) then c.regions <- c.regions @ [ (r, ms) ])
+    from.regions
+
 (** Convenience binary-tree reduction, e.g. wide AND/XOR from 2-input cells. *)
 let rec reduce c kind ids =
   match ids with
@@ -176,7 +222,8 @@ let copy c =
     inputs = c.inputs;
     outputs = c.outputs;
     dffs = c.dffs;
-    by_name = Hashtbl.copy c.by_name }
+    by_name = Hashtbl.copy c.by_name;
+    regions = c.regions }
 
 (** Nodes reachable backwards from the outputs (and DFF D-inputs); the live
     cone. Dead nodes are synthesis garbage. *)
@@ -220,6 +267,8 @@ let sweep c =
     end
   done;
   List.iter (fun (nm, o) -> set_output out nm remap.(o)) (List.rev c.outputs);
+  (* Region annotations are by name: dead members stop resolving. *)
+  transfer_regions ~from:c out;
   out, remap
 
 (** Instantiate combinational [sub] inside [into], binding [sub]'s primary

@@ -59,6 +59,32 @@ val num_outputs : t -> int
 val num_dffs : t -> int
 val find_by_name : t -> string -> int option
 
+(** {2 Region annotations}
+
+    Named node groups ("this cone is a secret", "these nets are a masked
+    gadget") consumed by security-aware synthesis passes. Membership is
+    stored by {e net name}, so annotations survive the id renumbering a
+    pass pipeline performs; names a pass drops or renames simply stop
+    matching. [copy] and [sweep] preserve annotations; pass runners carry
+    them across rebuilds with {!transfer_regions}. *)
+
+(** Add nodes to [region] (created on first use); idempotent per net. *)
+val annotate_region : t -> region:string -> int list -> unit
+
+(** Region names, in declaration order. *)
+val region_names : t -> string list
+
+(** Currently-resolvable member ids of [region]; unknown regions are
+    empty. *)
+val region_members : t -> string -> int list
+
+(** Membership as a node mask, for per-node sweeps. *)
+val region_mask : t -> string -> bool array
+
+(** Carry [from]'s annotations over to a rebuilt [t] (additive; existing
+    regions win). *)
+val transfer_regions : from:t -> t -> unit
+
 (** Binary-tree reduction of [ids] with 2-input cells of [kind]. *)
 val reduce : t -> Gate.kind -> int list -> int
 

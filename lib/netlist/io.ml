@@ -8,7 +8,14 @@
     s = DFF(y)
     v}
 
-    Gates may reference nets defined later only for DFF inputs. *)
+    Gates may reference nets defined later only for DFF inputs.
+
+    Region annotations (see {!Circuit.annotate_region}) persist through a
+    comment pragma, so pre-pragma parsers skip them as comments:
+
+    {v
+    # region secret : w y
+    v} *)
 
 let print_circuit fmt c =
   let pr fs = Format.fprintf fmt fs in
@@ -30,7 +37,17 @@ let print_circuit fmt c =
   Array.iter
     (fun (nm, o) ->
       if Circuit.name c o <> nm then pr "%s = BUF(%s)@." nm (Circuit.name c o))
-    (Circuit.outputs c)
+    (Circuit.outputs c);
+  (* Region pragmas: only currently-resolvable members are written, so a
+     printed circuit always parses back. *)
+  List.iter
+    (fun region ->
+      match Circuit.region_members c region with
+      | [] -> ()
+      | members ->
+        pr "# region %s :%s@." region
+          (String.concat "" (List.map (fun id -> " " ^ Circuit.name c id) members)))
+    (Circuit.region_names c)
 
 let to_string c =
   let buf = Buffer.create 1024 in
@@ -41,14 +58,35 @@ let to_string c =
 
 exception Parse_error of string
 
+(* "# region <name> : <net> <net> ..." — anything else after '#' is a
+   plain comment, so malformed pragmas (and pre-pragma comments that
+   happen to start with "region") degrade to comments, never to errors. *)
+let parse_region_pragma comment =
+  let words =
+    String.split_on_char ' ' comment |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun w -> w <> "")
+  in
+  match words with
+  | "region" :: name :: ":" :: (_ :: _ as members) -> Some (name, members)
+  | _ -> None
+
 let parse_line line =
+  let comment =
+    match String.index_opt line '#' with
+    | Some i -> Some (String.sub line (i + 1) (String.length line - i - 1))
+    | None -> None
+  in
   let line =
     match String.index_opt line '#' with
     | Some i -> String.sub line 0 i
     | None -> line
   in
   let line = String.trim line in
-  if line = "" then `Blank
+  if line = "" then begin
+    match Option.bind comment parse_region_pragma with
+    | Some (name, members) -> `Region (name, members)
+    | None -> `Blank
+  end
   else if String.length line > 6 && String.uppercase_ascii (String.sub line 0 6) = "INPUT(" then begin
     let inner = String.sub line 6 (String.length line - 7) in
     `Input (String.trim inner)
@@ -105,7 +143,7 @@ let build text =
     (fun (ln, item) ->
       match item with
       | `Input nm -> at ln (fun () -> ignore (Circuit.add_input ~name:nm c))
-      | `Output _ | `Gate _ | `Blank -> ())
+      | `Output _ | `Gate _ | `Blank | `Region _ -> ())
     parsed;
   let resolve nm =
     match Circuit.find_by_name c nm with
@@ -133,7 +171,7 @@ let build text =
         at ln (fun () ->
             check_arity nm kind args;
             ignore (Circuit.add_gate ~name:nm c kind (List.map resolve args)))
-      | `Input _ | `Output _ | `Blank -> ())
+      | `Input _ | `Output _ | `Blank | `Region _ -> ())
     parsed;
   List.iter
     (fun (id, ln, d) -> at ln (fun () -> Circuit.connect_dff c id ~d:(resolve d)))
@@ -142,7 +180,16 @@ let build text =
     (fun (ln, item) ->
       match item with
       | `Output nm -> at ln (fun () -> Circuit.set_output c nm (resolve nm))
-      | `Input _ | `Gate _ | `Blank -> ())
+      | `Input _ | `Gate _ | `Blank | `Region _ -> ())
+    parsed;
+  (* Region pragmas last: every net is declared by now. *)
+  List.iter
+    (fun (ln, item) ->
+      match item with
+      | `Region (name, members) ->
+        at ln (fun () ->
+            Circuit.annotate_region c ~region:name (List.map resolve members))
+      | `Input _ | `Output _ | `Gate _ | `Blank -> ())
     parsed;
   c
 

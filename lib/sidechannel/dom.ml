@@ -41,7 +41,7 @@ let protected_name name = String.length name >= 4 && String.sub name 0 4 = prefi
 
 let transform ?(shares = 2) source =
   assert (shares >= 2);
-  let src = Synth.Basis.to_and_xor_not source in
+  let src = Synth.Pass.apply "to_and_xor_not" source in
   assert (Circuit.num_dffs src = 0);
   let c = Circuit.create () in
   let counter = ref 0 in

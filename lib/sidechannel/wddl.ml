@@ -26,7 +26,7 @@ type dual = {
 }
 
 let transform source =
-  let src = Synth.Basis.to_and_xor_not source in
+  let src = Synth.Pass.apply "to_and_xor_not" source in
   assert (Circuit.num_dffs src = 0);
   let c = Circuit.create () in
   let input_rails =

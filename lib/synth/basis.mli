@@ -1,0 +1,13 @@
+(** Conversion to the AND / XOR / NOT basis. Masking transforms (ISW
+    private circuits, {!Masking}) are defined over this basis; every
+    other cell is rewritten by Boolean identities before masking.
+
+    Registered as the [to_and_xor_not] pass; outside [lib/synth],
+    address it through {!Pass.apply} / {!Pipeline} rather than calling
+    here directly. *)
+
+val to_and_xor_not : Netlist.Circuit.t -> Netlist.Circuit.t
+[@@deprecated "use Synth.Pass.apply \"to_and_xor_not\" (or a Pipeline recipe)"]
+
+(** True when the circuit uses only AND/XOR/NOT (plus IO cells). *)
+val in_basis : Netlist.Circuit.t -> bool

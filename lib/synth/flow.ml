@@ -1,13 +1,12 @@
-(** Synthesis pass pipelines and the PPA cost model (Fig. 1's logic-synthesis
-    stage). Two canonical recipes:
+(** Synthesis entry points and the PPA cost model (Fig. 1's
+    logic-synthesis stage).
 
-    - [optimize] — the classical, security-oblivious flow: constant
-      propagation, structural hashing and factoring-friendly XOR
-      re-association, iterated to a fixed point. This is the flow that
-      breaks private circuits (Fig. 2).
-    - [optimize_secure] — the same passes with a [protect] predicate that
-      fences off annotated nodes, modelling a security-aware tool that
-      compiles "do not reorder" constraints down to the netlist. *)
+    [optimize] and [optimize_secure] are thin wrappers over the
+    data-described recipes of the same names (see {!Pipeline}); they
+    exist for callers that want the canonical flows without touching the
+    pass manager, and they produce bit-identical circuits to the
+    historical hardcoded sequences (the differential test in
+    [test_synth.ml] holds them to that). *)
 
 module Circuit = Netlist.Circuit
 
@@ -29,45 +28,14 @@ let ppa c =
 
 module T = Eda_util.Telemetry
 
-(* A pass under a [synth.pass.<name>] span with a [synth.gates_removed]
-   counter (net change; negative deltas count as zero since passes never
-   grow the netlist on purpose). Inactive telemetry short-circuits so the
-   extra [Circuit.stats] calls are only paid when tracing. *)
-let traced_pass name f c =
-  if not (T.active ()) then f c
-  else
-    T.with_span ("synth.pass." ^ name) @@ fun () ->
-    let before = (Circuit.stats c).Circuit.gates in
-    let c' = f c in
-    let after = (Circuit.stats c').Circuit.gates in
-    T.count "synth.gates_removed" (max 0 (before - after));
-    T.note "synth.pass"
-      ~attrs:
-        [ ("pass", T.Str name); ("gates_before", T.Int before); ("gates_after", T.Int after) ];
-    c'
-
 let optimize ?(reassoc = true) c =
   T.with_span "synth.optimize" @@ fun () ->
-  let step c =
-    let c = traced_pass "constant_propagation" Rewrite.constant_propagation c in
-    let c = traced_pass "strash" Rewrite.strash c in
-    if reassoc then traced_pass "xor_reassoc" Xor_reassoc.run c else c
-  in
-  (* Iterate to fixed point on gate count (bounded). *)
-  let rec loop c rounds =
-    if rounds = 0 then c
-    else begin
-      let c' = step c in
-      if (Circuit.stats c').Circuit.gates >= (Circuit.stats c).Circuit.gates then c'
-      else loop c' (rounds - 1)
-    end
-  in
-  loop c 4
+  Pipeline.run ~params:[ ("reassoc", string_of_bool reassoc) ] (Pipeline.get "optimize") c
 
 (** Security-aware variant: [protect] marks nodes whose structure is a
-    security property (mask-accumulation chains, locked logic, sensors). *)
+    security property (mask-accumulation chains, locked logic, sensors).
+    The recipe always fences the standard gadget prefixes
+    ([isw_]/[dom_]/[mg_]) in addition to [protect]. *)
 let optimize_secure ~protect c =
   T.with_span "synth.optimize_secure" @@ fun () ->
-  let c = traced_pass "constant_propagation" (Rewrite.constant_propagation ~protect) c in
-  let c = traced_pass "strash" (Rewrite.strash ~protect) c in
-  traced_pass "xor_reassoc" (Xor_reassoc.run ~protect) c
+  Pipeline.run ~protect (Pipeline.get "optimize_secure") c

@@ -1,7 +1,7 @@
-(** Synthesis pass pipelines and the PPA cost model. [optimize] is the
-    classical, security-oblivious recipe (constant propagation, structural
-    hashing, XOR re-association, iterated); [optimize_secure] runs the
-    same passes behind a [protect] fence. *)
+(** Synthesis entry points and the PPA cost model. [optimize] and
+    [optimize_secure] are thin wrappers over the data-described recipes
+    of the same names (see {!Pipeline}); they produce bit-identical
+    circuits to the historical hardcoded flows. *)
 
 type ppa = { area : float; delay_ps : float; gate_count : int; power_proxy : float }
 
@@ -12,5 +12,7 @@ val ppa : Netlist.Circuit.t -> ppa
 val optimize : ?reassoc:bool -> Netlist.Circuit.t -> Netlist.Circuit.t
 
 (** Security-aware variant: nodes whose name satisfies [protect] are copied
-    verbatim — never merged, simplified or re-associated. *)
+    verbatim — never merged, simplified or re-associated. The standard
+    masked-gadget prefixes ({!Pipeline.gadget_prefixes}) are always fenced
+    in addition to [protect]. *)
 val optimize_secure : protect:(string -> bool) -> Netlist.Circuit.t -> Netlist.Circuit.t

@@ -1,0 +1,24 @@
+(** Local logic rewriting: constant propagation, algebraic identities and
+    structural hashing (common-subexpression elimination).
+
+    Every pass maps an input circuit to a fresh, functionally equivalent
+    circuit. The [protect] predicate is the security fence: nodes whose
+    {e net name} satisfies it are copied verbatim and never merged,
+    simplified or re-expressed.
+
+    These transforms are registered as the [constant_propagation] and
+    [strash] passes; outside [lib/synth], address them through
+    {!Pass.apply} / {!Pipeline} rather than calling here directly. *)
+
+(** The trivial fence: nothing is protected. *)
+val no_protection : string -> bool
+
+val constant_propagation :
+  ?protect:(string -> bool) -> Netlist.Circuit.t -> Netlist.Circuit.t
+[@@deprecated "use Synth.Pass.apply \"constant_propagation\" (or a Pipeline recipe)"]
+
+val strash : ?protect:(string -> bool) -> Netlist.Circuit.t -> Netlist.Circuit.t
+[@@deprecated "use Synth.Pass.apply \"strash\" (or a Pipeline recipe)"]
+
+(** Area after a pass pipeline; convenience for reporting. *)
+val area : Netlist.Circuit.t -> float

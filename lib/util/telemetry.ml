@@ -1270,9 +1270,12 @@ module Trace = struct
        stopped firing and IS the regression; a few are neutral workload
        descriptors. Gauges have no generic direction. *)
     let counter_direction = function
-      | "atpg.session_reused" | "atpg.faults_dropped" | "atpg.covered_by_simulation" ->
+      | "atpg.session_reused" | "atpg.faults_dropped" | "atpg.covered_by_simulation"
+      | "synth.gates_removed" ->
         `Higher_better
-      | "sat.groups_retired" -> `Neutral
+      (* gates_added is workload-shaped: masking passes grow the netlist
+         on purpose, so neither direction is a regression per se. *)
+      | "sat.groups_retired" | "synth.gates_added" -> `Neutral
       | _ -> `Lower_better
     in
     let join prefix ~direction ~keep bs rs =

@@ -204,7 +204,7 @@ let test_structural_watermark () =
   let attacked =
     { mark with
       Locking.Watermark.s_circuit =
-        Synth.Rewrite.constant_propagation mark.Locking.Watermark.s_circuit }
+        Synth.Pass.apply "constant_propagation" mark.Locking.Watermark.s_circuit }
   in
   Alcotest.(check bool) "erased by resynthesis" false
     (Locking.Watermark.structural_intact attacked)

@@ -179,7 +179,7 @@ let test_two_safety_scan_chain_leaks_registered_secret () =
 let test_techmap_nand_inv () =
   List.iter
     (fun c ->
-      let mapped = Synth.Techmap.run ~target:Synth.Techmap.Nand_inv c in
+      let mapped = Synth.Pass.apply "techmap" c in
       Alcotest.(check bool) "equivalent" true (Netlist.Sim.equivalent_exhaustive c mapped);
       Alcotest.(check bool) "conforms" true
         (Synth.Techmap.conforms Synth.Techmap.Nand_inv mapped))
@@ -188,7 +188,7 @@ let test_techmap_nand_inv () =
 let test_techmap_camo_target () =
   List.iter
     (fun c ->
-      let mapped = Synth.Techmap.run ~target:Synth.Techmap.Nand_nor_xnor c in
+      let mapped = Synth.Pass.apply ~params:[ ("target", "camo") ] "techmap" c in
       Alcotest.(check bool) "equivalent" true (Netlist.Sim.equivalent_exhaustive c mapped);
       Alcotest.(check bool) "conforms" true
         (Synth.Techmap.conforms Synth.Techmap.Nand_nor_xnor mapped))
@@ -202,7 +202,7 @@ let test_techmap_sequential () =
   let t0 = Circuit.add_gate c Gate.Xor [ q0; en ] in
   Circuit.connect_dff c q0 ~d:t0;
   Circuit.set_output c "q0" q0;
-  let mapped = Synth.Techmap.run c in
+  let mapped = Synth.Pass.apply "techmap" c in
   let trace c' = Netlist.Sim.run c' [ [| true |]; [| true |]; [| false |]; [| true |] ] in
   Alcotest.(check bool) "sequential behaviour preserved" true (trace c = trace mapped)
 

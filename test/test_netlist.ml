@@ -340,6 +340,58 @@ let test_word_equivalence_tail_pattern () =
   Alcotest.(check bool) "random finds tail difference" false
     (Sim.equivalent_random rng ~patterns:4000 a b)
 
+(* Region annotations: by-name membership survives sweep renumbering,
+   round-trips through the pragma comment, and malformed pragmas stay
+   plain comments. *)
+let test_regions () =
+  let c = Circuit.create () in
+  let a = Circuit.add_input ~name:"a" c in
+  let b = Circuit.add_input ~name:"b" c in
+  let w = Circuit.add_gate ~name:"w" c Gate.And [ a; b ] in
+  let dead = Circuit.add_gate ~name:"dead" c Gate.Or [ a; b ] in
+  let y = Circuit.add_gate ~name:"y" c Gate.Xor [ w; a ] in
+  Circuit.set_output c "y" y;
+  Circuit.annotate_region c ~region:"secret" [ w; y ];
+  Circuit.annotate_region c ~region:"secret" [ y ];  (* idempotent *)
+  Circuit.annotate_region c ~region:"doomed" [ dead ];
+  Alcotest.(check (list string)) "names" [ "secret"; "doomed" ] (Circuit.region_names c);
+  Alcotest.(check (list int)) "members" [ w; y ] (Circuit.region_members c "secret");
+  let mask = Circuit.region_mask c "secret" in
+  Alcotest.(check bool) "mask w" true mask.(w);
+  Alcotest.(check bool) "mask a" false mask.(a);
+  let swept, remap = Circuit.sweep c in
+  Alcotest.(check (list int)) "members survive sweep"
+    [ remap.(w); remap.(y) ]
+    (Circuit.region_members swept "secret");
+  Alcotest.(check (list int)) "dead member drops out" []
+    (Circuit.region_members swept "doomed")
+
+let test_region_io_roundtrip () =
+  let c = Circuit.create () in
+  let a = Circuit.add_input ~name:"a" c in
+  let b = Circuit.add_input ~name:"b" c in
+  let w = Circuit.add_gate ~name:"w" c Gate.Nand [ a; b ] in
+  let y = Circuit.add_gate ~name:"y" c Gate.Xor [ w; a ] in
+  Circuit.set_output c "y" y;
+  Circuit.annotate_region c ~region:"core" [ w; y ];
+  let text = Io.to_string c in
+  Alcotest.(check bool) "pragma emitted" true
+    (String.length text > 0
+    && List.exists
+         (fun l -> l = "# region core : w y")
+         (String.split_on_char '\n' text));
+  let c' = Io.of_string text in
+  Alcotest.(check (list string)) "names roundtrip" [ "core" ] (Circuit.region_names c');
+  Alcotest.(check (list string)) "members roundtrip" [ "w"; "y" ]
+    (List.map (Circuit.name c') (Circuit.region_members c' "core"));
+  (* Malformed / legacy pragmas degrade to plain comments. *)
+  let c2 = Io.of_string "INPUT(a)\nOUTPUT(y)\n# region broken\n# just a note\ny = BUF(a)\n" in
+  Alcotest.(check (list string)) "malformed pragma ignored" [] (Circuit.region_names c2);
+  (* Unknown member nets are located parse errors. *)
+  (match Io.of_string_result "INPUT(a)\nOUTPUT(y)\ny = BUF(a)\n# region r : ghost\n" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "pragma with unknown net should fail")
+
 let prop_random_dag_well_formed =
   QCheck.Test.make ~name:"random dags are well-formed" ~count:30
     QCheck.(int_bound 1000)
@@ -370,7 +422,8 @@ let () =
          Alcotest.test_case "all gate kinds" `Quick test_all_gate_kinds;
          Alcotest.test_case "sweep" `Quick test_sweep_removes_dead;
          Alcotest.test_case "stats" `Quick test_stats;
-         Alcotest.test_case "fanouts" `Quick test_fanouts ]);
+         Alcotest.test_case "fanouts" `Quick test_fanouts;
+         Alcotest.test_case "regions" `Quick test_regions ]);
       ("sim",
        [ Alcotest.test_case "word matches scalar" `Quick test_word_sim_matches_scalar;
          Alcotest.test_case "sequential counter" `Quick test_sequential_counter;
@@ -394,7 +447,8 @@ let () =
       ("io",
        [ Alcotest.test_case "roundtrip c17" `Quick test_io_roundtrip;
          Alcotest.test_case "sequential roundtrip" `Quick test_io_sequential_roundtrip;
-         Alcotest.test_case "rejects garbage" `Quick test_io_rejects_garbage ]);
+         Alcotest.test_case "rejects garbage" `Quick test_io_rejects_garbage;
+         Alcotest.test_case "region pragma roundtrip" `Quick test_region_io_roundtrip ]);
       ("properties",
        List.map QCheck_alcotest.to_alcotest
          [ prop_random_dag_well_formed; prop_io_roundtrip_random; prop_sweep_preserves_function ]) ]

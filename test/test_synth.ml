@@ -25,7 +25,7 @@ let build_with_redundancy () =
 
 let test_constprop_simplifies () =
   let c = build_with_redundancy () in
-  let opt = Synth.Rewrite.constant_propagation c in
+  let opt = Synth.Pass.apply "constant_propagation" c in
   Alcotest.(check bool) "equivalent" true (Sim.equivalent_exhaustive c opt);
   Alcotest.(check bool) "smaller" true (gates opt < gates c)
 
@@ -36,7 +36,7 @@ let test_constprop_folds_constants () =
   let g = Circuit.add_gate c Gate.And [ a; zero ] in
   let h = Circuit.add_gate c Gate.Or [ g; a ] in  (* = a *)
   Circuit.set_output c "y" h;
-  let opt = Synth.Rewrite.constant_propagation c in
+  let opt = Synth.Pass.apply "constant_propagation" c in
   Alcotest.(check bool) "equivalent" true (Sim.equivalent_exhaustive c opt);
   Alcotest.(check int) "all logic folded" 0 (gates opt)
 
@@ -47,13 +47,13 @@ let test_constprop_xor_rules () =
   let one = Circuit.add_const c true in
   let y = Circuit.add_gate c Gate.Xnor [ x; one ] in  (* = x = 0... xnor(0,1)=0 *)
   Circuit.set_output c "y" y;
-  let opt = Synth.Rewrite.constant_propagation c in
+  let opt = Synth.Pass.apply "constant_propagation" c in
   Alcotest.(check bool) "equivalent" true (Sim.equivalent_exhaustive c opt);
   Alcotest.(check int) "fully constant" 0 (gates opt)
 
 let test_strash_merges_duplicates () =
   let c = build_with_redundancy () in
-  let opt = Synth.Rewrite.strash c in
+  let opt = Synth.Pass.apply "strash" c in
   Alcotest.(check bool) "equivalent" true (Sim.equivalent_exhaustive c opt)
 
 let test_strash_commutative () =
@@ -64,10 +64,10 @@ let test_strash_commutative () =
   let g2 = Circuit.add_gate c Gate.And [ b; a ] in
   let y = Circuit.add_gate c Gate.Xor [ g1; g2 ] in  (* = 0 after merge *)
   Circuit.set_output c "y" y;
-  let opt = Synth.Rewrite.strash c in
+  let opt = Synth.Pass.apply "strash" c in
   Alcotest.(check bool) "equivalent" true (Sim.equivalent_exhaustive c opt);
   (* After strash the two ANDs merge; constprop then kills the XOR. *)
-  let opt2 = Synth.Rewrite.constant_propagation opt in
+  let opt2 = Synth.Pass.apply "constant_propagation" opt in
   Alcotest.(check int) "xor(x,x) collapsed" 0 (gates opt2)
 
 let test_optimize_random_dags () =
@@ -83,7 +83,7 @@ let test_optimize_random_dags () =
 let test_basis_conversion () =
   for seed = 20 to 30 do
     let c = Gen.random_dag ~seed ~inputs:5 ~gates:30 ~outputs:2 in
-    let axn = Synth.Basis.to_and_xor_not c in
+    let axn = Synth.Pass.apply "to_and_xor_not" c in
     Alcotest.(check bool) (Printf.sprintf "seed %d in basis" seed) true (Synth.Basis.in_basis axn);
     Alcotest.(check bool) (Printf.sprintf "seed %d equivalent" seed) true
       (Sim.equivalent_exhaustive c axn)
@@ -91,7 +91,7 @@ let test_basis_conversion () =
 
 let test_basis_mux () =
   let c = Gen.mux_tree 2 in
-  let axn = Synth.Basis.to_and_xor_not c in
+  let axn = Synth.Pass.apply "to_and_xor_not" c in
   Alcotest.(check bool) "in basis" true (Synth.Basis.in_basis axn);
   Alcotest.(check bool) "equivalent" true (Sim.equivalent_exhaustive c axn)
 
@@ -169,6 +169,230 @@ let test_optimize_secure_preserves_function () =
   let opt = Synth.Flow.optimize_secure ~protect:Sidechannel.Isw.protected_name c in
   Alcotest.(check bool) "equivalent" true (Sim.equivalent_exhaustive c opt)
 
+(* --- pass manager / pipeline ------------------------------------------- *)
+
+module Masking = Synth.Masking
+module Pipeline = Synth.Pipeline
+module Bench_gen = Netlist.Bench_gen
+
+(* The hardcoded sequences the recipes replaced, kept verbatim from the
+   pre-pass-manager Flow for the differential test below. *)
+module Legacy = struct
+  [@@@alert "-deprecated"]
+
+  let optimize ?(reassoc = true) c =
+    let step c =
+      let c = Synth.Rewrite.constant_propagation c in
+      let c = Synth.Rewrite.strash c in
+      if reassoc then Synth.Xor_reassoc.run c else c
+    in
+    let rec loop c rounds =
+      if rounds = 0 then c
+      else begin
+        let c' = step c in
+        if (Circuit.stats c').Circuit.gates >= (Circuit.stats c).Circuit.gates then c'
+        else loop c' (rounds - 1)
+      end
+    in
+    loop c 4
+
+  let optimize_secure ~protect c =
+    let c = Synth.Rewrite.constant_propagation ~protect c in
+    let c = Synth.Rewrite.strash ~protect c in
+    Synth.Xor_reassoc.run ~protect c
+end
+
+let fp = Bench_gen.fingerprint
+
+let differential_workloads () =
+  [ ("c432", Bench_gen.c432_like ~seed:3 ~scale:1 ());
+    ("c880", Bench_gen.c880_like ~seed:7 ~width:8 ());
+    ("layered", Bench_gen.layered ~seed:11 ~inputs:12 ~layers:6 ~width:24 ()) ]
+
+let test_pipeline_matches_legacy () =
+  List.iter
+    (fun (nm, c) ->
+      List.iter
+        (fun reassoc ->
+          let tag = Printf.sprintf "%s reassoc=%b" nm reassoc in
+          Alcotest.(check string) tag
+            (fp (Legacy.optimize ~reassoc c))
+            (fp (Synth.Flow.optimize ~reassoc c)))
+        [ true; false ])
+    (differential_workloads ())
+
+let test_pipeline_matches_legacy_secure () =
+  let masked = Sidechannel.Isw.transform (Sidechannel.Leakage.private_and_source ()) in
+  let c = masked.Sidechannel.Isw.circuit in
+  let protect = Sidechannel.Isw.protected_name in
+  Alcotest.(check string) "secure flow bit-identical"
+    (fp (Legacy.optimize_secure ~protect c))
+    (fp (Synth.Flow.optimize_secure ~protect c))
+
+let test_fixed_point_bounded () =
+  (* The optimize recipe is Fixed_point{max_rounds=4} over three passes:
+     the runner can execute at most 12 passes, and the observe sequence
+     numbers every one of them. *)
+  List.iter
+    (fun (nm, c) ->
+      let count = ref 0 and last = ref 0 in
+      ignore
+        (Pipeline.run
+           ~observe:(fun ~seq ~pass:_ _ ->
+             incr count;
+             last := seq)
+           (Pipeline.get "optimize") c);
+      Alcotest.(check bool) (nm ^ " ran at least one round") true (!count >= 3);
+      Alcotest.(check bool) (nm ^ " bounded by 4 rounds x 3 passes") true (!count <= 12);
+      Alcotest.(check int) (nm ^ " seq is dense") !count !last)
+    (differential_workloads ())
+
+let test_observed_ir_lint_clean () =
+  (* Every intermediate circuit --print-ir-after could dump is lint-clean. *)
+  let c = Bench_gen.c880_like ~seed:2 ~width:8 () in
+  let seen = ref 0 in
+  ignore
+    (Pipeline.run
+       ~observe:(fun ~seq ~pass ir ->
+         incr seen;
+         match Netlist.Lint.errors ir with
+         | [] -> ()
+         | issue :: _ ->
+           Alcotest.failf "IR after %s (step %d): %s" pass seq (Netlist.Lint.describe issue))
+       (Pipeline.get "optimize") c);
+  Alcotest.(check bool) "observed the intermediate circuits" true (!seen >= 3)
+
+let test_budget_stops_pipeline () =
+  let c = Bench_gen.c432_like ~seed:5 ~scale:1 () in
+  let budget = Eda_util.Budget.create ~steps:2 () in
+  let count = ref 0 in
+  ignore
+    (Pipeline.run ~budget ~observe:(fun ~seq:_ ~pass:_ _ -> incr count)
+       (Pipeline.get "optimize") c);
+  Alcotest.(check int) "stopped after two passes" 2 !count
+
+let test_pass_registry_errors () =
+  Alcotest.(check bool) "find on unknown name" true (Synth.Pass.find "no_such_pass" = None);
+  (try
+     ignore (Synth.Pass.get "no_such_pass");
+     Alcotest.fail "get should raise on unknown pass"
+   with Invalid_argument _ -> ());
+  (try
+     Synth.Pass.register (Synth.Pass.simple ~name:"strash" ~doc:"duplicate" Fun.id);
+     Alcotest.fail "register should raise on duplicate name"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Pipeline.get "no_such_recipe");
+     Alcotest.fail "get should raise on unknown recipe"
+   with Invalid_argument _ -> ());
+  let failing =
+    Synth.Pass.make ~name:"always_fails" ~doc:"test-only"
+      ~check:(fun _ _ -> Error "nope")
+      (fun _ c -> c)
+  in
+  match Synth.Pass.run Synth.Pass.default_ctx failing (Gen.c17 ()) with
+  | _ -> Alcotest.fail "expected Check_failed"
+  | exception Synth.Pass.Check_failed { pass; msg } ->
+    Alcotest.(check string) "pass name" "always_fails" pass;
+    Alcotest.(check string) "check message" "nope" msg
+
+(* --- mask insertion ----------------------------------------------------- *)
+
+let test_mask_insertion_deterministic () =
+  (* Pure function of (circuit, params): bit-identical across repeat runs
+     and across pool sizes 1/2/8. *)
+  let c = Gen.ripple_adder 4 in
+  let run ?pool () =
+    Synth.Pass.apply ?pool ~params:[ ("shares", "3"); ("seed", "9") ] "mask_insertion" c
+  in
+  let base = fp (run ()) in
+  Alcotest.(check string) "repeat run" base (fp (run ()));
+  List.iter
+    (fun n ->
+      Eda_util.Pool.with_pool ~num_domains:n (fun pool ->
+          Alcotest.(check string) (Printf.sprintf "%d domains" n) base (fp (run ~pool ()))))
+    [ 2; 8 ];
+  let other = fp (Synth.Pass.apply ~params:[ ("shares", "3"); ("seed", "10") ] "mask_insertion" c) in
+  Alcotest.(check bool) "seed changes the randomness wiring" true (base <> other)
+
+let region_host () =
+  (* d --------------.
+     a -&- x(core) -xor- y(core) -not- z      outputs y, z *)
+  let c = Circuit.create () in
+  let a = Circuit.add_input ~name:"a" c in
+  let b = Circuit.add_input ~name:"b" c in
+  let d = Circuit.add_input ~name:"d" c in
+  let x = Circuit.add_gate c Gate.And [ a; b ] in
+  let y = Circuit.add_gate c Gate.Xor [ x; d ] in
+  let z = Circuit.add_gate c Gate.Not [ y ] in
+  Circuit.set_output c "y" y;
+  Circuit.set_output c "z" z;
+  Circuit.annotate_region c ~region:"core" [ x; y ];
+  c
+
+let outputs_by_name c vec =
+  let outs = Netlist.Sim.eval c vec in
+  List.mapi (fun k (nm, _) -> (nm, outs.(k))) (Array.to_list (Circuit.outputs c))
+
+let test_mask_region_preserves_function () =
+  List.iter
+    (fun style ->
+      List.iter
+        (fun shares ->
+          let c = region_host () in
+          let m = Masking.mask_region ~shares ~style ~seed:3 c ~region:"core" in
+          (match Netlist.Lint.errors m with
+           | [] -> ()
+           | issue :: _ -> Alcotest.failf "masked host lint: %s" (Netlist.Lint.describe issue));
+          let rng = Rng.create (97 + shares) in
+          for v = 0 to 7 do
+            let values =
+              [ ("a", v land 1 > 0); ("b", v land 2 > 0); ("d", v land 4 > 0) ]
+            in
+            let expect =
+              outputs_by_name c
+                (Array.map (fun id -> List.assoc (Circuit.name c id) values) (Circuit.inputs c))
+            in
+            (* Several fresh draws of the gadget randomness each. *)
+            for _ = 1 to 4 do
+              let vec =
+                Array.map
+                  (fun id ->
+                    let nm = Circuit.name m id in
+                    if Masking.protected_name nm then Rng.bool rng else List.assoc nm values)
+                  (Circuit.inputs m)
+              in
+              List.iter
+                (fun (nm, bit) ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "%s shares=%d v=%d out %s" (Masking.string_of_style style)
+                       shares v nm)
+                    bit
+                    (List.assoc nm (outputs_by_name m vec)))
+                expect
+            done
+          done)
+        [ 2; 3 ])
+    [ Masking.Isw; Masking.Dom ]
+
+let test_mask_region_gadget_counts () =
+  (* The region has one AND: ISW at s shares adds C(s,2) fresh random
+     inputs for it, plus (s-1) encoder randoms per boundary wire (a, b, d)
+     to share the region inputs. *)
+  List.iter
+    (fun shares ->
+      let c = region_host () in
+      let m = Masking.mask_region ~shares ~style:Masking.Isw ~seed:1 c ~region:"core" in
+      let randoms =
+        Array.to_list (Circuit.inputs m)
+        |> List.filter (fun id -> Masking.protected_name (Circuit.name m id))
+      in
+      let expected = (shares * (shares - 1) / 2) + (3 * (shares - 1)) in
+      Alcotest.(check int)
+        (Printf.sprintf "randomness inputs at %d shares" shares)
+        expected (List.length randoms))
+    [ 2; 3; 8 ]
+
 let prop_optimize_never_changes_function =
   QCheck.Test.make ~name:"optimize preserves function" ~count:12
     QCheck.(int_bound 900)
@@ -181,7 +405,7 @@ let prop_basis_preserves_function =
     QCheck.(int_bound 900)
     (fun seed ->
       let c = Gen.random_dag ~seed ~inputs:5 ~gates:35 ~outputs:2 in
-      Sim.equivalent_exhaustive c (Synth.Basis.to_and_xor_not c))
+      Sim.equivalent_exhaustive c (Synth.Pass.apply "to_and_xor_not" c))
 
 let () =
   Alcotest.run "synth"
@@ -203,6 +427,17 @@ let () =
       ("flow",
        [ Alcotest.test_case "ppa model" `Quick test_ppa_model;
          Alcotest.test_case "secure flow preserves function" `Quick test_optimize_secure_preserves_function ]);
+      ("pipeline",
+       [ Alcotest.test_case "matches legacy optimize" `Quick test_pipeline_matches_legacy;
+         Alcotest.test_case "matches legacy optimize_secure" `Quick test_pipeline_matches_legacy_secure;
+         Alcotest.test_case "fixed point bounded" `Quick test_fixed_point_bounded;
+         Alcotest.test_case "observed IR lint-clean" `Quick test_observed_ir_lint_clean;
+         Alcotest.test_case "budget stops pipeline" `Quick test_budget_stops_pipeline;
+         Alcotest.test_case "registry errors" `Quick test_pass_registry_errors ]);
+      ("masking",
+       [ Alcotest.test_case "deterministic across pools" `Quick test_mask_insertion_deterministic;
+         Alcotest.test_case "region preserves function" `Quick test_mask_region_preserves_function;
+         Alcotest.test_case "region randomness budget" `Quick test_mask_region_gadget_counts ]);
       ("properties",
        List.map QCheck_alcotest.to_alcotest
          [ prop_optimize_never_changes_function; prop_basis_preserves_function ]) ]
